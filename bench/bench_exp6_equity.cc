@@ -1,0 +1,153 @@
+// Exp-6: equity analysis — finding each company's ultimate controlling
+// shareholder on a layered ownership graph. Flex deployment: the
+// share-propagation app on the analytical stack, whole graph. Baseline:
+// the SQL-style approach (tuple tables + per-level joins), which the
+// paper reports could only process a limited subset in >1 hour while
+// Flex finished the full graph in 15 minutes.
+
+#include <cstdio>
+
+#include "baselines/relational.h"
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+#include <unordered_map>
+#include "common/string_util.h"
+#include "grape/apps/equity.h"
+
+namespace flex {
+namespace {
+
+/// Layered ownership DAG: persons -> L1 companies -> L2 -> L3; per-company
+/// incoming stakes normalized to sum to 1.
+struct EquityGraph {
+  EdgeList edges;
+  std::vector<uint8_t> is_person;
+  vid_t num_persons;
+};
+
+EquityGraph GenerateOwnership(vid_t persons, vid_t companies_per_layer,
+                              int layers, uint64_t seed) {
+  EquityGraph g;
+  g.num_persons = persons;
+  const vid_t total = persons + companies_per_layer * layers;
+  g.edges.num_vertices = total;
+  g.is_person.assign(total, 0);
+  for (vid_t p = 0; p < persons; ++p) g.is_person[p] = 1;
+
+  Rng rng(seed);
+  auto layer_begin = [&](int layer) {
+    return persons + static_cast<vid_t>(layer) * companies_per_layer;
+  };
+  for (int layer = 0; layer < layers; ++layer) {
+    for (vid_t c = 0; c < companies_per_layer; ++c) {
+      const vid_t company = layer_begin(layer) + c;
+      const size_t holders = 1 + rng.Uniform(4);
+      std::vector<double> stakes(holders);
+      double sum = 0.0;
+      for (double& s : stakes) {
+        s = rng.NextDouble() + 0.05;
+        sum += s;
+      }
+      for (size_t h = 0; h < holders; ++h) {
+        // Owners come from the previous layer (or persons for layer 0);
+        // occasionally a person holds a deep company directly.
+        vid_t owner;
+        if (layer == 0 || rng.Bernoulli(0.2)) {
+          owner = static_cast<vid_t>(rng.Uniform(persons));
+        } else {
+          owner = layer_begin(layer - 1) +
+                  static_cast<vid_t>(rng.Uniform(companies_per_layer));
+        }
+        g.edges.edges.push_back({owner, company, stakes[h] / sum});
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+}  // namespace flex
+
+int main() {
+  using namespace flex;
+  bench::PrintHeader("Exp-6: equity analysis — Flex analytics vs SQL joins");
+
+  EquityGraph g = GenerateOwnership(4000, 3000, 5, 77);
+  std::printf("ownership graph: %s vertices, %s edges\n",
+              WithCommas(g.edges.num_vertices).c_str(),
+              WithCommas(g.edges.num_edges()).c_str());
+
+  // ---- Flex: full-graph share propagation.
+  // Production prunes sub-0.1% stakes (the deployment's approximation);
+  // the SQL baseline below materializes every path unpruned, which is
+  // exactly why it never finished the full graph.
+  std::vector<grape::ControlResult> results;
+  const double flex_ms = bench::TimeMs(
+      [&] {
+        results = grape::ComputeControllers(g.edges, g.is_person, 8, 0.5,
+                                            /*prune=*/1e-3);
+      },
+      2);
+  size_t controlled = 0;
+  for (const auto& r : results) controlled += r.controller != kInvalidVid;
+  std::printf("Flex (GRAPE app):  %8.1fms for ALL %zu companies "
+              "(%zu with a >50%% controller)\n",
+              flex_ms, results.size(), controlled);
+
+  // ---- SQL baseline, as the paper describes it: "checked each tuple
+  // (i.e., a company) and calculated the shares among its shareholders" —
+  // per-company upward expansion where every ownership hop is a full-scan
+  // SELECT over the edge tuple table (no graph index). Production could
+  // only afford a limited number of companies; we run 500 of 18,000.
+  baselines::RelTable edges(3);  // (investor, company, pct).
+  for (const RawEdge& e : g.edges.edges) {
+    edges.AppendRow({static_cast<double>(e.src), static_cast<double>(e.dst),
+                     e.weight});
+  }
+  const size_t kSqlCompanies = 500;
+  const double sql_ms = bench::TimeMs(
+      [&] {
+        size_t found = 0;
+        for (size_t i = 0; i < kSqlCompanies; ++i) {
+          const double company = static_cast<double>(g.num_persons + i);
+          std::unordered_map<double, double> shares;
+          std::vector<std::pair<double, double>> frontier{{company, 1.0}};
+          for (int depth = 0; depth < 5 && !frontier.empty(); ++depth) {
+            std::vector<std::pair<double, double>> next;
+            for (const auto& [entity, factor] : frontier) {
+              baselines::RelTable owners = edges.Select(1, entity);
+              for (size_t r = 0; r < owners.num_rows(); ++r) {
+                const double investor = owners.At(r, 0);
+                const double stake = factor * owners.At(r, 2);
+                if (g.is_person[static_cast<vid_t>(investor)] != 0) {
+                  shares[investor] += stake;
+                } else {
+                  next.push_back({investor, stake});
+                }
+              }
+            }
+            frontier = std::move(next);
+          }
+          double best = 0.0;
+          for (const auto& [who, share] : shares) best = std::max(best, share);
+          found += best > 0.5;
+        }
+        FLEX_CHECK(found > 0);
+      },
+      1);
+  std::printf("SQL baseline:      %8.1fms for %zu of %zu companies "
+              "(full-scan joins per hop)\n",
+              sql_ms, kSqlCompanies, results.size());
+
+  const double extrapolated =
+      sql_ms * static_cast<double>(results.size()) / kSqlCompanies;
+  std::printf(
+      "\nall-companies estimate for SQL: ~%.0fms (a lower bound)\n"
+      "Flex (all companies) vs SQL extrapolated to all companies: %s\n"
+      "(paper: Flex 15 min on the full graph vs SQL > 1 h on a small "
+      "subset)\n",
+      extrapolated, bench::Ratio(extrapolated, flex_ms).c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Exp-7: social relation prediction — training an NCN-style common-
+// neighbor link predictor with decoupled sampling and training workers.
+// The paper dedicates 10 of 30 nodes to sampling and 20 to training; the
+// reproduction sweeps the sampler:trainer split to show that matching
+// the two stages' throughput maximizes end-to-end epoch speed.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/queue.h"
+#include "datagen/registry.h"
+#include "learn/sampler.h"
+#include "storage/simple.h"
+#include "storage/vineyard/vineyard_store.h"
+
+namespace flex {
+namespace {
+
+struct NcnEpochResult {
+  double seconds;
+  float accuracy;
+};
+
+NcnEpochResult RunNcnEpoch(const grin::GrinGraph& graph,
+                           const std::vector<std::pair<vid_t, vid_t>>& edges,
+                           size_t samplers, size_t trainers) {
+  learn::FeatureStore features(16, 2, 11);
+  learn::NeighborSampler sampler(&graph, 0, {6, 3}, &features);
+  const size_t kBatch = 64;
+
+  BoundedQueue<learn::SampleBatch> channel(8);
+  std::atomic<size_t> remaining{samplers};
+  std::vector<learn::Mlp> replicas(trainers,
+                                   learn::Mlp(3 * 16, 24, 2, 5));
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < samplers; ++s) {
+    threads.emplace_back([&, s] {
+      Rng rng(100 + s);
+      for (size_t begin = s * kBatch; begin < edges.size();
+           begin += samplers * kBatch) {
+        const size_t end = std::min(edges.size(), begin + kBatch);
+        std::vector<std::pair<vid_t, vid_t>> pos(
+            edges.begin() + begin, edges.begin() + end);
+        channel.Push(sampler.SampleLinkBatch(pos, pos.size(),
+                                             graph.NumVertices(), rng));
+      }
+      if (remaining.fetch_sub(1) == 1) channel.Close();
+    });
+  }
+  for (size_t t = 0; t < trainers; ++t) {
+    threads.emplace_back([&, t] {
+      while (auto batch = channel.Pop()) {
+        replicas[t].TrainStep(batch->features, batch->labels, 0.2f);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<const learn::Mlp*> views;
+  for (auto& r : replicas) views.push_back(&r);
+  learn::Mlp model(3 * 16, 24, 2, 5);
+  model.AverageFrom(views);
+
+  // Held-out probe.
+  Rng rng(999);
+  std::vector<std::pair<vid_t, vid_t>> probe(
+      edges.end() - std::min<size_t>(edges.size(), 128), edges.end());
+  auto batch =
+      sampler.SampleLinkBatch(probe, probe.size(), graph.NumVertices(), rng);
+  return {timer.ElapsedSeconds(), model.Accuracy(batch.features, batch.labels)};
+}
+
+}  // namespace
+}  // namespace flex
+
+int main() {
+  using namespace flex;
+  bench::PrintHeader(
+      "Exp-7: NCN link prediction — sampler/trainer split sweep");
+
+  auto graph_data = datagen::Generate(datagen::FindDataset("PD").value());
+  auto store = storage::VineyardStore::Build(
+                   storage::MakeSimpleGraphData(graph_data, false))
+                   .value();
+  auto graph = store->GetGrinHandle();
+
+  // Training edges: a sample of real edges (positives).
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  Rng rng(1);
+  for (int i = 0; i < 3000; ++i) {
+    const size_t e = rng.Uniform(graph_data.num_edges());
+    edges.push_back({graph_data.edges[e].src, graph_data.edges[e].dst});
+  }
+
+  std::printf("%-16s %12s %12s\n", "samplers:trainers", "epoch", "accuracy");
+  struct Split {
+    size_t samplers, trainers;
+  };
+  for (Split split : {Split{1, 3}, Split{1, 2}, Split{2, 2}, Split{2, 1},
+                      Split{3, 1}}) {
+    auto result = RunNcnEpoch(*graph, edges, split.samplers, split.trainers);
+    std::printf("%7zu:%-8zu %10.2fs %11.1f%%\n", split.samplers,
+                split.trainers, result.seconds, result.accuracy * 100.0);
+  }
+  std::printf(
+      "\n(paper: 10 sampling + 20 training nodes, 1.5 h/epoch on 200M-edge "
+      "in-house data, linear scalability; sampling-heavy NCN favours more "
+      "samplers — the common-neighbor extraction dominates)\n");
+  return 0;
+}

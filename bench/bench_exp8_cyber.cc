@@ -1,0 +1,92 @@
+// Exp-8: cybersecurity monitoring — Trojan-detection queries are two-hop
+// graph traversals; the legacy solution ran them as SQL self-joins.
+// Paper: Gremlin traversal on Flex beats the SQL equivalent by ~2,400x
+// because each traversal touches O(degree^2) edges while each SQL query
+// re-scans and re-joins the whole edge table.
+
+#include <cstdio>
+
+#include "baselines/relational.h"
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/registry.h"
+#include "lang/gremlin.h"
+#include "query/service.h"
+#include "optimizer/optimizer.h"
+#include "query/interpreter.h"
+#include "storage/simple.h"
+#include "storage/vineyard/vineyard_store.h"
+
+int main() {
+  using namespace flex;
+  bench::PrintHeader(
+      "Exp-8: cybersecurity two-hop traversal — Gremlin vs SQL joins");
+
+  // Host-communication graph (web-like: a few hub services).
+  auto graph_data = datagen::Generate(datagen::FindDataset("AR").value());
+  auto store = storage::VineyardStore::Build(
+                   storage::MakeSimpleGraphData(graph_data, false))
+                   .value();
+  auto graph = store->GetGrinHandle();
+
+  // The detection probe: who is two hops downstream of a host? Compiled
+  // once as a parameterized stored procedure (the Gremlin text and the
+  // Cypher text lower to the same IR; the Cypher form takes $0).
+  {
+    auto gremlin = lang::ParseGremlin(
+        "g.V(0).out('E').out('E').dedup().count()", graph->schema());
+    FLEX_CHECK(gremlin.ok());  // Front-end parity check.
+  }
+  auto logical = query::ParseQuery(
+      query::Language::kCypher,
+      "MATCH (a:V {id: $0})-[:E]->(b:V)-[:E]->(c:V) RETURN count(c)",
+      graph->schema());
+  FLEX_CHECK(logical.ok());
+  optimizer::Catalog catalog = optimizer::Catalog::Build(*graph);
+  ir::Plan plan = optimizer::Optimize(logical.value(), &catalog);
+  query::Interpreter interp(graph.get());
+
+  // SQL equivalent: SELECT DISTINCT b.dst FROM edges a JOIN edges b ON
+  // a.dst = b.src WHERE a.src = X — the edge table has no graph index,
+  // so the scan and the join build run per query.
+  baselines::RelTable edges(2);
+  for (const RawEdge& e : graph_data.edges) {
+    edges.AppendRow({static_cast<double>(e.src), static_cast<double>(e.dst)});
+  }
+
+  const int kQueries = 20;
+  Rng rng(5);
+  std::vector<vid_t> probes;
+  for (int q = 0; q < kQueries; ++q) {
+    probes.push_back(static_cast<vid_t>(rng.Uniform(256)));
+  }
+
+  // Flex traversals through the compiled stored procedure.
+  Timer flex_timer;
+  for (vid_t probe : probes) {
+    query::ExecOptions opts;
+    opts.params = {PropertyValue(static_cast<int64_t>(probe))};
+    FLEX_CHECK(interp.Run(plan, opts).ok());
+  }
+  const double flex_ms = flex_timer.ElapsedMillis() / kQueries;
+
+  // SQL joins (fewer reps; each is orders of magnitude slower).
+  const int kSqlQueries = 3;
+  Timer sql_timer;
+  for (int q = 0; q < kSqlQueries; ++q) {
+    baselines::RelTable first =
+        edges.Select(0, static_cast<double>(probes[q]));
+    baselines::RelTable two_hop = first.Join(1, edges, 0);
+    // DISTINCT dst via group-by.
+    baselines::RelTable distinct = two_hop.GroupBySum(3, 3);
+    FLEX_CHECK(distinct.num_columns() == 2);
+  }
+  const double sql_ms = sql_timer.ElapsedMillis() / kSqlQueries;
+
+  std::printf("avg per probe: Gremlin traversal %.3fms | SQL join %.1fms\n",
+              flex_ms, sql_ms);
+  std::printf("speedup: %s (paper: ~2,400x)\n",
+              bench::Ratio(sql_ms, flex_ms).c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef FLEX_BENCH_BENCH_UTIL_H_
+#define FLEX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/timer.h"
+
+#include <benchmark/benchmark.h>
+
+namespace flex::bench {
+
+/// Runs `fn` once for warmup, then `reps` timed repetitions; returns the
+/// mean wall time in milliseconds.
+inline double TimeMs(const std::function<void()>& fn, int reps = 3) {
+  fn();  // Warmup.
+  Timer timer;
+  for (int r = 0; r < reps; ++r) fn();
+  return timer.ElapsedMillis() / reps;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prevents the optimizer from discarding a benchmark result.
+template <typename T>
+void Sink(T&& value) {
+  benchmark::DoNotOptimize(value);
+}
+
+/// "NNNx" speedup rendering used across the experiment tables.
+inline std::string Ratio(double base, double ours) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", ours == 0.0 ? 0.0 : base / ours);
+  return buf;
+}
+
+}  // namespace flex::bench
+
+#endif  // FLEX_BENCH_BENCH_UTIL_H_

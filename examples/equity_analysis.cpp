@@ -1,0 +1,89 @@
+// Use case 2 (§8): equity analysis — find each company's ultimate
+// controlling shareholder (cumulative direct + indirect share > 50%).
+//
+// Deployment: the share-propagation algorithm on the analytical stack
+// over a Vineyard-resident ownership graph. Reproduces the paper's
+// worked example (Person C controls Company 1 with 0.648) and then a
+// synthetic corporate registry.
+//
+// Run: ./build/examples/equity_analysis
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "grape/apps/equity.h"
+
+using namespace flex;
+
+int main() {
+  // ---- The paper's Figure 6(b) example.
+  //   A, C persons; Company1..3. C holds 0.8 of Company2; Company2 holds
+  //   0.6 of Company1 and 0.3 of Company3; Company3 holds 0.7 of
+  //   Company1; A holds 0.1 of Company1 directly.
+  EdgeList figure;
+  figure.num_vertices = 5;  // 0=A, 1=C, 2=Company1, 3=Company2, 4=Company3.
+  figure.edges = {{0, 2, 0.10}, {1, 3, 0.80}, {3, 2, 0.60},
+                  {3, 4, 0.30}, {4, 2, 0.70}};
+  std::vector<uint8_t> is_person = {1, 1, 0, 0, 0};
+  const char* names[] = {"Person A", "Person C", "Company1", "Company2",
+                         "Company3"};
+  std::printf("paper example (Figure 6b):\n");
+  for (const auto& r : grape::ComputeControllers(figure, is_person)) {
+    if (r.controller == kInvalidVid) {
+      std::printf("  %s: no controller above 50%%\n", names[r.company]);
+    } else {
+      std::printf("  %s: controlled by %s with %.3f\n", names[r.company],
+                  names[r.controller], r.share);
+    }
+  }
+
+  // ---- A synthetic corporate registry: layered ownership.
+  Rng rng(42);
+  const vid_t persons = 2000, per_layer = 1500;
+  const int layers = 3;
+  EdgeList registry;
+  registry.num_vertices = persons + per_layer * layers;
+  std::vector<uint8_t> person_flags(registry.num_vertices, 0);
+  for (vid_t p = 0; p < persons; ++p) person_flags[p] = 1;
+  for (int layer = 0; layer < layers; ++layer) {
+    for (vid_t c = 0; c < per_layer; ++c) {
+      const vid_t company = persons + layer * per_layer + c;
+      const size_t holders = 1 + rng.Uniform(4);
+      double total = 0.0;
+      std::vector<double> stakes(holders);
+      for (double& stake : stakes) {
+        stake = rng.NextDouble() + 0.05;
+        total += stake;
+      }
+      for (size_t h = 0; h < holders; ++h) {
+        const vid_t owner =
+            layer == 0 || rng.Bernoulli(0.3)
+                ? static_cast<vid_t>(rng.Uniform(persons))
+                : persons + (layer - 1) * per_layer +
+                      static_cast<vid_t>(rng.Uniform(per_layer));
+        registry.edges.push_back({owner, company, stakes[h] / total});
+      }
+    }
+  }
+
+  auto results = grape::ComputeControllers(registry, person_flags, 8);
+  size_t controlled = 0;
+  double max_share = 0.0;
+  vid_t max_company = kInvalidVid;
+  for (const auto& r : results) {
+    if (r.controller != kInvalidVid) {
+      ++controlled;
+      if (r.share > max_share) {
+        max_share = r.share;
+        max_company = r.company;
+      }
+    }
+  }
+  std::printf(
+      "\nregistry: %zu companies analysed, %zu have a dominant (>50%%) "
+      "shareholder\nstrongest control: company %u held at %.1f%%\n",
+      results.size(), controlled, max_company, max_share * 100.0);
+  std::printf("(production runs this daily over 0.3B vertices in 15 min; "
+              "see bench_exp6_equity for the SQL comparison)\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Use case 1 (§8): real-time fraud detection.
+//
+// Deployment: GART (dynamic MVCC store) + HiActor (OLTP engine). Orders
+// stream in as (Account)-[BUY]->(Item) edges; each order triggers the
+// weighted co-purchase check against known fraud seeds, and matches raise
+// alerts before the order is lodged.
+//
+// Run: ./build/examples/fraud_detection
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "query/service.h"
+#include "storage/gart/gart_store.h"
+
+using namespace flex;
+
+int main() {
+  // ---- Schema: accounts buy items and know each other.
+  GraphSchema schema;
+  const label_t account = schema.AddVertexLabel("Account", {}).value();
+  const label_t item = schema.AddVertexLabel("Item", {}).value();
+  const label_t buy =
+      schema.AddEdgeLabel("BUY", account, item,
+                          {{"date", PropertyType::kInt64}})
+          .value();
+  const label_t knows = schema.AddEdgeLabel("KNOWS", account, account, {})
+                            .value();
+
+  auto store = storage::GartStore::Create(schema).value();
+  Rng rng(7);
+  constexpr oid_t kAccounts = 400;
+  constexpr oid_t kItems = 60;
+  for (oid_t a = 0; a < kAccounts; ++a) {
+    (void)store->AddVertex(account, a, {}).value();
+  }
+  for (oid_t i = 0; i < kItems; ++i) {
+    (void)store->AddVertex(item, 1000 + i, {}).value();
+  }
+  for (int k = 0; k < 1200; ++k) {
+    (void)store->AddEdge(knows, static_cast<oid_t>(rng.Uniform(kAccounts)),
+                         static_cast<oid_t>(rng.Uniform(kAccounts)));
+  }
+  // Fraud ring: seeds 3 and 5 co-purchase item 1001 on day 10, and the
+  // ring's mule (account 88, a friend of 77) buys it too.
+  for (oid_t seed : {3, 5}) {
+    (void)store->AddEdge(buy, seed, 1001, 1.0, 10);
+  }
+  (void)store->AddEdge(knows, 77, 88);
+  (void)store->AddEdge(buy, 88, 1001, 1.0, 11);
+  store->CommitVersion();
+
+  // ---- The detection query from §8, seeds baked into the procedure.
+  const std::string fraud_check =
+      "MATCH (v:Account {id: $0})-[b1:BUY]->(:Item)<-[b2:BUY]-(s:Account) "
+      "WHERE s.id IN [3, 5] AND b1.date - b2.date < 5 "
+      "WITH v, count(s) AS cnt1 "
+      "MATCH (v)-[:KNOWS]-(f:Account), "
+      "(f)-[b3:BUY]->(:Item)<-[b4:BUY]-(t:Account) "
+      "WHERE t.id IN [3, 5] WITH v, cnt1, count(t) AS cnt2 "
+      "WHERE 2 * cnt1 + 1 * cnt2 > 1 RETURN id(v), cnt1, cnt2";
+
+  // ---- Order stream: account 77 mimics the ring; others shop normally.
+  struct Order {
+    oid_t buyer;
+    oid_t item;
+    int64_t date;
+  };
+  std::vector<Order> orders;
+  for (int k = 0; k < 40; ++k) {
+    orders.push_back({static_cast<oid_t>(rng.Uniform(kAccounts)),
+                      1000 + static_cast<oid_t>(rng.Uniform(kItems)),
+                      static_cast<int64_t>(100 + rng.Uniform(100))});
+  }
+  orders.push_back({77, 1001, 12});  // Co-purchase with the seeds, day 12.
+
+  std::printf("processing %zu orders...\n", orders.size());
+  size_t alerts = 0;
+  for (const Order& order : orders) {
+    (void)store->AddEdge(buy, order.buyer, order.item, 1.0, order.date);
+    store->CommitVersion();
+
+    // Fresh snapshot per check: the query sees this order.
+    std::shared_ptr<const grin::GrinGraph> snapshot = store->GetSnapshot();
+    auto plan = query::ParseQuery(query::Language::kCypher, fraud_check,
+                                  schema);
+    runtime::HiActorEngine engine(snapshot.get(), 2);
+    runtime::QueryTask task;
+    task.plan = std::make_shared<const ir::Plan>(
+        optimizer::Optimize(plan.value(), nullptr));
+    task.params = {PropertyValue(static_cast<int64_t>(order.buyer))};
+    task.graph = snapshot;
+    auto rows = engine.Execute(std::move(task)).value();
+    if (!rows.empty()) {
+      ++alerts;
+      std::printf("  ALERT: order by account %lld on item %lld flagged "
+                  "(direct=%s indirect=%s)\n",
+                  static_cast<long long>(order.buyer),
+                  static_cast<long long>(order.item),
+                  ir::EntryToString(rows[0][1]).c_str(),
+                  ir::EntryToString(rows[0][2]).c_str());
+    }
+  }
+  std::printf("done: %zu alert(s) — the planted ring order is caught "
+              "before lodging.\n",
+              alerts);
+  return 0;
+}

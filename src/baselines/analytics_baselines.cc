@@ -1,0 +1,311 @@
+#include "baselines/analytics_baselines.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+namespace flex::baselines {
+
+namespace {
+
+constexpr uint32_t kUnreached = std::numeric_limits<uint32_t>::max();
+
+/// Atomic min for uint32 via CAS.
+bool AtomicMin(std::atomic<uint32_t>* target, uint32_t value) {
+  uint32_t current = target->load(std::memory_order_relaxed);
+  while (value < current) {
+    if (target->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomic add for double via CAS loop (the per-edge cost Gemini-style push
+/// pays that GRAPE's buffered aggregation avoids).
+void AtomicAdd(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- GasEngine
+
+GasEngine::GasEngine(const EdgeList& graph, size_t num_workers)
+    : graph_(graph), pool_(num_workers) {
+  out_degree_.assign(graph_.num_vertices, 0);
+  for (const RawEdge& e : graph_.edges) ++out_degree_[e.src];
+}
+
+std::vector<double> GasEngine::PageRank(int iterations, double damping) {
+  const vid_t n = graph_.num_vertices;
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<std::atomic<double>> accum(n);
+
+  // Ghost replicas: vertex-cut PowerGraph keeps mirrored vertex data that
+  // must re-sync after every apply phase.
+  std::vector<double> ghost_rank(rank);
+
+  // GAS phases through indirect calls, invoked once per edge per phase.
+  std::function<double(vid_t, vid_t)> gather = [&](vid_t src, vid_t dst) {
+    return ghost_rank[src] / static_cast<double>(out_degree_[src]);
+  };
+  std::function<void(vid_t, double&)> apply = [&](vid_t v, double& r) {
+    r = (1.0 - damping) / n + damping * accum[v].load(std::memory_order_relaxed);
+  };
+  std::function<bool(vid_t, vid_t)> scatter = [&](vid_t src, vid_t dst) {
+    return true;  // PageRank activates everything, each edge re-checked.
+  };
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (auto& a : accum) a.store(0.0, std::memory_order_relaxed);
+    double dangling = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (out_degree_[v] == 0) dangling += ghost_rank[v];
+    }
+    // Gather: sweep the unsorted edge array (reads through the mirrors).
+    pool_.ParallelForRange(
+        graph_.edges.size(), [&](size_t, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const RawEdge& e = graph_.edges[i];
+            AtomicAdd(&accum[e.dst], gather(e.src, e.dst));
+          }
+        });
+    // Apply.
+    const double dangling_share = damping * dangling / n;
+    pool_.ParallelForRange(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        apply(static_cast<vid_t>(v), rank[v]);
+        rank[v] += dangling_share;
+      }
+    });
+    // Scatter: per-edge activation checks.
+    pool_.ParallelForRange(
+        graph_.edges.size(), [&](size_t, size_t begin, size_t end) {
+          bool any = false;
+          for (size_t i = begin; i < end; ++i) {
+            const RawEdge& e = graph_.edges[i];
+            any |= scatter(e.src, e.dst);
+          }
+          (void)any;
+        });
+    // Mirror synchronization.
+    ghost_rank = rank;
+  }
+  return rank;
+}
+
+std::vector<uint32_t> GasEngine::Bfs(vid_t source) {
+  const vid_t n = graph_.num_vertices;
+  std::vector<std::atomic<uint32_t>> depth(n);
+  for (auto& d : depth) d.store(kUnreached, std::memory_order_relaxed);
+  depth[source].store(0, std::memory_order_relaxed);
+
+  std::function<bool(vid_t, vid_t)> scatter = [&](vid_t src, vid_t dst) {
+    const uint32_t d = depth[src].load(std::memory_order_relaxed);
+    if (d == kUnreached) return false;
+    return AtomicMin(&depth[dst], d + 1);
+  };
+
+  // Bellman-Ford-style full sweeps until fixpoint — no frontier.
+  std::atomic<bool> changed{true};
+  while (changed.load()) {
+    changed.store(false);
+    pool_.ParallelForRange(
+        graph_.edges.size(), [&](size_t, size_t begin, size_t end) {
+          bool local = false;
+          for (size_t i = begin; i < end; ++i) {
+            const RawEdge& e = graph_.edges[i];
+            local |= scatter(e.src, e.dst);
+          }
+          if (local) changed.store(true, std::memory_order_relaxed);
+        });
+  }
+  std::vector<uint32_t> result(n);
+  for (vid_t v = 0; v < n; ++v) {
+    result[v] = depth[v].load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+// --------------------------------------------------------- PushPullEngine
+
+PushPullEngine::PushPullEngine(const EdgeList& graph, size_t num_workers)
+    : out_(Csr::FromEdges(graph)),
+      in_(Csr::FromEdges(graph, /*reversed=*/true)),
+      pool_(num_workers) {}
+
+std::vector<double> PushPullEngine::PageRank(int iterations, double damping) {
+  const vid_t n = out_.num_vertices();
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<std::atomic<double>> accum(n);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (auto& a : accum) a.store(0.0, std::memory_order_relaxed);
+    double dangling = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (out_.degree(v) == 0) dangling += rank[v];
+    }
+    // Push mode: contributions scattered with per-edge atomic adds.
+    pool_.ParallelForRange(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        const auto nbrs = out_.Neighbors(static_cast<vid_t>(v));
+        if (nbrs.empty()) continue;
+        const double c = rank[v] / static_cast<double>(nbrs.size());
+        for (vid_t u : nbrs) AtomicAdd(&accum[u], c);
+      }
+    });
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    pool_.ParallelForRange(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        rank[v] = base + damping * accum[v].load(std::memory_order_relaxed);
+      }
+    });
+  }
+  return rank;
+}
+
+std::vector<uint32_t> PushPullEngine::Bfs(vid_t source) {
+  const vid_t n = out_.num_vertices();
+  std::vector<std::atomic<uint32_t>> depth(n);
+  for (auto& d : depth) d.store(kUnreached, std::memory_order_relaxed);
+  depth[source].store(0, std::memory_order_relaxed);
+
+  std::vector<vid_t> frontier{source};
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    // Direction selection: pull when the frontier is a large share of the
+    // graph (Gemini's dense mode), push otherwise.
+    size_t frontier_edges = 0;
+    for (vid_t v : frontier) frontier_edges += out_.degree(v);
+    std::vector<std::vector<vid_t>> next_local(pool_.num_threads());
+    if (frontier_edges > out_.num_edges() / 20) {
+      // Pull: every unreached vertex scans its in-neighbors.
+      pool_.ParallelForRange(n, [&](size_t w, size_t begin, size_t end) {
+        for (size_t v = begin; v < end; ++v) {
+          if (depth[v].load(std::memory_order_relaxed) != kUnreached) {
+            continue;
+          }
+          for (vid_t u : in_.Neighbors(static_cast<vid_t>(v))) {
+            if (depth[u].load(std::memory_order_relaxed) == level - 1) {
+              depth[v].store(level, std::memory_order_relaxed);
+              next_local[w].push_back(static_cast<vid_t>(v));
+              break;
+            }
+          }
+        }
+      });
+    } else {
+      // Push with atomic-min per edge.
+      pool_.ParallelForRange(
+          frontier.size(), [&](size_t w, size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              for (vid_t u : out_.Neighbors(frontier[i])) {
+                if (AtomicMin(&depth[u], level)) {
+                  next_local[w].push_back(u);
+                }
+              }
+            }
+          });
+    }
+    frontier.clear();
+    for (auto& local : next_local) {
+      frontier.insert(frontier.end(), local.begin(), local.end());
+    }
+  }
+  std::vector<uint32_t> result(n);
+  for (vid_t v = 0; v < n; ++v) {
+    result[v] = depth[v].load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+// ------------------------------------------------------ FineGrainedEngine
+
+FineGrainedEngine::FineGrainedEngine(const EdgeList& graph,
+                                     size_t num_workers, size_t grain)
+    : out_(Csr::FromEdges(graph)), pool_(num_workers),
+      grain_(grain == 0 ? 1 : grain) {}
+
+std::vector<double> FineGrainedEngine::PageRank(int iterations,
+                                                double damping) {
+  const vid_t n = out_.num_vertices();
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<std::atomic<double>> accum(n);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (auto& a : accum) a.store(0.0, std::memory_order_relaxed);
+    double dangling = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (out_.degree(v) == 0) dangling += rank[v];
+    }
+    // Kernel-style: one work item per vertex, grabbed from a shared
+    // atomic cursor (models GPU thread-block scheduling granularity).
+    std::atomic<vid_t> cursor{0};
+    pool_.ParallelForRange(
+        pool_.num_threads(), [&](size_t, size_t, size_t) {
+          for (;;) {
+            const vid_t begin = cursor.fetch_add(
+                static_cast<vid_t>(grain_), std::memory_order_relaxed);
+            if (begin >= n) break;
+            const vid_t end = std::min<vid_t>(n, begin + grain_);
+            for (vid_t v = begin; v < end; ++v) {
+              const auto nbrs = out_.Neighbors(v);
+              if (nbrs.empty()) continue;
+              const double c = rank[v] / static_cast<double>(nbrs.size());
+              for (vid_t u : nbrs) AtomicAdd(&accum[u], c);
+            }
+          }
+        });
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    for (vid_t v = 0; v < n; ++v) {
+      rank[v] = base + damping * accum[v].load(std::memory_order_relaxed);
+    }
+  }
+  return rank;
+}
+
+std::vector<uint32_t> FineGrainedEngine::Bfs(vid_t source) {
+  const vid_t n = out_.num_vertices();
+  std::vector<std::atomic<uint32_t>> depth(n);
+  for (auto& d : depth) d.store(kUnreached, std::memory_order_relaxed);
+  depth[source].store(0, std::memory_order_relaxed);
+
+  std::vector<vid_t> frontier{source};
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::atomic<size_t> cursor{0};
+    std::vector<std::vector<vid_t>> next_local(pool_.num_threads());
+    pool_.ParallelForRange(
+        pool_.num_threads(), [&](size_t w, size_t, size_t) {
+          for (;;) {
+            // `grain_` frontier vertices per grab.
+            const size_t begin =
+                cursor.fetch_add(grain_, std::memory_order_relaxed);
+            if (begin >= frontier.size()) break;
+            const size_t end = std::min(frontier.size(), begin + grain_);
+            for (size_t i = begin; i < end; ++i) {
+              for (vid_t u : out_.Neighbors(frontier[i])) {
+                if (AtomicMin(&depth[u], level)) next_local[w].push_back(u);
+              }
+            }
+          }
+        });
+    frontier.clear();
+    for (auto& local : next_local) {
+      frontier.insert(frontier.end(), local.begin(), local.end());
+    }
+  }
+  std::vector<uint32_t> result(n);
+  for (vid_t v = 0; v < n; ++v) {
+    result[v] = depth[v].load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace flex::baselines

@@ -1,0 +1,72 @@
+#ifndef FLEX_BASELINES_ANALYTICS_BASELINES_H_
+#define FLEX_BASELINES_ANALYTICS_BASELINES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+
+namespace flex::baselines {
+
+/// PowerGraph-like comparator (Exp-3, Fig 7(h-i)). Models the
+/// architectural costs the paper attributes to PowerGraph relative to
+/// GRAPE: Gather/Apply/Scatter phases expressed through per-edge indirect
+/// calls, an unsorted (vertex-cut-style) edge array with poor locality,
+/// and full edge sweeps every iteration (no frontier compression).
+class GasEngine {
+ public:
+  GasEngine(const EdgeList& graph, size_t num_workers);
+
+  std::vector<double> PageRank(int iterations, double damping = 0.85);
+  std::vector<uint32_t> Bfs(vid_t source);
+
+ private:
+  EdgeList graph_;  // Unsorted edge array, scanned per superstep.
+  std::vector<uint32_t> out_degree_;
+  ThreadPool pool_;
+};
+
+/// Gemini-like comparator: CSR layout with adaptive push/pull direction,
+/// but per-edge atomic updates in push mode instead of GRAPE's aggregated
+/// per-fragment message buffers — the delta the paper credits for the
+/// remaining 2.3x.
+class PushPullEngine {
+ public:
+  PushPullEngine(const EdgeList& graph, size_t num_workers);
+
+  std::vector<double> PageRank(int iterations, double damping = 0.85);
+  std::vector<uint32_t> Bfs(vid_t source);
+
+ private:
+  Csr out_;
+  Csr in_;
+  ThreadPool pool_;
+};
+
+/// GPU-frontier-style comparator (documented CPU stand-in for Groute /
+/// Gunrock in Fig 7(j-k)): fine-grained work items dispatched through a
+/// shared frontier queue, modelling kernel-style per-item scheduling and
+/// atomic frontier maintenance.
+class FineGrainedEngine {
+ public:
+  /// `grain` = work items claimed per scheduler interaction: 1 models
+  /// Groute-style asynchronous fine-grained scheduling, larger grains
+  /// model Gunrock-style bulk frontier kernels.
+  FineGrainedEngine(const EdgeList& graph, size_t num_workers,
+                    size_t grain = 1);
+
+  std::vector<double> PageRank(int iterations, double damping = 0.85);
+  std::vector<uint32_t> Bfs(vid_t source);
+
+ private:
+  Csr out_;
+  ThreadPool pool_;
+  size_t grain_;
+};
+
+}  // namespace flex::baselines
+
+#endif  // FLEX_BASELINES_ANALYTICS_BASELINES_H_

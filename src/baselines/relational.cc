@@ -1,0 +1,61 @@
+#include "baselines/relational.h"
+
+#include "common/logging.h"
+
+namespace flex::baselines {
+
+void RelTable::AppendRow(const std::vector<double>& row) {
+  FLEX_CHECK_EQ(row.size(), num_columns_);
+  rows_.insert(rows_.end(), row.begin(), row.end());
+}
+
+RelTable RelTable::Select(size_t col, double value) const {
+  RelTable out(num_columns_);
+  const size_t n = num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    if (At(r, col) == value) {
+      out.rows_.insert(out.rows_.end(), rows_.begin() + r * num_columns_,
+                       rows_.begin() + (r + 1) * num_columns_);
+    }
+  }
+  return out;
+}
+
+RelTable RelTable::Join(size_t left_col, const RelTable& right,
+                        size_t right_col) const {
+  RelTable out(num_columns_ + right.num_columns_);
+  std::unordered_multimap<double, size_t> index;
+  const size_t rn = right.num_rows();
+  index.reserve(rn * 2);
+  for (size_t r = 0; r < rn; ++r) {
+    index.emplace(right.At(r, right_col), r);
+  }
+  const size_t ln = num_rows();
+  std::vector<double> row(out.num_columns_);
+  for (size_t l = 0; l < ln; ++l) {
+    auto [begin, end] = index.equal_range(At(l, left_col));
+    for (auto it = begin; it != end; ++it) {
+      for (size_t c = 0; c < num_columns_; ++c) row[c] = At(l, c);
+      for (size_t c = 0; c < right.num_columns_; ++c) {
+        row[num_columns_ + c] = right.At(it->second, c);
+      }
+      out.AppendRow(row);
+    }
+  }
+  return out;
+}
+
+RelTable RelTable::GroupBySum(size_t key_col, size_t value_col) const {
+  std::unordered_map<double, double> sums;
+  const size_t n = num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    sums[At(r, key_col)] += At(r, value_col);
+  }
+  RelTable out(2);
+  for (const auto& [key, sum] : sums) {
+    out.AppendRow({key, sum});
+  }
+  return out;
+}
+
+}  // namespace flex::baselines

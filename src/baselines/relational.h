@@ -1,0 +1,52 @@
+#ifndef FLEX_BASELINES_RELATIONAL_H_
+#define FLEX_BASELINES_RELATIONAL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flex::baselines {
+
+/// Minimal relational engine standing in for the SQL-based production
+/// baselines of Exp-6 (equity analysis) and Exp-8 (cybersecurity): tables
+/// of int64/double rows, full-scan selection and hash joins, with no graph
+/// indexes — so every traversal hop becomes a join or a scan, which is
+/// exactly the cost profile the paper's 2,400x speedup is measured
+/// against.
+class RelTable {
+ public:
+  explicit RelTable(size_t num_columns) : num_columns_(num_columns) {}
+
+  size_t num_columns() const { return num_columns_; }
+  size_t num_rows() const { return rows_.size() / num_columns_; }
+
+  void AppendRow(const std::vector<double>& row);
+
+  double At(size_t row, size_t col) const {
+    return rows_[row * num_columns_ + col];
+  }
+
+  /// SELECT * WHERE col == value (full scan).
+  RelTable Select(size_t col, double value) const;
+
+  /// Hash join: rows of `this` joined with rows of `right` on
+  /// this.left_col == right.right_col; output = left columns ++ right
+  /// columns. The hash table is built per call, as a query executor
+  /// without a persistent index must.
+  RelTable Join(size_t left_col, const RelTable& right,
+                size_t right_col) const;
+
+  /// GROUP BY key_col, SUM(value_col); output columns: (key, sum).
+  RelTable GroupBySum(size_t key_col, size_t value_col) const;
+
+ private:
+  size_t num_columns_;
+  std::vector<double> rows_;  // Row-major.
+};
+
+}  // namespace flex::baselines
+
+#endif  // FLEX_BASELINES_RELATIONAL_H_

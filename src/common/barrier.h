@@ -1,0 +1,49 @@
+#ifndef FLEX_COMMON_BARRIER_H_
+#define FLEX_COMMON_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace flex {
+
+/// Reusable cyclic barrier.
+///
+/// GRAPE's BSP supersteps synchronize fragments on this: every worker
+/// arrives at the end of a round, the last arrival flips the generation and
+/// releases the others — the in-process analogue of the coordinator sync
+/// described in §3.
+class Barrier {
+ public:
+  explicit Barrier(size_t parties) : parties_(parties), waiting_(0) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until `parties` threads have called Await for this generation.
+  /// Returns true on exactly one thread per generation (the "leader").
+  bool Await() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const size_t gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      lock.unlock();
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+    return false;
+  }
+
+ private:
+  const size_t parties_;
+  size_t waiting_;
+  size_t generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_BARRIER_H_

@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace flex {
+namespace internal_logging {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  static LogLevel level = [] {
+    const char* env = std::getenv("FLEX_LOG_LEVEL");
+    if (env != nullptr && std::strlen(env) == 1 && env[0] >= '0' &&
+        env[0] <= '4') {
+      return static_cast<LogLevel>(env[0] - '0');
+    }
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace flex

@@ -1,0 +1,73 @@
+#ifndef FLEX_COMMON_LOGGING_H_
+#define FLEX_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace flex {
+namespace internal_logging {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Returns the process-wide minimum level actually emitted. Defaults to
+/// kInfo; override with environment variable FLEX_LOG_LEVEL=0..4.
+LogLevel MinLogLevel();
+
+/// Stream-style log sink that emits one line on destruction and aborts the
+/// process for kFatal messages (used by FLEX_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active level without evaluating it.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace flex
+
+#define FLEX_LOG_AT(level)                                                     \
+  ::flex::internal_logging::LogMessage(                                        \
+      ::flex::internal_logging::LogLevel::level, __FILE__, __LINE__)           \
+      .stream()
+
+#define FLEX_LOG(severity) FLEX_LOG_AT(k##severity)
+
+/// Fatal assertion macro: logs and aborts when `cond` is false. Used for
+/// programmer errors (invariant violations), never for user input.
+#define FLEX_CHECK(cond)                                                       \
+  ((cond) ? (void)0                                                           \
+          : (void)(FLEX_LOG(Fatal) << "Check failed: " #cond " "))
+
+#define FLEX_CHECK_EQ(a, b) FLEX_CHECK((a) == (b))
+#define FLEX_CHECK_NE(a, b) FLEX_CHECK((a) != (b))
+#define FLEX_CHECK_LT(a, b) FLEX_CHECK((a) < (b))
+#define FLEX_CHECK_LE(a, b) FLEX_CHECK((a) <= (b))
+#define FLEX_CHECK_GT(a, b) FLEX_CHECK((a) > (b))
+#define FLEX_CHECK_GE(a, b) FLEX_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define FLEX_DCHECK(cond) FLEX_CHECK(cond)
+#else
+#define FLEX_DCHECK(cond) \
+  while (false) ::flex::internal_logging::NullStream() << !(cond)
+#endif
+
+#endif  // FLEX_COMMON_LOGGING_H_

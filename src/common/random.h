@@ -1,0 +1,95 @@
+#ifndef FLEX_COMMON_RANDOM_H_
+#define FLEX_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flex {
+
+/// Deterministic, fast PRNG (xorshift128+). All dataset generators and
+/// samplers in the stack take explicit seeds so every experiment is
+/// reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding to avoid weak low-entropy states.
+    uint64_t z = seed;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      t = (t ^ (t >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = t ^ (t >> 31);
+    }
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state_[1] + s0;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    FLEX_DCHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_[2];
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with skew `s`, implemented
+/// with a precomputed inverse-CDF table. Used by the "web-like" dataset
+/// generators to approximate the heavy-tailed degree distributions of the
+/// paper's webbase/uk/it/arabic crawl graphs (Table 1).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s, uint64_t seed) : rng_(seed), cdf_(n) {
+    FLEX_CHECK(n > 0);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  size_t Next() {
+    double u = rng_.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_RANDOM_H_

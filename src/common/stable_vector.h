@@ -1,0 +1,86 @@
+#ifndef FLEX_COMMON_STABLE_VECTOR_H_
+#define FLEX_COMMON_STABLE_VECTOR_H_
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace flex {
+
+/// Append-only vector with stable element addresses and lock-free reads.
+///
+/// Elements live in fixed-size heap blocks referenced from a fixed-capacity
+/// pointer table, so appending never moves existing elements and never
+/// reallocates the table. The size is published with release semantics
+/// after the element (and its block) are fully constructed, so readers
+/// that bound their access by size() never observe partial state.
+///
+/// Concurrency contract: any number of lock-free readers; writers must be
+/// externally serialized (GART appends under its structure lock).
+template <typename T, size_t kBlockSize = 1024, size_t kMaxBlocks = 8192>
+class StableVector {
+ public:
+  StableVector() { blocks_.fill(nullptr); }
+
+  ~StableVector() {
+    const size_t n = size_.load(std::memory_order_relaxed);
+    const size_t used_blocks = (n + kBlockSize - 1) / kBlockSize;
+    for (size_t b = 0; b < used_blocks; ++b) delete[] blocks_[b];
+  }
+
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+  StableVector(StableVector&& other) noexcept
+      : blocks_(other.blocks_),
+        size_(other.size_.load(std::memory_order_relaxed)) {
+    other.blocks_.fill(nullptr);
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  T& operator[](size_t i) { return blocks_[i / kBlockSize][i % kBlockSize]; }
+  const T& operator[](size_t i) const {
+    return blocks_[i / kBlockSize][i % kBlockSize];
+  }
+
+  /// Appends a default-constructed element in place; returns it. The
+  /// default-constructed state must itself be valid for readers (e.g. an
+  /// empty adjacency), as it is visible the moment the size publishes.
+  /// Writer-side only (external synchronization required).
+  T& emplace_back() {
+    T& slot = *Slot();
+    Publish();
+    return slot;
+  }
+
+  /// Appends a copy of `value`; the value is fully written before the new
+  /// size publishes, so readers never observe a partial element.
+  void push_back(const T& value) {
+    *Slot() = value;
+    Publish();
+  }
+
+ private:
+  T* Slot() {
+    const size_t n = size_.load(std::memory_order_relaxed);
+    FLEX_CHECK_LT(n, kBlockSize * kMaxBlocks);
+    const size_t block = n / kBlockSize;
+    if (blocks_[block] == nullptr) blocks_[block] = new T[kBlockSize]();
+    return &blocks_[block][n % kBlockSize];
+  }
+  void Publish() {
+    size_.store(size_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  std::array<T*, kMaxBlocks> blocks_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_STABLE_VECTOR_H_

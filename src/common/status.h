@@ -1,0 +1,145 @@
+#ifndef FLEX_COMMON_STATUS_H_
+#define FLEX_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace flex {
+
+/// Error codes used across the GraphScope Flex stack.
+///
+/// Mirrors the "common" category of GRIN, which the paper dedicates to
+/// cross-cutting system requirements such as error handling (§4.1).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kCapabilityMissing,  ///< A GRIN trait required by the engine is absent.
+  kParseError,         ///< Query-language front end failed to parse input.
+  kPlanError,          ///< IR construction / optimization failed.
+  kAborted,            ///< MVCC conflict or cancelled execution.
+};
+
+/// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object; the stack never throws across public
+/// API boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status CapabilityMissing(std::string msg) {
+    return Status(StatusCode::kCapabilityMissing, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK status keeps call sites
+  /// terse (`return 42;` / `return Status::NotFound(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Returns the error status; OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace flex
+
+/// Propagates a non-OK status out of the enclosing function.
+#define FLEX_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::flex::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Evaluates a Result-returning expression, propagating errors; on success
+/// assigns the value to `lhs`.
+#define FLEX_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto FLEX_CONCAT_(_res, __LINE__) = (expr);               \
+  if (!FLEX_CONCAT_(_res, __LINE__).ok())                   \
+    return FLEX_CONCAT_(_res, __LINE__).status();           \
+  lhs = std::move(FLEX_CONCAT_(_res, __LINE__)).value()
+
+#define FLEX_CONCAT_(a, b) FLEX_CONCAT_IMPL_(a, b)
+#define FLEX_CONCAT_IMPL_(a, b) a##b
+
+#endif  // FLEX_COMMON_STATUS_H_

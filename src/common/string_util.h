@@ -1,0 +1,34 @@
+#ifndef FLEX_COMMON_STRING_UTIL_H_
+#define FLEX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flex {
+
+/// Splits `s` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Renders `n` with thousands separators ("1234567" -> "1,234,567"),
+/// used by the benchmark harness tables.
+std::string WithCommas(uint64_t n);
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_STRING_UTIL_H_

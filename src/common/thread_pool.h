@@ -1,0 +1,61 @@
+#ifndef FLEX_COMMON_THREAD_POOL_H_
+#define FLEX_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flex {
+
+/// Fixed-size worker pool.
+///
+/// Worker threads stand in for the compute nodes of the paper's cluster
+/// deployments: each engine (Gaia, HiActor, GRAPE, GraphLearn) acquires a
+/// pool sized to its configured "node/worker" count and partitions work
+/// across it exactly as the distributed engines partition across machines.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked to limit queue traffic.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(worker_id, begin, end)` with [0, n) statically partitioned
+  /// into one contiguous range per worker, and waits. This mirrors how the
+  /// engines assign one graph partition per node.
+  void ParallelForRange(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t inflight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+#ifndef FLEX_COMMON_TIMER_H_
+#define FLEX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace flex {
+
+/// Monotonic stopwatch used by every benchmark harness in bench/.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_TIMER_H_

@@ -1,0 +1,80 @@
+#ifndef FLEX_COMMON_VARINT_H_
+#define FLEX_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace flex {
+
+/// Varint/zigzag codecs used by GRAPE's message manager ("employs varint
+/// encoding ... to reduce peak memory usage", §6) and by the GraphAr
+/// archive encoder (§4.2).
+///
+/// Encoding is LEB128: 7 payload bits per byte, high bit = continuation.
+
+/// Appends the varint encoding of `value` to `out`.
+inline void PutVarint64(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Decodes a varint starting at `data + *pos`; advances `*pos` past it.
+/// Returns false on truncated input (more than 10 bytes or past `size`).
+inline bool GetVarint64(const uint8_t* data, size_t size, size_t* pos,
+                        uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (p < size && shift <= 63) {
+    uint8_t byte = data[p++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// Maps signed integers to unsigned so small-magnitude negatives stay short:
+/// 0→0, -1→1, 1→2, -2→3, ...
+inline uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+inline void PutVarintSigned(std::vector<uint8_t>* out, int64_t value) {
+  PutVarint64(out, ZigZagEncode(value));
+}
+
+inline bool GetVarintSigned(const uint8_t* data, size_t size, size_t* pos,
+                            int64_t* value) {
+  uint64_t raw = 0;
+  if (!GetVarint64(data, size, pos, &raw)) return false;
+  *value = ZigZagDecode(raw);
+  return true;
+}
+
+/// Returns the number of bytes PutVarint64 would emit for `value`.
+inline size_t VarintLength(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_VARINT_H_

@@ -1,0 +1,91 @@
+#include "datagen/generators.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace flex::datagen {
+
+EdgeList GenerateRmat(const RmatParams& params) {
+  FLEX_CHECK(params.scale > 0 && params.scale < 31);
+  const vid_t n = static_cast<vid_t>(1u << params.scale);
+  const size_t m = static_cast<size_t>(params.edge_factor * n);
+  Rng rng(params.seed);
+
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.reserve(m);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  for (size_t i = 0; i < m; ++i) {
+    vid_t src = 0, dst = 0;
+    for (uint32_t depth = 0; depth < params.scale; ++depth) {
+      const double r = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (r < params.a) {
+        // Quadrant (0, 0).
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    list.edges.push_back({src, dst, 1.0});
+  }
+  return list;
+}
+
+EdgeList GenerateUniform(vid_t num_vertices, size_t num_edges, uint64_t seed) {
+  FLEX_CHECK(num_vertices > 0);
+  Rng rng(seed);
+  EdgeList list;
+  list.num_vertices = num_vertices;
+  list.edges.reserve(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    const vid_t src = static_cast<vid_t>(rng.Uniform(num_vertices));
+    const vid_t dst = static_cast<vid_t>(rng.Uniform(num_vertices));
+    list.edges.push_back({src, dst, 1.0});
+  }
+  return list;
+}
+
+EdgeList GenerateWebLike(vid_t num_vertices, size_t num_edges, double skew,
+                         uint64_t seed) {
+  FLEX_CHECK(num_vertices > 0);
+  Rng rng(seed);
+  ZipfSampler zipf(num_vertices, skew, seed ^ 0xABCDEF);
+  EdgeList list;
+  list.num_vertices = num_vertices;
+  list.edges.reserve(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    // Sources uniform, targets Zipf: hubs accumulate enormous in-degree,
+    // like the root pages of crawl graphs.
+    const vid_t src = static_cast<vid_t>(rng.Uniform(num_vertices));
+    const vid_t dst = static_cast<vid_t>(zipf.Next());
+    list.edges.push_back({src, dst, 1.0});
+  }
+  return list;
+}
+
+void AssignWeights(EdgeList* list, uint64_t seed) {
+  Rng rng(seed);
+  for (RawEdge& e : list->edges) {
+    e.weight = rng.NextDouble() + 1e-6;  // Strictly positive.
+  }
+}
+
+EdgeList Symmetrize(const EdgeList& list) {
+  EdgeList out;
+  out.num_vertices = list.num_vertices;
+  out.edges.reserve(list.edges.size() * 2);
+  for (const RawEdge& e : list.edges) {
+    out.edges.push_back(e);
+    out.edges.push_back({e.dst, e.src, e.weight});
+  }
+  return out;
+}
+
+}  // namespace flex::datagen

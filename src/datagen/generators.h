@@ -1,0 +1,43 @@
+#ifndef FLEX_DATAGEN_GENERATORS_H_
+#define FLEX_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace flex::datagen {
+
+/// R-MAT (recursive matrix) generator — the Graph500 reference kernel; the
+/// paper's G500 dataset (graph500-26) uses exactly this recipe. Power-law
+/// degrees emerge from skewed quadrant probabilities (a, b, c, d).
+struct RmatParams {
+  uint32_t scale = 16;              ///< |V| = 2^scale.
+  double edge_factor = 16.0;        ///< |E| = edge_factor * |V|.
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 - a - b - c.
+  uint64_t seed = 1;
+};
+
+EdgeList GenerateRmat(const RmatParams& params);
+
+/// Erdős–Rényi-style uniform random graph — models the LDBC "datagen-zf"
+/// flavour whose degree distribution is comparatively flat.
+EdgeList GenerateUniform(vid_t num_vertices, size_t num_edges, uint64_t seed);
+
+/// Zipf-out-degree graph with preferential target choice — models crawl
+/// graphs (webbase/uk/it/arabic) whose in-degrees are extremely heavy
+/// tailed.
+EdgeList GenerateWebLike(vid_t num_vertices, size_t num_edges, double skew,
+                         uint64_t seed);
+
+/// Assigns deterministic pseudo-random weights in (0, 1] to every edge
+/// (used by SSSP and the equity-share graphs).
+void AssignWeights(EdgeList* list, uint64_t seed);
+
+/// Makes the graph undirected by adding the reverse of every edge.
+EdgeList Symmetrize(const EdgeList& list);
+
+}  // namespace flex::datagen
+
+#endif  // FLEX_DATAGEN_GENERATORS_H_

@@ -1,0 +1,89 @@
+#include "datagen/registry.h"
+
+#include "common/logging.h"
+#include "datagen/generators.h"
+
+namespace flex::datagen {
+
+namespace {
+
+uint64_t SeedFor(const std::string& abbr) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : abbr) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  // Edge factors are taken from Table 1 of the paper (|E| / |V|); vertex
+  // counts are shrunk to laptop scale (2^13..2^15) with structure preserved.
+  static const std::vector<DatasetSpec>* specs = new std::vector<DatasetSpec>{
+      {"FB0", "datagen-9_0-fb", DatasetKind::kRmat, 13, 82.0, 0.0,
+       12800000, 1050000000},
+      {"FB1", "datagen-9_1-fb", DatasetKind::kRmat, 13, 83.0, 0.0,
+       16100000, 1340000000},
+      {"ZF", "datagen-9_2-zf", DatasetKind::kUniform, 15, 2.4, 0.0,
+       434900000, 1040000000},
+      {"G500", "graph500-26", DatasetKind::kRmat, 14, 32.8, 0.0,
+       32000000, 1050000000},
+      {"WB", "webbase-2001", DatasetKind::kWebLike, 15, 14.5, 0.75,
+       118000000, 1710000000},
+      {"UK", "uk-2005", DatasetKind::kWebLike, 14, 39.7, 0.8,
+       39500000, 1570000000},
+      {"CF", "com-friendster", DatasetKind::kRmat, 14, 27.6, 0.0,
+       65600000, 1810000000},
+      {"TW", "twitter-2010", DatasetKind::kRmat, 14, 35.3, 0.0,
+       41700000, 1470000000},
+      {"IT", "it-2004", DatasetKind::kWebLike, 14, 28.0, 0.8,
+       41000000, 1150000000},
+      {"AR", "arabic-2005", DatasetKind::kWebLike, 13, 48.9, 0.8,
+       22700000, 1110000000},
+      {"PD", "ogbn-products", DatasetKind::kRmat, 13, 25.8, 0.0,
+       2400000, 62000000},
+      {"PA", "ogbn-papers100M", DatasetKind::kRmat, 14, 14.4, 0.0,
+       111000000, 1600000000},
+      // SNB graphs used for storage-layer scans; the SNB query benchmarks
+      // use the schema-aware generator in src/snb instead.
+      {"SNB-30", "LDBC SNB scale-30 (topology only)", DatasetKind::kRmat, 13,
+       6.1, 0.0, 89000000, 541000000},
+      {"SNB-300", "LDBC SNB scale-300 (topology only)", DatasetKind::kRmat,
+       14, 6.5, 0.0, 817000000, 5270000000},
+      {"SNB-1000", "LDBC SNB scale-1000 (topology only)", DatasetKind::kRmat,
+       15, 6.6, 0.0, 2690000000, 17790000000},
+  };
+  return *specs;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& abbr) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.abbr == abbr) return spec;
+  }
+  return Status::NotFound("dataset: " + abbr);
+}
+
+EdgeList Generate(const DatasetSpec& spec) {
+  const uint64_t seed = SeedFor(spec.abbr);
+  const vid_t n = static_cast<vid_t>(1u << spec.scale);
+  const size_t m = static_cast<size_t>(spec.edge_factor * n);
+  switch (spec.kind) {
+    case DatasetKind::kRmat: {
+      RmatParams params;
+      params.scale = spec.scale;
+      params.edge_factor = spec.edge_factor;
+      params.seed = seed;
+      return GenerateRmat(params);
+    }
+    case DatasetKind::kUniform:
+      return GenerateUniform(n, m, seed);
+    case DatasetKind::kWebLike:
+      return GenerateWebLike(n, m, spec.skew, seed);
+  }
+  FLEX_LOG(Fatal) << "unreachable dataset kind";
+  return {};
+}
+
+}  // namespace flex::datagen

@@ -1,0 +1,40 @@
+#ifndef FLEX_DATAGEN_REGISTRY_H_
+#define FLEX_DATAGEN_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace flex::datagen {
+
+/// Kind of synthetic recipe standing in for a paper dataset.
+enum class DatasetKind { kRmat, kUniform, kWebLike };
+
+/// A scaled-down synthetic equivalent of one of the paper's Table 1
+/// datasets. The abbreviation matches the paper; `paper_vertices` /
+/// `paper_edges` record the original sizes for EXPERIMENTS.md.
+struct DatasetSpec {
+  std::string abbr;         ///< Paper abbreviation ("FB0", "G500", ...).
+  std::string description;  ///< Original dataset name.
+  DatasetKind kind;
+  uint32_t scale;           ///< log2 |V| of the scaled-down graph.
+  double edge_factor;       ///< |E| / |V| preserved from the original.
+  double skew;              ///< Zipf skew for kWebLike.
+  uint64_t paper_vertices;
+  uint64_t paper_edges;
+};
+
+/// All Table 1 datasets with scaled-down recipes (|V| shrunk ~2^10–2^14×,
+/// edge_factor preserved so degree structure matches).
+const std::vector<DatasetSpec>& AllDatasets();
+
+Result<DatasetSpec> FindDataset(const std::string& abbr);
+
+/// Materializes the scaled-down graph for `spec` (deterministic per abbr).
+EdgeList Generate(const DatasetSpec& spec);
+
+}  // namespace flex::datagen
+
+#endif  // FLEX_DATAGEN_REGISTRY_H_

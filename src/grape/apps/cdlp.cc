@@ -1,0 +1,63 @@
+#include "grape/apps/cdlp.h"
+
+namespace flex::grape {
+
+void CdlpApp::PEval(const Fragment& frag, PieContext<uint32_t>& ctx) {
+  label_.assign(frag.total_vertices(), kInvalidVid);
+  histogram_.assign(frag.total_vertices(), {});
+  for (vid_t v : frag.inner_vertices()) label_[v] = v;
+  if (rounds_ > 0) SendLabels(frag, ctx);
+}
+
+void CdlpApp::IncEval(const Fragment& frag, PieContext<uint32_t>& ctx) {
+  ctx.ForEachMessage([&](vid_t target, uint32_t label) {
+    ++histogram_[target][label];
+  });
+  for (vid_t v : frag.inner_vertices()) {
+    auto& hist = histogram_[v];
+    if (hist.empty()) continue;
+    uint32_t best_label = label_[v];
+    uint32_t best_count = 0;
+    for (const auto& [label, count] : hist) {
+      if (count > best_count ||
+          (count == best_count && label < best_label)) {
+        best_label = label;
+        best_count = count;
+      }
+    }
+    label_[v] = best_label;
+    hist.clear();
+  }
+  if (ctx.round() < rounds_) SendLabels(frag, ctx);
+}
+
+void CdlpApp::SendLabels(const Fragment& frag, PieContext<uint32_t>& ctx) {
+  for (vid_t v : frag.inner_vertices()) {
+    const uint32_t label = label_[v];
+    for (vid_t u : frag.OutNeighbors(v)) ctx.SendTo(u, label);
+    for (vid_t u : frag.InNeighbors(v)) ctx.SendTo(u, label);
+  }
+}
+
+std::vector<uint32_t> RunCdlp(
+    const std::vector<std::unique_ptr<Fragment>>& fragments, int rounds,
+    MessageMode mode) {
+  std::vector<std::unique_ptr<PieApp<uint32_t>>> apps;
+  std::vector<const CdlpApp*> typed;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    auto app = std::make_unique<CdlpApp>(rounds);
+    typed.push_back(app.get());
+    apps.push_back(std::move(app));
+  }
+  RunPie(fragments, apps, mode);
+  std::vector<uint32_t> merged(
+      fragments.empty() ? 0 : fragments[0]->total_vertices(), kInvalidVid);
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    for (vid_t v : fragments[i]->inner_vertices()) {
+      merged[v] = typed[i]->labels()[v];
+    }
+  }
+  return merged;
+}
+
+}  // namespace flex::grape

@@ -1,0 +1,79 @@
+#include "grape/apps/equity.h"
+
+#include "common/logging.h"
+#include "graph/csr.h"
+
+namespace flex::grape {
+
+std::vector<ControlResult> ComputeControllers(
+    const EdgeList& investments, const std::vector<uint8_t>& is_person,
+    int max_iterations, double threshold, double prune) {
+  const vid_t n = investments.num_vertices;
+  FLEX_CHECK_EQ(is_person.size(), n);
+  const Csr out = Csr::FromEdges(investments);
+
+  // shares[v]: origin person -> share of v held (directly or indirectly).
+  using ShareMap = std::unordered_map<vid_t, double>;
+  std::vector<ShareMap> shares(n);
+  std::vector<ShareMap> incoming(n);
+
+  // Round 0: persons push their direct stakes.
+  std::vector<vid_t> frontier;
+  for (vid_t p = 0; p < n; ++p) {
+    if (is_person[p] == 0) continue;
+    const auto nbrs = out.Neighbors(p);
+    const auto weights = out.Weights(p);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      incoming[nbrs[i]][p] += weights[i];
+    }
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    if (!incoming[v].empty()) frontier.push_back(v);
+  }
+
+  // Propagate through intermediate companies: a company that gained new
+  // (origin, delta) mass forwards delta * pct to the companies it owns.
+  for (int iter = 0; iter < max_iterations && !frontier.empty(); ++iter) {
+    std::vector<ShareMap> next(n);
+    for (vid_t v : frontier) {
+      ShareMap delta = std::move(incoming[v]);
+      incoming[v].clear();
+      for (auto& [origin, amount] : delta) {
+        if (amount < prune) continue;
+        shares[v][origin] += amount;
+        // Persons terminate paths (they are origins, not conduits).
+        if (is_person[v] != 0) continue;
+        const auto nbrs = out.Neighbors(v);
+        const auto weights = out.Weights(v);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          next[nbrs[i]][origin] += amount * weights[i];
+        }
+      }
+    }
+    frontier.clear();
+    for (vid_t v = 0; v < n; ++v) {
+      if (!next[v].empty()) {
+        incoming[v] = std::move(next[v]);
+        frontier.push_back(v);
+      }
+    }
+  }
+
+  std::vector<ControlResult> results;
+  for (vid_t v = 0; v < n; ++v) {
+    if (is_person[v] != 0) continue;  // Only companies have controllers.
+    ControlResult result;
+    result.company = v;
+    for (const auto& [origin, share] : shares[v]) {
+      if (share > result.share) {
+        result.share = share;
+        result.controller = origin;
+      }
+    }
+    if (result.share <= threshold) result.controller = kInvalidVid;
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace flex::grape

@@ -1,0 +1,37 @@
+#ifndef FLEX_GRAPE_APPS_EQUITY_H_
+#define FLEX_GRAPE_APPS_EQUITY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace flex::grape {
+
+/// Equity-analysis result for one company (§8, Use case 2): the dominant
+/// shareholder and their cumulative (direct + indirect) share.
+struct ControlResult {
+  vid_t company = kInvalidVid;
+  vid_t controller = kInvalidVid;  ///< kInvalidVid if none > threshold.
+  double share = 0.0;
+};
+
+/// Computes, for every company vertex, the ultimate controlling person:
+/// shares propagate along investment edges ((investor)-[pct]->(company)),
+/// with indirect ownership as the product of percentages along each path,
+/// summed over paths — exactly the paper's worked example (Person C
+/// controls Company 1 with 0.8*0.6 + 0.8*0.3*0.7 = 0.648 ≥ 51%).
+///
+/// Implemented as the "modified label propagation" the use case
+/// describes: each vertex carries a sparse (origin-person -> share)
+/// vector; each iteration pushes it across investment edges multiplied by
+/// the edge percentage. `is_person[v]` marks propagation origins (only
+/// natural persons can be ultimate controllers). Shares below `prune`
+/// are dropped to bound state, as the production deployment does.
+std::vector<ControlResult> ComputeControllers(
+    const EdgeList& investments, const std::vector<uint8_t>& is_person,
+    int max_iterations = 10, double threshold = 0.5, double prune = 1e-4);
+
+}  // namespace flex::grape
+
+#endif  // FLEX_GRAPE_APPS_EQUITY_H_

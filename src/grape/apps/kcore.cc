@@ -1,0 +1,54 @@
+#include "grape/apps/kcore.h"
+
+namespace flex::grape {
+
+void KCoreApp::PEval(const Fragment& frag, PieContext<uint32_t>& ctx) {
+  degree_.assign(frag.total_vertices(), 0);
+  alive_.assign(frag.total_vertices(), 0);
+  for (vid_t v : frag.inner_vertices()) {
+    degree_[v] =
+        static_cast<uint32_t>(frag.OutDegree(v) + frag.InDegree(v));
+    alive_[v] = 1;
+  }
+  for (vid_t v : frag.inner_vertices()) {
+    if (degree_[v] < k_) Remove(frag, ctx, v);
+  }
+}
+
+void KCoreApp::IncEval(const Fragment& frag, PieContext<uint32_t>& ctx) {
+  ctx.ForEachMessage([&](vid_t target, uint32_t decrement) {
+    if (alive_[target] == 0) return;
+    degree_[target] -= decrement;
+    if (degree_[target] < k_) Remove(frag, ctx, target);
+  });
+}
+
+void KCoreApp::Remove(const Fragment& frag, PieContext<uint32_t>& ctx,
+                      vid_t v) {
+  alive_[v] = 0;
+  for (vid_t u : frag.OutNeighbors(v)) ctx.SendTo(u, 1);
+  for (vid_t u : frag.InNeighbors(v)) ctx.SendTo(u, 1);
+}
+
+std::vector<uint8_t> RunKCore(
+    const std::vector<std::unique_ptr<Fragment>>& fragments, uint32_t k,
+    MessageMode mode) {
+  std::vector<std::unique_ptr<PieApp<uint32_t>>> apps;
+  std::vector<const KCoreApp*> typed;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    auto app = std::make_unique<KCoreApp>(k);
+    typed.push_back(app.get());
+    apps.push_back(std::move(app));
+  }
+  RunPie(fragments, apps, mode);
+  std::vector<uint8_t> merged(
+      fragments.empty() ? 0 : fragments[0]->total_vertices(), 0);
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    for (vid_t v : fragments[i]->inner_vertices()) {
+      merged[v] = typed[i]->alive()[v];
+    }
+  }
+  return merged;
+}
+
+}  // namespace flex::grape

@@ -1,0 +1,51 @@
+#ifndef FLEX_GRAPE_APPS_PAGERANK_H_
+#define FLEX_GRAPE_APPS_PAGERANK_H_
+
+#include <memory>
+#include <vector>
+
+#include "grape/pie.h"
+
+namespace flex::grape {
+
+/// PageRank as a PIE application (Graphalytics semantics: damping 0.85,
+/// fixed iteration count, dangling-vertex mass redistributed uniformly).
+///
+/// Messages are rank contributions (double). Dangling mass is aggregated
+/// per fragment and broadcast as a contribution to the sentinel target
+/// kInvalidVid, which every fragment folds into the next round's base.
+class PageRankApp : public PieApp<double> {
+ public:
+  PageRankApp(int num_iterations, double damping)
+      : iterations_(num_iterations), damping_(damping) {}
+
+  void PEval(const Fragment& frag, PieContext<double>& ctx) override;
+  void IncEval(const Fragment& frag, PieContext<double>& ctx) override;
+
+  /// Final ranks of this fragment's inner vertices (global-size array;
+  /// entries for outer vertices are meaningless).
+  const std::vector<double>& ranks() const { return rank_; }
+
+ private:
+  void SendContributions(const Fragment& frag, PieContext<double>& ctx);
+
+  int iterations_;
+  double damping_;
+  std::vector<double> rank_;
+  /// Accumulator doubling as the outbound combiner: inner slots collect
+  /// local contributions for the next round, outer slots stage per-target
+  /// combined messages (the two vid sets are disjoint).
+  std::vector<double> accum_;
+  std::vector<vid_t> touched_outer_;
+};
+
+/// Convenience runner: partitions nothing (uses prebuilt fragments), runs
+/// `iterations` rounds and merges per-fragment results into one global
+/// rank vector.
+std::vector<double> RunPageRank(
+    const std::vector<std::unique_ptr<Fragment>>& fragments, int iterations,
+    double damping = 0.85, MessageMode mode = MessageMode::kAggregated);
+
+}  // namespace flex::grape
+
+#endif  // FLEX_GRAPE_APPS_PAGERANK_H_

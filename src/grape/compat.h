@@ -1,0 +1,104 @@
+#ifndef FLEX_GRAPE_COMPAT_H_
+#define FLEX_GRAPE_COMPAT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "grape/apps/pagerank.h"
+#include "grape/apps/traversal.h"
+#include "grape/pregel.h"
+
+namespace flex::grape {
+
+/// Compatibility faces of the analytics stack (§6: "APIs that are
+/// compatible with NetworkX, GraphX, and Giraph interfaces, enabling
+/// users to enjoy the performance improvements ... without having to
+/// modify the original code"). Each face is a thin adapter over the
+/// GRAPE runners; none adds execution machinery.
+
+// ---------------------------------------------------------------- NetworkX
+// Python-flavoured one-call graph functions over an edge list.
+namespace networkx {
+
+/// networkx.pagerank(G, alpha) — returns vid -> rank.
+inline std::map<vid_t, double> pagerank(const EdgeList& graph,
+                                        double alpha = 0.85,
+                                        int max_iter = 100,
+                                        partition_t partitions = 1) {
+  EdgeCutPartitioner partitioner(graph.num_vertices, partitions);
+  auto fragments = Partition(graph, partitioner);
+  auto ranks = RunPageRank(fragments, max_iter, alpha);
+  std::map<vid_t, double> out;
+  for (vid_t v = 0; v < graph.num_vertices; ++v) out[v] = ranks[v];
+  return out;
+}
+
+/// networkx.single_source_shortest_path_length(G, source) — BFS depths;
+/// unreachable vertices are omitted, as NetworkX omits them.
+inline std::map<vid_t, uint32_t> single_source_shortest_path_length(
+    const EdgeList& graph, vid_t source, partition_t partitions = 1) {
+  EdgeCutPartitioner partitioner(graph.num_vertices, partitions);
+  auto fragments = Partition(graph, partitioner);
+  auto depths = RunBfs(fragments, source);
+  std::map<vid_t, uint32_t> out;
+  for (vid_t v = 0; v < graph.num_vertices; ++v) {
+    if (depths[v] != kUnreachedDepth) out[v] = depths[v];
+  }
+  return out;
+}
+
+/// networkx.connected_components(G) — vertex sets per (weak) component.
+inline std::vector<std::vector<vid_t>> connected_components(
+    const EdgeList& graph, partition_t partitions = 1) {
+  EdgeCutPartitioner partitioner(graph.num_vertices, partitions);
+  auto fragments = Partition(graph, partitioner);
+  auto labels = RunWcc(fragments);
+  std::map<uint32_t, std::vector<vid_t>> grouped;
+  for (vid_t v = 0; v < graph.num_vertices; ++v) {
+    grouped[labels[v]].push_back(v);
+  }
+  std::vector<std::vector<vid_t>> out;
+  out.reserve(grouped.size());
+  for (auto& [label, members] : grouped) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace networkx
+
+// ------------------------------------------------------------------ Giraph
+// Giraph's BasicComputation is Pregel's vertex-centric Compute; users port
+// by inheriting the same shape.
+namespace giraph {
+
+template <typename VVAL, typename MSG>
+using BasicComputation = PregelProgram<VVAL, MSG>;
+
+template <typename VVAL, typename MSG>
+using Vertex = PregelVertex<VVAL, MSG>;
+
+}  // namespace giraph
+
+// ------------------------------------------------------------------ GraphX
+// GraphX's Pregel operator: initial message semantics via an initializer
+// callback, vprog as the compute function.
+namespace graphx {
+
+/// graphx.Pregel(graph, initialValue)(vprog) — runs `make_program()` per
+/// fragment and returns the converged per-vertex values.
+template <typename VVAL, typename MSG, typename MakeProgram>
+std::vector<VVAL> Pregel(const EdgeList& graph, MakeProgram&& make_program,
+                         int max_iterations = 100,
+                         partition_t partitions = 1) {
+  EdgeCutPartitioner partitioner(graph.num_vertices, partitions);
+  auto fragments = Partition(graph, partitioner);
+  return RunPregel<VVAL, MSG>(fragments,
+                              std::forward<MakeProgram>(make_program),
+                              max_iterations);
+}
+
+}  // namespace graphx
+
+}  // namespace flex::grape
+
+#endif  // FLEX_GRAPE_COMPAT_H_

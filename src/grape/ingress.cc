@@ -1,0 +1,129 @@
+#include "grape/ingress.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace flex::grape {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::max();
+constexpr uint32_t kNoLabel = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+// ------------------------------------------------------------------- SSSP
+
+IngressSssp::IngressSssp(const EdgeList& graph, vid_t source)
+    : base_(Csr::FromEdges(graph)),
+      overlay_(graph.num_vertices),
+      dist_(graph.num_vertices, kInf) {
+  FLEX_CHECK_LT(source, graph.num_vertices);
+  dist_[source] = 0.0;
+  Relax({source});
+}
+
+size_t IngressSssp::AddEdges(const std::vector<RawEdge>& edges) {
+  const std::vector<double> before = dist_;
+  // Memoization: converged distances stay valid lower bounds; only paths
+  // through the inserted edges can improve anything, so seed the worklist
+  // with exactly the insertion endpoints that improve.
+  std::vector<vid_t> seeds;
+  for (const RawEdge& e : edges) {
+    FLEX_CHECK_LT(e.src, overlay_.size());
+    FLEX_CHECK_LT(e.dst, overlay_.size());
+    overlay_[e.src].push_back({e.dst, e.weight});
+    if (dist_[e.src] != kInf && dist_[e.src] + e.weight < dist_[e.dst]) {
+      dist_[e.dst] = dist_[e.src] + e.weight;
+      seeds.push_back(e.dst);
+    }
+  }
+  Relax(std::move(seeds));
+  size_t changed = 0;
+  for (size_t v = 0; v < dist_.size(); ++v) changed += dist_[v] != before[v];
+  return changed;
+}
+
+void IngressSssp::Relax(std::vector<vid_t> worklist) {
+  last_relaxations_ = 0;
+  size_t cursor = 0;
+  while (cursor < worklist.size()) {
+    const vid_t v = worklist[cursor++];
+    ++last_relaxations_;
+    const double base = dist_[v];
+    const auto nbrs = base_.Neighbors(v);
+    const auto weights = base_.Weights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (base + weights[i] < dist_[nbrs[i]]) {
+        dist_[nbrs[i]] = base + weights[i];
+        worklist.push_back(nbrs[i]);
+      }
+    }
+    for (const auto& [u, w] : overlay_[v]) {
+      if (base + w < dist_[u]) {
+        dist_[u] = base + w;
+        worklist.push_back(u);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------- WCC
+
+IngressWcc::IngressWcc(const EdgeList& graph)
+    : out_(Csr::FromEdges(graph)),
+      in_(Csr::FromEdges(graph, /*reversed=*/true)),
+      overlay_(graph.num_vertices),
+      label_(graph.num_vertices, kNoLabel) {
+  std::vector<vid_t> all(graph.num_vertices);
+  for (vid_t v = 0; v < graph.num_vertices; ++v) {
+    label_[v] = v;
+    all[v] = v;
+  }
+  Relax(std::move(all));
+}
+
+size_t IngressWcc::AddEdges(const std::vector<RawEdge>& edges) {
+  const std::vector<uint32_t> before = label_;
+  std::vector<vid_t> seeds;
+  for (const RawEdge& e : edges) {
+    FLEX_CHECK_LT(e.src, overlay_.size());
+    FLEX_CHECK_LT(e.dst, overlay_.size());
+    overlay_[e.src].push_back(e.dst);
+    overlay_[e.dst].push_back(e.src);
+    // The smaller label wins across the new connection.
+    if (label_[e.src] < label_[e.dst]) {
+      label_[e.dst] = label_[e.src];
+      seeds.push_back(e.dst);
+    } else if (label_[e.dst] < label_[e.src]) {
+      label_[e.src] = label_[e.dst];
+      seeds.push_back(e.src);
+    }
+  }
+  Relax(std::move(seeds));
+  size_t changed = 0;
+  for (size_t v = 0; v < label_.size(); ++v) {
+    changed += label_[v] != before[v];
+  }
+  return changed;
+}
+
+void IngressWcc::Relax(std::vector<vid_t> worklist) {
+  last_relaxations_ = 0;
+  size_t cursor = 0;
+  auto relax = [&](vid_t u, uint32_t label, std::vector<vid_t>* wl) {
+    if (label < label_[u]) {
+      label_[u] = label;
+      wl->push_back(u);
+    }
+  };
+  while (cursor < worklist.size()) {
+    const vid_t v = worklist[cursor++];
+    ++last_relaxations_;
+    const uint32_t label = label_[v];
+    for (vid_t u : out_.Neighbors(v)) relax(u, label, &worklist);
+    for (vid_t u : in_.Neighbors(v)) relax(u, label, &worklist);
+    for (vid_t u : overlay_[v]) relax(u, label, &worklist);
+  }
+}
+
+}  // namespace flex::grape

@@ -1,0 +1,116 @@
+#ifndef FLEX_GRAPE_PIE_H_
+#define FLEX_GRAPE_PIE_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.h"
+#include "grape/fragment.h"
+#include "grape/message_manager.h"
+
+namespace flex::grape {
+
+/// Per-fragment view handed to PIE callbacks: message send/receive plus the
+/// current superstep.
+template <typename MSG>
+class PieContext {
+ public:
+  PieContext(const Fragment* frag, MessageManager<MSG>* messages)
+      : frag_(frag), messages_(messages) {}
+
+  int round() const { return round_; }
+
+  /// Sends `msg` to (the fragment owning) `target`, delivered next round.
+  void SendTo(vid_t target, const MSG& msg) {
+    messages_->Send(frag_->fid(), frag_->OwnerOf(target), target, msg);
+  }
+
+  /// Streams this fragment's inbound messages for the current round.
+  template <typename Fn>
+  void ForEachMessage(Fn&& fn) const {
+    messages_->Receive(frag_->fid(), std::forward<Fn>(fn));
+  }
+
+  /// Sends `msg` to every fragment, addressed to the sentinel target
+  /// kInvalidVid (global aggregation channel, e.g. PageRank dangling mass).
+  void Broadcast(const MSG& msg) {
+    for (partition_t p = 0; p < frag_->num_fragments(); ++p) {
+      messages_->Send(frag_->fid(), p, kInvalidVid, msg);
+    }
+  }
+
+  /// Sends a sentinel-addressed message to this fragment only (used by
+  /// adapters for keep-alive markers the next round ignores).
+  void SendToSelf(const MSG& msg) {
+    messages_->Send(frag_->fid(), frag_->fid(), kInvalidVid, msg);
+  }
+
+  /// Called by the runtime at the start of each superstep.
+  void BeginRound(int round) { round_ = round; }
+
+ private:
+  const Fragment* frag_;
+  MessageManager<MSG>* messages_;
+  int round_ = 0;
+};
+
+/// The PIE programming model [44] (§6): users supply a *partial evaluation*
+/// over each fragment (PEval) and an *incremental evaluation* (IncEval)
+/// driven by inbound messages; GRAPE auto-parallelizes the sequential logic
+/// across fragments with BSP supersteps. One app instance per fragment
+/// holds that fragment's state.
+template <typename MSG>
+class PieApp {
+ public:
+  virtual ~PieApp() = default;
+  virtual void PEval(const Fragment& frag, PieContext<MSG>& ctx) = 0;
+  virtual void IncEval(const Fragment& frag, PieContext<MSG>& ctx) = 0;
+};
+
+/// Runs a PIE computation to fixpoint: supersteps continue while any
+/// fragment sent messages, up to `max_rounds`. One worker thread per
+/// fragment (the in-process stand-in for one compute node per fragment).
+/// Returns the number of rounds executed (including PEval as round 0).
+template <typename MSG>
+int RunPie(const std::vector<std::unique_ptr<Fragment>>& fragments,
+           const std::vector<std::unique_ptr<PieApp<MSG>>>& apps,
+           MessageMode mode = MessageMode::kAggregated,
+           int max_rounds = 1000000) {
+  const partition_t nfrag = static_cast<partition_t>(fragments.size());
+  FLEX_CHECK_EQ(apps.size(), fragments.size());
+  MessageManager<MSG> messages(nfrag, mode);
+  Barrier barrier(nfrag);
+  std::atomic<bool> proceed{true};
+  std::atomic<int> rounds{0};
+
+  auto worker = [&](partition_t fid) {
+    PieContext<MSG> ctx(fragments[fid].get(), &messages);
+    apps[fid]->PEval(*fragments[fid], ctx);
+    for (int round = 1; round <= max_rounds; ++round) {
+      if (barrier.Await()) {
+        // Superstep boundary: the leader flushes channels and decides
+        // whether another round is needed (any traffic pending).
+        proceed.store(messages.Flush() > 0, std::memory_order_release);
+        rounds.store(round, std::memory_order_relaxed);
+      }
+      barrier.Await();
+      if (!proceed.load(std::memory_order_acquire)) break;
+      ctx.BeginRound(round);
+      apps[fid]->IncEval(*fragments[fid], ctx);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(nfrag);
+  for (partition_t fid = 0; fid < nfrag; ++fid) {
+    threads.emplace_back(worker, fid);
+  }
+  for (auto& t : threads) t.join();
+  return rounds.load(std::memory_order_relaxed);
+}
+
+}  // namespace flex::grape
+
+#endif  // FLEX_GRAPE_PIE_H_

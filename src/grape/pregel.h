@@ -1,0 +1,179 @@
+#ifndef FLEX_GRAPE_PREGEL_H_
+#define FLEX_GRAPE_PREGEL_H_
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "grape/pie.h"
+
+namespace flex::grape {
+
+template <typename VVAL, typename MSG>
+class PregelAdapter;
+
+/// Per-vertex view handed to a Pregel Compute() call.
+template <typename VVAL, typename MSG>
+class PregelVertex {
+ public:
+  vid_t id() const { return id_; }
+  int superstep() const { return superstep_; }
+  VVAL& value() { return *value_; }
+  const VVAL& value() const { return *value_; }
+
+  std::span<const vid_t> out_neighbors() const {
+    return frag_->OutNeighbors(id_);
+  }
+  std::span<const double> out_weights() const {
+    return frag_->OutWeights(id_);
+  }
+  size_t out_degree() const { return frag_->OutDegree(id_); }
+
+  void SendTo(vid_t target, const MSG& msg) { ctx_->SendTo(target, msg); }
+  void SendToNeighbors(const MSG& msg) {
+    for (vid_t u : out_neighbors()) ctx_->SendTo(u, msg);
+  }
+
+  /// Deactivates this vertex until a message re-activates it.
+  void VoteToHalt() { *halted_ = 1; }
+
+ private:
+  friend class PregelAdapter<VVAL, MSG>;
+
+  vid_t id_ = 0;
+  int superstep_ = 0;
+  VVAL* value_ = nullptr;
+  uint8_t* halted_ = nullptr;
+  const Fragment* frag_ = nullptr;
+  PieContext<MSG>* ctx_ = nullptr;
+};
+
+/// The "think-like-a-vertex" Pregel interface [62] (§6): users implement
+/// Init and Compute; the adapter lowers the program onto GRAPE's PIE
+/// runtime — the paper's point that the vertex-centric model is a special
+/// case of PIE.
+template <typename VVAL, typename MSG>
+class PregelProgram {
+ public:
+  virtual ~PregelProgram() = default;
+  virtual VVAL Init(vid_t v, const Fragment& frag) = 0;
+  virtual void Compute(PregelVertex<VVAL, MSG>& vertex,
+                       std::span<const MSG> messages) = 0;
+};
+
+/// Runs a Pregel program on one fragment as a PIE app. Pregel activation
+/// semantics: a vertex runs in superstep s if it received messages or has
+/// not voted to halt; the computation ends when every vertex halted and no
+/// messages are in flight (bounded by `max_supersteps`).
+template <typename VVAL, typename MSG>
+class PregelAdapter : public PieApp<MSG> {
+ public:
+  PregelAdapter(PregelProgram<VVAL, MSG>* program, int max_supersteps)
+      : program_(program), max_supersteps_(max_supersteps) {}
+
+  void PEval(const Fragment& frag, PieContext<MSG>& ctx) override {
+    values_.resize(frag.total_vertices());
+    halted_.assign(frag.total_vertices(), 0);
+    ran_this_round_.assign(frag.total_vertices(), 0);
+    inbox_.assign(frag.total_vertices(), {});
+    for (vid_t v : frag.inner_vertices()) {
+      values_[v] = program_->Init(v, frag);
+    }
+    for (vid_t v : frag.inner_vertices()) {
+      RunVertex(frag, ctx, v, 0, {});
+    }
+    MaybeKeepAlive(frag, ctx, 0);
+  }
+
+  void IncEval(const Fragment& frag, PieContext<MSG>& ctx) override {
+    std::vector<vid_t> with_messages;
+    ctx.ForEachMessage([&](vid_t target, const MSG& msg) {
+      if (target == kInvalidVid) return;  // Keep-alive marker.
+      if (inbox_[target].empty()) with_messages.push_back(target);
+      inbox_[target].push_back(msg);
+    });
+    const int superstep = ctx.round();
+    // Messaged vertices run (and wake); then the still-active rest.
+    for (vid_t v : with_messages) {
+      halted_[v] = 0;
+      ran_this_round_[v] = 1;
+      RunVertex(frag, ctx, v, superstep, inbox_[v]);
+      inbox_[v].clear();
+    }
+    for (vid_t v : frag.inner_vertices()) {
+      if (halted_[v] == 0 && ran_this_round_[v] == 0) {
+        RunVertex(frag, ctx, v, superstep, {});
+      }
+    }
+    for (vid_t v : with_messages) ran_this_round_[v] = 0;
+    MaybeKeepAlive(frag, ctx, superstep);
+  }
+
+  const std::vector<VVAL>& values() const { return values_; }
+
+ private:
+  void RunVertex(const Fragment& frag, PieContext<MSG>& ctx, vid_t v,
+                 int superstep, std::span<const MSG> messages) {
+    PregelVertex<VVAL, MSG> vertex;
+    vertex.id_ = v;
+    vertex.superstep_ = superstep;
+    vertex.value_ = &values_[v];
+    vertex.halted_ = &halted_[v];
+    vertex.frag_ = &frag;
+    vertex.ctx_ = &ctx;
+    program_->Compute(vertex, messages);
+  }
+
+  /// PIE terminates on message silence; an unhalted vertex must keep the
+  /// supersteps coming, so the adapter emits a sentinel to itself.
+  void MaybeKeepAlive(const Fragment& frag, PieContext<MSG>& ctx,
+                      int superstep) {
+    if (superstep + 1 >= max_supersteps_) return;
+    for (vid_t v : frag.inner_vertices()) {
+      if (halted_[v] == 0) {
+        ctx.SendToSelf(MSG{});
+        return;
+      }
+    }
+  }
+
+  PregelProgram<VVAL, MSG>* program_;
+  int max_supersteps_;
+  std::vector<VVAL> values_;
+  std::vector<uint8_t> halted_;
+  std::vector<uint8_t> ran_this_round_;
+  std::vector<std::vector<MSG>> inbox_;
+};
+
+/// Runs `make_program()` (one program instance per fragment) and returns
+/// the merged per-vertex values.
+template <typename VVAL, typename MSG, typename MakeProgram>
+std::vector<VVAL> RunPregel(
+    const std::vector<std::unique_ptr<Fragment>>& fragments,
+    MakeProgram&& make_program, int max_supersteps,
+    MessageMode mode = MessageMode::kAggregated) {
+  std::vector<std::unique_ptr<PregelProgram<VVAL, MSG>>> programs;
+  std::vector<std::unique_ptr<PieApp<MSG>>> apps;
+  std::vector<const PregelAdapter<VVAL, MSG>*> typed;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    programs.push_back(make_program());
+    auto adapter = std::make_unique<PregelAdapter<VVAL, MSG>>(
+        programs.back().get(), max_supersteps);
+    typed.push_back(adapter.get());
+    apps.push_back(std::move(adapter));
+  }
+  RunPie(fragments, apps, mode, max_supersteps);
+  std::vector<VVAL> merged(
+      fragments.empty() ? 0 : fragments[0]->total_vertices(), VVAL{});
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    for (vid_t v : fragments[i]->inner_vertices()) {
+      merged[v] = typed[i]->values()[v];
+    }
+  }
+  return merged;
+}
+
+}  // namespace flex::grape
+
+#endif  // FLEX_GRAPE_PREGEL_H_

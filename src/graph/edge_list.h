@@ -1,0 +1,33 @@
+#ifndef FLEX_GRAPH_EDGE_LIST_H_
+#define FLEX_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace flex {
+
+/// A raw (src, dst, weight) edge triple — the interchange unit between the
+/// dataset generators, loaders, partitioners and store builders.
+struct RawEdge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  double weight = 1.0;
+
+  bool operator==(const RawEdge& other) const {
+    return src == other.src && dst == other.dst && weight == other.weight;
+  }
+};
+
+/// An unsorted edge list over vertices [0, num_vertices).
+struct EdgeList {
+  vid_t num_vertices = 0;
+  std::vector<RawEdge> edges;
+
+  size_t num_edges() const { return edges.size(); }
+};
+
+}  // namespace flex
+
+#endif  // FLEX_GRAPH_EDGE_LIST_H_

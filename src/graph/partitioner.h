@@ -1,0 +1,54 @@
+#ifndef FLEX_GRAPH_PARTITIONER_H_
+#define FLEX_GRAPH_PARTITIONER_H_
+
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace flex {
+
+/// Edge-cut partition assignment: every vertex is owned by exactly one
+/// partition; an edge lives on its source's partition and may reference a
+/// remote ("outer") destination vertex. This is the partitioning Vineyard
+/// uses in the paper (§4.2) and the layout GRAPE fragments consume.
+class EdgeCutPartitioner {
+ public:
+  enum class Policy {
+    kHash,   ///< v → v * mix % P; balances power-law hubs across partitions.
+    kRange,  ///< contiguous ranges; best locality for ordered ids.
+  };
+
+  EdgeCutPartitioner(vid_t num_vertices, partition_t num_partitions,
+                     Policy policy = Policy::kHash);
+
+  partition_t GetPartition(vid_t v) const {
+    if (policy_ == Policy::kRange) {
+      return static_cast<partition_t>(v / range_size_);
+    }
+    // Multiplicative hash keeps neighbors of a hub spread out.
+    return static_cast<partition_t>((v * 0x9E3779B1u) >> shift_) %
+           num_partitions_;
+  }
+
+  partition_t num_partitions() const { return num_partitions_; }
+  vid_t num_vertices() const { return num_vertices_; }
+
+  /// All vertices owned by `p`, ascending.
+  std::vector<vid_t> VerticesOf(partition_t p) const;
+
+  /// Splits `list` into one per-partition edge list; edges go to the owner
+  /// of their source (edge-cut). Vertex ids stay global.
+  std::vector<EdgeList> PartitionEdges(const EdgeList& list) const;
+
+ private:
+  vid_t num_vertices_;
+  partition_t num_partitions_;
+  Policy policy_;
+  vid_t range_size_ = 1;
+  unsigned shift_ = 0;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_GRAPH_PARTITIONER_H_

@@ -1,0 +1,160 @@
+#include "graph/property_table.h"
+
+#include "common/logging.h"
+
+namespace flex {
+
+size_t PropertyColumn::size() const {
+  switch (type_) {
+    case PropertyType::kBool:
+      return bool_data_.size();
+    case PropertyType::kInt64:
+      return int64_data_.size();
+    case PropertyType::kDouble:
+      return double_data_.size();
+    case PropertyType::kString:
+      return string_data_.size();
+    case PropertyType::kEmpty:
+      return 0;
+  }
+  return 0;
+}
+
+Status PropertyColumn::Append(const PropertyValue& value) {
+  switch (type_) {
+    case PropertyType::kBool:
+      bool_data_.push_back(value.is_empty() ? 0 : (value.AsBool() ? 1 : 0));
+      return Status::OK();
+    case PropertyType::kInt64:
+      if (value.is_empty()) {
+        int64_data_.push_back(0);
+      } else if (value.type() == PropertyType::kDouble) {
+        int64_data_.push_back(static_cast<int64_t>(value.AsDouble()));
+      } else if (value.type() == PropertyType::kInt64) {
+        int64_data_.push_back(value.AsInt64());
+      } else {
+        return Status::InvalidArgument("expected int64 property");
+      }
+      return Status::OK();
+    case PropertyType::kDouble:
+      if (value.is_empty()) {
+        double_data_.push_back(0.0);
+      } else if (value.type() == PropertyType::kInt64) {
+        double_data_.push_back(static_cast<double>(value.AsInt64()));
+      } else if (value.type() == PropertyType::kDouble) {
+        double_data_.push_back(value.AsDouble());
+      } else {
+        return Status::InvalidArgument("expected double property");
+      }
+      return Status::OK();
+    case PropertyType::kString:
+      if (value.is_empty()) {
+        string_data_.emplace_back();
+      } else if (value.type() == PropertyType::kString) {
+        string_data_.push_back(value.AsString());
+      } else {
+        return Status::InvalidArgument("expected string property");
+      }
+      return Status::OK();
+    case PropertyType::kEmpty:
+      return Status::InvalidArgument("cannot append to empty-typed column");
+  }
+  return Status::Internal("bad column type");
+}
+
+PropertyValue PropertyColumn::Get(size_t row) const {
+  switch (type_) {
+    case PropertyType::kBool:
+      return PropertyValue(bool_data_[row] != 0);
+    case PropertyType::kInt64:
+      return PropertyValue(int64_data_[row]);
+    case PropertyType::kDouble:
+      return PropertyValue(double_data_[row]);
+    case PropertyType::kString:
+      return PropertyValue(string_data_[row]);
+    case PropertyType::kEmpty:
+      return PropertyValue();
+  }
+  return PropertyValue();
+}
+
+Status PropertyColumn::Set(size_t row, const PropertyValue& value) {
+  if (row >= size()) return Status::OutOfRange("row out of range");
+  switch (type_) {
+    case PropertyType::kBool:
+      bool_data_[row] = value.AsBool() ? 1 : 0;
+      return Status::OK();
+    case PropertyType::kInt64:
+      int64_data_[row] = value.type() == PropertyType::kDouble
+                             ? static_cast<int64_t>(value.AsDouble())
+                             : value.AsInt64();
+      return Status::OK();
+    case PropertyType::kDouble:
+      double_data_[row] = value.AsNumeric();
+      return Status::OK();
+    case PropertyType::kString:
+      string_data_[row] = value.AsString();
+      return Status::OK();
+    case PropertyType::kEmpty:
+      return Status::InvalidArgument("cannot set empty-typed column");
+  }
+  return Status::Internal("bad column type");
+}
+
+PropertyTable::PropertyTable(const std::vector<PropertyDef>& defs) {
+  columns_.reserve(defs.size());
+  for (const PropertyDef& def : defs) columns_.emplace_back(def.type);
+}
+
+Status PropertyTable::AppendRow(const std::vector<PropertyValue>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    FLEX_RETURN_NOT_OK(columns_[i].Append(values[i]));
+  }
+  ++row_count_;
+  return Status::OK();
+}
+
+std::vector<PropertyValue> PropertyTable::GetRow(size_t row) const {
+  std::vector<PropertyValue> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col.Get(row));
+  return out;
+}
+
+void PropertyGraphData::AddVertex(label_t label, oid_t oid,
+                                  std::vector<PropertyValue> props) {
+  if (vertices.size() < schema.vertex_label_num()) {
+    vertices.resize(schema.vertex_label_num());
+  }
+  FLEX_CHECK(label < vertices.size());
+  vertices[label].oids.push_back(oid);
+  vertices[label].rows.push_back(std::move(props));
+}
+
+void PropertyGraphData::AddEdge(label_t label, oid_t src, oid_t dst,
+                                std::vector<PropertyValue> props) {
+  if (edges.size() < schema.edge_label_num()) {
+    edges.resize(schema.edge_label_num());
+  }
+  FLEX_CHECK(label < edges.size());
+  edges[label].src_oids.push_back(src);
+  edges[label].dst_oids.push_back(dst);
+  edges[label].rows.push_back(std::move(props));
+}
+
+size_t PropertyGraphData::total_vertices() const {
+  size_t n = 0;
+  for (const auto& batch : vertices) n += batch.oids.size();
+  return n;
+}
+
+size_t PropertyGraphData::total_edges() const {
+  size_t n = 0;
+  for (const auto& batch : edges) n += batch.src_oids.size();
+  return n;
+}
+
+}  // namespace flex

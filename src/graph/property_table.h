@@ -1,0 +1,111 @@
+#ifndef FLEX_GRAPH_PROPERTY_TABLE_H_
+#define FLEX_GRAPH_PROPERTY_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property.h"
+#include "graph/schema.h"
+
+namespace flex {
+
+/// One typed, columnar property column. The concrete array lives in the
+/// member matching `type()`; rows are addressed by dense offset.
+class PropertyColumn {
+ public:
+  explicit PropertyColumn(PropertyType type) : type_(type) {}
+
+  PropertyType type() const { return type_; }
+  size_t size() const;
+
+  /// Appends a value, coercing int64↔double when needed. Type mismatch
+  /// errors out; empty values append a type-default (0 / "" / false).
+  Status Append(const PropertyValue& value);
+
+  /// Boxed row access.
+  PropertyValue Get(size_t row) const;
+
+  /// Unboxed fast paths (precondition: matching type()).
+  int64_t GetInt64(size_t row) const { return int64_data_[row]; }
+  double GetDouble(size_t row) const { return double_data_[row]; }
+  const std::string& GetString(size_t row) const { return string_data_[row]; }
+  bool GetBool(size_t row) const { return bool_data_[row] != 0; }
+
+  /// Contiguous column views — the GRIN "array-like access" trait.
+  std::span<const int64_t> Int64Span() const { return int64_data_; }
+  std::span<const double> DoubleSpan() const { return double_data_; }
+
+  /// In-place update for mutable stores.
+  Status Set(size_t row, const PropertyValue& value);
+
+ private:
+  PropertyType type_;
+  std::vector<int64_t> int64_data_;
+  std::vector<double> double_data_;
+  std::vector<std::string> string_data_;
+  std::vector<uint8_t> bool_data_;
+};
+
+/// A columnar table: one PropertyColumn per PropertyDef, all equal length.
+class PropertyTable {
+ public:
+  PropertyTable() = default;
+  explicit PropertyTable(const std::vector<PropertyDef>& defs);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? row_count_ : columns_[0].size(); }
+
+  /// Appends one row; `values` must have one entry per column.
+  Status AppendRow(const std::vector<PropertyValue>& values);
+
+  const PropertyColumn& column(size_t i) const { return columns_[i]; }
+  PropertyColumn& column(size_t i) { return columns_[i]; }
+
+  PropertyValue Get(size_t row, size_t col) const {
+    return columns_[col].Get(row);
+  }
+
+  /// Collects one full row (boxed).
+  std::vector<PropertyValue> GetRow(size_t row) const;
+
+ private:
+  std::vector<PropertyColumn> columns_;
+  size_t row_count_ = 0;  // Tracks rows for zero-column tables.
+};
+
+/// Raw vertex/edge data for one labeled property graph — the interchange
+/// format every storage builder (Vineyard, GART, GraphAr, CSV) consumes and
+/// every schema-aware generator (SNB, fraud, equity) produces.
+struct PropertyGraphData {
+  GraphSchema schema;
+
+  struct VertexBatch {
+    std::vector<oid_t> oids;
+    std::vector<std::vector<PropertyValue>> rows;
+  };
+  struct EdgeBatch {
+    std::vector<oid_t> src_oids;
+    std::vector<oid_t> dst_oids;
+    std::vector<std::vector<PropertyValue>> rows;
+  };
+
+  /// Indexed by vertex / edge label id.
+  std::vector<VertexBatch> vertices;
+  std::vector<EdgeBatch> edges;
+
+  /// Appends one vertex; label must exist in `schema`.
+  void AddVertex(label_t label, oid_t oid, std::vector<PropertyValue> props);
+  /// Appends one edge; label must exist in `schema`.
+  void AddEdge(label_t label, oid_t src, oid_t dst,
+               std::vector<PropertyValue> props);
+
+  size_t total_vertices() const;
+  size_t total_edges() const;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_GRAPH_PROPERTY_TABLE_H_

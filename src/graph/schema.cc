@@ -1,0 +1,73 @@
+#include "graph/schema.h"
+
+namespace flex {
+
+Result<label_t> GraphSchema::AddVertexLabel(
+    std::string name, std::vector<PropertyDef> properties) {
+  if (FindVertexLabel(name).ok()) {
+    return Status::AlreadyExists("vertex label: " + name);
+  }
+  if (vertex_labels_.size() >= kInvalidLabel) {
+    return Status::OutOfRange("too many vertex labels");
+  }
+  vertex_labels_.push_back({std::move(name), std::move(properties)});
+  return static_cast<label_t>(vertex_labels_.size() - 1);
+}
+
+Result<label_t> GraphSchema::AddEdgeLabel(std::string name, label_t src_label,
+                                          label_t dst_label,
+                                          std::vector<PropertyDef> properties) {
+  if (src_label >= vertex_labels_.size() ||
+      dst_label >= vertex_labels_.size()) {
+    return Status::InvalidArgument("edge label endpoints must exist: " + name);
+  }
+  if (FindEdgeLabel(name).ok()) {
+    return Status::AlreadyExists("edge label: " + name);
+  }
+  if (edge_labels_.size() >= kInvalidLabel) {
+    return Status::OutOfRange("too many edge labels");
+  }
+  edge_labels_.push_back(
+      {std::move(name), src_label, dst_label, std::move(properties)});
+  return static_cast<label_t>(edge_labels_.size() - 1);
+}
+
+Result<label_t> GraphSchema::FindVertexLabel(std::string_view name) const {
+  for (size_t i = 0; i < vertex_labels_.size(); ++i) {
+    if (vertex_labels_[i].name == name) return static_cast<label_t>(i);
+  }
+  return Status::NotFound("vertex label: " + std::string(name));
+}
+
+Result<label_t> GraphSchema::FindEdgeLabel(std::string_view name) const {
+  for (size_t i = 0; i < edge_labels_.size(); ++i) {
+    if (edge_labels_[i].name == name) return static_cast<label_t>(i);
+  }
+  return Status::NotFound("edge label: " + std::string(name));
+}
+
+Result<size_t> GraphSchema::FindVertexProperty(label_t label,
+                                               std::string_view name) const {
+  if (label >= vertex_labels_.size()) {
+    return Status::InvalidArgument("bad vertex label id");
+  }
+  const auto& props = vertex_labels_[label].properties;
+  for (size_t i = 0; i < props.size(); ++i) {
+    if (props[i].name == name) return i;
+  }
+  return Status::NotFound("vertex property: " + std::string(name));
+}
+
+Result<size_t> GraphSchema::FindEdgeProperty(label_t label,
+                                             std::string_view name) const {
+  if (label >= edge_labels_.size()) {
+    return Status::InvalidArgument("bad edge label id");
+  }
+  const auto& props = edge_labels_[label].properties;
+  for (size_t i = 0; i < props.size(); ++i) {
+    if (props[i].name == name) return i;
+  }
+  return Status::NotFound("edge property: " + std::string(name));
+}
+
+}  // namespace flex

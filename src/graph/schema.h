@@ -1,0 +1,74 @@
+#ifndef FLEX_GRAPH_SCHEMA_H_
+#define FLEX_GRAPH_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property.h"
+#include "graph/types.h"
+
+namespace flex {
+
+/// Metadata for one property column of a vertex or edge label.
+struct PropertyDef {
+  std::string name;
+  PropertyType type = PropertyType::kEmpty;
+};
+
+/// Metadata for one vertex label (e.g. "Buyer", "Item" in Figure 2).
+struct VertexLabelDef {
+  std::string name;
+  std::vector<PropertyDef> properties;
+};
+
+/// Metadata for one edge label, including the (src, dst) vertex labels it
+/// connects — LPG edge types are triples like (Buyer)-[BUY]->(Item).
+struct EdgeLabelDef {
+  std::string name;
+  label_t src_label = kInvalidLabel;
+  label_t dst_label = kInvalidLabel;
+  std::vector<PropertyDef> properties;
+};
+
+/// Labeled-property-graph schema shared by every storage backend.
+///
+/// The schema is the "catalog" half of the paper's Figure 3: the query
+/// optimizer resolves label/property names against it, and GRIN exposes it
+/// uniformly regardless of which backend holds the data.
+class GraphSchema {
+ public:
+  /// Registers a vertex label; returns its id. Duplicate names rejected.
+  Result<label_t> AddVertexLabel(std::string name,
+                                 std::vector<PropertyDef> properties);
+
+  /// Registers an edge label between two existing vertex labels.
+  Result<label_t> AddEdgeLabel(std::string name, label_t src_label,
+                               label_t dst_label,
+                               std::vector<PropertyDef> properties);
+
+  size_t vertex_label_num() const { return vertex_labels_.size(); }
+  size_t edge_label_num() const { return edge_labels_.size(); }
+
+  const VertexLabelDef& vertex_label(label_t id) const {
+    return vertex_labels_[id];
+  }
+  const EdgeLabelDef& edge_label(label_t id) const { return edge_labels_[id]; }
+
+  /// Name → id lookups (linear scan: label counts are tiny).
+  Result<label_t> FindVertexLabel(std::string_view name) const;
+  Result<label_t> FindEdgeLabel(std::string_view name) const;
+
+  /// Property name → column index within a label.
+  Result<size_t> FindVertexProperty(label_t label,
+                                    std::string_view name) const;
+  Result<size_t> FindEdgeProperty(label_t label, std::string_view name) const;
+
+ private:
+  std::vector<VertexLabelDef> vertex_labels_;
+  std::vector<EdgeLabelDef> edge_labels_;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_GRAPH_SCHEMA_H_

@@ -1,0 +1,38 @@
+#ifndef FLEX_GRAPH_TYPES_H_
+#define FLEX_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace flex {
+
+/// Internal (dense) vertex id. Storage backends assign these; engines
+/// iterate over them. 32 bits suffice for the scaled-down datasets this
+/// reproduction generates (§ DESIGN.md substitutions).
+using vid_t = uint32_t;
+
+/// Original (external) vertex id as found in raw data / queries.
+using oid_t = int64_t;
+
+/// Edge rank within a CSR adjacency.
+using eid_t = uint64_t;
+
+/// Vertex / edge label (type) id in a labeled property graph.
+using label_t = uint8_t;
+
+/// Graph partition id (stands in for a cluster node).
+using partition_t = uint32_t;
+
+/// MVCC version number used by the GART dynamic store.
+using version_t = uint64_t;
+
+inline constexpr vid_t kInvalidVid = std::numeric_limits<vid_t>::max();
+inline constexpr oid_t kInvalidOid = std::numeric_limits<oid_t>::min();
+inline constexpr label_t kInvalidLabel = std::numeric_limits<label_t>::max();
+
+/// Direction of traversal along edges.
+enum class Direction { kOut, kIn, kBoth };
+
+}  // namespace flex
+
+#endif  // FLEX_GRAPH_TYPES_H_

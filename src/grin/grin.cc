@@ -1,0 +1,29 @@
+#include "grin/grin.h"
+
+namespace flex::grin {
+
+GrinGraph::~GrinGraph() = default;
+
+Status GrinGraph::RequireTraits(uint32_t required) const {
+  const uint32_t missing = required & ~capabilities();
+  if (missing == 0) return Status::OK();
+  return Status::CapabilityMissing("backend '" + backend_name() +
+                                   "' lacks required GRIN traits (mask " +
+                                   std::to_string(missing) + ")");
+}
+
+std::pair<vid_t, vid_t> GrinGraph::VertexRange(label_t label) const {
+  return {0, 0};
+}
+
+std::span<const int64_t> GrinGraph::VertexInt64Column(label_t label,
+                                                      size_t col) const {
+  return {};
+}
+
+std::span<const double> GrinGraph::VertexDoubleColumn(label_t label,
+                                                      size_t col) const {
+  return {};
+}
+
+}  // namespace flex::grin

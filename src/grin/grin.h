@@ -1,0 +1,195 @@
+#ifndef FLEX_GRIN_GRIN_H_
+#define FLEX_GRIN_GRIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "graph/property.h"
+#include "graph/schema.h"
+#include "graph/types.h"
+
+namespace flex::grin {
+
+/// GRIN capability traits, grouped into the paper's six categories
+/// (Figure 4): topology, property, partition, index, predicate, common.
+///
+/// A storage backend advertises exactly the traits it can honour; an
+/// execution engine requires some traits and optionally exploits others.
+/// `RequireTraits` is the negotiation point: engines call it up front and
+/// receive kCapabilityMissing instead of silently degrading.
+enum Trait : uint32_t {
+  // --- topology ---
+  /// Vertices of a label form one contiguous [begin, end) vid range.
+  kVertexListArray = 1u << 0,
+  /// Adjacency is exposed as a single contiguous chunk (array-like trait).
+  kAdjacentListArray = 1u << 1,
+  /// Adjacency is exposed by chunked iteration (iterator trait). Always
+  /// available: array-capable backends just emit one chunk.
+  kAdjacentListIterator = 1u << 2,
+
+  // --- property ---
+  /// Row-wise vertex property access.
+  kVertexProperty = 1u << 3,
+  /// Row-wise edge property access.
+  kEdgeProperty = 1u << 4,
+  /// Whole property columns as contiguous spans (fast analytics path).
+  kPropertyColumnArray = 1u << 5,
+
+  // --- partition ---
+  /// The backend knows an edge-cut partition assignment for its vertices.
+  kPartitionedGraph = 1u << 6,
+
+  // --- index ---
+  /// External id -> internal vertex lookup.
+  kOidIndex = 1u << 7,
+  /// Vertices enumerable by label without scanning others.
+  kLabelIndex = 1u << 8,
+
+  // --- predicate ---
+  /// Scans accept a pushed-down predicate evaluated inside the storage.
+  kPredicatePushdown = 1u << 9,
+
+  // --- common ---
+  /// The graph is a consistent MVCC snapshot of a mutable store.
+  kVersionedSnapshot = 1u << 10,
+};
+
+/// One chunk of adjacency handed to a visitor. Array-trait backends emit a
+/// single chunk per vertex; iterator-trait backends emit several.
+///
+/// Edge ids identify the edge for kEdgeProperty lookups: if `edge_ids` is
+/// empty they are sequential from `edge_id_base`.
+struct AdjChunk {
+  std::span<const vid_t> neighbors;
+  std::span<const double> weights;  ///< Empty when the label is unweighted.
+  std::span<const eid_t> edge_ids;  ///< Empty => base + i.
+  eid_t edge_id_base = 0;
+
+  eid_t edge_id(size_t i) const {
+    return edge_ids.empty() ? edge_id_base + i : edge_ids[i];
+  }
+  double weight(size_t i) const {
+    return weights.empty() ? 1.0 : weights[i];
+  }
+};
+
+/// C-style visitor (GRIN is a C API in the paper; a function pointer plus
+/// context keeps the hot path free of std::function overhead).
+/// Return false to stop iteration early.
+using AdjVisitor = bool (*)(void* ctx, const AdjChunk& chunk);
+
+/// Predicate evaluated inside storage scans when kPredicatePushdown is set.
+using VertexPredicate = bool (*)(void* ctx, vid_t v);
+
+/// The unified graph retrieval handle every execution engine programs
+/// against. Implementations are views: cheap to create, do not own the
+/// underlying store, and remain valid while the store lives (for MVCC
+/// stores, while the snapshot's version is retained).
+class GrinGraph {
+ public:
+  virtual ~GrinGraph();
+
+  virtual std::string backend_name() const = 0;
+  virtual uint32_t capabilities() const = 0;
+  virtual const GraphSchema& schema() const = 0;
+
+  /// Verifies that every trait in `required` is advertised.
+  Status RequireTraits(uint32_t required) const;
+
+  // ------------------------------------------------------------ topology
+  /// Total internal vid space (vids are < NumVertices for all labels).
+  virtual vid_t NumVertices() const = 0;
+  /// Vertices carrying `label`.
+  virtual vid_t NumVerticesOfLabel(label_t label) const = 0;
+  virtual label_t VertexLabelOf(vid_t v) const = 0;
+
+  /// [begin, end) when kVertexListArray is advertised.
+  virtual std::pair<vid_t, vid_t> VertexRange(label_t label) const;
+
+  /// Enumerates vids of `label` (works without kVertexListArray).
+  virtual void VisitVertices(label_t label, VertexPredicate pred,
+                             void* pred_ctx, bool (*visitor)(void*, vid_t),
+                             void* visitor_ctx) const = 0;
+
+  /// Streams the adjacency of `v` under `edge_label` in `dir`.
+  /// Returns false if the visitor stopped early.
+  virtual bool VisitAdj(vid_t v, Direction dir, label_t edge_label,
+                        AdjVisitor visitor, void* ctx) const = 0;
+
+  /// Array-like adjacency trait (kAdjacentListArray): direct handles on
+  /// the backend's contiguous CSR arrays, indexed by vid. Engines that
+  /// negotiate this trait scan with zero per-vertex indirection. Returns
+  /// empty spans when the trait is not advertised (dir must be kOut/kIn).
+  virtual std::span<const eid_t> AdjacencyOffsets(label_t edge_label,
+                                                  Direction dir) const {
+    return {};
+  }
+  virtual std::span<const vid_t> AdjacencyNeighbors(label_t edge_label,
+                                                    Direction dir) const {
+    return {};
+  }
+
+  virtual size_t Degree(vid_t v, Direction dir, label_t edge_label) const = 0;
+
+  // ------------------------------------------------------------ property
+  /// Boxed property access (row-wise traits).
+  virtual PropertyValue GetVertexProperty(vid_t v, size_t col) const = 0;
+  virtual PropertyValue GetEdgeProperty(label_t edge_label, eid_t e,
+                                        size_t col) const = 0;
+
+  /// Column spans when kPropertyColumnArray is advertised; indexed by
+  /// (vid - VertexRange(label).first). Empty span otherwise.
+  virtual std::span<const int64_t> VertexInt64Column(label_t label,
+                                                     size_t col) const;
+  virtual std::span<const double> VertexDoubleColumn(label_t label,
+                                                     size_t col) const;
+
+  // --------------------------------------------------------------- index
+  virtual Result<vid_t> FindVertex(label_t label, oid_t oid) const = 0;
+  virtual oid_t GetOid(vid_t v) const = 0;
+
+  // ----------------------------------------------------------- partition
+  virtual partition_t NumPartitions() const { return 1; }
+  virtual partition_t PartitionOf(vid_t v) const { return 0; }
+
+  // -------------------------------------------------------------- common
+  /// MVCC snapshot version; 0 for immutable stores.
+  virtual version_t SnapshotVersion() const { return 0; }
+};
+
+/// Convenience wrapper: visit each (neighbor, weight, edge id) of `v` with
+/// a lambda `fn(vid_t nbr, double w, eid_t e) -> bool/void`. Chunks are
+/// flattened; iteration stops early if `fn` returns false.
+template <typename Fn>
+bool ForEachAdj(const GrinGraph& graph, vid_t v, Direction dir,
+                label_t edge_label, Fn&& fn) {
+  struct Ctx {
+    Fn* fn;
+  } ctx{&fn};
+  return graph.VisitAdj(
+      v, dir, edge_label,
+      [](void* raw, const AdjChunk& chunk) -> bool {
+        auto* c = static_cast<Ctx*>(raw);
+        for (size_t i = 0; i < chunk.neighbors.size(); ++i) {
+          if constexpr (std::is_void_v<decltype((*c->fn)(
+                            vid_t{}, double{}, eid_t{}))>) {
+            (*c->fn)(chunk.neighbors[i], chunk.weight(i), chunk.edge_id(i));
+          } else {
+            if (!(*c->fn)(chunk.neighbors[i], chunk.weight(i),
+                          chunk.edge_id(i))) {
+              return false;
+            }
+          }
+        }
+        return true;
+      },
+      &ctx);
+}
+
+}  // namespace flex::grin
+
+#endif  // FLEX_GRIN_GRIN_H_

@@ -1,0 +1,315 @@
+#include "ir/expr.h"
+
+#include "common/logging.h"
+
+namespace flex::ir {
+
+ExprPtr Expr::Const(PropertyValue value) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kConst;
+  e->value_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Param(size_t index) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kParam;
+  e->param_index_ = index;
+  return e;
+}
+
+ExprPtr Expr::Column(size_t column) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->column_ = column;
+  return e;
+}
+
+ExprPtr Expr::Property(size_t column, std::string property) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kProperty;
+  e->column_ = column;
+  e->property_ = std::move(property);
+  return e;
+}
+
+ExprPtr Expr::VertexId(size_t column) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kVertexId;
+  e->column_ = column;
+  return e;
+}
+
+ExprPtr Expr::LabelName(size_t column) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kLabelName;
+  e->column_ = column;
+  return e;
+}
+
+ExprPtr Expr::Binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->lhs_ = std::move(inner);
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr lhs, std::vector<PropertyValue> values) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kIn;
+  e->lhs_ = std::move(lhs);
+  e->in_values_ = std::move(values);
+  return e;
+}
+
+namespace {
+
+bool Truthy(const PropertyValue& v) {
+  switch (v.type()) {
+    case PropertyType::kEmpty:
+      return false;
+    case PropertyType::kBool:
+      return v.AsBool();
+    case PropertyType::kInt64:
+      return v.AsInt64() != 0;
+    case PropertyType::kDouble:
+      return v.AsDouble() != 0.0;
+    case PropertyType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+PropertyValue Arith(BinOp op, const PropertyValue& a, const PropertyValue& b) {
+  // Integer arithmetic stays integral; anything else widens to double.
+  if (a.type() == PropertyType::kInt64 && b.type() == PropertyType::kInt64) {
+    const int64_t x = a.AsInt64(), y = b.AsInt64();
+    switch (op) {
+      case BinOp::kAdd:
+        return PropertyValue(x + y);
+      case BinOp::kSub:
+        return PropertyValue(x - y);
+      case BinOp::kMul:
+        return PropertyValue(x * y);
+      case BinOp::kDiv:
+        return y == 0 ? PropertyValue() : PropertyValue(x / y);
+      default:
+        break;
+    }
+  }
+  if (a.type() == PropertyType::kEmpty || b.type() == PropertyType::kEmpty) {
+    return PropertyValue();
+  }
+  const double x = a.AsNumeric(), y = b.AsNumeric();
+  switch (op) {
+    case BinOp::kAdd:
+      return PropertyValue(x + y);
+    case BinOp::kSub:
+      return PropertyValue(x - y);
+    case BinOp::kMul:
+      return PropertyValue(x * y);
+    case BinOp::kDiv:
+      return y == 0.0 ? PropertyValue() : PropertyValue(x / y);
+    default:
+      break;
+  }
+  return PropertyValue();
+}
+
+}  // namespace
+
+PropertyValue Expr::EvalProperty(const Row& row,
+                                 const grin::GrinGraph& graph) const {
+  const Entry& entry = row[column_];
+  if (const auto* vertex = std::get_if<VertexRef>(&entry)) {
+    const label_t label = graph.VertexLabelOf(vertex->vid);
+    auto col = graph.schema().FindVertexProperty(label, property_);
+    if (!col.ok()) return PropertyValue();
+    return graph.GetVertexProperty(vertex->vid, col.value());
+  }
+  if (const auto* edge = std::get_if<EdgeRef>(&entry)) {
+    auto col = graph.schema().FindEdgeProperty(edge->elabel, property_);
+    if (!col.ok()) return PropertyValue();
+    return graph.GetEdgeProperty(edge->elabel, edge->eid, col.value());
+  }
+  return PropertyValue();
+}
+
+PropertyValue Expr::Eval(const Row& row, const grin::GrinGraph& graph,
+                         const std::vector<PropertyValue>& params) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return value_;
+    case ExprKind::kParam:
+      FLEX_CHECK_LT(param_index_, params.size());
+      return params[param_index_];
+    case ExprKind::kColumn: {
+      const Entry& entry = row[column_];
+      if (const auto* value = std::get_if<PropertyValue>(&entry)) {
+        return *value;
+      }
+      // Vertices/edges compared as entries elsewhere; as a value, a
+      // vertex renders as its external id.
+      if (const auto* vertex = std::get_if<VertexRef>(&entry)) {
+        return PropertyValue(graph.GetOid(vertex->vid));
+      }
+      return PropertyValue();
+    }
+    case ExprKind::kProperty:
+      return EvalProperty(row, graph);
+    case ExprKind::kVertexId: {
+      const Entry& entry = row[column_];
+      if (const auto* vertex = std::get_if<VertexRef>(&entry)) {
+        return PropertyValue(graph.GetOid(vertex->vid));
+      }
+      return PropertyValue();
+    }
+    case ExprKind::kLabelName: {
+      const Entry& entry = row[column_];
+      if (const auto* vertex = std::get_if<VertexRef>(&entry)) {
+        const label_t label = graph.VertexLabelOf(vertex->vid);
+        return PropertyValue(graph.schema().vertex_label(label).name);
+      }
+      if (const auto* edge = std::get_if<EdgeRef>(&entry)) {
+        return PropertyValue(graph.schema().edge_label(edge->elabel).name);
+      }
+      return PropertyValue();
+    }
+    case ExprKind::kBinary: {
+      switch (op_) {
+        case BinOp::kAnd:
+          return PropertyValue(lhs_->EvalBool(row, graph, params) &&
+                               rhs_->EvalBool(row, graph, params));
+        case BinOp::kOr:
+          return PropertyValue(lhs_->EvalBool(row, graph, params) ||
+                               rhs_->EvalBool(row, graph, params));
+        default:
+          break;
+      }
+      const PropertyValue a = lhs_->Eval(row, graph, params);
+      const PropertyValue b = rhs_->Eval(row, graph, params);
+      switch (op_) {
+        case BinOp::kEq:
+          return PropertyValue(a == b);
+        case BinOp::kNe:
+          return PropertyValue(a != b);
+        case BinOp::kLt:
+          return PropertyValue(a.Compare(b) < 0);
+        case BinOp::kLe:
+          return PropertyValue(a.Compare(b) <= 0);
+        case BinOp::kGt:
+          return PropertyValue(a.Compare(b) > 0);
+        case BinOp::kGe:
+          return PropertyValue(a.Compare(b) >= 0);
+        default:
+          return Arith(op_, a, b);
+      }
+    }
+    case ExprKind::kNot:
+      return PropertyValue(!lhs_->EvalBool(row, graph, params));
+    case ExprKind::kIn: {
+      const PropertyValue needle = lhs_->Eval(row, graph, params);
+      for (const PropertyValue& candidate : in_values_) {
+        if (needle == candidate) return PropertyValue(true);
+      }
+      return PropertyValue(false);
+    }
+  }
+  return PropertyValue();
+}
+
+bool Expr::EvalBool(const Row& row, const grin::GrinGraph& graph,
+                    const std::vector<PropertyValue>& params) const {
+  return Truthy(Eval(row, graph, params));
+}
+
+void Expr::CollectColumns(std::vector<size_t>* out) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+    case ExprKind::kProperty:
+    case ExprKind::kVertexId:
+    case ExprKind::kLabelName:
+      out->push_back(column_);
+      break;
+    case ExprKind::kBinary:
+      lhs_->CollectColumns(out);
+      rhs_->CollectColumns(out);
+      break;
+    case ExprKind::kNot:
+    case ExprKind::kIn:
+      lhs_->CollectColumns(out);
+      break;
+    default:
+      break;
+  }
+}
+
+bool Expr::FindIdEquality(size_t column, ExprPtr* value) const {
+  if (kind_ != ExprKind::kBinary) return false;
+  if (op_ == BinOp::kAnd) {
+    return lhs_->FindIdEquality(column, value) ||
+           rhs_->FindIdEquality(column, value);
+  }
+  if (op_ != BinOp::kEq) return false;
+  auto is_id_ref = [&](const Expr* e) {
+    return e->kind_ == ExprKind::kVertexId && e->column_ == column;
+  };
+  auto is_value = [](const Expr* e) {
+    return e->kind_ == ExprKind::kConst || e->kind_ == ExprKind::kParam;
+  };
+  if (is_id_ref(lhs_.get()) && is_value(rhs_.get())) {
+    *value = rhs_->Clone();
+    return true;
+  }
+  if (is_id_ref(rhs_.get()) && is_value(lhs_.get())) {
+    *value = lhs_->Clone();
+    return true;
+  }
+  return false;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = kind_;
+  e->value_ = value_;
+  e->param_index_ = param_index_;
+  e->column_ = column_;
+  e->property_ = property_;
+  e->op_ = op_;
+  e->in_values_ = in_values_;
+  if (lhs_ != nullptr) e->lhs_ = lhs_->Clone();
+  if (rhs_ != nullptr) e->rhs_ = rhs_->Clone();
+  return e;
+}
+
+void Expr::RemapColumns(const std::vector<size_t>& mapping) {
+  switch (kind_) {
+    case ExprKind::kColumn:
+    case ExprKind::kProperty:
+    case ExprKind::kVertexId:
+    case ExprKind::kLabelName:
+      if (column_ < mapping.size()) column_ = mapping[column_];
+      break;
+    case ExprKind::kBinary:
+      lhs_->RemapColumns(mapping);
+      rhs_->RemapColumns(mapping);
+      break;
+    case ExprKind::kNot:
+    case ExprKind::kIn:
+      lhs_->RemapColumns(mapping);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace flex::ir

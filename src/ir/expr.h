@@ -1,0 +1,97 @@
+#ifndef FLEX_IR_EXPR_H_
+#define FLEX_IR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grin/grin.h"
+#include "ir/row.h"
+
+namespace flex::ir {
+
+/// Expression tree evaluated against one row (plus the graph for property
+/// dereferences and query parameters for stored procedures).
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kConst,      ///< Literal value.
+  kParam,      ///< $i placeholder bound at execution (stored procedures).
+  kColumn,     ///< The column entry itself (vertex/edge/value).
+  kProperty,   ///< column.property — dereferences via GRIN.
+  kVertexId,   ///< id(column): external oid of a vertex column.
+  kLabelName,  ///< label(column).
+  kBinary,
+  kNot,
+  kIn,         ///< lhs IN (v1, v2, ...).
+};
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv,
+  kAnd, kOr,
+};
+
+class Expr {
+ public:
+  // ---- factories
+  static ExprPtr Const(PropertyValue value);
+  static ExprPtr Param(size_t index);
+  static ExprPtr Column(size_t column);
+  static ExprPtr Property(size_t column, std::string property);
+  static ExprPtr VertexId(size_t column);
+  static ExprPtr LabelName(size_t column);
+  static ExprPtr Binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr inner);
+  static ExprPtr In(ExprPtr lhs, std::vector<PropertyValue> values);
+
+  /// Evaluates against `row`; property access goes through `graph`.
+  /// `params` supplies $i placeholders (may be empty when unused).
+  PropertyValue Eval(const Row& row, const grin::GrinGraph& graph,
+                     const std::vector<PropertyValue>& params) const;
+
+  /// Truthiness of Eval (empty/false/0 are false).
+  bool EvalBool(const Row& row, const grin::GrinGraph& graph,
+                const std::vector<PropertyValue>& params) const;
+
+  ExprKind kind() const { return kind_; }
+  size_t column() const { return column_; }
+  const std::string& property() const { return property_; }
+
+  /// All column indices this expression references (for optimizer rules).
+  void CollectColumns(std::vector<size_t>* out) const;
+
+  /// Searches the AND-tree for a conjunct of the form
+  /// `id(column) == <value>` (either operand order) where `<value>` is a
+  /// constant or parameter; on success clones the value into `*value`.
+  bool FindIdEquality(size_t column, ExprPtr* value) const;
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// Rewrites column references through `mapping` (old index -> new
+  /// index); used when PROJECT reshapes the row. Unmapped columns keep
+  /// their index.
+  void RemapColumns(const std::vector<size_t>& mapping);
+
+ private:
+  Expr() = default;
+
+  PropertyValue EvalProperty(const Row& row,
+                             const grin::GrinGraph& graph) const;
+
+  ExprKind kind_ = ExprKind::kConst;
+  PropertyValue value_;
+  size_t param_index_ = 0;
+  size_t column_ = 0;
+  std::string property_;
+  BinOp op_ = BinOp::kEq;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+  std::vector<PropertyValue> in_values_;
+};
+
+}  // namespace flex::ir
+
+#endif  // FLEX_IR_EXPR_H_

@@ -1,0 +1,241 @@
+#include "ir/plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace flex::ir {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "SCAN";
+    case OpKind::kExpandEdge:
+      return "EXPAND_EDGE";
+    case OpKind::kGetVertex:
+      return "GET_VERTEX";
+    case OpKind::kExpand:
+      return "EXPAND";
+    case OpKind::kExpandVar:
+      return "EXPAND_VAR";
+    case OpKind::kExpandInto:
+      return "EXPAND_INTO";
+    case OpKind::kSelect:
+      return "SELECT";
+    case OpKind::kProject:
+      return "PROJECT";
+    case OpKind::kOrder:
+      return "ORDER";
+    case OpKind::kGroup:
+      return "GROUP";
+    case OpKind::kLimit:
+      return "LIMIT";
+    case OpKind::kDedup:
+      return "DEDUP";
+  }
+  return "?";
+}
+
+Op Op::Clone() const {
+  Op copy;
+  copy.kind = kind;
+  copy.label = label;
+  copy.from_column = from_column;
+  copy.origin_column = origin_column;
+  copy.elabel = elabel;
+  copy.dir = dir;
+  copy.into_column = into_column;
+  copy.min_hops = min_hops;
+  copy.max_hops = max_hops;
+  copy.predicate = predicate ? predicate->Clone() : nullptr;
+  copy.id_lookup = id_lookup ? id_lookup->Clone() : nullptr;
+  copy.alias = alias;
+  for (const auto& e : exprs) copy.exprs.push_back(e->Clone());
+  copy.names = names;
+  copy.ascending = ascending;
+  for (const auto& a : aggregates) copy.aggregates.push_back(a.Clone());
+  copy.key_columns = key_columns;
+  copy.limit = limit;
+  return copy;
+}
+
+Plan Plan::Clone() const {
+  Plan copy;
+  for (const Op& op : ops) copy.ops.push_back(op.Clone());
+  copy.columns = columns;
+  return copy;
+}
+
+std::string Plan::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << OpKindName(ops[i].kind);
+    if (!ops[i].alias.empty()) out << "(" << ops[i].alias << ")";
+    if (ops[i].predicate != nullptr) out << "*";  // Pushed predicate.
+  }
+  return out.str();
+}
+
+size_t PlanBuilder::FindAlias(const std::string& alias) const {
+  if (alias.empty()) return kNoColumn;
+  for (size_t i = 0; i < aliases_.size(); ++i) {
+    if (aliases_[i] == alias) return i;
+  }
+  return kNoColumn;
+}
+
+size_t PlanBuilder::Scan(std::string alias, label_t label, ExprPtr predicate) {
+  Op op;
+  op.kind = OpKind::kScan;
+  op.label = label;
+  op.predicate = std::move(predicate);
+  op.alias = alias;
+  ops_.push_back(std::move(op));
+  aliases_.push_back(std::move(alias));
+  return aliases_.size() - 1;
+}
+
+size_t PlanBuilder::ExpandEdge(size_t from, label_t elabel, Direction dir,
+                               std::string edge_alias, ExprPtr predicate) {
+  Op op;
+  op.kind = OpKind::kExpandEdge;
+  op.from_column = from;
+  op.elabel = elabel;
+  op.dir = dir;
+  op.predicate = std::move(predicate);
+  op.alias = edge_alias;
+  ops_.push_back(std::move(op));
+  aliases_.push_back(std::move(edge_alias));
+  return aliases_.size() - 1;
+}
+
+size_t PlanBuilder::GetVertex(size_t edge_column, size_t origin_column,
+                              std::string alias, label_t expected_label,
+                              ExprPtr predicate, Direction endpoint) {
+  Op op;
+  op.kind = OpKind::kGetVertex;
+  op.from_column = edge_column;
+  op.origin_column = origin_column;
+  op.dir = endpoint;
+  op.label = expected_label;
+  op.predicate = std::move(predicate);
+  op.alias = alias;
+  ops_.push_back(std::move(op));
+  aliases_.push_back(std::move(alias));
+  return aliases_.size() - 1;
+}
+
+size_t PlanBuilder::Expand(size_t from, label_t elabel, Direction dir,
+                           std::string alias, label_t expected_label,
+                           ExprPtr predicate) {
+  Op op;
+  op.kind = OpKind::kExpand;
+  op.from_column = from;
+  op.elabel = elabel;
+  op.dir = dir;
+  op.label = expected_label;
+  op.predicate = std::move(predicate);
+  op.alias = alias;
+  ops_.push_back(std::move(op));
+  aliases_.push_back(std::move(alias));
+  return aliases_.size() - 1;
+}
+
+size_t PlanBuilder::ExpandVar(size_t from, label_t elabel, Direction dir,
+                              size_t min_hops, size_t max_hops,
+                              std::string alias, label_t expected_label) {
+  FLEX_CHECK_LE(min_hops, max_hops);
+  Op op;
+  op.kind = OpKind::kExpandVar;
+  op.from_column = from;
+  op.elabel = elabel;
+  op.dir = dir;
+  op.min_hops = min_hops;
+  op.max_hops = max_hops;
+  op.label = expected_label;
+  op.alias = alias;
+  ops_.push_back(std::move(op));
+  aliases_.push_back(std::move(alias));
+  return aliases_.size() - 1;
+}
+
+void PlanBuilder::ExpandInto(size_t from, size_t into, label_t elabel,
+                             Direction dir) {
+  Op op;
+  op.kind = OpKind::kExpandInto;
+  op.from_column = from;
+  op.into_column = into;
+  op.elabel = elabel;
+  op.dir = dir;
+  ops_.push_back(std::move(op));
+}
+
+void PlanBuilder::Select(ExprPtr predicate) {
+  Op op;
+  op.kind = OpKind::kSelect;
+  op.exprs.push_back(std::move(predicate));
+  ops_.push_back(std::move(op));
+}
+
+void PlanBuilder::Project(std::vector<ExprPtr> exprs,
+                          std::vector<std::string> names) {
+  FLEX_CHECK_EQ(exprs.size(), names.size());
+  Op op;
+  op.kind = OpKind::kProject;
+  op.exprs = std::move(exprs);
+  op.names = names;
+  ops_.push_back(std::move(op));
+  aliases_ = std::move(names);
+}
+
+void PlanBuilder::Order(std::vector<ExprPtr> keys, std::vector<bool> ascending,
+                        size_t limit) {
+  Op op;
+  op.kind = OpKind::kOrder;
+  op.exprs = std::move(keys);
+  op.ascending = std::move(ascending);
+  op.limit = limit;
+  ops_.push_back(std::move(op));
+}
+
+void PlanBuilder::Group(std::vector<ExprPtr> keys,
+                        std::vector<std::string> key_names,
+                        std::vector<AggSpec> aggregates) {
+  Op op;
+  op.kind = OpKind::kGroup;
+  op.exprs = std::move(keys);
+  op.names = key_names;
+  op.aggregates = std::move(aggregates);
+  aliases_ = std::move(key_names);
+  for (const AggSpec& agg : op.aggregates) aliases_.push_back(agg.name);
+  ops_.push_back(std::move(op));
+}
+
+void PlanBuilder::Limit(size_t n) {
+  Op op;
+  op.kind = OpKind::kLimit;
+  op.limit = n;
+  ops_.push_back(std::move(op));
+}
+
+void PlanBuilder::Dedup(std::vector<size_t> key_columns) {
+  Op op;
+  op.kind = OpKind::kDedup;
+  op.key_columns = std::move(key_columns);
+  ops_.push_back(std::move(op));
+}
+
+void PlanBuilder::SetAlias(size_t col, std::string alias) {
+  FLEX_CHECK_LT(col, aliases_.size());
+  aliases_[col] = std::move(alias);
+}
+
+Plan PlanBuilder::Build() {
+  Plan plan;
+  plan.ops = std::move(ops_);
+  plan.columns = std::move(aliases_);
+  return plan;
+}
+
+}  // namespace flex::ir

@@ -1,0 +1,32 @@
+#include "ir/row.h"
+
+namespace flex::ir {
+
+uint64_t EntryHash(const Entry& entry) {
+  constexpr uint64_t kMul = 0x9E3779B97F4A7C15ULL;
+  if (const auto* value = std::get_if<PropertyValue>(&entry)) {
+    return value->Hash();
+  }
+  if (const auto* vertex = std::get_if<VertexRef>(&entry)) {
+    return (static_cast<uint64_t>(vertex->vid) + 1) * kMul;
+  }
+  const auto& edge = std::get<EdgeRef>(entry);
+  uint64_t h = (edge.eid + 1) * kMul;
+  h ^= (static_cast<uint64_t>(edge.elabel) + 1) * kMul;
+  h ^= h >> 31;
+  return h;
+}
+
+std::string EntryToString(const Entry& entry) {
+  if (const auto* value = std::get_if<PropertyValue>(&entry)) {
+    return value->ToString();
+  }
+  if (const auto* vertex = std::get_if<VertexRef>(&entry)) {
+    return "v[" + std::to_string(vertex->vid) + "]";
+  }
+  const auto& edge = std::get<EdgeRef>(entry);
+  return "e[" + std::to_string(edge.src) + "->" + std::to_string(edge.dst) +
+         "]";
+}
+
+}  // namespace flex::ir

@@ -1,0 +1,56 @@
+#ifndef FLEX_IR_ROW_H_
+#define FLEX_IR_ROW_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/property.h"
+#include "graph/types.h"
+
+namespace flex::ir {
+
+/// A graph-typed entry in the IR data model D (§5.1): columns hold either
+/// a plain value, a vertex, or an edge (paths are materialized as vertex
+/// sequences by the PROJECT operator when required).
+struct VertexRef {
+  vid_t vid = kInvalidVid;
+
+  bool operator==(const VertexRef& other) const { return vid == other.vid; }
+};
+
+struct EdgeRef {
+  label_t elabel = kInvalidLabel;
+  eid_t eid = 0;
+  vid_t src = kInvalidVid;
+  vid_t dst = kInvalidVid;
+
+  bool operator==(const EdgeRef& other) const {
+    return elabel == other.elabel && eid == other.eid && src == other.src &&
+           dst == other.dst;
+  }
+};
+
+using Entry = std::variant<PropertyValue, VertexRef, EdgeRef>;
+
+inline bool IsVertex(const Entry& e) {
+  return std::holds_alternative<VertexRef>(e);
+}
+inline bool IsEdge(const Entry& e) { return std::holds_alternative<EdgeRef>(e); }
+inline bool IsValue(const Entry& e) {
+  return std::holds_alternative<PropertyValue>(e);
+}
+
+/// One tuple flowing through the computational DAG. Columns correspond to
+/// query aliases plus anonymous intermediates; the plan tracks the mapping.
+using Row = std::vector<Entry>;
+
+/// Hash of an entry, for GROUP / DEDUP keys.
+uint64_t EntryHash(const Entry& entry);
+
+/// Human-readable rendering (result printing, tests).
+std::string EntryToString(const Entry& entry);
+
+}  // namespace flex::ir
+
+#endif  // FLEX_IR_ROW_H_

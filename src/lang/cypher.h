@@ -1,0 +1,29 @@
+#ifndef FLEX_LANG_CYPHER_H_
+#define FLEX_LANG_CYPHER_H_
+
+#include <string>
+
+#include "graph/schema.h"
+#include "ir/plan.h"
+
+namespace flex::lang {
+
+/// Parses a Cypher query into an *unoptimized* logical GraphIR plan:
+/// every pattern hop lowers to an EXPAND_EDGE + GET_VERTEX pair and every
+/// WHERE to a SELECT, leaving fusion and predicate pushdown to the
+/// optimizer (§5.2) — mirroring Figure 5's compilation pipeline.
+///
+/// Supported subset: MATCH (multiple patterns, shared aliases close
+/// cycles via EXPAND_INTO), node labels and {prop: value} filters, typed
+/// relationships in all three directions, variable-length paths
+/// ([:TYPE*min..max], relationship-unique), WHERE expressions
+/// (comparisons, arithmetic, AND/OR/NOT, IN [list], id(), label(), $i
+/// parameters), WITH and RETURN with implicit grouping for aggregates
+/// (count/sum/min/max/avg/collect, DISTINCT supported), AS naming,
+/// ORDER BY over output columns, LIMIT.
+Result<ir::Plan> ParseCypher(const std::string& query,
+                             const GraphSchema& schema);
+
+}  // namespace flex::lang
+
+#endif  // FLEX_LANG_CYPHER_H_

@@ -1,0 +1,258 @@
+#include "lang/gremlin.h"
+
+#include "common/string_util.h"
+#include "lang/lexer.h"
+
+namespace flex::lang {
+
+namespace {
+
+using ir::BinOp;
+using ir::Expr;
+using ir::ExprPtr;
+
+class GremlinParser {
+ public:
+  GremlinParser(TokenStream tokens, const GraphSchema& schema)
+      : ts_(std::move(tokens)), schema_(schema) {}
+
+  Result<ir::Plan> Parse() {
+    // g.V([id]) source step.
+    if (!ts_.TryKeyword("g")) return Status::ParseError("expected 'g'");
+    FLEX_RETURN_NOT_OK(ts_.ExpectPunct("."));
+    if (!ts_.TryKeyword("V")) return Status::ParseError("expected V()");
+    FLEX_RETURN_NOT_OK(ts_.ExpectPunct("("));
+    ExprPtr scan_pred;
+    if (!ts_.TryPunct(")")) {
+      FLEX_ASSIGN_OR_RETURN(PropertyValue id, ParseLiteral());
+      scan_pred = Expr::Binary(BinOp::kEq, Expr::VertexId(builder_.width()),
+                               Expr::Const(std::move(id)));
+      FLEX_RETURN_NOT_OK(ts_.ExpectPunct(")"));
+    }
+    cur_ = builder_.Scan("", kInvalidLabel);
+    if (scan_pred != nullptr) builder_.Select(std::move(scan_pred));
+
+    while (ts_.TryPunct(".")) {
+      FLEX_RETURN_NOT_OK(ParseStep());
+    }
+    if (!ts_.AtEnd()) {
+      return Status::ParseError("unexpected token '" + ts_.Peek().text + "'");
+    }
+    // Materialize output: a bare traversal returns its current column.
+    if (!projected_) {
+      std::vector<ExprPtr> exprs;
+      exprs.push_back(Expr::Column(cur_));
+      builder_.Project(std::move(exprs), {"result"});
+    }
+    return builder_.Build();
+  }
+
+ private:
+  Status ParseStep() {
+    FLEX_ASSIGN_OR_RETURN(std::string step, ts_.ExpectIdent());
+    FLEX_RETURN_NOT_OK(ts_.ExpectPunct("("));
+
+    if (EqualsIgnoreCase(step, "hasLabel")) {
+      FLEX_ASSIGN_OR_RETURN(PropertyValue label_name, ParseLiteral());
+      FLEX_ASSIGN_OR_RETURN(label_t label,
+                            schema_.FindVertexLabel(label_name.AsString()));
+      builder_.Select(Expr::Binary(
+          BinOp::kEq, Expr::LabelName(cur_),
+          Expr::Const(PropertyValue(label_name.AsString()))));
+      (void)label;  // Label resolution validates the name eagerly.
+      return ts_.ExpectPunct(")");
+    }
+
+    if (EqualsIgnoreCase(step, "has")) {
+      FLEX_ASSIGN_OR_RETURN(PropertyValue prop, ParseLiteral());
+      FLEX_RETURN_NOT_OK(ts_.ExpectPunct(","));
+      ExprPtr lhs = EqualsIgnoreCase(prop.AsString(), "id")
+                        ? Expr::VertexId(cur_)
+                        : Expr::Property(cur_, prop.AsString());
+      // Either a bare literal (eq) or a predicate builder gt(v)/lt(v)/...
+      BinOp op = BinOp::kEq;
+      if (ts_.Peek().kind == TokKind::kIdent && ts_.Peek(1).text == "(") {
+        const std::string pred = ToLower(ts_.Next().text);
+        ts_.Next();  // '('.
+        if (pred == "gt") {
+          op = BinOp::kGt;
+        } else if (pred == "gte") {
+          op = BinOp::kGe;
+        } else if (pred == "lt") {
+          op = BinOp::kLt;
+        } else if (pred == "lte") {
+          op = BinOp::kLe;
+        } else if (pred == "neq") {
+          op = BinOp::kNe;
+        } else if (pred == "eq") {
+          op = BinOp::kEq;
+        } else {
+          return Status::ParseError("unknown predicate '" + pred + "'");
+        }
+        FLEX_ASSIGN_OR_RETURN(PropertyValue value, ParseLiteral());
+        FLEX_RETURN_NOT_OK(ts_.ExpectPunct(")"));
+        builder_.Select(Expr::Binary(op, std::move(lhs),
+                                     Expr::Const(std::move(value))));
+      } else {
+        FLEX_ASSIGN_OR_RETURN(PropertyValue value, ParseLiteral());
+        builder_.Select(Expr::Binary(BinOp::kEq, std::move(lhs),
+                                     Expr::Const(std::move(value))));
+      }
+      return ts_.ExpectPunct(")");
+    }
+
+    if (EqualsIgnoreCase(step, "out") || EqualsIgnoreCase(step, "in") ||
+        EqualsIgnoreCase(step, "both")) {
+      const Direction dir = EqualsIgnoreCase(step, "out")
+                                ? Direction::kOut
+                                : (EqualsIgnoreCase(step, "in")
+                                       ? Direction::kIn
+                                       : Direction::kBoth);
+      FLEX_ASSIGN_OR_RETURN(label_t elabel, ParseEdgeLabelArg());
+      const size_t edge_col = builder_.ExpandEdge(cur_, elabel, dir, "");
+      cur_ = builder_.GetVertex(edge_col, cur_, "");
+      return Status::OK();
+    }
+
+    if (EqualsIgnoreCase(step, "outE") || EqualsIgnoreCase(step, "inE")) {
+      const Direction dir =
+          EqualsIgnoreCase(step, "outE") ? Direction::kOut : Direction::kIn;
+      FLEX_ASSIGN_OR_RETURN(label_t elabel, ParseEdgeLabelArg());
+      last_vertex_ = cur_;
+      cur_ = builder_.ExpandEdge(cur_, elabel, dir, "");
+      return Status::OK();
+    }
+
+    if (EqualsIgnoreCase(step, "inV") || EqualsIgnoreCase(step, "outV") ||
+        EqualsIgnoreCase(step, "otherV")) {
+      Direction endpoint = Direction::kBoth;
+      if (EqualsIgnoreCase(step, "inV")) endpoint = Direction::kOut;
+      if (EqualsIgnoreCase(step, "outV")) endpoint = Direction::kIn;
+      cur_ = builder_.GetVertex(cur_, last_vertex_, "", kInvalidLabel,
+                                nullptr, endpoint);
+      return ts_.ExpectPunct(")");
+    }
+
+    if (EqualsIgnoreCase(step, "values")) {
+      FLEX_ASSIGN_OR_RETURN(PropertyValue prop, ParseLiteral());
+      std::vector<ExprPtr> exprs;
+      exprs.push_back(Expr::Property(cur_, prop.AsString()));
+      builder_.Project(std::move(exprs), {prop.AsString()});
+      cur_ = 0;
+      projected_ = true;
+      return ts_.ExpectPunct(")");
+    }
+
+    if (EqualsIgnoreCase(step, "as")) {
+      FLEX_ASSIGN_OR_RETURN(PropertyValue name, ParseLiteral());
+      builder_.SetAlias(cur_, name.AsString());
+      return ts_.ExpectPunct(")");
+    }
+
+    if (EqualsIgnoreCase(step, "select")) {
+      FLEX_ASSIGN_OR_RETURN(PropertyValue name, ParseLiteral());
+      const size_t col = builder_.FindAlias(name.AsString());
+      if (col == ir::PlanBuilder::kNoColumn) {
+        return Status::ParseError("unknown alias '" + name.AsString() + "'");
+      }
+      cur_ = col;
+      return ts_.ExpectPunct(")");
+    }
+
+    if (EqualsIgnoreCase(step, "dedup")) {
+      builder_.Dedup({cur_});
+      return ts_.ExpectPunct(")");
+    }
+
+    if (EqualsIgnoreCase(step, "limit")) {
+      if (ts_.Peek().kind != TokKind::kInt) {
+        return Status::ParseError("limit(n) expects an integer");
+      }
+      builder_.Limit(static_cast<size_t>(ts_.Next().int_value));
+      return ts_.ExpectPunct(")");
+    }
+
+    if (EqualsIgnoreCase(step, "count")) {
+      FLEX_RETURN_NOT_OK(ts_.ExpectPunct(")"));
+      ir::AggSpec agg;
+      agg.fn = ir::AggSpec::Fn::kCount;
+      agg.name = "count";
+      std::vector<ir::AggSpec> aggs;
+      aggs.push_back(std::move(agg));
+      builder_.Group({}, {}, std::move(aggs));
+      cur_ = 0;
+      projected_ = true;
+      return Status::OK();
+    }
+
+    if (EqualsIgnoreCase(step, "order")) {
+      FLEX_RETURN_NOT_OK(ts_.ExpectPunct(")"));
+      // order().by('p'[, desc]) — possibly several by() modulators.
+      std::vector<ExprPtr> keys;
+      std::vector<bool> ascending;
+      while (ts_.Peek().kind == TokKind::kPunct && ts_.Peek().text == "." &&
+             ts_.Peek(1).kind == TokKind::kIdent &&
+             EqualsIgnoreCase(ts_.Peek(1).text, "by")) {
+        ts_.Next();  // '.'.
+        ts_.Next();  // 'by'.
+        FLEX_RETURN_NOT_OK(ts_.ExpectPunct("("));
+        FLEX_ASSIGN_OR_RETURN(PropertyValue prop, ParseLiteral());
+        bool asc = true;
+        if (ts_.TryPunct(",")) {
+          FLEX_ASSIGN_OR_RETURN(std::string dir, ts_.ExpectIdent());
+          asc = !EqualsIgnoreCase(dir, "desc") &&
+                !EqualsIgnoreCase(dir, "decr");
+        }
+        FLEX_RETURN_NOT_OK(ts_.ExpectPunct(")"));
+        keys.push_back(Expr::Property(cur_, prop.AsString()));
+        ascending.push_back(asc);
+      }
+      if (keys.empty()) {
+        keys.push_back(Expr::VertexId(cur_));
+        ascending.push_back(true);
+      }
+      builder_.Order(std::move(keys), std::move(ascending));
+      return Status::OK();
+    }
+
+    return Status::Unimplemented("Gremlin step '" + step + "'");
+  }
+
+  Result<label_t> ParseEdgeLabelArg() {
+    FLEX_ASSIGN_OR_RETURN(PropertyValue name, ParseLiteral());
+    FLEX_RETURN_NOT_OK(ts_.ExpectPunct(")"));
+    return schema_.FindEdgeLabel(name.AsString());
+  }
+
+  Result<PropertyValue> ParseLiteral() {
+    const Token& tok = ts_.Next();
+    switch (tok.kind) {
+      case TokKind::kInt:
+        return PropertyValue(tok.int_value);
+      case TokKind::kFloat:
+        return PropertyValue(tok.float_value);
+      case TokKind::kString:
+        return PropertyValue(tok.text);
+      default:
+        return Status::ParseError("expected literal, got '" + tok.text + "'");
+    }
+  }
+
+  TokenStream ts_;
+  const GraphSchema& schema_;
+  ir::PlanBuilder builder_;
+  size_t cur_ = 0;
+  size_t last_vertex_ = 0;
+  bool projected_ = false;
+};
+
+}  // namespace
+
+Result<ir::Plan> ParseGremlin(const std::string& query,
+                              const GraphSchema& schema) {
+  FLEX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  GremlinParser parser(TokenStream(std::move(tokens)), schema);
+  return parser.Parse();
+}
+
+}  // namespace flex::lang

@@ -1,0 +1,24 @@
+#ifndef FLEX_LANG_GREMLIN_H_
+#define FLEX_LANG_GREMLIN_H_
+
+#include <string>
+
+#include "graph/schema.h"
+#include "ir/plan.h"
+
+namespace flex::lang {
+
+/// Parses a Gremlin traversal into an unoptimized logical GraphIR plan —
+/// the same IR the Cypher front end produces (§5.1's point: one compiler
+/// stack serves both languages).
+///
+/// Supported steps: g.V() / g.V(id), hasLabel('L'), has('p', v),
+/// has('p', gt|gte|lt|lte|neq(v)), out/in/both('E'), outE/inE('E'),
+/// inV()/outV()/otherV(), values('p'), as('x'), select('x'), dedup(),
+/// order().by('p' [, desc]), limit(n), count().
+Result<ir::Plan> ParseGremlin(const std::string& query,
+                              const GraphSchema& schema);
+
+}  // namespace flex::lang
+
+#endif  // FLEX_LANG_GREMLIN_H_

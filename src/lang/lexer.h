@@ -1,0 +1,68 @@
+#ifndef FLEX_LANG_LEXER_H_
+#define FLEX_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flex::lang {
+
+/// Token kinds shared by the Gremlin and Cypher front ends.
+enum class TokKind {
+  kEnd,
+  kIdent,    ///< Bare identifier / keyword (case preserved).
+  kInt,
+  kFloat,
+  kString,   ///< Quoted with ' or "; quotes stripped.
+  kParam,    ///< $<number>.
+  kPunct,    ///< Single or multi char punctuation: ( ) [ ] { } . , : -> <- etc.
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;  ///< Byte offset in the source (error messages).
+};
+
+/// Tokenizes `source`. Multi-char punctuation recognized: "->", "<-",
+/// "<=", ">=", "<>", "!=", "=~". Everything else is single-char.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+/// Cursor over a token stream with the usual helpers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  /// True (and consumes) if the next token is punctuation `p`.
+  bool TryPunct(const std::string& p);
+  /// True (and consumes) if the next token is the keyword `kw`
+  /// (case-insensitive).
+  bool TryKeyword(const std::string& kw);
+  bool PeekKeyword(const std::string& kw) const;
+
+  Status ExpectPunct(const std::string& p);
+  Result<std::string> ExpectIdent();
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flex::lang
+
+#endif  // FLEX_LANG_LEXER_H_

@@ -1,0 +1,137 @@
+#include "learn/pipeline.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/queue.h"
+#include "common/timer.h"
+
+namespace flex::learn {
+
+TrainingPipeline::TrainingPipeline(const grin::GrinGraph* graph,
+                                   label_t edge_label, PipelineConfig config)
+    : graph_(graph),
+      edge_label_(edge_label),
+      config_(std::move(config)),
+      features_(config_.feature_dim, config_.num_classes, config_.seed),
+      sampler_(graph, edge_label, config_.fanouts, &features_),
+      model_(std::make_unique<Mlp>(config_.feature_dim, config_.hidden_dim,
+                                   config_.num_classes, config_.seed)) {}
+
+EpochStats TrainingPipeline::TrainEpoch(int epoch) {
+  const vid_t n = graph_->NumVertices();
+  EpochStats stats;
+  Timer timer;
+
+  // Seed batches, split across groups round-robin.
+  std::vector<std::vector<std::vector<vid_t>>> group_batches(
+      config_.num_groups);
+  {
+    std::vector<vid_t> batch;
+    size_t group = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      batch.push_back(v);
+      if (batch.size() == config_.batch_size) {
+        group_batches[group % config_.num_groups].push_back(std::move(batch));
+        batch.clear();
+        ++group;
+      }
+    }
+    if (!batch.empty()) {
+      group_batches[group % config_.num_groups].push_back(std::move(batch));
+    }
+  }
+
+  std::atomic<size_t> total_batches{0};
+  std::atomic<size_t> total_samples{0};
+  std::atomic<size_t> total_expanded{0};
+  std::atomic<float> loss_sum{0.0f};
+  std::vector<std::unique_ptr<Mlp>> replicas;
+  const size_t total_trainers = config_.num_groups * config_.num_trainers;
+  replicas.reserve(total_trainers);
+  for (size_t t = 0; t < total_trainers; ++t) {
+    replicas.push_back(std::make_unique<Mlp>(*model_));
+  }
+
+  std::vector<std::thread> threads;
+  for (size_t g = 0; g < config_.num_groups; ++g) {
+    // One bounded sample channel per group (§7's "sample channel" with
+    // prefetch): samplers push, trainers pop.
+    auto channel = std::make_shared<BoundedQueue<SampleBatch>>(
+        std::max<size_t>(1, config_.prefetch_depth));
+    auto remaining = std::make_shared<std::atomic<size_t>>(
+        config_.num_samplers);
+
+    // Sampler workers: static split of this group's batches.
+    for (size_t sidx = 0; sidx < config_.num_samplers; ++sidx) {
+      threads.emplace_back([this, g, sidx, epoch, channel, remaining,
+                            &group_batches, &total_expanded] {
+        Rng rng(config_.seed ^ (epoch * 1315423911u) ^ (g << 16) ^ sidx);
+        const auto& batches = group_batches[g];
+        for (size_t i = sidx; i < batches.size();
+             i += config_.num_samplers) {
+          SampleBatch batch = sampler_.Sample(batches[i], rng);
+          total_expanded.fetch_add(batch.hops_expanded,
+                                   std::memory_order_relaxed);
+          channel->Push(std::move(batch));
+        }
+        if (remaining->fetch_sub(1) == 1) channel->Close();
+      });
+    }
+
+    // Trainer workers: prefetch from the channel, train their replica.
+    for (size_t tidx = 0; tidx < config_.num_trainers; ++tidx) {
+      Mlp* replica = replicas[g * config_.num_trainers + tidx].get();
+      threads.emplace_back([this, channel, replica, &total_batches,
+                            &total_samples, &loss_sum] {
+        while (auto batch = channel->Pop()) {
+          if (config_.simulated_device_us_per_batch > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                config_.simulated_device_us_per_batch));
+          }
+          const float loss = replica->TrainStep(
+              batch->features, batch->labels, config_.learning_rate);
+          total_batches.fetch_add(1, std::memory_order_relaxed);
+          total_samples.fetch_add(batch->labels.size(),
+                                  std::memory_order_relaxed);
+          float prev = loss_sum.load(std::memory_order_relaxed);
+          while (!loss_sum.compare_exchange_weak(
+              prev, prev + loss, std::memory_order_relaxed)) {
+          }
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  // Synchronous data-parallel: average replicas into the global model.
+  std::vector<const Mlp*> views;
+  views.reserve(replicas.size());
+  for (const auto& r : replicas) views.push_back(r.get());
+  model_->AverageFrom(views);
+
+  stats.seconds = timer.ElapsedSeconds();
+  stats.batches = total_batches.load();
+  stats.samples = total_samples.load();
+  stats.neighbors_expanded = total_expanded.load();
+  stats.mean_loss = stats.batches == 0
+                        ? 0.0f
+                        : loss_sum.load() / static_cast<float>(stats.batches);
+  return stats;
+}
+
+float TrainingPipeline::Evaluate(size_t probe_size) {
+  const vid_t n = graph_->NumVertices();
+  Rng rng(config_.seed ^ 0xE7A1u);
+  std::vector<vid_t> probe;
+  probe.reserve(probe_size);
+  for (size_t i = 0; i < probe_size; ++i) {
+    probe.push_back(static_cast<vid_t>(rng.Uniform(n)));
+  }
+  SampleBatch batch = sampler_.Sample(probe, rng);
+  return model_->Accuracy(batch.features, batch.labels);
+}
+
+}  // namespace flex::learn

@@ -1,0 +1,75 @@
+#ifndef FLEX_LEARN_PIPELINE_H_
+#define FLEX_LEARN_PIPELINE_H_
+
+#include <memory>
+
+#include "learn/sampler.h"
+
+namespace flex::learn {
+
+/// Deployment shape of the learning stack (§7): sampling and training are
+/// physically decoupled and scaled independently. `num_groups` models
+/// scale-*out* (one group = one node with its own samplers, trainers and
+/// sample channel); `num_trainers`/`num_samplers` model scale-*up* within
+/// a node (trainer = GPU stand-in).
+struct PipelineConfig {
+  std::vector<size_t> fanouts = {15, 10, 5};
+  size_t batch_size = 256;
+  size_t feature_dim = 32;
+  size_t hidden_dim = 32;
+  size_t num_classes = 8;
+  size_t num_samplers = 1;
+  size_t num_trainers = 1;
+  size_t num_groups = 1;
+  /// Sample-channel capacity per group; 1 = effectively synchronous
+  /// handoff (the "no-prefetch" ablation), larger values let sampling run
+  /// ahead of training (asynchronous pipelining + prefetch cache).
+  size_t prefetch_depth = 4;
+  /// Simulated accelerator time per batch in microseconds. The real
+  /// deployment trains on GPUs; this host has none (DESIGN.md), so the
+  /// trainer sleeps this long per batch to model the device kernel while
+  /// the CPU stays free for sampling — which is exactly the overlap the
+  /// decoupled pipeline exists to exploit. 0 = CPU-only training.
+  size_t simulated_device_us_per_batch = 0;
+  float learning_rate = 0.5f;
+  uint64_t seed = 42;
+};
+
+struct EpochStats {
+  double seconds = 0.0;
+  size_t batches = 0;
+  size_t samples = 0;
+  size_t neighbors_expanded = 0;
+  float mean_loss = 0.0f;
+};
+
+/// End-to-end GNN training pipeline over a GRIN graph: sampler workers
+/// produce featurized batches into bounded channels; trainer workers
+/// prefetch and apply SGD on per-trainer model replicas, averaged into
+/// the global model at every epoch boundary (synchronous data-parallel).
+class TrainingPipeline {
+ public:
+  TrainingPipeline(const grin::GrinGraph* graph, label_t edge_label,
+                   PipelineConfig config);
+
+  /// Runs one full epoch over every vertex; returns timing and volume.
+  EpochStats TrainEpoch(int epoch);
+
+  /// Classification accuracy on a deterministic held-out probe batch.
+  float Evaluate(size_t probe_size = 512);
+
+  const Mlp& model() const { return *model_; }
+  const FeatureStore& features() const { return features_; }
+
+ private:
+  const grin::GrinGraph* graph_;
+  label_t edge_label_;
+  PipelineConfig config_;
+  FeatureStore features_;
+  NeighborSampler sampler_;
+  std::unique_ptr<Mlp> model_;
+};
+
+}  // namespace flex::learn
+
+#endif  // FLEX_LEARN_PIPELINE_H_

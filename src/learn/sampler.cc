@@ -1,0 +1,157 @@
+#include "learn/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flex::learn {
+
+uint64_t FeatureStore::Mix(uint64_t a, uint64_t b) const {
+  uint64_t h = seed_ ^ (a * 0x9E3779B97F4A7C15ULL) ^ (b * 0xC2B2AE3D27D4EB4FULL);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return h;
+}
+
+void FeatureStore::Collect(vid_t v, float* out) const {
+  const int label = Label(v);
+  for (size_t d = 0; d < dim_; ++d) {
+    // Signal: a label-dependent pattern; noise: hash of (v, d).
+    const float signal =
+        (d % classes_ == static_cast<size_t>(label)) ? 1.0f : 0.0f;
+    const float noise =
+        static_cast<float>(Mix(v, d) % 1000) / 1000.0f - 0.5f;
+    out[d] = signal + 0.5f * noise;
+  }
+}
+
+std::vector<vid_t> NeighborSampler::SampleNeighbors(vid_t v, size_t fanout,
+                                                    Rng& rng) const {
+  std::vector<vid_t> all;
+  grin::ForEachAdj(*graph_, v, Direction::kOut, edge_label_,
+                   [&](vid_t nbr, double, eid_t) {
+                     all.push_back(nbr);
+                     return true;
+                   });
+  if (all.size() <= fanout) return all;
+  // Partial Fisher-Yates for a uniform sample without replacement.
+  for (size_t i = 0; i < fanout; ++i) {
+    const size_t j = i + rng.Uniform(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(fanout);
+  return all;
+}
+
+size_t NeighborSampler::Aggregate(vid_t v, float* out, Rng& rng) const {
+  const size_t dim = features_->dim();
+  std::vector<float> scratch(dim);
+  features_->Collect(v, out);
+
+  // Hop-by-hop frontier expansion; each hop's mean gets a decaying weight
+  // folded into the single aggregated vector.
+  std::vector<vid_t> frontier{v};
+  size_t expanded = 0;
+  float hop_weight = 0.5f;
+  for (size_t hop = 0; hop < fanouts_.size(); ++hop) {
+    std::vector<vid_t> next;
+    for (vid_t u : frontier) {
+      auto sampled = SampleNeighbors(u, fanouts_[hop], rng);
+      next.insert(next.end(), sampled.begin(), sampled.end());
+    }
+    if (next.empty()) break;
+    expanded += next.size();
+    std::vector<float> mean(dim, 0.0f);
+    for (vid_t u : next) {
+      features_->Collect(u, scratch.data());
+      for (size_t d = 0; d < dim; ++d) mean[d] += scratch[d];
+    }
+    const float inv = 1.0f / static_cast<float>(next.size());
+    for (size_t d = 0; d < dim; ++d) out[d] += hop_weight * mean[d] * inv;
+    hop_weight *= 0.5f;
+    frontier = std::move(next);
+  }
+  return expanded;
+}
+
+SampleBatch NeighborSampler::Sample(const std::vector<vid_t>& seeds,
+                                    Rng& rng) const {
+  SampleBatch batch;
+  batch.features = Tensor(seeds.size(), features_->dim());
+  batch.labels.reserve(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    batch.hops_expanded += Aggregate(seeds[i], batch.features.row(i), rng);
+    batch.labels.push_back(features_->Label(seeds[i]));
+  }
+  return batch;
+}
+
+std::vector<vid_t> NeighborSampler::CommonNeighbors(vid_t u, vid_t v) const {
+  std::vector<vid_t> nu, nv;
+  grin::ForEachAdj(*graph_, u, Direction::kOut, edge_label_,
+                   [&](vid_t n, double, eid_t) {
+                     nu.push_back(n);
+                     return true;
+                   });
+  grin::ForEachAdj(*graph_, v, Direction::kOut, edge_label_,
+                   [&](vid_t n, double, eid_t) {
+                     nv.push_back(n);
+                     return true;
+                   });
+  std::sort(nu.begin(), nu.end());
+  std::sort(nv.begin(), nv.end());
+  std::vector<vid_t> common;
+  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                        std::back_inserter(common));
+  common.erase(std::unique(common.begin(), common.end()), common.end());
+  return common;
+}
+
+SampleBatch NeighborSampler::SampleLinkBatch(
+    const std::vector<std::pair<vid_t, vid_t>>& pos, size_t num_negatives,
+    vid_t max_vid, Rng& rng) const {
+  const size_t dim = features_->dim();
+  const size_t total = pos.size() + num_negatives;
+  SampleBatch batch;
+  batch.features = Tensor(total, 3 * dim);
+  batch.labels.reserve(total);
+
+  auto fill = [&](size_t row, vid_t u, vid_t v, int label) {
+    float* out = batch.features.row(row);
+    batch.hops_expanded += Aggregate(u, out, rng);
+    batch.hops_expanded += Aggregate(v, out + dim, rng);
+    // NCN's key signal: aggregate around the *common neighbors* of the
+    // candidate pair (first-order common neighbors, then their k-hop
+    // neighborhoods via Aggregate).
+    const auto common = CommonNeighbors(u, v);
+    std::vector<float> scratch(dim);
+    float* cn_out = out + 2 * dim;
+    std::fill(cn_out, cn_out + dim, 0.0f);
+    const size_t take = std::min<size_t>(common.size(), 8);
+    for (size_t i = 0; i < take; ++i) {
+      batch.hops_expanded += Aggregate(common[i], scratch.data(), rng);
+      for (size_t d = 0; d < dim; ++d) cn_out[d] += scratch[d];
+    }
+    if (take > 0) {
+      for (size_t d = 0; d < dim; ++d) {
+        cn_out[d] /= static_cast<float>(take);
+      }
+    }
+    // Count of common neighbors is itself a strong feature: encode it in
+    // the first slot's magnitude.
+    cn_out[0] += static_cast<float>(common.size());
+    batch.labels.push_back(label);
+  };
+
+  size_t row = 0;
+  for (const auto& [u, v] : pos) fill(row++, u, v, 1);
+  for (size_t i = 0; i < num_negatives; ++i) {
+    fill(row++, static_cast<vid_t>(rng.Uniform(max_vid)),
+         static_cast<vid_t>(rng.Uniform(max_vid)), 0);
+  }
+  return batch;
+}
+
+}  // namespace flex::learn

@@ -1,0 +1,89 @@
+#ifndef FLEX_LEARN_SAMPLER_H_
+#define FLEX_LEARN_SAMPLER_H_
+
+#include <vector>
+
+#include "grin/grin.h"
+#include "learn/tensor.h"
+
+namespace flex::learn {
+
+/// Procedural per-vertex features and labels. Real deployments pull these
+/// from the storage layer; the synthetic store derives them from the
+/// vertex id so they're deterministic, label-correlated (learnable) and
+/// cost a realistic amount of work per feature to "collect".
+class FeatureStore {
+ public:
+  FeatureStore(size_t feature_dim, size_t num_classes, uint64_t seed)
+      : dim_(feature_dim), classes_(num_classes), seed_(seed) {}
+
+  size_t dim() const { return dim_; }
+  size_t num_classes() const { return classes_; }
+
+  int Label(vid_t v) const {
+    return static_cast<int>(Mix(v, 0x1234) % classes_);
+  }
+
+  /// Writes v's feature vector to `out[0..dim)`. Features encode the
+  /// label plus noise, so the classifier has signal to learn.
+  void Collect(vid_t v, float* out) const;
+
+ private:
+  uint64_t Mix(uint64_t a, uint64_t b) const;
+
+  size_t dim_;
+  size_t classes_;
+  uint64_t seed_;
+};
+
+/// One prepared training batch: aggregated neighborhood features per seed
+/// plus its label.
+struct SampleBatch {
+  Tensor features;          ///< (num seeds) x dim.
+  std::vector<int> labels;  ///< One per seed.
+  size_t hops_expanded = 0;  ///< Total sampled neighbors (work metric).
+};
+
+/// Multi-hop fan-out neighbor sampler over GRIN (§7): for each seed it
+/// samples `fanouts[0]` neighbors, then `fanouts[1]` of each, ... and
+/// aggregates collected features per hop with mean pooling (GraphSAGE-
+/// mean flavour, aggregation precomputed SGC-style so the training
+/// backend sees one dense matrix per batch).
+class NeighborSampler {
+ public:
+  NeighborSampler(const grin::GrinGraph* graph, label_t edge_label,
+                  std::vector<size_t> fanouts, const FeatureStore* features)
+      : graph_(graph),
+        edge_label_(edge_label),
+        fanouts_(std::move(fanouts)),
+        features_(features) {}
+
+  /// Samples and featurizes one batch of seed vertices.
+  SampleBatch Sample(const std::vector<vid_t>& seeds, Rng& rng) const;
+
+  /// NCN-style link batch (§8, social relation prediction): for each
+  /// (u, v) candidate edge, features = [agg(u) ; agg(v) ; agg(common
+  /// neighbors)], label = 1 for real edges and 0 for negative samples.
+  SampleBatch SampleLinkBatch(const std::vector<std::pair<vid_t, vid_t>>& pos,
+                              size_t num_negatives, vid_t max_vid,
+                              Rng& rng) const;
+
+  const std::vector<size_t>& fanouts() const { return fanouts_; }
+
+ private:
+  /// Mean-aggregates the sampled k-hop neighborhood of `v` into
+  /// `out[0..dim)`; returns sampled-neighbor count.
+  size_t Aggregate(vid_t v, float* out, Rng& rng) const;
+
+  std::vector<vid_t> SampleNeighbors(vid_t v, size_t fanout, Rng& rng) const;
+  std::vector<vid_t> CommonNeighbors(vid_t u, vid_t v) const;
+
+  const grin::GrinGraph* graph_;
+  label_t edge_label_;
+  std::vector<size_t> fanouts_;
+  const FeatureStore* features_;
+};
+
+}  // namespace flex::learn
+
+#endif  // FLEX_LEARN_SAMPLER_H_

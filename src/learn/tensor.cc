@@ -1,0 +1,205 @@
+#include "learn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flex::learn {
+
+Tensor Tensor::Random(size_t rows, size_t cols, uint64_t seed, float scale) {
+  Tensor t(rows, cols);
+  Rng rng(seed);
+  for (float& v : t.data_) {
+    v = (static_cast<float>(rng.NextDouble()) - 0.5f) * 2.0f * scale;
+  }
+  return t;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK_EQ(a.cols(), b.rows());
+  Tensor out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      float* orow = out.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK_EQ(a.cols(), b.cols());
+  Tensor out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float* arow = a.row(i);
+      const float* brow = b.row(j);
+      float sum = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      out.at(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK_EQ(a.rows(), b.rows());
+  Tensor out(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    const float* brow = b.row(r);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const float ai = arow[i];
+      if (ai == 0.0f) continue;
+      float* orow = out.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += ai * brow[j];
+    }
+  }
+  return out;
+}
+
+void AddRowVectorInPlace(Tensor* m, const std::vector<float>& bias) {
+  FLEX_CHECK_EQ(m->cols(), bias.size());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->row(r);
+    for (size_t c = 0; c < bias.size(); ++c) row[c] += bias[c];
+  }
+}
+
+void ReluInPlace(Tensor* m) {
+  for (float& v : m->data()) v = std::max(v, 0.0f);
+}
+
+void ReluBackwardInPlace(Tensor* grad, const Tensor& activated) {
+  for (size_t i = 0; i < grad->data().size(); ++i) {
+    if (activated.data()[i] <= 0.0f) grad->data()[i] = 0.0f;
+  }
+}
+
+float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                          Tensor* dlogits) {
+  FLEX_CHECK_EQ(logits.rows(), labels.size());
+  *dlogits = Tensor(logits.rows(), logits.cols());
+  float loss = 0.0f;
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.row(r);
+    float max_logit = row[0];
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      max_logit = std::max(max_logit, row[c]);
+    }
+    float denom = 0.0f;
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      denom += std::exp(row[c] - max_logit);
+    }
+    const int label = labels[r];
+    float* drow = dlogits->row(r);
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      const float p = std::exp(row[c] - max_logit) / denom;
+      drow[c] = (p - (static_cast<int>(c) == label ? 1.0f : 0.0f)) /
+                static_cast<float>(logits.rows());
+      if (static_cast<int>(c) == label) {
+        loss -= std::log(std::max(p, 1e-12f));
+      }
+    }
+  }
+  return loss / static_cast<float>(logits.rows());
+}
+
+Mlp::Mlp(size_t in_dim, size_t hidden_dim, size_t out_dim, uint64_t seed)
+    : w1_(Tensor::Random(in_dim, hidden_dim, seed, 0.3f)),
+      w2_(Tensor::Random(hidden_dim, out_dim, seed ^ 0x5a5a5a, 0.3f)),
+      b1_(hidden_dim, 0.0f),
+      b2_(out_dim, 0.0f) {}
+
+Tensor Mlp::Forward(const Tensor& x, Tensor* hidden) const {
+  Tensor h = MatMul(x, w1_);
+  AddRowVectorInPlace(&h, b1_);
+  ReluInPlace(&h);
+  Tensor logits = MatMul(h, w2_);
+  AddRowVectorInPlace(&logits, b2_);
+  if (hidden != nullptr) *hidden = std::move(h);
+  return logits;
+}
+
+float Mlp::TrainStep(const Tensor& x, const std::vector<int>& labels,
+                     float lr) {
+  Tensor hidden;
+  Tensor logits = Forward(x, &hidden);
+  Tensor dlogits;
+  const float loss = SoftmaxCrossEntropy(logits, labels, &dlogits);
+
+  // Backward.
+  Tensor dw2 = MatMulTransposedA(hidden, dlogits);
+  std::vector<float> db2(b2_.size(), 0.0f);
+  for (size_t r = 0; r < dlogits.rows(); ++r) {
+    for (size_t c = 0; c < dlogits.cols(); ++c) {
+      db2[c] += dlogits.at(r, c);
+    }
+  }
+  Tensor dhidden = MatMulTransposedB(dlogits, w2_);
+  ReluBackwardInPlace(&dhidden, hidden);
+  Tensor dw1 = MatMulTransposedA(x, dhidden);
+  std::vector<float> db1(b1_.size(), 0.0f);
+  for (size_t r = 0; r < dhidden.rows(); ++r) {
+    for (size_t c = 0; c < dhidden.cols(); ++c) {
+      db1[c] += dhidden.at(r, c);
+    }
+  }
+
+  // SGD.
+  for (size_t i = 0; i < w1_.data().size(); ++i) {
+    w1_.data()[i] -= lr * dw1.data()[i];
+  }
+  for (size_t i = 0; i < w2_.data().size(); ++i) {
+    w2_.data()[i] -= lr * dw2.data()[i];
+  }
+  for (size_t i = 0; i < b1_.size(); ++i) b1_[i] -= lr * db1[i];
+  for (size_t i = 0; i < b2_.size(); ++i) b2_[i] -= lr * db2[i];
+  return loss;
+}
+
+std::vector<int> Mlp::Predict(const Tensor& x) const {
+  Tensor logits = Forward(x, nullptr);
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.row(r);
+    int best = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+float Mlp::Accuracy(const Tensor& x, const std::vector<int>& labels) const {
+  const std::vector<int> preds = Predict(x);
+  size_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) correct += preds[i] == labels[i];
+  return preds.empty() ? 0.0f
+                       : static_cast<float>(correct) / preds.size();
+}
+
+void Mlp::AverageFrom(const std::vector<const Mlp*>& models) {
+  if (models.empty()) return;
+  auto average = [&](auto get_member) {
+    auto& target = get_member(this);
+    for (size_t i = 0; i < target.size(); ++i) {
+      float sum = 0.0f;
+      for (const Mlp* m : models) {
+        sum += get_member(const_cast<Mlp*>(m))[i];
+      }
+      target[i] = sum / static_cast<float>(models.size());
+    }
+  };
+  average([](Mlp* m) -> std::vector<float>& { return m->w1_.data(); });
+  average([](Mlp* m) -> std::vector<float>& { return m->w2_.data(); });
+  average([](Mlp* m) -> std::vector<float>& { return m->b1_; });
+  average([](Mlp* m) -> std::vector<float>& { return m->b2_; });
+}
+
+}  // namespace flex::learn

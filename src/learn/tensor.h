@@ -1,0 +1,85 @@
+#ifndef FLEX_LEARN_TENSOR_H_
+#define FLEX_LEARN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace flex::learn {
+
+/// Dense row-major float matrix — the minimal tensor the training backend
+/// needs (the paper's stack hands batches to PyTorch/TensorFlow; this
+/// repo's from-scratch substitute keeps the same batch interface).
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0f) {}
+
+  /// Xavier-style random init, deterministic per seed.
+  static Tensor Random(size_t rows, size_t cols, uint64_t seed, float scale);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  float& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float* row(size_t r) { return data_.data() + r * cols_; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a (r x k) * b (k x c).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// out = a (r x k) * b^T where b is (c x k).
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+/// out = a^T (k x r) * b (r x c) -> (k x c); used for weight gradients.
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+void AddRowVectorInPlace(Tensor* m, const std::vector<float>& bias);
+void ReluInPlace(Tensor* m);
+/// grad[i] = upstream[i] if activated[i] > 0 else 0.
+void ReluBackwardInPlace(Tensor* grad, const Tensor& activated);
+
+/// Row-wise softmax + cross-entropy against integer labels. Returns mean
+/// loss; fills `dlogits` with the gradient (softmax - onehot) / rows.
+float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                          Tensor* dlogits);
+
+/// Two-layer MLP classifier with SGD — the training backend for the
+/// GraphSAGE-style node classifier and the NCN link predictor.
+class Mlp {
+ public:
+  Mlp(size_t in_dim, size_t hidden_dim, size_t out_dim, uint64_t seed);
+
+  /// One SGD step on a batch; returns the loss.
+  float TrainStep(const Tensor& x, const std::vector<int>& labels, float lr);
+
+  /// Predicted class per row.
+  std::vector<int> Predict(const Tensor& x) const;
+
+  /// Fraction of rows classified correctly.
+  float Accuracy(const Tensor& x, const std::vector<int>& labels) const;
+
+  /// Element-wise average of `models` replicas into this one (data-
+  /// parallel trainer synchronization at epoch boundaries).
+  void AverageFrom(const std::vector<const Mlp*>& models);
+
+  const Tensor& w1() const { return w1_; }
+
+ private:
+  Tensor Forward(const Tensor& x, Tensor* hidden) const;
+
+  Tensor w1_, w2_;
+  std::vector<float> b1_, b2_;
+};
+
+}  // namespace flex::learn
+
+#endif  // FLEX_LEARN_TENSOR_H_

@@ -1,0 +1,41 @@
+#ifndef FLEX_OPTIMIZER_CATALOG_H_
+#define FLEX_OPTIMIZER_CATALOG_H_
+
+#include <vector>
+
+#include "grin/grin.h"
+
+namespace flex::optimizer {
+
+/// GLogue-style statistics catalog (§5.2): per-label vertex counts and
+/// per-edge-label frequencies, estimated by sampling the graph through
+/// GRIN. The CBO prices a candidate match order by multiplying expansion
+/// fan-outs and predicate selectivities, i.e. by summing estimated
+/// sub-pattern frequencies along the plan.
+class Catalog {
+ public:
+  /// Scans label cardinalities exactly and samples up to
+  /// `sample_per_label` vertices per label for degree statistics.
+  static Catalog Build(const grin::GrinGraph& graph,
+                       size_t sample_per_label = 256);
+
+  size_t VertexCount(label_t label) const { return vertex_counts_[label]; }
+  size_t EdgeCount(label_t elabel) const { return edge_counts_[elabel]; }
+
+  /// Average out-fan (dir = kOut) per source vertex / in-fan per
+  /// destination vertex of `elabel`.
+  double AvgFanout(label_t elabel, Direction dir) const;
+
+  /// Selectivity heuristics for pushed-down predicates.
+  static constexpr double kIdSelectivityFloor = 1.0;  ///< Absolute rows.
+  static constexpr double kDefaultSelectivity = 0.25;
+
+ private:
+  std::vector<size_t> vertex_counts_;                 // Per vertex label.
+  std::vector<size_t> edge_counts_;                   // Per edge label.
+  std::vector<std::pair<label_t, label_t>> endpoints_;  // Per edge label.
+};
+
+}  // namespace flex::optimizer
+
+#endif  // FLEX_OPTIMIZER_CATALOG_H_

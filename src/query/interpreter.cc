@@ -1,0 +1,565 @@
+#include "query/interpreter.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace flex::query {
+
+namespace {
+
+using ir::Entry;
+using ir::Row;
+
+bool RowKeyEquals(const std::vector<Entry>& a, const std::vector<Entry>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+uint64_t RowKeyHash(const std::vector<Entry>& key) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const Entry& e : key) {
+    h ^= ir::EntryHash(e) + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+/// Aggregate accumulator for one group.
+struct Accumulator {
+  size_t count = 0;
+  double sum = 0.0;
+  bool any = false;
+  PropertyValue min;
+  PropertyValue max;
+  std::vector<PropertyValue> collected;
+  /// DISTINCT bookkeeping: hash buckets of values already seen.
+  std::unordered_map<uint64_t, std::vector<PropertyValue>> seen;
+};
+
+void Accumulate(const ir::AggSpec& spec, const PropertyValue& value,
+                Accumulator* acc) {
+  if (spec.distinct) {
+    auto& bucket = acc->seen[value.Hash()];
+    for (const PropertyValue& existing : bucket) {
+      if (existing == value) return;  // Duplicate: no contribution.
+    }
+    bucket.push_back(value);
+  }
+  switch (spec.fn) {
+    case ir::AggSpec::Fn::kCount:
+      ++acc->count;
+      break;
+    case ir::AggSpec::Fn::kSum:
+      acc->sum += value.is_empty() ? 0.0 : value.AsNumeric();
+      ++acc->count;
+      break;
+    case ir::AggSpec::Fn::kMin:
+      if (!acc->any || value.Compare(acc->min) < 0) acc->min = value;
+      acc->any = true;
+      break;
+    case ir::AggSpec::Fn::kMax:
+      if (!acc->any || value.Compare(acc->max) > 0) acc->max = value;
+      acc->any = true;
+      break;
+    case ir::AggSpec::Fn::kAvg:
+      acc->sum += value.is_empty() ? 0.0 : value.AsNumeric();
+      ++acc->count;
+      break;
+    case ir::AggSpec::Fn::kCollect:
+      acc->collected.push_back(value);
+      break;
+  }
+}
+
+PropertyValue Finalize(const ir::AggSpec& spec, const Accumulator& acc) {
+  switch (spec.fn) {
+    case ir::AggSpec::Fn::kCount:
+      return PropertyValue(static_cast<int64_t>(acc.count));
+    case ir::AggSpec::Fn::kSum: {
+      // Integral sums render as int64 when exact.
+      const double s = acc.sum;
+      if (s == static_cast<double>(static_cast<int64_t>(s))) {
+        return PropertyValue(static_cast<int64_t>(s));
+      }
+      return PropertyValue(s);
+    }
+    case ir::AggSpec::Fn::kMin:
+      return acc.any ? acc.min : PropertyValue();
+    case ir::AggSpec::Fn::kMax:
+      return acc.any ? acc.max : PropertyValue();
+    case ir::AggSpec::Fn::kAvg:
+      return acc.count == 0 ? PropertyValue()
+                            : PropertyValue(acc.sum / acc.count);
+    case ir::AggSpec::Fn::kCollect:
+      // Collections render as their size (full list support would need a
+      // composite PropertyValue; none of the reproduced workloads needs
+      // the elements themselves).
+      return PropertyValue(static_cast<int64_t>(acc.collected.size()));
+  }
+  return PropertyValue();
+}
+
+}  // namespace
+
+bool Interpreter::IsBlocking(const ir::Op& op) {
+  switch (op.kind) {
+    case ir::OpKind::kOrder:
+    case ir::OpKind::kGroup:
+    case ir::OpKind::kLimit:
+    case ir::OpKind::kDedup:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<std::vector<Row>> Interpreter::Run(const ir::Plan& plan,
+                                          const ExecOptions& opts) const {
+  return RunRange(plan, 0, plan.ops.size(), {}, opts);
+}
+
+Result<std::vector<Row>> Interpreter::RunRange(const ir::Plan& plan,
+                                               size_t begin, size_t end,
+                                               std::vector<Row> input,
+                                               const ExecOptions& opts) const {
+  std::vector<Row> rows = std::move(input);
+  for (size_t i = begin; i < end; ++i) {
+    FLEX_RETURN_NOT_OK(Apply(plan.ops[i], &rows, opts));
+  }
+  return rows;
+}
+
+Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
+                          const ExecOptions& opts) const {
+  const grin::GrinGraph& g = *graph_;
+  switch (op.kind) {
+    case ir::OpKind::kScan: {
+      std::vector<Row> out;
+      std::vector<Row> base = std::move(*rows);
+      const bool leading = base.empty();
+      if (leading) base.push_back({});
+      if (op.id_lookup != nullptr) {
+        // Index lookups are not position-sharded: for a leading scan only
+        // shard 0 resolves it, or every Gaia worker would emit the row.
+        if (leading && opts.shard_index != 0) {
+          rows->clear();
+          return Status::OK();
+        }
+        // IndexScan: resolve the id once per input row via the GRIN oid
+        // index (kOidIndex trait) instead of enumerating the label.
+        for (const Row& row : base) {
+          const PropertyValue oid_value =
+              op.id_lookup->Eval(row, g, opts.params);
+          if (oid_value.type() != PropertyType::kInt64) continue;
+          auto lookup = [&](label_t label) {
+            auto found = g.FindVertex(label, oid_value.AsInt64());
+            if (!found.ok()) return;
+            Row extended = row;
+            extended.push_back(ir::VertexRef{found.value()});
+            if (op.predicate != nullptr &&
+                !op.predicate->EvalBool(extended, g, opts.params)) {
+              return;
+            }
+            out.push_back(std::move(extended));
+          };
+          if (op.label == kInvalidLabel) {
+            for (size_t l = 0; l < g.schema().vertex_label_num(); ++l) {
+              lookup(static_cast<label_t>(l));
+            }
+          } else {
+            lookup(op.label);
+          }
+        }
+        *rows = std::move(out);
+        return Status::OK();
+      }
+      // Scans after the first (cartesian start of a new MATCH) are rare
+      // and never sharded; only the leading scan honours shard options.
+      size_t position = 0;
+      auto emit_label = [&](label_t label) {
+        struct Ctx {
+          const ir::Op* op;
+          const grin::GrinGraph* g;
+          const ExecOptions* opts;
+          std::vector<Row>* out;
+          const std::vector<Row>* base;
+          size_t* position;
+        } ctx{&op, &g, &opts, &out, &base, &position};
+        g.VisitVertices(
+            label, nullptr, nullptr,
+            [](void* raw, vid_t v) -> bool {
+              auto* c = static_cast<Ctx*>(raw);
+              const size_t pos = (*c->position)++;
+              if (pos % c->opts->shard_count != c->opts->shard_index) {
+                return true;
+              }
+              for (const Row& row : *c->base) {
+                Row extended = row;
+                extended.push_back(ir::VertexRef{v});
+                if (c->op->predicate != nullptr &&
+                    !c->op->predicate->EvalBool(extended, *c->g,
+                                                c->opts->params)) {
+                  continue;
+                }
+                c->out->push_back(std::move(extended));
+              }
+              return true;
+            },
+            &ctx);
+      };
+      if (op.label == kInvalidLabel) {
+        for (size_t l = 0; l < g.schema().vertex_label_num(); ++l) {
+          emit_label(static_cast<label_t>(l));
+        }
+      } else {
+        emit_label(op.label);
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kExpandEdge: {
+      std::vector<Row> out;
+      for (Row& row : *rows) {
+        const auto* vertex = std::get_if<ir::VertexRef>(&row[op.from_column]);
+        if (vertex == nullptr) continue;
+        auto emit = [&](Direction dir) {
+          grin::ForEachAdj(
+              g, vertex->vid, dir, op.elabel,
+              [&](vid_t nbr, double, eid_t eid) {
+                ir::EdgeRef edge;
+                edge.elabel = op.elabel;
+                edge.eid = eid;
+                edge.src = dir == Direction::kOut ? vertex->vid : nbr;
+                edge.dst = dir == Direction::kOut ? nbr : vertex->vid;
+                Row extended = row;
+                extended.push_back(edge);
+                if (op.predicate != nullptr &&
+                    !op.predicate->EvalBool(extended, g, opts.params)) {
+                  return true;
+                }
+                out.push_back(std::move(extended));
+                return true;
+              });
+        };
+        if (op.dir == Direction::kBoth) {
+          emit(Direction::kOut);
+          emit(Direction::kIn);
+        } else {
+          emit(op.dir);
+        }
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kGetVertex: {
+      std::vector<Row> out;
+      for (Row& row : *rows) {
+        const auto* edge = std::get_if<ir::EdgeRef>(&row[op.from_column]);
+        if (edge == nullptr) continue;
+        // dir selects the endpoint: kOut -> dst (Gremlin inV), kIn -> src
+        // (outV), kBoth -> the end other than the origin vertex (otherV /
+        // Cypher's pattern step).
+        vid_t other;
+        if (op.dir == Direction::kOut) {
+          other = edge->dst;
+        } else if (op.dir == Direction::kIn) {
+          other = edge->src;
+        } else {
+          const auto* origin =
+              std::get_if<ir::VertexRef>(&row[op.origin_column]);
+          if (origin == nullptr) continue;
+          other = edge->src == origin->vid ? edge->dst : edge->src;
+        }
+        if (op.label != kInvalidLabel && g.VertexLabelOf(other) != op.label) {
+          continue;
+        }
+        Row extended = std::move(row);
+        extended.push_back(ir::VertexRef{other});
+        if (op.predicate != nullptr &&
+            !op.predicate->EvalBool(extended, g, opts.params)) {
+          continue;
+        }
+        out.push_back(std::move(extended));
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kExpand: {
+      std::vector<Row> out;
+      for (Row& row : *rows) {
+        const auto* vertex = std::get_if<ir::VertexRef>(&row[op.from_column]);
+        if (vertex == nullptr) continue;
+        grin::ForEachAdj(
+            g, vertex->vid, op.dir, op.elabel,
+            [&](vid_t nbr, double, eid_t) {
+              if (op.label != kInvalidLabel &&
+                  g.VertexLabelOf(nbr) != op.label) {
+                return true;
+              }
+              Row extended = row;
+              extended.push_back(ir::VertexRef{nbr});
+              if (op.predicate != nullptr &&
+                  !op.predicate->EvalBool(extended, g, opts.params)) {
+                return true;
+              }
+              out.push_back(std::move(extended));
+              return true;
+            });
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kExpandVar: {
+      // Depth-first path enumeration with Cypher's relationship
+      // uniqueness: an edge id may appear once per path; endpoints repeat
+      // once per distinct path reaching them.
+      std::vector<Row> out;
+      struct Frame {
+        vid_t vertex;
+        size_t depth;
+      };
+      for (Row& row : *rows) {
+        const auto* start = std::get_if<ir::VertexRef>(&row[op.from_column]);
+        if (start == nullptr) continue;
+        std::vector<eid_t> path_edges;
+        // Explicit DFS with an emit at every depth in [min, max].
+        std::function<void(vid_t, size_t)> dfs = [&](vid_t v, size_t depth) {
+          if (depth >= op.min_hops && depth <= op.max_hops) {
+            if (op.label == kInvalidLabel ||
+                g.VertexLabelOf(v) == op.label) {
+              Row extended = row;
+              extended.push_back(ir::VertexRef{v});
+              if (op.predicate == nullptr ||
+                  op.predicate->EvalBool(extended, g, opts.params)) {
+                out.push_back(std::move(extended));
+              }
+            }
+          }
+          if (depth == op.max_hops) return;
+          grin::ForEachAdj(
+              g, v, op.dir, op.elabel, [&](vid_t nbr, double, eid_t e) {
+                if (std::find(path_edges.begin(), path_edges.end(), e) !=
+                    path_edges.end()) {
+                  return true;  // Relationship already on this path.
+                }
+                path_edges.push_back(e);
+                dfs(nbr, depth + 1);
+                path_edges.pop_back();
+                return true;
+              });
+        };
+        dfs(start->vid, 0);
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kExpandInto: {
+      std::vector<Row> out;
+      for (Row& row : *rows) {
+        const auto* from = std::get_if<ir::VertexRef>(&row[op.from_column]);
+        const auto* into = std::get_if<ir::VertexRef>(&row[op.into_column]);
+        if (from == nullptr || into == nullptr) continue;
+        bool found = false;
+        const vid_t target = into->vid;
+        grin::ForEachAdj(g, from->vid, op.dir, op.elabel,
+                         [&](vid_t nbr, double, eid_t) {
+                           if (nbr == target) {
+                             found = true;
+                             return false;  // Early stop.
+                           }
+                           return true;
+                         });
+        if (found) out.push_back(std::move(row));
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kSelect: {
+      std::vector<Row> out;
+      for (Row& row : *rows) {
+        if (op.exprs[0]->EvalBool(row, g, opts.params)) {
+          out.push_back(std::move(row));
+        }
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kProject: {
+      std::vector<Row> out;
+      out.reserve(rows->size());
+      for (const Row& row : *rows) {
+        Row projected;
+        projected.reserve(op.exprs.size());
+        for (const auto& expr : op.exprs) {
+          if (expr->kind() == ir::ExprKind::kColumn) {
+            projected.push_back(row[expr->column()]);
+          } else {
+            projected.push_back(expr->Eval(row, g, opts.params));
+          }
+        }
+        out.push_back(std::move(projected));
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kOrder: {
+      // Precompute sort keys.
+      std::vector<std::pair<std::vector<PropertyValue>, size_t>> keyed;
+      keyed.reserve(rows->size());
+      for (size_t i = 0; i < rows->size(); ++i) {
+        std::vector<PropertyValue> key;
+        key.reserve(op.exprs.size());
+        for (const auto& expr : op.exprs) {
+          key.push_back(expr->Eval((*rows)[i], g, opts.params));
+        }
+        keyed.emplace_back(std::move(key), i);
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [&](const auto& a, const auto& b) {
+                         for (size_t k = 0; k < op.exprs.size(); ++k) {
+                           const int c = a.first[k].Compare(b.first[k]);
+                           if (c != 0) return op.ascending[k] ? c < 0 : c > 0;
+                         }
+                         return false;
+                       });
+      std::vector<Row> out;
+      const size_t take = op.limit == 0
+                              ? keyed.size()
+                              : std::min(op.limit, keyed.size());
+      out.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        out.push_back(std::move((*rows)[keyed[i].second]));
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kGroup: {
+      struct Group {
+        std::vector<Entry> key;
+        std::vector<Accumulator> accs;
+      };
+      std::unordered_map<uint64_t, std::vector<Group>> groups;
+      std::vector<uint64_t> order;  // Deterministic output order.
+      for (const Row& row : *rows) {
+        std::vector<Entry> key;
+        key.reserve(op.exprs.size());
+        for (const auto& expr : op.exprs) {
+          if (expr->kind() == ir::ExprKind::kColumn) {
+            key.push_back(row[expr->column()]);
+          } else {
+            key.push_back(expr->Eval(row, g, opts.params));
+          }
+        }
+        const uint64_t h = RowKeyHash(key);
+        auto& bucket = groups[h];
+        Group* group = nullptr;
+        for (Group& candidate : bucket) {
+          if (RowKeyEquals(candidate.key, key)) {
+            group = &candidate;
+            break;
+          }
+        }
+        if (group == nullptr) {
+          bucket.push_back({std::move(key), std::vector<Accumulator>(
+                                                op.aggregates.size())});
+          group = &bucket.back();
+          order.push_back(h);
+        }
+        for (size_t a = 0; a < op.aggregates.size(); ++a) {
+          const auto& spec = op.aggregates[a];
+          PropertyValue value;
+          if (spec.arg != nullptr) value = spec.arg->Eval(row, g, opts.params);
+          Accumulate(spec, value, &group->accs[a]);
+        }
+      }
+      std::vector<Row> out;
+      if (rows->empty() && op.exprs.empty()) {
+        // Global aggregation over zero rows still yields one row
+        // (count() = 0), per Cypher/SQL semantics.
+        Row row;
+        for (const auto& spec : op.aggregates) {
+          row.push_back(Finalize(spec, Accumulator{}));
+        }
+        *rows = {std::move(row)};
+        return Status::OK();
+      }
+      std::unordered_map<uint64_t, size_t> emitted;
+      for (uint64_t h : order) {
+        auto& bucket = groups[h];
+        const size_t idx = emitted[h]++;
+        if (idx >= bucket.size()) continue;
+        Group& group = bucket[idx];
+        Row row = std::move(group.key);
+        for (size_t a = 0; a < op.aggregates.size(); ++a) {
+          row.push_back(Finalize(op.aggregates[a], group.accs[a]));
+        }
+        out.push_back(std::move(row));
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kLimit: {
+      if (rows->size() > op.limit) rows->resize(op.limit);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kDedup: {
+      std::unordered_map<uint64_t, std::vector<std::vector<Entry>>> seen;
+      std::vector<Row> out;
+      for (Row& row : *rows) {
+        std::vector<Entry> key;
+        if (op.key_columns.empty()) {
+          key = row;
+        } else {
+          for (size_t c : op.key_columns) key.push_back(row[c]);
+        }
+        auto& bucket = seen[RowKeyHash(key)];
+        bool duplicate = false;
+        for (const auto& existing : bucket) {
+          if (RowKeyEquals(existing, key)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          bucket.push_back(std::move(key));
+          out.push_back(std::move(row));
+        }
+      }
+      *rows = std::move(out);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown operator");
+}
+
+std::vector<std::string> RowsToStrings(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += " | ";
+      line += ir::EntryToString(row[i]);
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+}  // namespace flex::query

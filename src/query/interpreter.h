@@ -1,0 +1,55 @@
+#ifndef FLEX_QUERY_INTERPRETER_H_
+#define FLEX_QUERY_INTERPRETER_H_
+
+#include <vector>
+
+#include "grin/grin.h"
+#include "ir/plan.h"
+#include "ir/row.h"
+
+namespace flex::query {
+
+/// Options controlling one execution of a physical plan.
+struct ExecOptions {
+  /// Bound values for $i parameters (stored procedures).
+  std::vector<PropertyValue> params;
+  /// Data-parallel sharding of the leading SCAN: this invocation only
+  /// emits source vertices with (position % shard_count) == shard_index.
+  /// Used by the Gaia engine to fan one plan out over workers.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
+};
+
+/// Reference executor for GraphIR plans over any GRIN backend. Both
+/// engines are built on it: Gaia runs the non-blocking prefix shard-wise
+/// and the blocking suffix after an exchange; HiActor runs whole (point)
+/// plans inside actor tasks.
+class Interpreter {
+ public:
+  explicit Interpreter(const grin::GrinGraph* graph) : graph_(graph) {}
+
+  /// Executes the full plan.
+  Result<std::vector<ir::Row>> Run(const ir::Plan& plan,
+                                   const ExecOptions& opts = {}) const;
+
+  /// Executes ops [begin, end) of the plan starting from `input` rows.
+  Result<std::vector<ir::Row>> RunRange(const ir::Plan& plan, size_t begin,
+                                        size_t end, std::vector<ir::Row> input,
+                                        const ExecOptions& opts) const;
+
+  /// True if `op` requires all rows at once (Gaia exchange point).
+  static bool IsBlocking(const ir::Op& op);
+
+ private:
+  Status Apply(const ir::Op& op, std::vector<ir::Row>* rows,
+               const ExecOptions& opts) const;
+
+  const grin::GrinGraph* graph_;
+};
+
+/// Renders rows as text lines (tests and result reporting).
+std::vector<std::string> RowsToStrings(const std::vector<ir::Row>& rows);
+
+}  // namespace flex::query
+
+#endif  // FLEX_QUERY_INTERPRETER_H_

@@ -1,0 +1,71 @@
+#include "query/service.h"
+
+#include "lang/cypher.h"
+#include "lang/gremlin.h"
+
+namespace flex::query {
+
+Result<ir::Plan> ParseQuery(Language lang, const std::string& text,
+                            const GraphSchema& schema) {
+  switch (lang) {
+    case Language::kCypher:
+      return lang::ParseCypher(text, schema);
+    case Language::kGremlin:
+      return lang::ParseGremlin(text, schema);
+  }
+  return Status::InvalidArgument("unknown language");
+}
+
+QueryService::QueryService(const grin::GrinGraph* graph, size_t num_workers,
+                           optimizer::OptimizerOptions options)
+    : graph_(graph),
+      catalog_(optimizer::Catalog::Build(*graph)),
+      options_(options),
+      gaia_(graph, num_workers),
+      hiactor_(graph, num_workers) {}
+
+Result<ir::Plan> QueryService::Compile(Language lang,
+                                       const std::string& text) const {
+  FLEX_ASSIGN_OR_RETURN(ir::Plan logical,
+                        ParseQuery(lang, text, graph_->schema()));
+  return optimizer::Optimize(logical, &catalog_, options_);
+}
+
+Result<std::vector<ir::Row>> QueryService::Run(
+    Language lang, const std::string& text, EngineKind engine,
+    std::vector<PropertyValue> params) {
+  FLEX_ASSIGN_OR_RETURN(ir::Plan plan, Compile(lang, text));
+  if (engine == EngineKind::kGaia) {
+    return gaia_.Run(plan, std::move(params));
+  }
+  runtime::QueryTask task;
+  task.plan = std::make_shared<const ir::Plan>(std::move(plan));
+  task.params = std::move(params);
+  return hiactor_.Execute(std::move(task));
+}
+
+Status QueryService::RegisterProcedure(const std::string& name, Language lang,
+                                       const std::string& text) {
+  FLEX_ASSIGN_OR_RETURN(ir::Plan plan, Compile(lang, text));
+  hiactor_.RegisterProcedure(name, std::move(plan));
+  return Status::OK();
+}
+
+Result<std::vector<ir::Row>> NaiveGraphDB::Run(
+    Language lang, const std::string& text,
+    std::vector<PropertyValue> params) {
+  FLEX_ASSIGN_OR_RETURN(ir::Plan plan,
+                        ParseQuery(lang, text, graph_->schema()));
+  return RunPlan(plan, std::move(params));
+}
+
+Result<std::vector<ir::Row>> NaiveGraphDB::RunPlan(
+    const ir::Plan& plan, std::vector<PropertyValue> params) {
+  std::lock_guard<std::mutex> lock(mu_);  // One query at a time.
+  Interpreter interpreter(graph_);
+  ExecOptions opts;
+  opts.params = std::move(params);
+  return interpreter.Run(plan, opts);
+}
+
+}  // namespace flex::query

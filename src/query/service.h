@@ -1,0 +1,78 @@
+#ifndef FLEX_QUERY_SERVICE_H_
+#define FLEX_QUERY_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "optimizer/optimizer.h"
+#include "runtime/gaia.h"
+#include "runtime/hiactor.h"
+
+namespace flex::query {
+
+/// Which language a query text is written in.
+enum class Language { kCypher, kGremlin };
+
+/// Which engine executes it — the OLAP/OLTP split of §5.
+enum class EngineKind { kGaia, kHiActor };
+
+/// The interactive stack facade (Figure 5): parse (Gremlin or Cypher) →
+/// GraphIR → RBO + CBO → execute on Gaia (OLAP) or HiActor (OLTP).
+class QueryService {
+ public:
+  /// `graph` must outlive the service. `num_workers` sizes both engines.
+  QueryService(const grin::GrinGraph* graph, size_t num_workers,
+               optimizer::OptimizerOptions options = {});
+
+  /// Parses and optimizes without running (plan inspection / tests).
+  Result<ir::Plan> Compile(Language lang, const std::string& text) const;
+
+  /// End-to-end execution.
+  Result<std::vector<ir::Row>> Run(Language lang, const std::string& text,
+                                   EngineKind engine = EngineKind::kGaia,
+                                   std::vector<PropertyValue> params = {});
+
+  /// Compiles and registers a stored procedure on the HiActor engine.
+  Status RegisterProcedure(const std::string& name, Language lang,
+                           const std::string& text);
+
+  runtime::HiActorEngine& hiactor() { return hiactor_; }
+  const runtime::GaiaEngine& gaia() const { return gaia_; }
+  const optimizer::Catalog& catalog() const { return catalog_; }
+
+ private:
+  const grin::GrinGraph* graph_;
+  optimizer::Catalog catalog_;
+  optimizer::OptimizerOptions options_;
+  runtime::GaiaEngine gaia_;
+  runtime::HiActorEngine hiactor_;
+};
+
+/// Conventional-graph-database baseline for Exp-2 (stands in for the
+/// paper's audited comparators): same storage and parser, but no query
+/// optimization, tuple-at-a-time single-threaded execution, and one
+/// global lock serializing all queries.
+class NaiveGraphDB {
+ public:
+  explicit NaiveGraphDB(const grin::GrinGraph* graph) : graph_(graph) {}
+
+  Result<std::vector<ir::Row>> Run(Language lang, const std::string& text,
+                                   std::vector<PropertyValue> params = {});
+
+  /// Pre-parsed plan execution (skips re-parsing in throughput loops).
+  Result<std::vector<ir::Row>> RunPlan(const ir::Plan& plan,
+                                       std::vector<PropertyValue> params = {});
+
+ private:
+  const grin::GrinGraph* graph_;
+  std::mutex mu_;
+};
+
+/// Shared parse helper.
+Result<ir::Plan> ParseQuery(Language lang, const std::string& text,
+                            const GraphSchema& schema);
+
+}  // namespace flex::query
+
+#endif  // FLEX_QUERY_SERVICE_H_

@@ -1,0 +1,63 @@
+#include "runtime/gaia.h"
+
+#include <thread>
+
+namespace flex::runtime {
+
+Result<std::vector<ir::Row>> GaiaEngine::Run(
+    const ir::Plan& plan, std::vector<PropertyValue> params) const {
+  query::Interpreter interpreter(graph_);
+
+  // Split at the first blocking (exchange-requiring) operator.
+  size_t split = plan.ops.size();
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    if (query::Interpreter::IsBlocking(plan.ops[i])) {
+      split = i;
+      break;
+    }
+  }
+
+  const bool shardable = !plan.ops.empty() &&
+                         plan.ops[0].kind == ir::OpKind::kScan && split > 0 &&
+                         num_workers_ > 1;
+  std::vector<ir::Row> merged;
+  if (!shardable) {
+    query::ExecOptions opts;
+    opts.params = std::move(params);
+    return interpreter.Run(plan, opts);
+  }
+
+  // Streaming prefix: one worker per scan shard.
+  std::vector<Result<std::vector<ir::Row>>> partials(
+      num_workers_, Result<std::vector<ir::Row>>(std::vector<ir::Row>{}));
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers_);
+    for (size_t w = 0; w < num_workers_; ++w) {
+      workers.emplace_back([&, w] {
+        query::ExecOptions opts;
+        opts.params = params;
+        opts.shard_index = w;
+        opts.shard_count = num_workers_;
+        partials[w] = interpreter.RunRange(plan, 0, split, {}, opts);
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+
+  // Exchange: gather shards.
+  for (auto& partial : partials) {
+    FLEX_RETURN_NOT_OK(partial.status());
+    auto rows = std::move(partial).value();
+    merged.insert(merged.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+  }
+
+  // Blocking suffix.
+  query::ExecOptions opts;
+  opts.params = std::move(params);
+  return interpreter.RunRange(plan, split, plan.ops.size(), std::move(merged),
+                              opts);
+}
+
+}  // namespace flex::runtime

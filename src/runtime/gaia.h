@@ -1,0 +1,35 @@
+#ifndef FLEX_RUNTIME_GAIA_H_
+#define FLEX_RUNTIME_GAIA_H_
+
+#include <vector>
+
+#include "query/interpreter.h"
+
+namespace flex::runtime {
+
+/// Gaia-like dataflow engine (§5.3): the OLAP path. A physical plan is cut
+/// at its first blocking operator; the streaming prefix (SOURCE →
+/// FLATMAP/MAP/FILTER chain) runs data-parallel across workers, each
+/// owning a shard of the source scan, and the blocking suffix (ORDER /
+/// GROUP / LIMIT / DEDUP and everything after) runs after an exchange that
+/// gathers the shards — the latency-oriented data-parallel design the
+/// paper contrasts with HiActor's throughput orientation.
+class GaiaEngine {
+ public:
+  GaiaEngine(const grin::GrinGraph* graph, size_t num_workers)
+      : graph_(graph), num_workers_(num_workers) {}
+
+  Result<std::vector<ir::Row>> Run(
+      const ir::Plan& plan,
+      std::vector<PropertyValue> params = {}) const;
+
+  size_t num_workers() const { return num_workers_; }
+
+ private:
+  const grin::GrinGraph* graph_;
+  size_t num_workers_;
+};
+
+}  // namespace flex::runtime
+
+#endif  // FLEX_RUNTIME_GAIA_H_

@@ -1,0 +1,119 @@
+#include "runtime/hiactor.h"
+
+#include "common/logging.h"
+
+namespace flex::runtime {
+
+HiActorEngine::HiActorEngine(const grin::GrinGraph* default_graph,
+                             size_t num_shards)
+    : default_graph_(default_graph) {
+  FLEX_CHECK(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+HiActorEngine::~HiActorEngine() {
+  stop_.store(true, std::memory_order_release);
+  wake_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void HiActorEngine::RegisterProcedure(const std::string& name, ir::Plan plan) {
+  std::lock_guard<std::mutex> lock(procs_mu_);
+  procedures_[name] = std::make_shared<const ir::Plan>(std::move(plan));
+}
+
+Result<std::future<Result<std::vector<ir::Row>>>>
+HiActorEngine::SubmitProcedure(const std::string& name,
+                               std::vector<PropertyValue> params,
+                               std::shared_ptr<const grin::GrinGraph> graph) {
+  std::shared_ptr<const ir::Plan> plan;
+  {
+    std::lock_guard<std::mutex> lock(procs_mu_);
+    auto it = procedures_.find(name);
+    if (it == procedures_.end()) {
+      return Status::NotFound("stored procedure: " + name);
+    }
+    plan = it->second;
+  }
+  QueryTask task;
+  task.plan = std::move(plan);
+  task.params = std::move(params);
+  task.graph = std::move(graph);
+  return Submit(std::move(task));
+}
+
+std::future<Result<std::vector<ir::Row>>> HiActorEngine::Submit(
+    QueryTask query) {
+  Task task;
+  task.query = std::move(query);
+  std::future<Result<std::vector<ir::Row>>> future =
+      task.promise.get_future();
+  const size_t shard =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+    shards_[shard]->queue.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  wake_.notify_one();
+  return future;
+}
+
+Result<std::vector<ir::Row>> HiActorEngine::Execute(QueryTask task) {
+  return Submit(std::move(task)).get();
+}
+
+bool HiActorEngine::TryRunOne(size_t shard_index) {
+  // Own queue first, then steal from peers (the work-stealing scheduler
+  // HiActor uses to balance skewed query streams).
+  for (size_t probe = 0; probe < shards_.size(); ++probe) {
+    const size_t s = (shard_index + probe) % shards_.size();
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      if (shards_[s]->queue.empty()) continue;
+      if (probe == 0) {
+        task = std::move(shards_[s]->queue.front());
+        shards_[s]->queue.pop_front();
+      } else {
+        task = std::move(shards_[s]->queue.back());  // Steal cold end.
+        shards_[s]->queue.pop_back();
+      }
+    }
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    const grin::GrinGraph* graph =
+        task.query.graph != nullptr ? task.query.graph.get() : default_graph_;
+    query::Interpreter interpreter(graph);
+    query::ExecOptions opts;
+    opts.params = std::move(task.query.params);
+    // Count before resolving the future so a caller that joined on the
+    // future observes the completion.
+    completed_.fetch_add(1, std::memory_order_release);
+    task.promise.set_value(interpreter.Run(*task.query.plan, opts));
+    return true;
+  }
+  return false;
+}
+
+void HiActorEngine::WorkerLoop(size_t shard_index) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (TryRunOne(shard_index)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+  }
+  // Drain remaining tasks so no future is abandoned.
+  while (TryRunOne(shard_index)) {
+  }
+}
+
+}  // namespace flex::runtime

@@ -1,0 +1,93 @@
+#ifndef FLEX_RUNTIME_HIACTOR_H_
+#define FLEX_RUNTIME_HIACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "query/interpreter.h"
+
+namespace flex::runtime {
+
+/// One unit of work: a (usually registered) plan plus its parameters,
+/// optionally pinned to a specific MVCC snapshot.
+struct QueryTask {
+  std::shared_ptr<const ir::Plan> plan;
+  std::vector<PropertyValue> params;
+  /// Overrides the engine's default graph (e.g. a fresh GART snapshot);
+  /// the shared_ptr keeps the snapshot alive until the task completes.
+  std::shared_ptr<const grin::GrinGraph> graph;
+};
+
+/// HiActor-like actor engine (§5.3): the OLTP path. Queries become actor
+/// tasks dispatched to shards; every shard is one worker thread draining
+/// its own run queue and stealing from peers when idle. Optimized for
+/// high-QPS streams of small queries (stored procedures), not for a
+/// single large query's latency.
+class HiActorEngine {
+ public:
+  HiActorEngine(const grin::GrinGraph* default_graph, size_t num_shards);
+  ~HiActorEngine();
+
+  HiActorEngine(const HiActorEngine&) = delete;
+  HiActorEngine& operator=(const HiActorEngine&) = delete;
+
+  /// Registers a parameterized plan under `name` (stored procedure).
+  void RegisterProcedure(const std::string& name, ir::Plan plan);
+
+  /// Enqueues a registered procedure; the future resolves with its rows.
+  Result<std::future<Result<std::vector<ir::Row>>>> SubmitProcedure(
+      const std::string& name, std::vector<PropertyValue> params,
+      std::shared_ptr<const grin::GrinGraph> graph = nullptr);
+
+  /// Enqueues an ad-hoc task.
+  std::future<Result<std::vector<ir::Row>>> Submit(QueryTask task);
+
+  /// Convenience: submit + wait.
+  Result<std::vector<ir::Row>> Execute(QueryTask task);
+
+  /// Total tasks completed since construction.
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Task {
+    QueryTask query;
+    std::promise<Result<std::vector<ir::Row>>> promise;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::deque<Task> queue;
+  };
+
+  void WorkerLoop(size_t shard_index);
+  bool TryRunOne(size_t shard_index);
+
+  const grin::GrinGraph* default_graph_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_shard_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> pending_{0};
+
+  std::mutex procs_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const ir::Plan>> procedures_;
+};
+
+}  // namespace flex::runtime
+
+#endif  // FLEX_RUNTIME_HIACTOR_H_

@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "snb/snb.h"
+
+namespace flex::snb {
+
+namespace {
+
+const char* kFirstNames[] = {"Jun",  "Wei",   "Li",    "Chen", "Anna",
+                             "Otto", "Bryn",  "Ketut", "Jan",  "Ali",
+                             "Ivan", "Maria", "Jose",  "Carlos", "Yang"};
+const char* kLastNames[] = {"Zhang", "Wang", "Li",     "Liu",   "Yang",
+                            "Smith", "Khan", "Garcia", "Silva", "Kumar"};
+const char* kBrowsers[] = {"Chrome", "Firefox", "Safari", "Edge"};
+
+/// Milliseconds-since-epoch-like day stamps: days [0, 1000).
+int64_t RandomDate(Rng& rng) { return static_cast<int64_t>(rng.Uniform(1000)); }
+
+}  // namespace
+
+PropertyGraphData GenerateSnb(const SnbConfig& config, SnbStats* stats) {
+  const SnbSchema s = SnbSchema::Build();
+  PropertyGraphData data;
+  data.schema = s.schema;
+  Rng rng(config.seed);
+
+  const size_t n_persons = config.num_persons;
+  const size_t n_tags = config.num_tags;
+  const size_t n_forums =
+      std::max<size_t>(1, n_persons * config.forums_per_100_persons / 100);
+
+  // ---- Persons.
+  for (size_t p = 0; p < n_persons; ++p) {
+    data.AddVertex(
+        s.person, static_cast<oid_t>(p),
+        {PropertyValue(kFirstNames[rng.Uniform(std::size(kFirstNames))]),
+         PropertyValue(kLastNames[rng.Uniform(std::size(kLastNames))]),
+         PropertyValue(static_cast<int64_t>(rng.Uniform(365 * 40))),
+         PropertyValue(static_cast<int64_t>(rng.Uniform(200)))});
+  }
+
+  // ---- Tags.
+  for (size_t t = 0; t < n_tags; ++t) {
+    data.AddVertex(s.tag, kTagBase + static_cast<oid_t>(t),
+                   {PropertyValue("tag_" + std::to_string(t))});
+  }
+
+  // ---- KNOWS: preferential attachment for power-law friend counts;
+  // stored once per unordered pair (queries traverse undirected).
+  std::set<std::pair<oid_t, oid_t>> knows_pairs;
+  const size_t target_knows =
+      static_cast<size_t>(n_persons * config.avg_friends / 2.0);
+  std::vector<oid_t> endpoint_pool;  // Preferential-attachment urn.
+  endpoint_pool.reserve(target_knows * 2);
+  while (knows_pairs.size() < target_knows) {
+    oid_t a = static_cast<oid_t>(rng.Uniform(n_persons));
+    oid_t b;
+    if (!endpoint_pool.empty() && rng.Bernoulli(0.6)) {
+      b = endpoint_pool[rng.Uniform(endpoint_pool.size())];
+    } else {
+      b = static_cast<oid_t>(rng.Uniform(n_persons));
+    }
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!knows_pairs.insert({a, b}).second) continue;
+    endpoint_pool.push_back(a);
+    endpoint_pool.push_back(b);
+    data.AddEdge(s.knows, a, b, {PropertyValue(RandomDate(rng))});
+  }
+
+  // ---- Forums with members.
+  for (size_t f = 0; f < n_forums; ++f) {
+    const oid_t forum_id = kForumBase + static_cast<oid_t>(f);
+    data.AddVertex(s.forum, forum_id,
+                   {PropertyValue("forum_" + std::to_string(f)),
+                    PropertyValue(RandomDate(rng))});
+    const size_t members = 3 + rng.Uniform(n_persons / n_forums + 5);
+    std::set<oid_t> chosen;
+    for (size_t m = 0; m < members; ++m) {
+      const oid_t person = static_cast<oid_t>(rng.Uniform(n_persons));
+      if (chosen.insert(person).second) {
+        data.AddEdge(s.has_member, forum_id, person,
+                     {PropertyValue(RandomDate(rng))});
+      }
+    }
+  }
+
+  // ---- Posts: created by persons, contained in forums, tagged.
+  const size_t n_posts =
+      static_cast<size_t>(n_persons * config.posts_per_person);
+  for (size_t p = 0; p < n_posts; ++p) {
+    const oid_t post_id = kPostBase + static_cast<oid_t>(p);
+    data.AddVertex(
+        s.post, post_id,
+        {PropertyValue(RandomDate(rng)),
+         PropertyValue(static_cast<int64_t>(10 + rng.Uniform(500))),
+         PropertyValue(kBrowsers[rng.Uniform(std::size(kBrowsers))])});
+    const oid_t creator = static_cast<oid_t>(rng.Uniform(n_persons));
+    data.AddEdge(s.post_has_creator, post_id, creator, {});
+    const oid_t forum_id =
+        kForumBase + static_cast<oid_t>(rng.Uniform(n_forums));
+    data.AddEdge(s.container_of, forum_id, post_id, {});
+    // 1-3 tags, Zipf-flavoured (low tag ids are hot).
+    const size_t tags = 1 + rng.Uniform(3);
+    std::set<oid_t> chosen;
+    for (size_t t = 0; t < tags; ++t) {
+      const size_t rank =
+          std::min<size_t>(n_tags - 1, rng.Uniform(n_tags) * rng.Uniform(4) / 3);
+      if (chosen.insert(kTagBase + static_cast<oid_t>(rank)).second) {
+        data.AddEdge(s.post_has_tag, post_id,
+                     kTagBase + static_cast<oid_t>(rank), {});
+      }
+    }
+  }
+
+  // ---- Comments: reply threads under posts.
+  const size_t n_comments =
+      static_cast<size_t>(n_posts * config.comments_per_post);
+  for (size_t c = 0; c < n_comments; ++c) {
+    const oid_t comment_id = kCommentBase + static_cast<oid_t>(c);
+    data.AddVertex(s.comment, comment_id,
+                   {PropertyValue(RandomDate(rng)),
+                    PropertyValue(static_cast<int64_t>(5 + rng.Uniform(200)))});
+    data.AddEdge(s.comment_has_creator, comment_id,
+                 static_cast<oid_t>(rng.Uniform(n_persons)), {});
+    if (c > 0 && rng.Bernoulli(0.3)) {
+      // Reply to an earlier comment.
+      data.AddEdge(s.reply_of_comment, comment_id,
+                   kCommentBase + static_cast<oid_t>(rng.Uniform(c)), {});
+    } else {
+      data.AddEdge(s.reply_of_post, comment_id,
+                   kPostBase + static_cast<oid_t>(rng.Uniform(n_posts)), {});
+    }
+  }
+
+  // ---- Likes and interests.
+  const size_t n_likes =
+      static_cast<size_t>(n_persons * config.likes_per_person);
+  std::set<std::pair<oid_t, oid_t>> liked;
+  for (size_t l = 0; l < n_likes; ++l) {
+    const oid_t person = static_cast<oid_t>(rng.Uniform(n_persons));
+    const oid_t post_id = kPostBase + static_cast<oid_t>(rng.Uniform(n_posts));
+    if (!liked.insert({person, post_id}).second) continue;
+    data.AddEdge(s.likes, person, post_id, {PropertyValue(RandomDate(rng))});
+  }
+  for (size_t p = 0; p < n_persons; ++p) {
+    const size_t interests = 1 + rng.Uniform(4);
+    std::set<oid_t> chosen;
+    for (size_t i = 0; i < interests; ++i) {
+      const oid_t tag_id = kTagBase + static_cast<oid_t>(rng.Uniform(n_tags));
+      if (chosen.insert(tag_id).second) {
+        data.AddEdge(s.has_interest, static_cast<oid_t>(p), tag_id, {});
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->num_persons = n_persons;
+    stats->num_posts = n_posts;
+    stats->num_comments = n_comments;
+    stats->num_forums = n_forums;
+    stats->num_tags = n_tags;
+  }
+  return data;
+}
+
+}  // namespace flex::snb

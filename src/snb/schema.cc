@@ -1,0 +1,67 @@
+#include "snb/snb.h"
+
+#include "common/logging.h"
+
+namespace flex::snb {
+
+SnbSchema SnbSchema::Build() {
+  SnbSchema s;
+  s.person = s.schema
+                 .AddVertexLabel("Person",
+                                 {{"firstName", PropertyType::kString},
+                                  {"lastName", PropertyType::kString},
+                                  {"birthday", PropertyType::kInt64},
+                                  {"city", PropertyType::kInt64}})
+                 .value();
+  s.forum = s.schema
+                .AddVertexLabel("Forum",
+                                {{"title", PropertyType::kString},
+                                 {"creationDate", PropertyType::kInt64}})
+                .value();
+  s.post = s.schema
+               .AddVertexLabel("Post",
+                               {{"creationDate", PropertyType::kInt64},
+                                {"length", PropertyType::kInt64},
+                                {"browserUsed", PropertyType::kString}})
+               .value();
+  s.comment = s.schema
+                  .AddVertexLabel("Comment",
+                                  {{"creationDate", PropertyType::kInt64},
+                                   {"length", PropertyType::kInt64}})
+                  .value();
+  s.tag =
+      s.schema.AddVertexLabel("Tag", {{"name", PropertyType::kString}})
+          .value();
+
+  s.knows = s.schema
+                .AddEdgeLabel("KNOWS", s.person, s.person,
+                              {{"creationDate", PropertyType::kInt64}})
+                .value();
+  s.likes = s.schema
+                .AddEdgeLabel("LIKES", s.person, s.post,
+                              {{"creationDate", PropertyType::kInt64}})
+                .value();
+  s.has_member = s.schema
+                     .AddEdgeLabel("HAS_MEMBER", s.forum, s.person,
+                                   {{"joinDate", PropertyType::kInt64}})
+                     .value();
+  s.container_of =
+      s.schema.AddEdgeLabel("CONTAINER_OF", s.forum, s.post, {}).value();
+  s.post_has_creator =
+      s.schema.AddEdgeLabel("POST_HAS_CREATOR", s.post, s.person, {}).value();
+  s.comment_has_creator =
+      s.schema.AddEdgeLabel("COMMENT_HAS_CREATOR", s.comment, s.person, {})
+          .value();
+  s.reply_of_post =
+      s.schema.AddEdgeLabel("REPLY_OF_POST", s.comment, s.post, {}).value();
+  s.reply_of_comment =
+      s.schema.AddEdgeLabel("REPLY_OF_COMMENT", s.comment, s.comment, {})
+          .value();
+  s.post_has_tag =
+      s.schema.AddEdgeLabel("POST_HAS_TAG", s.post, s.tag, {}).value();
+  s.has_interest =
+      s.schema.AddEdgeLabel("HAS_INTEREST", s.person, s.tag, {}).value();
+  return s;
+}
+
+}  // namespace flex::snb

@@ -1,0 +1,103 @@
+#ifndef FLEX_SNB_SNB_H_
+#define FLEX_SNB_SNB_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/property_table.h"
+#include "storage/gart/gart_store.h"
+
+namespace flex::snb {
+
+/// Resolved label ids of the SNB-like social network schema.
+///
+/// Scaled-down but schema-faithful equivalent of the LDBC SNB graph the
+/// paper benchmarks on (Table 1, SNB-30/300/1000): Person, Forum, Post,
+/// Comment and Tag vertices; KNOWS, LIKES, membership, containment,
+/// creator, reply and tag edges. Where LDBC overloads one relationship
+/// over several endpoint types (HAS_CREATOR, REPLY_OF), this schema
+/// splits per endpoint pair, as LPG stores commonly do.
+struct SnbSchema {
+  GraphSchema schema;
+  label_t person, forum, post, comment, tag;
+  label_t knows;                ///< Person -> Person, creationDate.
+  label_t likes;                ///< Person -> Post, creationDate.
+  label_t has_member;           ///< Forum -> Person, joinDate.
+  label_t container_of;         ///< Forum -> Post.
+  label_t post_has_creator;     ///< Post -> Person.
+  label_t comment_has_creator;  ///< Comment -> Person.
+  label_t reply_of_post;        ///< Comment -> Post.
+  label_t reply_of_comment;     ///< Comment -> Comment.
+  label_t post_has_tag;         ///< Post -> Tag.
+  label_t has_interest;         ///< Person -> Tag.
+
+  static SnbSchema Build();
+};
+
+/// External-id namespaces (disjoint ranges so ids are self-describing).
+inline constexpr oid_t kPostBase = 1'000'000;
+inline constexpr oid_t kCommentBase = 2'000'000;
+inline constexpr oid_t kForumBase = 3'000'000;
+inline constexpr oid_t kTagBase = 4'000'000;
+
+struct SnbConfig {
+  size_t num_persons = 1000;
+  double avg_friends = 15.0;
+  double posts_per_person = 4.0;
+  double comments_per_post = 2.0;
+  double likes_per_person = 10.0;
+  size_t num_tags = 64;
+  size_t forums_per_100_persons = 8;
+  uint64_t seed = 20240607;
+};
+
+/// Sizes of the generated graph (param generators draw ids from these).
+struct SnbStats {
+  size_t num_persons = 0;
+  size_t num_posts = 0;
+  size_t num_comments = 0;
+  size_t num_forums = 0;
+  size_t num_tags = 0;
+};
+
+/// Deterministically generates an SNB-like social network with power-law
+/// friendship degrees, forum communities, post/comment threads and likes.
+PropertyGraphData GenerateSnb(const SnbConfig& config, SnbStats* stats);
+
+// ---------------------------------------------------------------- suites
+
+/// One read query of the interactive or BI suite.
+struct QuerySpec {
+  std::string name;    ///< "C1".."C14", "S1".."S7", "BI1"..;
+  std::string cypher;  ///< Parameterized with $0, $1, ...
+  /// Draws one parameter binding.
+  std::function<std::vector<PropertyValue>(Rng&, const SnbStats&)> params;
+};
+
+/// One update operation of the interactive suite, applied to the dynamic
+/// (GART) store.
+struct UpdateSpec {
+  std::string name;  ///< "U1".."U8".
+  /// Applies one update; `serial` provides unique new ids.
+  std::function<Status(storage::GartStore*, Rng&, const SnbStats&,
+                       uint64_t serial)>
+      apply;
+};
+
+/// The 14 complex + 7 short reads of the SNB Interactive mini-suite
+/// (simplified but schema-faithful variants of LDBC IC1-14 / IS1-7).
+std::vector<QuerySpec> InteractiveComplexQueries();
+std::vector<QuerySpec> InteractiveShortQueries();
+
+/// The 8 interactive updates (LDBC Interactive inserts).
+std::vector<UpdateSpec> InteractiveUpdates();
+
+/// 20 business-intelligence reads (aggregation-heavy, whole-graph scans;
+/// mini variants of LDBC BI 1-20) for the Gaia/OLAP deployment.
+std::vector<QuerySpec> BiQueries();
+
+}  // namespace flex::snb
+
+#endif  // FLEX_SNB_SNB_H_

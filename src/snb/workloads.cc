@@ -1,0 +1,473 @@
+#include "snb/snb.h"
+
+namespace flex::snb {
+
+namespace {
+
+PropertyValue RandPerson(Rng& rng, const SnbStats& stats) {
+  return PropertyValue(static_cast<int64_t>(rng.Uniform(stats.num_persons)));
+}
+PropertyValue RandPost(Rng& rng, const SnbStats& stats) {
+  return PropertyValue(
+      static_cast<int64_t>(kPostBase + rng.Uniform(stats.num_posts)));
+}
+PropertyValue RandTag(Rng& rng, const SnbStats& stats) {
+  return PropertyValue(
+      static_cast<int64_t>(kTagBase + rng.Uniform(stats.num_tags)));
+}
+PropertyValue RandDate(Rng& rng) {
+  return PropertyValue(static_cast<int64_t>(rng.Uniform(1000)));
+}
+PropertyValue RandFirstName(Rng& rng) {
+  const char* names[] = {"Jun", "Wei", "Li", "Chen", "Anna", "Otto"};
+  return PropertyValue(names[rng.Uniform(std::size(names))]);
+}
+
+}  // namespace
+
+std::vector<QuerySpec> InteractiveComplexQueries() {
+  std::vector<QuerySpec> queries;
+  // IC1: friends (up to 2 hops) with a given first name.
+  queries.push_back(
+      {"C1",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person) "
+       "WHERE f.firstName = $1 "
+       "RETURN f.id, f.lastName, f.birthday ORDER BY f.lastName LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s),
+                                           RandFirstName(rng)};
+       }});
+  // IC2: recent posts of friends before a date.
+  queries.push_back(
+      {"C2",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)"
+       "<-[:POST_HAS_CREATOR]-(m:Post) WHERE m.creationDate < $1 "
+       "RETURN f.id, m.id, m.creationDate "
+       "ORDER BY m.creationDate DESC, m.id LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s), RandDate(rng)};
+       }});
+  // IC3: friends-of-friends ranked by path count.
+  queries.push_back(
+      {"C3",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)-[:KNOWS]-(ff:Person) "
+       "WHERE ff.id <> $0 RETURN ff.id, count(f) AS paths "
+       "ORDER BY paths DESC, ff.id LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s)};
+       }});
+  // IC4: new tags on friends' posts after a date.
+  queries.push_back(
+      {"C4",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)"
+       "<-[:POST_HAS_CREATOR]-(m:Post)-[:POST_HAS_TAG]->(t:Tag) "
+       "WHERE m.creationDate >= $1 RETURN t.name, count(m) AS postCount "
+       "ORDER BY postCount DESC, t.name LIMIT 10",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s), RandDate(rng)};
+       }});
+  // IC5: forums my friends joined after a date.
+  queries.push_back(
+      {"C5",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)"
+       "<-[m:HAS_MEMBER]-(forum:Forum) WHERE m.joinDate > $1 "
+       "RETURN forum.title, count(f) AS members "
+       "ORDER BY members DESC, forum.title LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s), RandDate(rng)};
+       }});
+  // IC6: co-occurring tags on friends' posts with a given tag.
+  queries.push_back(
+      {"C6",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)"
+       "<-[:POST_HAS_CREATOR]-(m:Post)-[:POST_HAS_TAG]->(t:Tag {id: $1}), "
+       "(m)-[:POST_HAS_TAG]->(other:Tag) WHERE other.id <> $1 "
+       "RETURN other.name, count(m) AS postCount "
+       "ORDER BY postCount DESC, other.name LIMIT 10",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s),
+                                           RandTag(rng, s)};
+       }});
+  // IC7: who liked my posts, most recent first.
+  queries.push_back(
+      {"C7",
+       "MATCH (p:Person {id: $0})<-[:POST_HAS_CREATOR]-(m:Post)"
+       "<-[l:LIKES]-(liker:Person) "
+       "RETURN liker.id, m.id, l.creationDate "
+       "ORDER BY l.creationDate DESC, liker.id LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s)};
+       }});
+  // IC8: recent replies to my posts.
+  queries.push_back(
+      {"C8",
+       "MATCH (p:Person {id: $0})<-[:POST_HAS_CREATOR]-(m:Post)"
+       "<-[:REPLY_OF_POST]-(c:Comment)-[:COMMENT_HAS_CREATOR]->(r:Person) "
+       "RETURN r.id, c.id, c.creationDate "
+       "ORDER BY c.creationDate DESC, c.id LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s)};
+       }});
+  // IC9: recent posts by friends and friends-of-friends before a date.
+  queries.push_back(
+      {"C9",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)-[:KNOWS]-(ff:Person)"
+       "<-[:POST_HAS_CREATOR]-(m:Post) "
+       "WHERE m.creationDate < $1 AND ff.id <> $0 "
+       "RETURN ff.id, m.id, m.creationDate "
+       "ORDER BY m.creationDate DESC, m.id LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s), RandDate(rng)};
+       }});
+  // IC10: friend recommendation via shared interests of FoF.
+  queries.push_back(
+      {"C10",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)-[:KNOWS]-(ff:Person)"
+       "-[:HAS_INTEREST]->(t:Tag)<-[:HAS_INTEREST]-(p2:Person {id: $0}) "
+       "WHERE ff.id <> $0 RETURN ff.id, count(t) AS commonInterests "
+       "ORDER BY commonInterests DESC, ff.id LIMIT 10",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s)};
+       }});
+  // IC11: friends interested in a given tag (stand-in for works-at).
+  queries.push_back(
+      {"C11",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)"
+       "-[:HAS_INTEREST]->(t:Tag {id: $1}) "
+       "RETURN f.id, f.firstName ORDER BY f.id LIMIT 10",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s),
+                                           RandTag(rng, s)};
+       }});
+  // IC12: expert search — friends commenting on posts with a given tag.
+  queries.push_back(
+      {"C12",
+       "MATCH (p:Person {id: $0})-[:KNOWS]-(f:Person)"
+       "<-[:COMMENT_HAS_CREATOR]-(c:Comment)-[:REPLY_OF_POST]->(m:Post)"
+       "-[:POST_HAS_TAG]->(t:Tag {id: $1}) "
+       "RETURN f.id, count(c) AS replyCount "
+       "ORDER BY replyCount DESC, f.id LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s),
+                                           RandTag(rng, s)};
+       }});
+  // IC13: connectivity probe — paths of length <= 2 between two persons
+  // (LDBC IC13 is shortest-path; the variable-length pattern bounds it).
+  queries.push_back(
+      {"C13",
+       "MATCH (a:Person {id: $0})-[:KNOWS*1..2]-(b:Person) "
+       "WHERE b.id = $1 RETURN count(b)",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s),
+                                           RandPerson(rng, s)};
+       }});
+  // IC14: weighted interaction paths (likes between two persons' posts).
+  queries.push_back(
+      {"C14",
+       "MATCH (a:Person {id: $0})<-[:POST_HAS_CREATOR]-(m:Post)"
+       "<-[l:LIKES]-(b:Person) "
+       "RETURN b.id, count(l) AS weight ORDER BY weight DESC, b.id LIMIT 20",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPerson(rng, s)};
+       }});
+  return queries;
+}
+
+std::vector<QuerySpec> InteractiveShortQueries() {
+  std::vector<QuerySpec> queries;
+  queries.push_back({"S1",
+                     "MATCH (p:Person {id: $0}) "
+                     "RETURN p.firstName, p.lastName, p.birthday, p.city",
+                     [](Rng& rng, const SnbStats& s) {
+                       return std::vector<PropertyValue>{RandPerson(rng, s)};
+                     }});
+  queries.push_back({"S2",
+                     "MATCH (p:Person {id: $0})<-[:POST_HAS_CREATOR]-(m:Post) "
+                     "RETURN m.id, m.creationDate "
+                     "ORDER BY m.creationDate DESC, m.id LIMIT 10",
+                     [](Rng& rng, const SnbStats& s) {
+                       return std::vector<PropertyValue>{RandPerson(rng, s)};
+                     }});
+  queries.push_back({"S3",
+                     "MATCH (p:Person {id: $0})-[k:KNOWS]-(f:Person) "
+                     "RETURN f.id, f.firstName, k.creationDate "
+                     "ORDER BY k.creationDate DESC, f.id",
+                     [](Rng& rng, const SnbStats& s) {
+                       return std::vector<PropertyValue>{RandPerson(rng, s)};
+                     }});
+  queries.push_back({"S4",
+                     "MATCH (m:Post {id: $0}) "
+                     "RETURN m.creationDate, m.length, m.browserUsed",
+                     [](Rng& rng, const SnbStats& s) {
+                       return std::vector<PropertyValue>{RandPost(rng, s)};
+                     }});
+  queries.push_back({"S5",
+                     "MATCH (m:Post {id: $0})-[:POST_HAS_CREATOR]->(p:Person) "
+                     "RETURN p.id, p.firstName, p.lastName",
+                     [](Rng& rng, const SnbStats& s) {
+                       return std::vector<PropertyValue>{RandPost(rng, s)};
+                     }});
+  queries.push_back({"S6",
+                     "MATCH (m:Post {id: $0})<-[:CONTAINER_OF]-(f:Forum) "
+                     "RETURN f.id, f.title",
+                     [](Rng& rng, const SnbStats& s) {
+                       return std::vector<PropertyValue>{RandPost(rng, s)};
+                     }});
+  queries.push_back(
+      {"S7",
+       "MATCH (m:Post {id: $0})<-[:REPLY_OF_POST]-(c:Comment)"
+       "-[:COMMENT_HAS_CREATOR]->(p:Person) "
+       "RETURN c.id, c.creationDate, p.id, p.firstName "
+       "ORDER BY c.creationDate DESC, c.id",
+       [](Rng& rng, const SnbStats& s) {
+         return std::vector<PropertyValue>{RandPost(rng, s)};
+       }});
+  return queries;
+}
+
+std::vector<UpdateSpec> InteractiveUpdates() {
+  std::vector<UpdateSpec> updates;
+  const SnbSchema s = SnbSchema::Build();
+
+  // U1: add person.
+  updates.push_back(
+      {"U1", [s](storage::GartStore* store, Rng& rng, const SnbStats& stats,
+                 uint64_t serial) {
+         const oid_t id = static_cast<oid_t>(stats.num_persons + serial);
+         return store
+             ->AddVertex(s.person, id,
+                         {PropertyValue("New"), PropertyValue("Person"),
+                          PropertyValue(static_cast<int64_t>(
+                              rng.Uniform(365 * 40))),
+                          PropertyValue(static_cast<int64_t>(
+                              rng.Uniform(200)))})
+             .status();
+       }});
+  // U2: add like.
+  updates.push_back(
+      {"U2", [s](storage::GartStore* store, Rng& rng, const SnbStats& stats,
+                 uint64_t) {
+         return store->AddEdge(
+             s.likes, static_cast<oid_t>(rng.Uniform(stats.num_persons)),
+             kPostBase + static_cast<oid_t>(rng.Uniform(stats.num_posts)),
+             1.0, static_cast<int64_t>(rng.Uniform(1000)));
+       }});
+  // U3: add comment replying to a post.
+  updates.push_back(
+      {"U3", [s](storage::GartStore* store, Rng& rng, const SnbStats& stats,
+                 uint64_t serial) {
+         const oid_t id =
+             kCommentBase + static_cast<oid_t>(stats.num_comments + serial);
+         FLEX_RETURN_NOT_OK(
+             store
+                 ->AddVertex(s.comment, id,
+                             {PropertyValue(static_cast<int64_t>(
+                                  rng.Uniform(1000))),
+                              PropertyValue(static_cast<int64_t>(
+                                  5 + rng.Uniform(200)))})
+                 .status());
+         FLEX_RETURN_NOT_OK(store->AddEdge(
+             s.comment_has_creator, id,
+             static_cast<oid_t>(rng.Uniform(stats.num_persons))));
+         return store->AddEdge(
+             s.reply_of_post, id,
+             kPostBase + static_cast<oid_t>(rng.Uniform(stats.num_posts)));
+       }});
+  // U4: add forum.
+  updates.push_back(
+      {"U4", [s](storage::GartStore* store, Rng& rng, const SnbStats& stats,
+                 uint64_t serial) {
+         const oid_t id =
+             kForumBase + static_cast<oid_t>(stats.num_forums + serial);
+         return store
+             ->AddVertex(s.forum, id,
+                         {PropertyValue("forum_new"),
+                          PropertyValue(static_cast<int64_t>(
+                              rng.Uniform(1000)))})
+             .status();
+       }});
+  // U5: add forum membership (existing forums only).
+  updates.push_back(
+      {"U5", [s](storage::GartStore* store, Rng& rng, const SnbStats& stats,
+                 uint64_t) {
+         return store->AddEdge(
+             s.has_member,
+             kForumBase + static_cast<oid_t>(rng.Uniform(stats.num_forums)),
+             static_cast<oid_t>(rng.Uniform(stats.num_persons)), 1.0,
+             static_cast<int64_t>(rng.Uniform(1000)));
+       }});
+  // U6: add post.
+  updates.push_back(
+      {"U6", [s](storage::GartStore* store, Rng& rng, const SnbStats& stats,
+                 uint64_t serial) {
+         const oid_t id =
+             kPostBase + static_cast<oid_t>(stats.num_posts + serial);
+         FLEX_RETURN_NOT_OK(
+             store
+                 ->AddVertex(
+                     s.post, id,
+                     {PropertyValue(static_cast<int64_t>(rng.Uniform(1000))),
+                      PropertyValue(
+                          static_cast<int64_t>(10 + rng.Uniform(500))),
+                      PropertyValue("Chrome")})
+                 .status());
+         FLEX_RETURN_NOT_OK(store->AddEdge(
+             s.post_has_creator, id,
+             static_cast<oid_t>(rng.Uniform(stats.num_persons))));
+         return store->AddEdge(
+             s.container_of,
+             kForumBase + static_cast<oid_t>(rng.Uniform(stats.num_forums)),
+             id);
+       }});
+  // U7: add tag interest.
+  updates.push_back(
+      {"U7", [s](storage::GartStore* store, Rng& rng, const SnbStats& stats,
+                 uint64_t) {
+         return store->AddEdge(
+             s.has_interest,
+             static_cast<oid_t>(rng.Uniform(stats.num_persons)),
+             kTagBase + static_cast<oid_t>(rng.Uniform(stats.num_tags)));
+       }});
+  // U8: add friendship.
+  updates.push_back(
+      {"U8", [s](storage::GartStore* store, Rng& rng, const SnbStats& stats,
+                 uint64_t) {
+         const oid_t a = static_cast<oid_t>(rng.Uniform(stats.num_persons));
+         const oid_t b = static_cast<oid_t>(rng.Uniform(stats.num_persons));
+         if (a == b) return Status::OK();
+         return store->AddEdge(s.knows, a, b, 1.0,
+                               static_cast<int64_t>(rng.Uniform(1000)));
+       }});
+  return updates;
+}
+
+std::vector<QuerySpec> BiQueries() {
+  auto no_params = [](Rng&, const SnbStats&) {
+    return std::vector<PropertyValue>{};
+  };
+  std::vector<QuerySpec> queries;
+  // BI1: message volume by browser.
+  queries.push_back({"BI1",
+                     "MATCH (m:Post) RETURN m.browserUsed, count(m) AS n, "
+                     "avg(m.length) AS avgLength ORDER BY n DESC",
+                     no_params});
+  // BI2: tag popularity.
+  queries.push_back({"BI2",
+                     "MATCH (m:Post)-[:POST_HAS_TAG]->(t:Tag) "
+                     "RETURN t.name, count(m) AS n ORDER BY n DESC, t.name "
+                     "LIMIT 20",
+                     no_params});
+  // BI3: forum activity (posts per forum).
+  queries.push_back({"BI3",
+                     "MATCH (f:Forum)-[:CONTAINER_OF]->(m:Post) "
+                     "RETURN f.title, count(m) AS posts "
+                     "ORDER BY posts DESC, f.title LIMIT 20",
+                     no_params});
+  // BI4: most active posters.
+  queries.push_back({"BI4",
+                     "MATCH (m:Post)-[:POST_HAS_CREATOR]->(p:Person) "
+                     "RETURN p.id, count(m) AS posts "
+                     "ORDER BY posts DESC, p.id LIMIT 20",
+                     no_params});
+  // BI5: most liked posts.
+  queries.push_back({"BI5",
+                     "MATCH (m:Post)<-[:LIKES]-(p:Person) "
+                     "RETURN m.id, count(p) AS likes "
+                     "ORDER BY likes DESC, m.id LIMIT 20",
+                     no_params});
+  // BI6: tag evangelists: creators of posts per tag.
+  queries.push_back({"BI6",
+                     "MATCH (t:Tag)<-[:POST_HAS_TAG]-(m:Post)"
+                     "-[:POST_HAS_CREATOR]->(p:Person) "
+                     "RETURN t.name, count(p) AS authors "
+                     "ORDER BY authors DESC, t.name LIMIT 10",
+                     no_params});
+  // BI7: reply depth proxy: comments per post.
+  queries.push_back({"BI7",
+                     "MATCH (m:Post)<-[:REPLY_OF_POST]-(c:Comment) "
+                     "RETURN m.id, count(c) AS replies "
+                     "ORDER BY replies DESC, m.id LIMIT 20",
+                     no_params});
+  // BI8: long posts by browser.
+  queries.push_back({"BI8",
+                     "MATCH (m:Post) WHERE m.length > 300 "
+                     "RETURN m.browserUsed, count(m) AS n ORDER BY n DESC",
+                     no_params});
+  // BI9: commenter leaderboard.
+  queries.push_back({"BI9",
+                     "MATCH (c:Comment)-[:COMMENT_HAS_CREATOR]->(p:Person) "
+                     "RETURN p.id, count(c) AS comments "
+                     "ORDER BY comments DESC, p.id LIMIT 20",
+                     no_params});
+  // BI10: interest fan-in per tag.
+  queries.push_back({"BI10",
+                     "MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag) "
+                     "RETURN t.name, count(p) AS fans "
+                     "ORDER BY fans DESC, t.name LIMIT 20",
+                     no_params});
+  // BI11: forum membership sizes.
+  queries.push_back({"BI11",
+                     "MATCH (f:Forum)-[:HAS_MEMBER]->(p:Person) "
+                     "RETURN f.title, count(p) AS members "
+                     "ORDER BY members DESC, f.title LIMIT 20",
+                     no_params});
+  // BI12: posts per city (creator home city).
+  queries.push_back({"BI12",
+                     "MATCH (m:Post)-[:POST_HAS_CREATOR]->(p:Person) "
+                     "RETURN p.city, count(m) AS posts "
+                     "ORDER BY posts DESC, p.city LIMIT 20",
+                     no_params});
+  // BI13: engaged readers: likes given per person.
+  queries.push_back({"BI13",
+                     "MATCH (p:Person)-[:LIKES]->(m:Post) "
+                     "RETURN p.id, count(m) AS likesGiven "
+                     "ORDER BY likesGiven DESC, p.id LIMIT 20",
+                     no_params});
+  // BI14: cross-forum reach of top creators.
+  queries.push_back({"BI14",
+                     "MATCH (p:Person)<-[:POST_HAS_CREATOR]-(m:Post)"
+                     "<-[:CONTAINER_OF]-(f:Forum) "
+                     "RETURN p.id, count(f) AS forums "
+                     "ORDER BY forums DESC, p.id LIMIT 10",
+                     no_params});
+  // BI15: average comment length per commenter city.
+  queries.push_back({"BI15",
+                     "MATCH (c:Comment)-[:COMMENT_HAS_CREATOR]->(p:Person) "
+                     "RETURN p.city, avg(c.length) AS avgLen, count(c) AS n "
+                     "ORDER BY n DESC, p.city LIMIT 20",
+                     no_params});
+  // BI16: popular tags among forum members' interests.
+  queries.push_back({"BI16",
+                     "MATCH (f:Forum)-[:HAS_MEMBER]->(p:Person)"
+                     "-[:HAS_INTEREST]->(t:Tag) "
+                     "RETURN t.name, count(p) AS weight "
+                     "ORDER BY weight DESC, t.name LIMIT 10",
+                     no_params});
+  // BI17: reciprocal engagement: likers of a creator's posts.
+  queries.push_back({"BI17",
+                     "MATCH (a:Person)<-[:POST_HAS_CREATOR]-(m:Post)"
+                     "<-[:LIKES]-(b:Person) WHERE a.id <> b.id "
+                     "RETURN a.id, count(b) AS audience "
+                     "ORDER BY audience DESC, a.id LIMIT 10",
+                     no_params});
+  // BI18: post length histogram (bucketed by 100).
+  queries.push_back({"BI18",
+                     "MATCH (m:Post) RETURN m.length / 100 AS bucket, "
+                     "count(m) AS n ORDER BY bucket",
+                     no_params});
+  // BI19: recent activity window.
+  queries.push_back({"BI19",
+                     "MATCH (m:Post) WHERE m.creationDate >= 900 "
+                     "RETURN m.browserUsed, count(m) AS n ORDER BY n DESC",
+                     no_params});
+  // BI20: tag co-engagement via comments.
+  queries.push_back({"BI20",
+                     "MATCH (c:Comment)-[:REPLY_OF_POST]->(m:Post)"
+                     "-[:POST_HAS_TAG]->(t:Tag) "
+                     "RETURN t.name, count(c) AS replies "
+                     "ORDER BY replies DESC, t.name LIMIT 10",
+                     no_params});
+  return queries;
+}
+
+}  // namespace flex::snb

@@ -1,0 +1,202 @@
+#ifndef FLEX_STORAGE_GART_GART_STORE_H_
+#define FLEX_STORAGE_GART_GART_STORE_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stable_vector.h"
+#include "common/status.h"
+#include "graph/property_table.h"
+#include "graph/schema.h"
+#include "graph/types.h"
+#include "grin/grin.h"
+
+namespace flex::storage {
+
+/// Mutable in-memory graph store with multi-version concurrency control,
+/// modelled on GART (§4.2): readers always observe a consistent snapshot
+/// identified by a version; writers append at `write_version` =
+/// `read_version + 1` and publish with CommitVersion().
+///
+/// Adjacency layout is the paper's "efficient and mutable CSR-like data
+/// structure": per (vertex, edge label, direction) a *sealed* contiguous
+/// segment (compact, scan-friendly, no per-edge liveness checks in the
+/// common case) plus an append-only chain of fixed-size *delta blocks* for
+/// recent writes. Seal() merges deltas into the sealed segment.
+///
+/// Concurrency: the topology read path (adjacency scans, degree counts,
+/// label-indexed vertex enumeration) is entirely lock-free — vertex-keyed
+/// arrays are append-only StableVectors, delta blocks publish entries via
+/// an atomic count (release/acquire), records are immutable once
+/// published, and deletions are tombstone records rather than in-place
+/// mutation. Point lookups that touch growable hash/column structures
+/// (oid index, vertex property tables) take a short shared lock; vertex
+/// insertion takes it exclusively. Seal() additionally requires reader
+/// quiescence: it rewrites sealed segments in place, so no snapshot may
+/// be concurrently read while sealing (commit, drain readers, seal).
+///
+/// Edge properties: GART stores up to one double property (the weight) and
+/// one int64 property (e.g. a timestamp) inline in each edge record, which
+/// covers the dynamic-graph workloads of the paper (fraud detection's
+/// BUY.date). Richer edge schemas belong in the immutable Vineyard store.
+class GartStore {
+ public:
+  /// Rejects schemas whose edge labels carry unsupported property types.
+  static Result<std::unique_ptr<GartStore>> Create(const GraphSchema& schema);
+
+  /// Bulk-loads `data` and commits one version; seals by default (pass
+  /// seal = false to leave the load in delta blocks, the state of a store
+  /// that has been absorbing updates since its last compaction).
+  static Result<std::unique_ptr<GartStore>> Build(
+      const PropertyGraphData& data, bool seal = true);
+
+  ~GartStore();
+
+  const GraphSchema& schema() const { return schema_; }
+
+  // -------------------------------------------------------------- writes
+
+  /// Inserts a vertex; visible after the next CommitVersion().
+  Result<vid_t> AddVertex(label_t label, oid_t oid,
+                          std::vector<PropertyValue> props);
+
+  /// Inserts an edge between existing vertices (weight/ts map to the edge
+  /// label's double/int64 properties). Visible after CommitVersion().
+  Status AddEdge(label_t edge_label, oid_t src, oid_t dst, double weight = 1.0,
+                 int64_t ts = 0);
+
+  /// Tombstones all live (src)-[edge_label]->(dst) edges.
+  Status DeleteEdge(label_t edge_label, oid_t src, oid_t dst);
+
+  /// Publishes all writes made since the previous commit; returns the new
+  /// readable version.
+  version_t CommitVersion();
+
+  /// Merges delta blocks into sealed segments and drops history older
+  /// than the current read version. Requires full reader quiescence (no
+  /// snapshot may be read concurrently) and invalidates snapshots taken
+  /// at older versions.
+  void Seal();
+
+  // --------------------------------------------------------------- reads
+
+  version_t read_version() const {
+    return committed_.load(std::memory_order_acquire);
+  }
+
+  /// GRIN view pinned at `version` (default: current read version).
+  std::unique_ptr<grin::GrinGraph> GetSnapshot() const;
+  std::unique_ptr<grin::GrinGraph> GetSnapshot(version_t version) const;
+
+  size_t num_vertices() const;
+
+  /// Live edge count at the current read version (O(E) scan; for tests).
+  size_t CountEdges(label_t edge_label) const;
+
+ private:
+  friend class GartSnapshot;
+
+  static constexpr version_t kNeverRemoved = ~version_t{0};
+  static constexpr size_t kDeltaBlockSize = 16;
+  static constexpr size_t kNumShards = 64;
+
+  struct DeltaEdge {
+    vid_t nbr;
+    uint8_t tombstone;  ///< 1 => deletes live edges to `nbr` as of `create`.
+    double weight;
+    int64_t ts;
+    eid_t eid;
+    version_t create;
+  };
+
+  struct DeltaBlock {
+    std::atomic<uint32_t> count{0};
+    DeltaEdge edges[kDeltaBlockSize];
+    std::atomic<DeltaBlock*> next{nullptr};
+  };
+
+  /// Adjacency of one (vertex, edge label, direction).
+  struct Adj {
+    // Sealed segment: contiguous arrays, all entries created at or before
+    // sealed_version_ of the store and not removed before it.
+    std::vector<vid_t> s_nbrs;
+    std::vector<double> s_weights;
+    std::vector<int64_t> s_ts;
+    std::vector<eid_t> s_eids;
+    std::atomic<DeltaBlock*> delta_head{nullptr};
+    DeltaBlock* delta_tail = nullptr;  // Guarded by the shard lock.
+    bool has_tombstones = false;       // Sticky once a delete lands here.
+
+    Adj() = default;
+    Adj(Adj&& other) noexcept;
+    Adj& operator=(Adj&&) = delete;
+  };
+
+  explicit GartStore(GraphSchema schema);
+
+  Adj& AdjOf(label_t edge_label, Direction dir, vid_t v) {
+    auto& per_label = adjacency_[edge_label];
+    return dir == Direction::kOut ? per_label.out[v] : per_label.in[v];
+  }
+  const Adj& AdjOf(label_t edge_label, Direction dir, vid_t v) const {
+    auto& per_label = adjacency_[edge_label];
+    return dir == Direction::kOut ? per_label.out[v] : per_label.in[v];
+  }
+
+  /// Appends a record to `adj`'s delta chain. Caller holds the shard lock
+  /// covering the owning vertex.
+  void AppendDelta(Adj* adj, const DeltaEdge& edge);
+
+  std::mutex& ShardLock(vid_t v) const {
+    return shard_locks_[v % kNumShards];
+  }
+
+  /// Visits live edges of `adj` at `version`; returns false on early stop.
+  bool ScanAdj(const Adj& adj, version_t version, grin::AdjVisitor visitor,
+               void* ctx) const;
+  size_t CountAdj(const Adj& adj, version_t version) const;
+
+  GraphSchema schema_;
+  /// Maps (edge label, property col) -> 0 (weight) or 1 (ts).
+  std::vector<std::vector<int>> edge_prop_kind_;
+
+  /// Guards the growable point-lookup structures only (oid_index_ and
+  /// vertex_tables_); topology scans never take it.
+  mutable std::shared_mutex mu_;
+  std::atomic<version_t> committed_{0};
+
+  // Vertex data: append-only, lock-free reads (writers serialize on mu_).
+  StableVector<oid_t> oids_;
+  StableVector<label_t> vertex_labels_;
+  StableVector<version_t> vertex_create_;
+  std::vector<StableVector<vid_t>> label_vertices_;            // per label
+  std::vector<std::unordered_map<oid_t, vid_t>> oid_index_;    // per label
+  std::vector<PropertyTable> vertex_tables_;                   // per label
+  StableVector<size_t> vertex_row_;  // vid -> row in its label's table
+
+  struct PerLabelAdjacency {
+    StableVector<Adj> out;  // Indexed by vid; stable under growth.
+    StableVector<Adj> in;
+  };
+  mutable std::vector<PerLabelAdjacency> adjacency_;  // per edge label
+
+  /// Row-addressable (weight, ts) pairs per edge label; eid = row index.
+  /// Own lock: cold path (GetEdgeProperty), hot adjacency scans read the
+  /// inline copies in the edge records instead.
+  struct EdgePropStore {
+    mutable std::shared_mutex mu;
+    std::deque<std::pair<double, int64_t>> rows;
+  };
+  mutable std::vector<EdgePropStore> eprops_;  // per edge label
+
+  mutable std::mutex* shard_locks_;  // kNumShards mutexes.
+};
+
+}  // namespace flex::storage
+
+#endif  // FLEX_STORAGE_GART_GART_STORE_H_

@@ -1,0 +1,203 @@
+#include "storage/graphar/csv.h"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace flex::storage::graphar {
+
+namespace {
+
+void AppendValue(std::string* line, const PropertyValue& value) {
+  switch (value.type()) {
+    case PropertyType::kEmpty:
+      break;
+    case PropertyType::kBool:
+      line->append(value.AsBool() ? "1" : "0");
+      break;
+    case PropertyType::kInt64:
+      line->append(std::to_string(value.AsInt64()));
+      break;
+    case PropertyType::kDouble: {
+      char buf[32];
+      auto [end, ec] =
+          std::to_chars(buf, buf + sizeof(buf), value.AsDouble(),
+                        std::chars_format::general, 17);
+      line->append(buf, end - buf);
+      break;
+    }
+    case PropertyType::kString:
+      // Commas inside strings are not supported by this simple dialect.
+      line->append(value.AsString());
+      break;
+  }
+}
+
+Result<PropertyValue> ParseValue(std::string_view field, PropertyType type) {
+  switch (type) {
+    case PropertyType::kEmpty:
+      return PropertyValue();
+    case PropertyType::kBool:
+      return PropertyValue(field == "1" || field == "true");
+    case PropertyType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(field.begin(), field.end(), v);
+      if (ec != std::errc() || ptr != field.end()) {
+        return Status::ParseError("bad int64: " + std::string(field));
+      }
+      return PropertyValue(v);
+    }
+    case PropertyType::kDouble: {
+      double v = 0;
+      auto [ptr, ec] = std::from_chars(field.begin(), field.end(), v);
+      if (ec != std::errc() || ptr != field.end()) {
+        return Status::ParseError("bad double: " + std::string(field));
+      }
+      return PropertyValue(v);
+    }
+    case PropertyType::kString:
+      return PropertyValue(std::string(field));
+  }
+  return Status::Internal("bad property type");
+}
+
+Result<int64_t> ParseInt64(std::string_view field) {
+  int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(field.begin(), field.end(), v);
+  if (ec != std::errc() || ptr != field.end()) {
+    return Status::ParseError("bad id: " + std::string(field));
+  }
+  return v;
+}
+
+/// Splits a CSV line in place into string_views (no quoting support).
+void SplitFields(std::string_view line, std::vector<std::string_view>* out) {
+  out->clear();
+  size_t begin = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      out->push_back(line.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+}
+
+}  // namespace
+
+Status WriteCsv(const std::string& dir, const PropertyGraphData& data) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create dir " + dir);
+
+  for (size_t l = 0; l < data.schema.vertex_label_num(); ++l) {
+    const auto& def = data.schema.vertex_label(static_cast<label_t>(l));
+    std::ofstream out(dir + "/vertex_" + def.name + ".csv", std::ios::trunc);
+    if (!out) return Status::IoError("cannot write vertex csv");
+    std::string line = "oid";
+    for (const auto& prop : def.properties) line += "," + prop.name;
+    out << line << "\n";
+    if (l >= data.vertices.size()) continue;
+    const auto& batch = data.vertices[l];
+    for (size_t i = 0; i < batch.oids.size(); ++i) {
+      line = std::to_string(batch.oids[i]);
+      for (const auto& value : batch.rows[i]) {
+        line.push_back(',');
+        AppendValue(&line, value);
+      }
+      out << line << "\n";
+    }
+  }
+
+  for (size_t l = 0; l < data.schema.edge_label_num(); ++l) {
+    const auto& def = data.schema.edge_label(static_cast<label_t>(l));
+    std::ofstream out(dir + "/edge_" + def.name + ".csv", std::ios::trunc);
+    if (!out) return Status::IoError("cannot write edge csv");
+    std::string line = "src,dst";
+    for (const auto& prop : def.properties) line += "," + prop.name;
+    out << line << "\n";
+    if (l >= data.edges.size()) continue;
+    const auto& batch = data.edges[l];
+    for (size_t i = 0; i < batch.src_oids.size(); ++i) {
+      line = std::to_string(batch.src_oids[i]);
+      line.push_back(',');
+      line += std::to_string(batch.dst_oids[i]);
+      for (const auto& value : batch.rows[i]) {
+        line.push_back(',');
+        AppendValue(&line, value);
+      }
+      out << line << "\n";
+    }
+  }
+  return Status::OK();
+}
+
+Result<PropertyGraphData> ReadCsv(const std::string& dir,
+                                  const GraphSchema& schema) {
+  PropertyGraphData data;
+  data.schema = schema;
+  data.vertices.resize(schema.vertex_label_num());
+  data.edges.resize(schema.edge_label_num());
+  std::vector<std::string_view> fields;
+  std::string line;
+
+  for (size_t l = 0; l < schema.vertex_label_num(); ++l) {
+    const auto& def = schema.vertex_label(static_cast<label_t>(l));
+    const std::string path = dir + "/vertex_" + def.name + ".csv";
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open " + path);
+    std::getline(in, line);  // Header.
+    auto& batch = data.vertices[l];
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      SplitFields(line, &fields);
+      if (fields.size() != def.properties.size() + 1) {
+        return Status::ParseError("vertex row arity mismatch in " + path);
+      }
+      FLEX_ASSIGN_OR_RETURN(oid_t oid, ParseInt64(fields[0]));
+      std::vector<PropertyValue> row;
+      row.reserve(def.properties.size());
+      for (size_t c = 0; c < def.properties.size(); ++c) {
+        FLEX_ASSIGN_OR_RETURN(
+            PropertyValue value,
+            ParseValue(fields[c + 1], def.properties[c].type));
+        row.push_back(std::move(value));
+      }
+      batch.oids.push_back(oid);
+      batch.rows.push_back(std::move(row));
+    }
+  }
+
+  for (size_t l = 0; l < schema.edge_label_num(); ++l) {
+    const auto& def = schema.edge_label(static_cast<label_t>(l));
+    const std::string path = dir + "/edge_" + def.name + ".csv";
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open " + path);
+    std::getline(in, line);  // Header.
+    auto& batch = data.edges[l];
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      SplitFields(line, &fields);
+      if (fields.size() != def.properties.size() + 2) {
+        return Status::ParseError("edge row arity mismatch in " + path);
+      }
+      FLEX_ASSIGN_OR_RETURN(oid_t src, ParseInt64(fields[0]));
+      FLEX_ASSIGN_OR_RETURN(oid_t dst, ParseInt64(fields[1]));
+      std::vector<PropertyValue> row;
+      row.reserve(def.properties.size());
+      for (size_t c = 0; c < def.properties.size(); ++c) {
+        FLEX_ASSIGN_OR_RETURN(
+            PropertyValue value,
+            ParseValue(fields[c + 2], def.properties[c].type));
+        row.push_back(std::move(value));
+      }
+      batch.src_oids.push_back(src);
+      batch.dst_oids.push_back(dst);
+      batch.rows.push_back(std::move(row));
+    }
+  }
+  return data;
+}
+
+}  // namespace flex::storage::graphar

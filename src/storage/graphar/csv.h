@@ -1,0 +1,24 @@
+#ifndef FLEX_STORAGE_GRAPHAR_CSV_H_
+#define FLEX_STORAGE_GRAPHAR_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/property_table.h"
+
+namespace flex::storage::graphar {
+
+/// CSV import/export — the baseline against which Fig 7(d) measures
+/// GraphAr's graph-construction speedup. One file per label under `dir`:
+/// `vertex_<Label>.csv` (oid, properties...) and `edge_<Label>.csv`
+/// (src, dst, properties...), each with a header row.
+Status WriteCsv(const std::string& dir, const PropertyGraphData& data);
+
+/// Parses the CSV files for every label in `schema` back into graph data.
+/// The caller supplies the schema, as GraphScope's CSV loaders do.
+Result<PropertyGraphData> ReadCsv(const std::string& dir,
+                                  const GraphSchema& schema);
+
+}  // namespace flex::storage::graphar
+
+#endif  // FLEX_STORAGE_GRAPHAR_CSV_H_

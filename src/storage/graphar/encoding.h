@@ -1,0 +1,51 @@
+#ifndef FLEX_STORAGE_GRAPHAR_ENCODING_H_
+#define FLEX_STORAGE_GRAPHAR_ENCODING_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_table.h"
+
+namespace flex::storage::graphar {
+
+/// Chunk encoders for the GraphAr columnar archive (§4.2: "GraphAr employs
+/// efficient encoding and compression techniques"). One chunk = one run of
+/// rows of a single column:
+///   int64  -> delta + zigzag + varint (sorted ids shrink to ~1 B each)
+///   double -> raw little-endian 8 B
+///   string -> varint length + bytes
+///   bool   -> bit-packed
+void EncodeInt64Chunk(std::span<const int64_t> values,
+                      std::vector<uint8_t>* out);
+Status DecodeInt64Chunk(std::span<const uint8_t> bytes, size_t count,
+                        std::vector<int64_t>* out);
+
+void EncodeDoubleChunk(std::span<const double> values,
+                       std::vector<uint8_t>* out);
+Status DecodeDoubleChunk(std::span<const uint8_t> bytes, size_t count,
+                         std::vector<double>* out);
+
+void EncodeStringChunk(const std::vector<std::string>& values, size_t begin,
+                       size_t end, std::vector<uint8_t>* out);
+Status DecodeStringChunk(std::span<const uint8_t> bytes, size_t count,
+                         std::vector<std::string>* out);
+
+void EncodeBoolChunk(std::span<const uint8_t> values,
+                     std::vector<uint8_t>* out);
+Status DecodeBoolChunk(std::span<const uint8_t> bytes, size_t count,
+                       std::vector<uint8_t>* out);
+
+/// Encodes rows [begin, end) of `column` into `out` per the column's type.
+void EncodeColumnChunk(const PropertyColumn& column, size_t begin, size_t end,
+                       std::vector<uint8_t>* out);
+
+/// Appends `count` decoded values to `column`.
+Status DecodeColumnChunk(std::span<const uint8_t> bytes, size_t count,
+                         PropertyColumn* column);
+
+}  // namespace flex::storage::graphar
+
+#endif  // FLEX_STORAGE_GRAPHAR_ENCODING_H_

@@ -1,0 +1,164 @@
+#include "storage/livegraph/livegraph_store.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace flex::storage {
+
+LiveGraphStore::LiveGraphStore(vid_t num_vertices)
+    : adjacency_(num_vertices) {
+  auto vlabel = schema_.AddVertexLabel("V", {});
+  FLEX_CHECK(vlabel.ok());
+  FLEX_CHECK(schema_
+                 .AddEdgeLabel("E", vlabel.value(), vlabel.value(),
+                               {{"weight", PropertyType::kDouble}})
+                 .ok());
+}
+
+std::unique_ptr<LiveGraphStore> LiveGraphStore::Build(const EdgeList& list) {
+  auto store = std::make_unique<LiveGraphStore>(list.num_vertices);
+  for (const RawEdge& e : list.edges) {
+    FLEX_CHECK(store->AddEdge(e.src, e.dst, e.weight).ok());
+  }
+  store->CommitVersion();
+  return store;
+}
+
+Status LiveGraphStore::AddEdge(vid_t src, vid_t dst, double weight) {
+  if (src >= adjacency_.size() || dst >= adjacency_.size()) {
+    return Status::OutOfRange("vertex id out of range");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  adjacency_[src].push_back(
+      {dst, weight, committed_.load(std::memory_order_relaxed) + 1, kNever});
+  return Status::OK();
+}
+
+Status LiveGraphStore::DeleteEdge(vid_t src, vid_t dst) {
+  if (src >= adjacency_.size() || dst >= adjacency_.size()) {
+    return Status::OutOfRange("vertex id out of range");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  bool found = false;
+  for (VersionEntry& e : adjacency_[src]) {
+    if (e.nbr == dst && e.remove == kNever) {
+      e.remove = committed_.load(std::memory_order_relaxed) + 1;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no live edge to delete");
+  return Status::OK();
+}
+
+version_t LiveGraphStore::CommitVersion() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return committed_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+size_t LiveGraphStore::CountEdges(version_t version) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& adj : adjacency_) {
+    for (const VersionEntry& e : adj) {
+      if (e.create <= version && version < e.remove) ++count;
+    }
+  }
+  return count;
+}
+
+// ----------------------------------------------------------- GRIN adapter
+
+class LiveGraphGrin final : public grin::GrinGraph {
+ public:
+  LiveGraphGrin(const LiveGraphStore* store, version_t version)
+      : store_(store), version_(version) {}
+
+  std::string backend_name() const override { return "livegraph"; }
+
+  uint32_t capabilities() const override {
+    return grin::kAdjacentListIterator | grin::kOidIndex | grin::kLabelIndex |
+           grin::kVertexListArray | grin::kVersionedSnapshot;
+  }
+
+  const GraphSchema& schema() const override { return store_->schema_; }
+
+  vid_t NumVertices() const override { return store_->num_vertices(); }
+  vid_t NumVerticesOfLabel(label_t) const override {
+    return store_->num_vertices();
+  }
+  label_t VertexLabelOf(vid_t) const override { return 0; }
+
+  std::pair<vid_t, vid_t> VertexRange(label_t) const override {
+    return {0, store_->num_vertices()};
+  }
+
+  void VisitVertices(label_t, grin::VertexPredicate pred, void* pred_ctx,
+                     bool (*visitor)(void*, vid_t),
+                     void* visitor_ctx) const override {
+    for (vid_t v = 0; v < store_->num_vertices(); ++v) {
+      if (pred != nullptr && !pred(pred_ctx, v)) continue;
+      if (!visitor(visitor_ctx, v)) return;
+    }
+  }
+
+  bool VisitAdj(vid_t v, Direction dir, label_t, grin::AdjVisitor visitor,
+                void* ctx) const override {
+    if (dir != Direction::kOut) return true;  // Out-only baseline store.
+    constexpr size_t kBuf = 64;
+    vid_t nbuf[kBuf];
+    double wbuf[kBuf];
+    size_t fill = 0;
+    std::shared_lock<std::shared_mutex> lock(store_->mu_);
+    for (const auto& e : store_->adjacency_[v]) {
+      if (e.create > version_ || version_ >= e.remove) continue;
+      nbuf[fill] = e.nbr;
+      wbuf[fill] = e.weight;
+      if (++fill == kBuf) {
+        grin::AdjChunk chunk{{nbuf, fill}, {wbuf, fill}, {}, 0};
+        if (!visitor(ctx, chunk)) return false;
+        fill = 0;
+      }
+    }
+    if (fill > 0) {
+      grin::AdjChunk chunk{{nbuf, fill}, {wbuf, fill}, {}, 0};
+      if (!visitor(ctx, chunk)) return false;
+    }
+    return true;
+  }
+
+  size_t Degree(vid_t v, Direction dir, label_t) const override {
+    if (dir != Direction::kOut) return 0;
+    size_t count = 0;
+    store_->ForEachOut(v, version_, [&](vid_t, double) { ++count; });
+    return count;
+  }
+
+  PropertyValue GetVertexProperty(vid_t, size_t) const override {
+    return PropertyValue();
+  }
+  PropertyValue GetEdgeProperty(label_t, eid_t, size_t) const override {
+    return PropertyValue();
+  }
+
+  Result<vid_t> FindVertex(label_t, oid_t oid) const override {
+    if (oid < 0 || oid >= static_cast<oid_t>(store_->num_vertices())) {
+      return Status::NotFound("vertex oid " + std::to_string(oid));
+    }
+    return static_cast<vid_t>(oid);
+  }
+
+  oid_t GetOid(vid_t v) const override { return static_cast<oid_t>(v); }
+
+  version_t SnapshotVersion() const override { return version_; }
+
+ private:
+  const LiveGraphStore* store_;
+  version_t version_;
+};
+
+std::unique_ptr<grin::GrinGraph> LiveGraphStore::GetSnapshot() const {
+  return std::make_unique<LiveGraphGrin>(this, read_version());
+}
+
+}  // namespace flex::storage

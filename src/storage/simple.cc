@@ -1,0 +1,30 @@
+#include "storage/simple.h"
+
+#include "common/logging.h"
+
+namespace flex::storage {
+
+PropertyGraphData MakeSimpleGraphData(const EdgeList& list,
+                                      bool with_weights) {
+  PropertyGraphData data;
+  auto vlabel = data.schema.AddVertexLabel("V", {});
+  FLEX_CHECK(vlabel.ok());
+  std::vector<PropertyDef> edge_props;
+  if (with_weights) edge_props.push_back({"weight", PropertyType::kDouble});
+  auto elabel = data.schema.AddEdgeLabel("E", vlabel.value(), vlabel.value(),
+                                         edge_props);
+  FLEX_CHECK(elabel.ok());
+
+  for (vid_t v = 0; v < list.num_vertices; ++v) {
+    data.AddVertex(vlabel.value(), static_cast<oid_t>(v), {});
+  }
+  for (const RawEdge& e : list.edges) {
+    std::vector<PropertyValue> row;
+    if (with_weights) row.emplace_back(e.weight);
+    data.AddEdge(elabel.value(), static_cast<oid_t>(e.src),
+                 static_cast<oid_t>(e.dst), std::move(row));
+  }
+  return data;
+}
+
+}  // namespace flex::storage

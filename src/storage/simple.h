@@ -1,0 +1,17 @@
+#ifndef FLEX_STORAGE_SIMPLE_H_
+#define FLEX_STORAGE_SIMPLE_H_
+
+#include "graph/edge_list.h"
+#include "graph/property_table.h"
+
+namespace flex::storage {
+
+/// Wraps a plain edge list as a single-label property graph ("V" vertices,
+/// "E" edges with a double `weight` property, oid == vid), so simple /
+/// weighted analytics graphs flow through the same LPG store builders.
+PropertyGraphData MakeSimpleGraphData(const EdgeList& list,
+                                      bool with_weights = true);
+
+}  // namespace flex::storage
+
+#endif  // FLEX_STORAGE_SIMPLE_H_

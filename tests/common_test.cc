@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/queue.h"
+#include "common/random.h"
+#include "common/stable_vector.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/varint.h"
+
+namespace flex {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("vertex 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: vertex 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kAborted); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalve(int x, int* out) {
+  FLEX_ASSIGN_OR_RETURN(*out, HalveEven(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalve(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalve(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Varint
+
+TEST(VarintTest, RoundTripSmall) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 0);
+  PutVarint64(&buf, 127);
+  PutVarint64(&buf, 128);
+  size_t pos = 0;
+  uint64_t v = 99;
+  ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+  EXPECT_EQ(v, 127u);
+  ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+  EXPECT_EQ(v, 128u);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  EXPECT_EQ(VarintLength(0), 1u);
+  EXPECT_EQ(VarintLength(127), 1u);
+  EXPECT_EQ(VarintLength(128), 2u);
+  EXPECT_EQ(VarintLength(UINT64_MAX), 10u);
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 1ull << 40);
+  size_t pos = 0;
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(buf.data(), buf.size() - 1, &pos, &v));
+}
+
+TEST(VarintTest, ZigZagOrdering) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (int64_t x : {int64_t{0}, int64_t{-5}, int64_t{12345},
+                    int64_t{-9876543210}, INT64_MIN, INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(x)), x);
+  }
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, GetParam());
+  EXPECT_EQ(buf.size(), VarintLength(GetParam()));
+  size_t pos = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+  EXPECT_EQ(v, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull,
+                                           16383ull, 16384ull, (1ull << 35),
+                                           UINT64_MAX - 1, UINT64_MAX));
+
+// ---------------------------------------------------------------- Random
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIsInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(10), 10u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMassOnHead) {
+  ZipfSampler zipf(1000, 1.2, 3);
+  size_t head = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next() < 10) ++head;
+  }
+  // With s=1.2 the top-10 ranks should hold a large share of the mass.
+  EXPECT_GT(head, kDraws / 4);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_TRUE(StartsWith("MATCH (n)", "MATCH"));
+  EXPECT_FALSE(StartsWith("MA", "MATCH"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_EQ(ToLower("GrEmLiN"), "gremlin");
+  EXPECT_TRUE(EqualsIgnoreCase("RETURN", "return"));
+  EXPECT_FALSE(EqualsIgnoreCase("RETURN", "returns"));
+}
+
+TEST(StringUtilTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+}
+
+// ---------------------------------------------------------------- Queue
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.Push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(8);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, ProducerConsumerTransfersEverything) {
+  BoundedQueue<int> q(4);
+  constexpr int kItems = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) q.Push(i);
+    q.Close();
+  });
+  int64_t sum = 0;
+  int count = 0;
+  while (auto v = q.Pop()) {
+    sum += *v;
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, static_cast<int64_t>(kItems) * (kItems - 1) / 2);
+}
+
+// ---------------------------------------------------------------- Pool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangePartitionsDisjointly) {
+  ThreadPool pool(4);
+  std::vector<int> owner(103, -1);
+  std::mutex mu;
+  pool.ParallelForRange(103, [&](size_t w, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = begin; i < end; ++i) {
+      EXPECT_EQ(owner[i], -1);
+      owner[i] = static_cast<int>(w);
+    }
+  });
+  for (int o : owner) EXPECT_NE(o, -1);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+// ---------------------------------------------------------------- Barrier
+
+TEST(BarrierTest, SynchronizesRounds) {
+  constexpr size_t kThreads = 4;
+  constexpr int kRounds = 20;
+  Barrier barrier(kThreads);
+  std::atomic<int> round_counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> violation{false};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        ++round_counter;
+        barrier.Await();
+        // After the barrier every thread must have bumped the counter.
+        if (round_counter.load() < (r + 1) * static_cast<int>(kThreads)) {
+          violation = true;
+        }
+        barrier.Await();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(round_counter.load(), kRounds * static_cast<int>(kThreads));
+}
+
+TEST(BarrierTest, ExactlyOneLeaderPerGeneration) {
+  constexpr size_t kThreads = 3;
+  Barrier barrier(kThreads);
+  std::atomic<int> leaders{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      if (barrier.Await()) ++leaders;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(leaders.load(), 1);
+}
+
+// ---------------------------------------------------------- StableVector
+
+TEST(StableVectorTest, AppendsAcrossBlocks) {
+  StableVector<int, 4, 64> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i * i);
+  ASSERT_EQ(v.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(v[i], i * i);
+}
+
+TEST(StableVectorTest, AddressesAreStable) {
+  StableVector<int, 2, 64> v;
+  v.push_back(1);
+  const int* first = &v[0];
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(first, &v[0]);  // No reallocation ever moves elements.
+  EXPECT_EQ(*first, 1);
+}
+
+TEST(StableVectorTest, ConcurrentReadersSeeOnlyPublishedElements) {
+  StableVector<uint64_t, 64> v;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> violations{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t n = v.size();
+      for (size_t i = 0; i < n; ++i) {
+        // Writer publishes i+1 at slot i before bumping the size.
+        if (v[i] != i + 1) violations.fetch_add(1);
+      }
+    }
+  });
+  for (uint64_t i = 0; i < 200000; ++i) v.push_back(i + 1);
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(v.size(), 200000u);
+}
+
+TEST(StableVectorTest, EmplaceDefaultThenMutate) {
+  StableVector<std::vector<int>, 8> v;
+  auto& slot = v.emplace_back();
+  slot.push_back(42);
+  EXPECT_EQ(v[0].size(), 1u);
+  EXPECT_EQ(v[0][0], 42);
+}
+
+}  // namespace
+}  // namespace flex

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/generators.h"
+#include "datagen/registry.h"
+#include "graph/csr.h"
+
+namespace flex::datagen {
+namespace {
+
+TEST(RmatTest, SizesMatchParams) {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8.0;
+  EdgeList list = GenerateRmat(params);
+  EXPECT_EQ(list.num_vertices, 1024u);
+  EXPECT_EQ(list.num_edges(), 8192u);
+  for (const RawEdge& e : list.edges) {
+    EXPECT_LT(e.src, 1024u);
+    EXPECT_LT(e.dst, 1024u);
+  }
+}
+
+TEST(RmatTest, DeterministicPerSeed) {
+  RmatParams params;
+  params.scale = 8;
+  params.seed = 77;
+  EdgeList a = GenerateRmat(params);
+  EdgeList b = GenerateRmat(params);
+  EXPECT_EQ(a.edges, b.edges);
+  params.seed = 78;
+  EdgeList c = GenerateRmat(params);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(RmatTest, ProducesSkewedDegrees) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 16.0;
+  Csr csr = Csr::FromEdges(GenerateRmat(params));
+  GraphStats stats = ComputeStats(csr);
+  // Power-law: the max degree should dwarf the average.
+  EXPECT_GT(static_cast<double>(stats.max_degree), 10.0 * stats.avg_degree);
+}
+
+TEST(UniformTest, FlatDegreesComparedToRmat) {
+  EdgeList list = GenerateUniform(4096, 65536, 5);
+  Csr csr = Csr::FromEdges(list);
+  GraphStats stats = ComputeStats(csr);
+  // Poisson-ish tail: max degree within a small multiple of the mean.
+  EXPECT_LT(static_cast<double>(stats.max_degree), 5.0 * stats.avg_degree);
+}
+
+TEST(WebLikeTest, InDegreeIsHeavyTailed) {
+  EdgeList list = GenerateWebLike(4096, 65536, 0.9, 11);
+  Csr csc = Csr::FromEdges(list, /*reversed=*/true);
+  size_t max_in = 0;
+  for (vid_t v = 0; v < csc.num_vertices(); ++v) {
+    max_in = std::max(max_in, csc.degree(v));
+  }
+  EXPECT_GT(max_in, 1000u);  // The rank-1 hub soaks up a large share.
+}
+
+TEST(WeightsTest, AssignedPositiveAndDeterministic) {
+  EdgeList a = GenerateUniform(128, 1024, 3);
+  EdgeList b = a;
+  AssignWeights(&a, 9);
+  AssignWeights(&b, 9);
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_GT(a.edges[i].weight, 0.0);
+    EXPECT_EQ(a.edges[i].weight, b.edges[i].weight);
+  }
+}
+
+TEST(SymmetrizeTest, DoublesEdgesWithReverses) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, 0.5}, {1, 2, 0.25}};
+  EdgeList sym = Symmetrize(list);
+  ASSERT_EQ(sym.num_edges(), 4u);
+  EXPECT_EQ(sym.edges[1].src, 1u);
+  EXPECT_EQ(sym.edges[1].dst, 0u);
+  EXPECT_DOUBLE_EQ(sym.edges[1].weight, 0.5);
+}
+
+TEST(RegistryTest, AllPaperDatasetsPresent) {
+  const auto& all = AllDatasets();
+  EXPECT_EQ(all.size(), 15u);  // Table 1 rows.
+  for (const char* abbr :
+       {"FB0", "FB1", "ZF", "G500", "WB", "UK", "CF", "TW", "IT", "AR", "PD",
+        "PA", "SNB-30", "SNB-300", "SNB-1000"}) {
+    EXPECT_TRUE(FindDataset(abbr).ok()) << abbr;
+  }
+  EXPECT_FALSE(FindDataset("nope").ok());
+}
+
+TEST(RegistryTest, GeneratedGraphMatchesSpec) {
+  auto spec = FindDataset("G500").value();
+  EdgeList list = Generate(spec);
+  EXPECT_EQ(list.num_vertices, 1u << spec.scale);
+  EXPECT_NEAR(static_cast<double>(list.num_edges()),
+              spec.edge_factor * list.num_vertices,
+              list.num_vertices);  // Rounding slack.
+}
+
+class RegistryAllSpecs : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(RegistryAllSpecs, GeneratesValidEdges) {
+  EdgeList list = Generate(GetParam());
+  EXPECT_GT(list.num_vertices, 0u);
+  EXPECT_GT(list.num_edges(), 0u);
+  for (size_t i = 0; i < std::min<size_t>(list.num_edges(), 1000); ++i) {
+    EXPECT_LT(list.edges[i].src, list.num_vertices);
+    EXPECT_LT(list.edges[i].dst, list.num_vertices);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, RegistryAllSpecs, ::testing::ValuesIn(AllDatasets()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      std::string name = info.param.abbr;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace flex::datagen

@@ -1,0 +1,593 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <queue>
+
+#include "datagen/generators.h"
+#include "grape/apps/cdlp.h"
+#include "grape/apps/equity.h"
+#include "grape/apps/kcore.h"
+#include "grape/apps/pagerank.h"
+#include "grape/apps/traversal.h"
+#include "grape/flash.h"
+#include "grape/ingress.h"
+#include "grape/pregel.h"
+
+namespace flex::grape {
+namespace {
+
+// --------------------------------------------------- reference kernels
+
+std::vector<double> ReferencePageRank(const EdgeList& g, int iters,
+                                      double damping) {
+  const vid_t n = g.num_vertices;
+  std::vector<uint32_t> outdeg(n, 0);
+  for (const RawEdge& e : g.edges) ++outdeg[e.src];
+  std::vector<double> rank(n, 1.0 / n), next(n);
+  for (int it = 0; it < iters; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (outdeg[v] == 0) dangling += rank[v];
+    }
+    for (const RawEdge& e : g.edges) next[e.dst] += rank[e.src] / outdeg[e.src];
+    for (vid_t v = 0; v < n; ++v) {
+      rank[v] = (1.0 - damping) / n + damping * (next[v] + dangling / n);
+    }
+  }
+  return rank;
+}
+
+std::vector<uint32_t> ReferenceBfs(const EdgeList& g, vid_t source) {
+  std::vector<std::vector<vid_t>> adj(g.num_vertices);
+  for (const RawEdge& e : g.edges) adj[e.src].push_back(e.dst);
+  std::vector<uint32_t> depth(g.num_vertices, kUnreachedDepth);
+  std::queue<vid_t> queue;
+  depth[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const vid_t v = queue.front();
+    queue.pop();
+    for (vid_t u : adj[v]) {
+      if (depth[u] == kUnreachedDepth) {
+        depth[u] = depth[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<double> ReferenceSssp(const EdgeList& g, vid_t source) {
+  std::vector<std::vector<std::pair<vid_t, double>>> adj(g.num_vertices);
+  for (const RawEdge& e : g.edges) adj[e.src].push_back({e.dst, e.weight});
+  std::vector<double> dist(g.num_vertices, kUnreachedDist);
+  using Item = std::pair<double, vid_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (auto [u, w] : adj[v]) {
+      if (d + w < dist[u]) {
+        dist[u] = d + w;
+        heap.push({dist[u], u});
+      }
+    }
+  }
+  return dist;
+}
+
+/// Union-find reference for WCC over the undirected closure.
+std::vector<uint32_t> ReferenceWcc(const EdgeList& g) {
+  std::vector<uint32_t> parent(g.num_vertices);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const RawEdge& e : g.edges) {
+    const uint32_t a = find(e.src), b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  // Fully compress, then canonicalize to the min vertex in the component.
+  std::vector<uint32_t> label(g.num_vertices);
+  for (vid_t v = 0; v < g.num_vertices; ++v) label[v] = find(v);
+  return label;
+}
+
+EdgeList TestGraph() {
+  EdgeList g = datagen::GenerateRmat({.scale = 10, .edge_factor = 8.0,
+                                      .a = 0.57, .b = 0.19, .c = 0.19,
+                                      .seed = 42});
+  datagen::AssignWeights(&g, 7);
+  return g;
+}
+
+class FragmentCounts : public ::testing::TestWithParam<partition_t> {};
+
+// ------------------------------------------------------------ Fragment
+
+TEST_P(FragmentCounts, PartitionCoversAllEdges) {
+  EdgeList g = TestGraph();
+  EdgeCutPartitioner part(g.num_vertices, GetParam());
+  auto frags = Partition(g, part);
+  size_t inner_total = 0, edge_total = 0, in_edge_total = 0;
+  for (const auto& frag : frags) {
+    inner_total += frag->inner_vertices().size();
+    edge_total += frag->num_inner_edges();
+    for (vid_t v : frag->inner_vertices()) {
+      in_edge_total += frag->InDegree(v);
+      EXPECT_TRUE(frag->IsInner(v));
+      EXPECT_EQ(frag->GlobalOutDegree(v), frag->OutDegree(v));
+    }
+  }
+  EXPECT_EQ(inner_total, g.num_vertices);
+  EXPECT_EQ(edge_total, g.num_edges());
+  EXPECT_EQ(in_edge_total, g.num_edges());
+}
+
+// ------------------------------------------------------------ PageRank
+
+TEST_P(FragmentCounts, PageRankMatchesReference) {
+  EdgeList g = TestGraph();
+  EdgeCutPartitioner part(g.num_vertices, GetParam());
+  auto frags = Partition(g, part);
+  auto got = RunPageRank(frags, 10, 0.85);
+  auto want = ReferencePageRank(g, 10, 0.85);
+  ASSERT_EQ(got.size(), want.size());
+  double total = 0.0;
+  for (vid_t v = 0; v < g.num_vertices; ++v) {
+    EXPECT_NEAR(got[v], want[v], 1e-10) << "vertex " << v;
+    total += got[v];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);  // Rank mass conserved (dangling handled).
+}
+
+TEST(PageRankTest, PerMessageModeSameResult) {
+  EdgeList g = TestGraph();
+  EdgeCutPartitioner part(g.num_vertices, 3);
+  auto frags = Partition(g, part);
+  auto agg = RunPageRank(frags, 5, 0.85, MessageMode::kAggregated);
+  auto per = RunPageRank(frags, 5, 0.85, MessageMode::kPerMessage);
+  for (vid_t v = 0; v < g.num_vertices; ++v) {
+    EXPECT_NEAR(agg[v], per[v], 1e-9);
+  }
+}
+
+// ----------------------------------------------------------- Traversal
+
+TEST_P(FragmentCounts, BfsMatchesReference) {
+  EdgeList g = TestGraph();
+  EdgeCutPartitioner part(g.num_vertices, GetParam());
+  auto frags = Partition(g, part);
+  auto got = RunBfs(frags, 0);
+  auto want = ReferenceBfs(g, 0);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(FragmentCounts, SsspMatchesReference) {
+  EdgeList g = TestGraph();
+  EdgeCutPartitioner part(g.num_vertices, GetParam());
+  auto frags = Partition(g, part);
+  auto got = RunSssp(frags, 0);
+  auto want = ReferenceSssp(g, 0);
+  for (vid_t v = 0; v < g.num_vertices; ++v) {
+    if (want[v] == kUnreachedDist) {
+      EXPECT_EQ(got[v], kUnreachedDist);
+    } else {
+      EXPECT_NEAR(got[v], want[v], 1e-9) << "vertex " << v;
+    }
+  }
+}
+
+TEST_P(FragmentCounts, WccMatchesReference) {
+  EdgeList g = TestGraph();
+  EdgeCutPartitioner part(g.num_vertices, GetParam());
+  auto frags = Partition(g, part);
+  auto got = RunWcc(frags);
+  auto want = ReferenceWcc(g);
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fragments, FragmentCounts,
+                         ::testing::Values(1, 2, 4));
+
+TEST(BfsTest, DisconnectedSourceOnlyReachesItself) {
+  EdgeList g;
+  g.num_vertices = 5;
+  g.edges = {{1, 2, 1.0}, {2, 3, 1.0}};
+  EdgeCutPartitioner part(5, 2);
+  auto frags = Partition(g, part);
+  auto depth = RunBfs(frags, 0);
+  EXPECT_EQ(depth[0], 0u);
+  for (vid_t v = 1; v < 5; ++v) EXPECT_EQ(depth[v], kUnreachedDepth);
+}
+
+// ---------------------------------------------------------------- CDLP
+
+TEST(CdlpTest, TwoCliquesConverge) {
+  // Two 4-cliques joined by a single bridge edge: labels converge within
+  // each clique.
+  EdgeList g;
+  g.num_vertices = 8;
+  for (vid_t a = 0; a < 4; ++a) {
+    for (vid_t b = 0; b < 4; ++b) {
+      if (a != b) {
+        g.edges.push_back({a, b, 1.0});
+        g.edges.push_back({a + 4, b + 4, 1.0});
+      }
+    }
+  }
+  g.edges.push_back({3, 4, 1.0});
+  EdgeCutPartitioner part(8, 2);
+  auto frags = Partition(g, part);
+  auto labels = RunCdlp(frags, 10);
+  for (vid_t v = 0; v < 4; ++v) EXPECT_EQ(labels[v], labels[0]);
+  for (vid_t v = 4; v < 8; ++v) EXPECT_EQ(labels[v], labels[4]);
+}
+
+TEST(CdlpTest, FixedRoundsTerminate) {
+  EdgeList g = TestGraph();
+  EdgeCutPartitioner part(g.num_vertices, 2);
+  auto frags = Partition(g, part);
+  auto labels = RunCdlp(frags, 5);
+  EXPECT_EQ(labels.size(), g.num_vertices);
+  for (uint32_t l : labels) EXPECT_LT(l, g.num_vertices);
+}
+
+// --------------------------------------------------------------- kcore
+
+TEST(KCoreTest, CliquePlusTail) {
+  // A 5-clique with a pendant path: 4-core = the clique only.
+  EdgeList g;
+  g.num_vertices = 8;
+  for (vid_t a = 0; a < 5; ++a) {
+    for (vid_t b = a + 1; b < 5; ++b) g.edges.push_back({a, b, 1.0});
+  }
+  g.edges.push_back({4, 5, 1.0});
+  g.edges.push_back({5, 6, 1.0});
+  g.edges.push_back({6, 7, 1.0});
+  EdgeCutPartitioner part(8, 2);
+  auto frags = Partition(g, part);
+  auto alive = RunKCore(frags, 4);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(alive[v], 1) << v;
+  for (vid_t v = 5; v < 8; ++v) EXPECT_EQ(alive[v], 0) << v;
+}
+
+TEST(KCoreTest, AgreesWithFlashPeeling) {
+  // The PIE app counts multigraph degree (out + in); to compare against
+  // FLASH's simple-graph peeling, canonicalize to a simple undirected
+  // graph first (one record per {u, v}, no self-loops).
+  EdgeList raw = TestGraph();
+  std::set<std::pair<vid_t, vid_t>> seen;
+  EdgeList g;
+  g.num_vertices = raw.num_vertices;
+  for (const RawEdge& e : raw.edges) {
+    if (e.src == e.dst) continue;
+    auto key = std::minmax(e.src, e.dst);
+    if (seen.insert({key.first, key.second}).second) {
+      g.edges.push_back({key.first, key.second, 1.0});
+    }
+  }
+  EdgeCutPartitioner part(g.num_vertices, 3);
+  auto frags = Partition(g, part);
+  flash::FlashEngine flash_engine(g, 3);
+  for (uint32_t k : {2u, 5u, 10u}) {
+    auto pie = RunKCore(frags, k);
+    auto fl = flash_engine.KCore(k);
+    EXPECT_EQ(pie, fl) << "k=" << k;
+  }
+}
+
+// -------------------------------------------------------------- Pregel
+
+class PregelSssp : public PregelProgram<double, double> {
+ public:
+  explicit PregelSssp(vid_t source) : source_(source) {}
+
+  double Init(vid_t v, const Fragment&) override {
+    return v == source_ ? 0.0 : kUnreachedDist;
+  }
+
+  void Compute(PregelVertex<double, double>& vertex,
+               std::span<const double> messages) override {
+    double best = vertex.value();
+    for (double m : messages) best = std::min(best, m);
+    if (best < vertex.value() || vertex.superstep() == 0) {
+      vertex.value() = best;
+      if (best != kUnreachedDist) {
+        const auto nbrs = vertex.out_neighbors();
+        const auto weights = vertex.out_weights();
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          vertex.SendTo(nbrs[i], best + weights[i]);
+        }
+      }
+    }
+    vertex.VoteToHalt();
+  }
+
+ private:
+  vid_t source_;
+};
+
+TEST(PregelTest, SsspMatchesReference) {
+  EdgeList g = TestGraph();
+  EdgeCutPartitioner part(g.num_vertices, 2);
+  auto frags = Partition(g, part);
+  auto got = RunPregel<double, double>(
+      frags, [] { return std::make_unique<PregelSssp>(0); }, 1000);
+  auto want = ReferenceSssp(g, 0);
+  for (vid_t v = 0; v < g.num_vertices; ++v) {
+    if (want[v] == kUnreachedDist) {
+      EXPECT_EQ(got[v], kUnreachedDist);
+    } else {
+      EXPECT_NEAR(got[v], want[v], 1e-9);
+    }
+  }
+}
+
+/// Max-value propagation: classic Pregel example; exercises keep-alive
+/// (vertices stay active until quiescent).
+class PregelMax : public PregelProgram<uint32_t, uint32_t> {
+ public:
+  uint32_t Init(vid_t v, const Fragment&) override { return v * 7 % 101; }
+
+  void Compute(PregelVertex<uint32_t, uint32_t>& vertex,
+               std::span<const uint32_t> messages) override {
+    uint32_t best = vertex.value();
+    for (uint32_t m : messages) best = std::max(best, m);
+    if (best > vertex.value() || vertex.superstep() == 0) {
+      vertex.value() = best;
+      vertex.SendToNeighbors(best);
+    }
+    vertex.VoteToHalt();
+  }
+};
+
+TEST(PregelTest, MaxPropagationOnCycle) {
+  EdgeList g;
+  g.num_vertices = 10;
+  for (vid_t v = 0; v < 10; ++v) g.edges.push_back({v, (v + 1) % 10, 1.0});
+  EdgeCutPartitioner part(10, 2);
+  auto frags = Partition(g, part);
+  auto values = RunPregel<uint32_t, uint32_t>(
+      frags, [] { return std::make_unique<PregelMax>(); }, 100);
+  uint32_t expected = 0;
+  for (vid_t v = 0; v < 10; ++v) expected = std::max(expected, v * 7 % 101);
+  for (vid_t v = 0; v < 10; ++v) EXPECT_EQ(values[v], expected);
+}
+
+// --------------------------------------------------------------- FLASH
+
+TEST(FlashTest, TriangleCountsOnKnownGraph) {
+  // Triangle 0-1-2 plus an edge 2-3.
+  EdgeList g;
+  g.num_vertices = 4;
+  g.edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {2, 3, 1}};
+  flash::FlashEngine engine(g, 2);
+  auto counts = engine.TriangleCounts();
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 1, 1, 0}));
+}
+
+TEST(FlashTest, TriangleTotalMatchesBruteForce) {
+  EdgeList g = datagen::GenerateUniform(200, 2000, 5);
+  flash::FlashEngine engine(g, 3);
+  auto counts = engine.TriangleCounts();
+  // Brute force over undirected simple closure.
+  std::vector<std::vector<uint8_t>> adj(200, std::vector<uint8_t>(200, 0));
+  for (const RawEdge& e : g.edges) {
+    if (e.src != e.dst) {
+      adj[e.src][e.dst] = 1;
+      adj[e.dst][e.src] = 1;
+    }
+  }
+  uint64_t brute = 0;
+  for (vid_t a = 0; a < 200; ++a) {
+    for (vid_t b = a + 1; b < 200; ++b) {
+      if (!adj[a][b]) continue;
+      for (vid_t c = b + 1; c < 200; ++c) {
+        if (adj[a][c] && adj[b][c]) ++brute;
+      }
+    }
+  }
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, brute * 3);  // Each triangle counted at 3 corners.
+}
+
+TEST(FlashTest, LccBounds) {
+  EdgeList g = TestGraph();
+  flash::FlashEngine engine(g, 3);
+  auto lcc = engine.Lcc();
+  for (double x : lcc) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0 + 1e-12);
+  }
+}
+
+TEST(FlashTest, LccOfTriangleIsOne) {
+  EdgeList g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}};
+  flash::FlashEngine engine(g, 1);
+  auto lcc = engine.Lcc();
+  for (double x : lcc) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(FlashTest, VertexAndEdgeMapPrimitives) {
+  EdgeList g;
+  g.num_vertices = 6;
+  g.edges = {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 4, 1}, {4, 5, 1}};
+  flash::FlashEngine engine(g, 2);
+  auto all = flash::VertexSubset::All(6);
+  auto evens = engine.VertexMap(all, [](vid_t v) { return v % 2 == 0; });
+  EXPECT_EQ(evens.size(), 3u);
+  EXPECT_TRUE(evens.Contains(0));
+  EXPECT_FALSE(evens.Contains(1));
+
+  flash::VertexSubset start(6);
+  start.Add(0);
+  auto next = engine.EdgeMapSparse(start, [](vid_t, vid_t) { return true; });
+  EXPECT_EQ(next.size(), 2u);
+  EXPECT_TRUE(next.Contains(1));
+  EXPECT_TRUE(next.Contains(2));
+}
+
+// --------------------------------------------------------------- Equity
+
+TEST(EquityTest, PaperWorkedExample) {
+  // Figure 6(b): Person C controls Company 1 with 0.8*0.6 + 0.8*0.3*0.7.
+  // Vertices: 0 = Person A, 1 = Person C, 2 = Company1, 3 = Company2,
+  // 4 = Company3.
+  EdgeList g;
+  g.num_vertices = 5;
+  g.edges = {
+      {0, 2, 0.10},  // A -> Company1 (minority stake).
+      {1, 3, 0.80},  // C -> Company2.
+      {3, 2, 0.60},  // Company2 -> Company1.
+      {3, 4, 0.30},  // Company2 -> Company3.
+      {4, 2, 0.70},  // Company3 -> Company1.
+  };
+  std::vector<uint8_t> is_person = {1, 1, 0, 0, 0};
+  auto results = ComputeControllers(g, is_person);
+  ASSERT_EQ(results.size(), 3u);  // Three companies.
+  const ControlResult* company1 = nullptr;
+  for (const auto& r : results) {
+    if (r.company == 2) company1 = &r;
+  }
+  ASSERT_NE(company1, nullptr);
+  EXPECT_EQ(company1->controller, 1u);  // Person C.
+  EXPECT_NEAR(company1->share, 0.648, 1e-9);
+}
+
+TEST(EquityTest, NoControllerBelowThreshold) {
+  EdgeList g;
+  g.num_vertices = 3;
+  g.edges = {{0, 2, 0.3}, {1, 2, 0.3}};
+  std::vector<uint8_t> is_person = {1, 1, 0};
+  auto results = ComputeControllers(g, is_person);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].controller, kInvalidVid);
+}
+
+TEST(EquityTest, DeepChainPropagates) {
+  // Person 0 owns 100% through a 5-company chain: still the controller.
+  EdgeList g;
+  g.num_vertices = 6;
+  for (vid_t v = 0; v < 5; ++v) g.edges.push_back({v, v + 1, 1.0});
+  std::vector<uint8_t> is_person = {1, 0, 0, 0, 0, 0};
+  auto results = ComputeControllers(g, is_person, 10);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.controller, 0u) << "company " << r.company;
+    EXPECT_NEAR(r.share, 1.0, 1e-9);
+  }
+}
+
+TEST(FlashTest, LouvainSeparatesCliques) {
+  // Two 5-cliques joined by one bridge: two communities, modularity far
+  // above the singleton partition.
+  EdgeList g;
+  g.num_vertices = 10;
+  for (vid_t a = 0; a < 5; ++a) {
+    for (vid_t b = a + 1; b < 5; ++b) {
+      g.edges.push_back({a, b, 1.0});
+      g.edges.push_back({a + 5, b + 5, 1.0});
+    }
+  }
+  g.edges.push_back({4, 5, 1.0});
+  flash::FlashEngine engine(g, 2);
+  auto communities = engine.LouvainCommunities();
+  for (vid_t v = 1; v < 5; ++v) EXPECT_EQ(communities[v], communities[0]);
+  for (vid_t v = 6; v < 10; ++v) EXPECT_EQ(communities[v], communities[5]);
+  EXPECT_NE(communities[0], communities[5]);
+
+  std::vector<uint32_t> singletons(10);
+  for (vid_t v = 0; v < 10; ++v) singletons[v] = v;
+  EXPECT_GT(engine.Modularity(communities),
+            engine.Modularity(singletons) + 0.3);
+}
+
+TEST(FlashTest, LouvainImprovesModularityOnRandomGraph) {
+  EdgeList g = datagen::GenerateUniform(300, 1200, 9);
+  flash::FlashEngine engine(g, 2);
+  auto communities = engine.LouvainCommunities();
+  std::vector<uint32_t> singletons(300);
+  for (vid_t v = 0; v < 300; ++v) singletons[v] = v;
+  EXPECT_GE(engine.Modularity(communities), engine.Modularity(singletons));
+}
+
+// -------------------------------------------------------------- Ingress
+
+TEST(IngressTest, IncrementalSsspMatchesFullRecompute) {
+  EdgeList g = TestGraph();
+  // Hold back 5% of edges as the update stream.
+  const size_t keep = g.num_edges() * 95 / 100;
+  std::vector<RawEdge> updates(g.edges.begin() + keep, g.edges.end());
+  EdgeList initial = g;
+  initial.edges.resize(keep);
+
+  IngressSssp incremental(initial, 0);
+  const size_t full_work = incremental.last_relaxations();
+  for (size_t begin = 0; begin < updates.size(); begin += 100) {
+    const size_t end = std::min(updates.size(), begin + 100);
+    incremental.AddEdges(
+        std::vector<RawEdge>(updates.begin() + begin, updates.begin() + end));
+    // Memoization pays: each batch touches far less than the full run.
+    EXPECT_LT(incremental.last_relaxations(), full_work);
+  }
+  auto want = ReferenceSssp(g, 0);
+  const auto& got = incremental.distances();
+  for (vid_t v = 0; v < g.num_vertices; ++v) {
+    if (want[v] == kUnreachedDist) {
+      EXPECT_EQ(got[v], std::numeric_limits<double>::max());
+    } else {
+      EXPECT_NEAR(got[v], want[v], 1e-9) << v;
+    }
+  }
+}
+
+TEST(IngressTest, IncrementalWccMergesComponents) {
+  // Two chains; an inserted bridge merges their components incrementally.
+  EdgeList g;
+  g.num_vertices = 10;
+  for (vid_t v = 0; v < 4; ++v) g.edges.push_back({v, v + 1, 1.0});
+  for (vid_t v = 5; v < 9; ++v) g.edges.push_back({v, v + 1, 1.0});
+  IngressWcc wcc(g);
+  EXPECT_EQ(wcc.labels()[0], 0u);
+  EXPECT_EQ(wcc.labels()[9], 5u);
+
+  const size_t changed = wcc.AddEdges({{4, 5, 1.0}});
+  EXPECT_EQ(changed, 5u);  // The whole second chain relabels.
+  for (vid_t v = 0; v < 10; ++v) EXPECT_EQ(wcc.labels()[v], 0u) << v;
+}
+
+TEST(IngressTest, IncrementalWccMatchesUnionFind) {
+  EdgeList g = TestGraph();
+  const size_t keep = g.num_edges() / 2;
+  std::vector<RawEdge> updates(g.edges.begin() + keep, g.edges.end());
+  EdgeList initial = g;
+  initial.edges.resize(keep);
+  IngressWcc wcc(initial);
+  wcc.AddEdges(updates);
+  EXPECT_EQ(wcc.labels(), ReferenceWcc(g));
+}
+
+TEST(IngressTest, NoopBatchTouchesNothing) {
+  EdgeList g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1, 1.0}};
+  IngressSssp sssp(g, 0);
+  // Re-inserting a parallel edge with a worse weight changes nothing.
+  EXPECT_EQ(sssp.AddEdges({{0, 1, 5.0}}), 0u);
+  EXPECT_EQ(sssp.last_relaxations(), 0u);
+}
+
+}  // namespace
+}  // namespace flex::grape

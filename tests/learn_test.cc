@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "learn/pipeline.h"
+#include "storage/simple.h"
+#include "storage/vineyard/vineyard_store.h"
+
+namespace flex::learn {
+namespace {
+
+// ----------------------------------------------------------------- Tensor
+
+TEST(TensorTest, MatMulSmall) {
+  Tensor a(2, 3), b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]].
+  float av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data().begin());
+  std::copy(bv, bv + 6, b.data().begin());
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(TensorTest, TransposedVariantsAgreeWithExplicit) {
+  Tensor a = Tensor::Random(4, 5, 1, 1.0f);
+  Tensor b = Tensor::Random(3, 5, 2, 1.0f);
+  // MatMulTransposedB(a, b) == a * b^T.
+  Tensor bt(5, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 5; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor want = MatMul(a, bt);
+  Tensor got = MatMulTransposedB(a, b);
+  for (size_t i = 0; i < want.data().size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-4);
+  }
+}
+
+TEST(TensorTest, SoftmaxCrossEntropyGradientChecks) {
+  Tensor logits(2, 3);
+  float lv[] = {1.0f, 2.0f, 0.5f, -1.0f, 0.0f, 1.0f};
+  std::copy(lv, lv + 6, logits.data().begin());
+  std::vector<int> labels = {1, 2};
+  Tensor grad;
+  const float loss = SoftmaxCrossEntropy(logits, labels, &grad);
+  EXPECT_GT(loss, 0.0f);
+  // Gradient rows sum to zero (softmax property).
+  for (size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < 3; ++c) sum += grad.at(r, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6);
+  }
+  // Finite-difference check on one coordinate.
+  const float eps = 1e-3f;
+  Tensor bumped = logits;
+  bumped.at(0, 1) += eps;
+  Tensor unused;
+  const float loss2 = SoftmaxCrossEntropy(bumped, labels, &unused);
+  EXPECT_NEAR((loss2 - loss) / eps, grad.at(0, 1), 1e-2);
+}
+
+TEST(MlpTest, LearnsLinearlySeparableData) {
+  // Two classes separated on feature 0.
+  const size_t n = 256;
+  Tensor x(n, 4);
+  std::vector<int> labels(n);
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    labels[i] = label;
+    x.at(i, 0) = label == 0 ? -1.0f : 1.0f;
+    for (size_t d = 1; d < 4; ++d) {
+      x.at(i, d) = static_cast<float>(rng.NextDouble()) - 0.5f;
+    }
+  }
+  Mlp mlp(4, 8, 2, 7);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 200; ++step) {
+    const float loss = mlp.TrainStep(x, labels, 0.5f);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5f);
+  EXPECT_GT(mlp.Accuracy(x, labels), 0.95f);
+}
+
+TEST(MlpTest, AveragingReplicasKeepsDimensions) {
+  Mlp a(4, 8, 2, 1), b(4, 8, 2, 2), target(4, 8, 2, 3);
+  target.AverageFrom({&a, &b});
+  for (size_t i = 0; i < target.w1().data().size(); ++i) {
+    EXPECT_FLOAT_EQ(target.w1().data()[i],
+                    (a.w1().data()[i] + b.w1().data()[i]) / 2.0f);
+  }
+}
+
+// ---------------------------------------------------------------- Sampler
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EdgeList list = datagen::GenerateRmat(
+        {.scale = 10, .edge_factor = 12.0, .a = 0.57, .b = 0.19, .c = 0.19,
+         .seed = 5});
+    store_ = storage::VineyardStore::Build(
+                 storage::MakeSimpleGraphData(list, false))
+                 .value();
+    graph_ = store_->GetGrinHandle();
+  }
+
+  std::unique_ptr<storage::VineyardStore> store_;
+  std::unique_ptr<grin::GrinGraph> graph_;
+};
+
+TEST_F(SamplerTest, FeaturesAreDeterministicAndLabelCorrelated) {
+  FeatureStore fs(16, 4, 9);
+  std::vector<float> a(16), b(16);
+  fs.Collect(42, a.data());
+  fs.Collect(42, b.data());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(fs.Label(42), fs.Label(42));
+  EXPECT_LT(fs.Label(42), 4);
+}
+
+TEST_F(SamplerTest, FanoutBoundsRespected) {
+  FeatureStore fs(8, 4, 1);
+  NeighborSampler sampler(graph_.get(), 0, {5, 3}, &fs);
+  Rng rng(2);
+  std::vector<vid_t> seeds = {0, 1, 2, 3};
+  SampleBatch batch = sampler.Sample(seeds, rng);
+  EXPECT_EQ(batch.features.rows(), 4u);
+  EXPECT_EQ(batch.features.cols(), 8u);
+  EXPECT_EQ(batch.labels.size(), 4u);
+  // At most 5 + 5*3 neighbors per seed.
+  EXPECT_LE(batch.hops_expanded, 4u * (5 + 15));
+}
+
+TEST_F(SamplerTest, LinkBatchHasPositivesAndNegatives) {
+  FeatureStore fs(8, 2, 1);
+  NeighborSampler sampler(graph_.get(), 0, {4, 2}, &fs);
+  Rng rng(7);
+  std::vector<std::pair<vid_t, vid_t>> pos = {{0, 1}, {2, 3}};
+  SampleBatch batch =
+      sampler.SampleLinkBatch(pos, 3, graph_->NumVertices(), rng);
+  EXPECT_EQ(batch.features.rows(), 5u);
+  EXPECT_EQ(batch.features.cols(), 24u);  // 3 * dim.
+  EXPECT_EQ(batch.labels,
+            (std::vector<int>{1, 1, 0, 0, 0}));
+}
+
+// --------------------------------------------------------------- Pipeline
+
+TEST_F(SamplerTest, PipelineTrainsAndLearns) {
+  PipelineConfig config;
+  config.fanouts = {4, 2};
+  config.batch_size = 128;
+  config.feature_dim = 16;
+  config.hidden_dim = 16;
+  config.num_classes = 4;
+  config.num_samplers = 2;
+  config.num_trainers = 2;
+  TrainingPipeline pipeline(graph_.get(), 0, config);
+  const float before = pipeline.Evaluate();
+  EpochStats stats{};
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    stats = pipeline.TrainEpoch(epoch);
+  }
+  EXPECT_EQ(stats.samples, graph_->NumVertices());
+  EXPECT_GT(stats.batches, 0u);
+  const float after = pipeline.Evaluate();
+  // Features encode the label, so a trained model beats the initial one
+  // and clears random chance (0.25) comfortably.
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.5f);
+}
+
+TEST_F(SamplerTest, PipelineScaleConfigsProduceSameVolume) {
+  for (size_t groups : {1u, 2u}) {
+    for (size_t trainers : {1u, 2u}) {
+      PipelineConfig config;
+      config.fanouts = {3};
+      config.batch_size = 64;
+      config.feature_dim = 8;
+      config.num_classes = 4;
+      config.num_trainers = trainers;
+      config.num_groups = groups;
+      TrainingPipeline pipeline(graph_.get(), 0, config);
+      EpochStats stats = pipeline.TrainEpoch(0);
+      EXPECT_EQ(stats.samples, graph_->NumVertices())
+          << groups << "x" << trainers;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flex::learn

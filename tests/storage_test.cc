@@ -1,0 +1,728 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "storage/gart/gart_store.h"
+#include "storage/graphar/csv.h"
+#include "storage/graphar/encoding.h"
+#include "storage/graphar/graphar.h"
+#include "storage/livegraph/livegraph_store.h"
+#include "storage/simple.h"
+#include "storage/vineyard/vineyard_store.h"
+
+namespace flex::storage {
+namespace {
+
+/// Builds the e-commerce toy graph from Figure 2 of the paper:
+/// Buyers {1, 2} and Items {3, 4}; 1-KNOWS->2, buyers BUY items.
+PropertyGraphData EcommerceData() {
+  PropertyGraphData data;
+  label_t buyer =
+      data.schema
+          .AddVertexLabel("Buyer", {{"username", PropertyType::kString},
+                                    {"credits", PropertyType::kInt64}})
+          .value();
+  label_t item =
+      data.schema.AddVertexLabel("Item", {{"price", PropertyType::kDouble}})
+          .value();
+  label_t knows = data.schema.AddEdgeLabel("KNOWS", buyer, buyer, {}).value();
+  label_t buy = data.schema
+                    .AddEdgeLabel("BUY", buyer, item,
+                                  {{"date", PropertyType::kInt64}})
+                    .value();
+
+  data.AddVertex(buyer, 1, {PropertyValue("A1"), PropertyValue(int64_t{10})});
+  data.AddVertex(buyer, 2, {PropertyValue("B2"), PropertyValue(int64_t{20})});
+  data.AddVertex(item, 3, {PropertyValue(9.5)});
+  data.AddVertex(item, 4, {PropertyValue(3.25)});
+  data.AddEdge(knows, 1, 2, {});
+  data.AddEdge(buy, 1, 3, {PropertyValue(int64_t{100})});
+  data.AddEdge(buy, 2, 3, {PropertyValue(int64_t{103})});
+  data.AddEdge(buy, 2, 4, {PropertyValue(int64_t{105})});
+  return data;
+}
+
+std::vector<oid_t> CollectNeighborOids(const grin::GrinGraph& g, vid_t v,
+                                       Direction dir, label_t elabel) {
+  std::vector<oid_t> out;
+  grin::ForEachAdj(g, v, dir, elabel, [&](vid_t nbr, double, eid_t) {
+    out.push_back(g.GetOid(nbr));
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ------------------------------------------------------------- Vineyard
+
+TEST(VineyardTest, BuildsAndIndexes) {
+  auto store = VineyardStore::Build(EcommerceData()).value();
+  EXPECT_EQ(store->num_vertices(), 4u);
+  EXPECT_EQ(store->num_edges(), 4u);
+  const label_t buyer = store->schema().FindVertexLabel("Buyer").value();
+  const label_t item = store->schema().FindVertexLabel("Item").value();
+  auto [b0, b1] = store->VertexRange(buyer);
+  EXPECT_EQ(b1 - b0, 2u);
+  EXPECT_EQ(store->VertexLabelOf(b0), buyer);
+  const vid_t v1 = store->FindVertex(buyer, 1).value();
+  EXPECT_EQ(store->GetOid(v1), 1);
+  EXPECT_FALSE(store->FindVertex(item, 1).ok());
+}
+
+TEST(VineyardTest, ForwardAndReverseAdjacencyAgree) {
+  auto store = VineyardStore::Build(EcommerceData()).value();
+  const auto& schema = store->schema();
+  const label_t buyer = schema.FindVertexLabel("Buyer").value();
+  const label_t item = schema.FindVertexLabel("Item").value();
+  const label_t buy = schema.FindEdgeLabel("BUY").value();
+  const vid_t v2 = store->FindVertex(buyer, 2).value();
+  const vid_t v3 = store->FindVertex(item, 3).value();
+
+  auto out = store->OutNeighbors(v2, buy);
+  ASSERT_EQ(out.size(), 2u);
+  auto in = store->InNeighbors(v3, buy);
+  ASSERT_EQ(in.size(), 2u);
+
+  // Edge properties resolve identically from both directions.
+  auto in_eids = store->InEdgeIds(v3, buy);
+  std::multiset<int64_t> dates;
+  for (eid_t e : in_eids) {
+    dates.insert(store->edge_table(buy).Get(e, 0).AsInt64());
+  }
+  EXPECT_EQ(dates, (std::multiset<int64_t>{100, 103}));
+}
+
+TEST(VineyardTest, PropertyColumns) {
+  auto store = VineyardStore::Build(EcommerceData()).value();
+  const label_t buyer = store->schema().FindVertexLabel("Buyer").value();
+  const auto& table = store->vertex_table(buyer);
+  EXPECT_EQ(table.Get(0, 0).AsString(), "A1");
+  EXPECT_EQ(table.Get(1, 1).AsInt64(), 20);
+}
+
+TEST(VineyardTest, RejectsDuplicateOids) {
+  PropertyGraphData data;
+  label_t v = data.schema.AddVertexLabel("V", {}).value();
+  data.AddVertex(v, 7, {});
+  data.AddVertex(v, 7, {});
+  EXPECT_EQ(VineyardStore::Build(data).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(VineyardTest, RejectsDanglingEdges) {
+  PropertyGraphData data;
+  label_t v = data.schema.AddVertexLabel("V", {}).value();
+  label_t e = data.schema.AddEdgeLabel("E", v, v, {}).value();
+  data.AddVertex(v, 1, {});
+  data.AddEdge(e, 1, 99, {});
+  EXPECT_EQ(VineyardStore::Build(data).status().code(), StatusCode::kNotFound);
+}
+
+TEST(VineyardGrinTest, CapabilitiesAndTraversal) {
+  auto store = VineyardStore::Build(EcommerceData()).value();
+  auto g = store->GetGrinHandle();
+  EXPECT_EQ(g->backend_name(), "vineyard");
+  EXPECT_TRUE(g->RequireTraits(grin::kVertexListArray |
+                               grin::kAdjacentListArray |
+                               grin::kPropertyColumnArray)
+                  .ok());
+  const label_t buyer = g->schema().FindVertexLabel("Buyer").value();
+  const label_t buy = g->schema().FindEdgeLabel("BUY").value();
+  const vid_t v2 = g->FindVertex(buyer, 2).value();
+  EXPECT_EQ(CollectNeighborOids(*g, v2, Direction::kOut, buy),
+            (std::vector<oid_t>{3, 4}));
+  EXPECT_EQ(g->Degree(v2, Direction::kOut, buy), 2u);
+  EXPECT_EQ(g->GetVertexProperty(v2, 0).AsString(), "B2");
+}
+
+TEST(VineyardGrinTest, EdgePropertiesThroughBothDirections) {
+  auto store = VineyardStore::Build(EcommerceData()).value();
+  auto g = store->GetGrinHandle();
+  const label_t item = g->schema().FindVertexLabel("Item").value();
+  const label_t buy = g->schema().FindEdgeLabel("BUY").value();
+  const vid_t v3 = g->FindVertex(item, 3).value();
+  std::multiset<int64_t> dates;
+  grin::ForEachAdj(*g, v3, Direction::kIn, buy,
+                   [&](vid_t, double, eid_t e) {
+                     dates.insert(g->GetEdgeProperty(buy, e, 0).AsInt64());
+                     return true;
+                   });
+  EXPECT_EQ(dates, (std::multiset<int64_t>{100, 103}));
+}
+
+TEST(VineyardGrinTest, Int64ColumnSpan) {
+  auto store = VineyardStore::Build(EcommerceData()).value();
+  auto g = store->GetGrinHandle();
+  const label_t buyer = g->schema().FindVertexLabel("Buyer").value();
+  auto credits = g->VertexInt64Column(buyer, 1);
+  ASSERT_EQ(credits.size(), 2u);
+  EXPECT_EQ(credits[0] + credits[1], 30);
+  // Wrong-typed column yields an empty span, not garbage.
+  EXPECT_TRUE(g->VertexInt64Column(buyer, 0).empty());
+}
+
+// ----------------------------------------------------------------- GART
+
+TEST(GartTest, RejectsUnsupportedEdgeSchema) {
+  GraphSchema schema;
+  label_t v = schema.AddVertexLabel("V", {}).value();
+  ASSERT_TRUE(
+      schema.AddEdgeLabel("E", v, v, {{"name", PropertyType::kString}}).ok());
+  EXPECT_EQ(GartStore::Create(schema).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(GartTest, MvccVisibility) {
+  GraphSchema schema;
+  label_t v = schema.AddVertexLabel("V", {}).value();
+  label_t e = schema.AddEdgeLabel("E", v, v, {}).value();
+  auto store = GartStore::Create(schema).value();
+  ASSERT_TRUE(store->AddVertex(v, 1, {}).ok());
+  ASSERT_TRUE(store->AddVertex(v, 2, {}).ok());
+  ASSERT_TRUE(store->AddEdge(e, 1, 2).ok());
+
+  // Uncommitted writes are invisible.
+  auto snap0 = store->GetSnapshot();
+  EXPECT_FALSE(snap0->FindVertex(v, 1).ok());
+  EXPECT_EQ(store->CountEdges(e), 0u);
+
+  const version_t v1 = store->CommitVersion();
+  auto snap1 = store->GetSnapshot();
+  EXPECT_EQ(snap1->SnapshotVersion(), v1);
+  EXPECT_TRUE(snap1->FindVertex(v, 1).ok());
+  EXPECT_EQ(store->CountEdges(e), 1u);
+
+  // Old snapshot still sees the old state.
+  EXPECT_FALSE(snap0->FindVertex(v, 1).ok());
+}
+
+TEST(GartTest, DeleteTombstonesRespectVersions) {
+  GraphSchema schema;
+  label_t v = schema.AddVertexLabel("V", {}).value();
+  label_t e = schema.AddEdgeLabel("E", v, v, {}).value();
+  auto store = GartStore::Create(schema).value();
+  ASSERT_TRUE(store->AddVertex(v, 1, {}).ok());
+  ASSERT_TRUE(store->AddVertex(v, 2, {}).ok());
+  ASSERT_TRUE(store->AddEdge(e, 1, 2).ok());
+  const version_t v1 = store->CommitVersion();
+
+  ASSERT_TRUE(store->DeleteEdge(e, 1, 2).ok());
+  const version_t v2 = store->CommitVersion();
+
+  auto snap1 = store->GetSnapshot(v1);
+  auto snap2 = store->GetSnapshot(v2);
+  const vid_t vid1 = snap1->FindVertex(v, 1).value();
+  EXPECT_EQ(snap1->Degree(vid1, Direction::kOut, e), 1u);
+  EXPECT_EQ(snap2->Degree(vid1, Direction::kOut, e), 0u);
+
+  // Re-adding after delete resurrects the edge at a later version.
+  ASSERT_TRUE(store->AddEdge(e, 1, 2).ok());
+  const version_t v3 = store->CommitVersion();
+  auto snap3 = store->GetSnapshot(v3);
+  EXPECT_EQ(snap3->Degree(vid1, Direction::kOut, e), 1u);
+  EXPECT_EQ(snap2->Degree(vid1, Direction::kOut, e), 0u);
+}
+
+TEST(GartTest, SealPreservesLiveEdgesAndDropsTombstones) {
+  GraphSchema schema;
+  label_t v = schema.AddVertexLabel("V", {}).value();
+  label_t e = schema.AddEdgeLabel("E", v, v, {}).value();
+  auto store = GartStore::Create(schema).value();
+  for (oid_t i = 0; i < 10; ++i) ASSERT_TRUE(store->AddVertex(v, i, {}).ok());
+  for (oid_t i = 0; i < 9; ++i) ASSERT_TRUE(store->AddEdge(e, i, i + 1).ok());
+  store->CommitVersion();
+  ASSERT_TRUE(store->DeleteEdge(e, 0, 1).ok());
+  store->CommitVersion();
+  EXPECT_EQ(store->CountEdges(e), 8u);
+  store->Seal();
+  EXPECT_EQ(store->CountEdges(e), 8u);
+  // Sealed store keeps serving reads and accepting new writes.
+  ASSERT_TRUE(store->AddEdge(e, 0, 5).ok());
+  store->CommitVersion();
+  EXPECT_EQ(store->CountEdges(e), 9u);
+}
+
+TEST(GartTest, InlineEdgeProperties) {
+  GraphSchema schema;
+  label_t a = schema.AddVertexLabel("Account", {}).value();
+  label_t i = schema.AddVertexLabel("Item", {}).value();
+  label_t buy = schema
+                    .AddEdgeLabel("BUY", a, i,
+                                  {{"amount", PropertyType::kDouble},
+                                   {"date", PropertyType::kInt64}})
+                    .value();
+  auto store = GartStore::Create(schema).value();
+  ASSERT_TRUE(store->AddVertex(a, 1, {}).ok());
+  ASSERT_TRUE(store->AddVertex(i, 2, {}).ok());
+  ASSERT_TRUE(store->AddEdge(buy, 1, 2, 19.99, 42).ok());
+  store->CommitVersion();
+  auto snap = store->GetSnapshot();
+  const vid_t v1 = snap->FindVertex(a, 1).value();
+  bool seen = false;
+  grin::ForEachAdj(*snap, v1, Direction::kOut, buy,
+                   [&](vid_t, double w, eid_t e) {
+                     seen = true;
+                     EXPECT_DOUBLE_EQ(w, 19.99);
+                     EXPECT_DOUBLE_EQ(
+                         snap->GetEdgeProperty(buy, e, 0).AsDouble(), 19.99);
+                     EXPECT_EQ(snap->GetEdgeProperty(buy, e, 1).AsInt64(), 42);
+                     return true;
+                   });
+  EXPECT_TRUE(seen);
+}
+
+TEST(GartTest, BulkBuildMatchesVineyardTopology) {
+  EdgeList list = datagen::GenerateUniform(200, 2000, 99);
+  PropertyGraphData data = MakeSimpleGraphData(list);
+  auto gart = GartStore::Build(data).value();
+  auto vineyard = VineyardStore::Build(data).value();
+  auto gsnap = gart->GetSnapshot();
+  auto vgrin = vineyard->GetGrinHandle();
+  const label_t e = 0;
+  for (oid_t oid = 0; oid < 200; oid += 17) {
+    const vid_t gv = gsnap->FindVertex(0, oid).value();
+    const vid_t vv = vgrin->FindVertex(0, oid).value();
+    EXPECT_EQ(CollectNeighborOids(*gsnap, gv, Direction::kOut, e),
+              CollectNeighborOids(*vgrin, vv, Direction::kOut, e))
+        << "vertex " << oid;
+    EXPECT_EQ(CollectNeighborOids(*gsnap, gv, Direction::kIn, e),
+              CollectNeighborOids(*vgrin, vv, Direction::kIn, e));
+  }
+}
+
+TEST(GartTest, ConcurrentReadersAndWriters) {
+  GraphSchema schema;
+  label_t v = schema.AddVertexLabel("V", {}).value();
+  label_t e = schema.AddEdgeLabel("E", v, v, {}).value();
+  auto store = GartStore::Create(schema).value();
+  constexpr oid_t kVerts = 64;
+  for (oid_t i = 0; i < kVerts; ++i) {
+    ASSERT_TRUE(store->AddVertex(v, i, {}).ok());
+  }
+  store->CommitVersion();
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> read_errors{0};
+  std::thread writer([&] {
+    Rng rng(5);
+    for (int k = 0; k < 5000; ++k) {
+      const oid_t s = static_cast<oid_t>(rng.Uniform(kVerts));
+      const oid_t d = static_cast<oid_t>(rng.Uniform(kVerts));
+      if (!store->AddEdge(e, s, d).ok()) ++read_errors;
+      if (k % 64 == 0) store->CommitVersion();
+    }
+    store->CommitVersion();
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto snap = store->GetSnapshot();
+      size_t count = 0;
+      for (oid_t i = 0; i < kVerts; ++i) {
+        const auto res = snap->FindVertex(v, i);
+        if (!res.ok()) {
+          ++read_errors;
+          continue;
+        }
+        count += snap->Degree(res.value(), Direction::kOut, e);
+      }
+      (void)count;
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_EQ(store->CountEdges(e), 5000u);
+}
+
+class GartDeltaBoundary : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GartDeltaBoundary, ScansAcrossDeltaBlockBoundaries) {
+  // Delta blocks hold 16 records; degrees straddling multiples of 16 must
+  // scan correctly sealed and unsealed.
+  const size_t degree = GetParam();
+  GraphSchema schema;
+  label_t v = schema.AddVertexLabel("V", {}).value();
+  label_t e = schema.AddEdgeLabel("E", v, v, {}).value();
+  auto store = storage::GartStore::Create(schema).value();
+  ASSERT_TRUE(store->AddVertex(v, 0, {}).ok());
+  for (size_t i = 0; i < degree; ++i) {
+    ASSERT_TRUE(store->AddVertex(v, static_cast<oid_t>(i + 1), {}).ok());
+    ASSERT_TRUE(store->AddEdge(e, 0, static_cast<oid_t>(i + 1)).ok());
+  }
+  store->CommitVersion();
+
+  auto count_from_source = [&](const grin::GrinGraph& g) {
+    size_t n = 0;
+    const vid_t src = g.FindVertex(v, 0).value();
+    grin::ForEachAdj(g, src, Direction::kOut, e,
+                     [&](vid_t, double, eid_t) { ++n; return true; });
+    return n;
+  };
+  auto unsealed = store->GetSnapshot();
+  EXPECT_EQ(count_from_source(*unsealed), degree);
+  EXPECT_EQ(unsealed->Degree(unsealed->FindVertex(v, 0).value(),
+                             Direction::kOut, e),
+            degree);
+  store->Seal();
+  auto sealed = store->GetSnapshot();
+  EXPECT_EQ(count_from_source(*sealed), degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, GartDeltaBoundary,
+                         ::testing::Values(1, 15, 16, 17, 31, 32, 33, 100));
+
+TEST(GartTest, EarlyStopInChunkedScan) {
+  EdgeList list = datagen::GenerateUniform(50, 1000, 3);
+  auto gart = storage::GartStore::Build(MakeSimpleGraphData(list)).value();
+  auto snap = gart->GetSnapshot();
+  size_t seen = 0;
+  grin::ForEachAdj(*snap, 0, Direction::kOut, 0,
+                   [&](vid_t, double, eid_t) { return ++seen < 3; });
+  EXPECT_LE(seen, 3u);
+}
+
+// ------------------------------------------------------------ LiveGraph
+
+TEST(LiveGraphTest, VersionedAddDelete) {
+  LiveGraphStore store(4);
+  ASSERT_TRUE(store.AddEdge(0, 1).ok());
+  ASSERT_TRUE(store.AddEdge(0, 2).ok());
+  const version_t v1 = store.CommitVersion();
+  ASSERT_TRUE(store.DeleteEdge(0, 1).ok());
+  const version_t v2 = store.CommitVersion();
+  EXPECT_EQ(store.CountEdges(v1), 2u);
+  EXPECT_EQ(store.CountEdges(v2), 1u);
+  EXPECT_FALSE(store.DeleteEdge(0, 3).ok());
+  EXPECT_FALSE(store.AddEdge(9, 0).ok());
+}
+
+TEST(LiveGraphTest, GrinSnapshotScan) {
+  EdgeList list = datagen::GenerateUniform(100, 600, 4);
+  auto store = LiveGraphStore::Build(list);
+  auto g = store->GetSnapshot();
+  size_t total = 0;
+  for (vid_t v = 0; v < 100; ++v) {
+    grin::ForEachAdj(*g, v, Direction::kOut, 0,
+                     [&](vid_t, double, eid_t) { ++total; return true; });
+  }
+  EXPECT_EQ(total, 600u);
+}
+
+TEST(LiveGraphTest, MatchesGartLiveSet) {
+  // Same random add/delete trace applied to both dynamic stores ends in the
+  // same live edge set.
+  GraphSchema schema;
+  label_t v = schema.AddVertexLabel("V", {}).value();
+  label_t e = schema.AddEdgeLabel("E", v, v, {}).value();
+  auto gart = GartStore::Create(schema).value();
+  LiveGraphStore live(50);
+  for (oid_t i = 0; i < 50; ++i) ASSERT_TRUE(gart->AddVertex(v, i, {}).ok());
+  Rng rng(17);
+  std::set<std::pair<vid_t, vid_t>> reference;
+  for (int k = 0; k < 800; ++k) {
+    const vid_t s = static_cast<vid_t>(rng.Uniform(50));
+    const vid_t d = static_cast<vid_t>(rng.Uniform(50));
+    if (rng.Bernoulli(0.7) || !reference.count({s, d})) {
+      if (!reference.count({s, d})) {
+        ASSERT_TRUE(gart->AddEdge(e, s, d).ok());
+        ASSERT_TRUE(live.AddEdge(s, d).ok());
+        reference.insert({s, d});
+      }
+    } else {
+      ASSERT_TRUE(gart->DeleteEdge(e, s, d).ok());
+      ASSERT_TRUE(live.DeleteEdge(s, d).ok());
+      reference.erase({s, d});
+    }
+  }
+  gart->CommitVersion();
+  live.CommitVersion();
+  EXPECT_EQ(gart->CountEdges(e), reference.size());
+  EXPECT_EQ(live.CountEdges(live.read_version()), reference.size());
+
+  auto snap = gart->GetSnapshot();
+  for (vid_t s = 0; s < 50; ++s) {
+    std::set<vid_t> gart_nbrs;
+    const vid_t gs = snap->FindVertex(v, s).value();
+    grin::ForEachAdj(*snap, gs, Direction::kOut, e,
+                     [&](vid_t n, double, eid_t) {
+                       gart_nbrs.insert(static_cast<vid_t>(snap->GetOid(n)));
+                       return true;
+                     });
+    std::set<vid_t> live_nbrs;
+    live.ForEachOut(s, live.read_version(),
+                    [&](vid_t n, double) { live_nbrs.insert(n); });
+    EXPECT_EQ(gart_nbrs, live_nbrs) << "vertex " << s;
+  }
+}
+
+// -------------------------------------------------------------- Encoding
+
+TEST(EncodingTest, Int64DeltaRoundTrip) {
+  std::vector<int64_t> values = {5, 6, 7, 100, -3, -3, 1000000, 0};
+  std::vector<uint8_t> buf;
+  graphar::EncodeInt64Chunk(values, &buf);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(graphar::DecodeInt64Chunk(buf, values.size(), &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(EncodingTest, SortedIdsCompressWell) {
+  std::vector<int64_t> ids(10000);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i * 3);
+  std::vector<uint8_t> buf;
+  graphar::EncodeInt64Chunk(ids, &buf);
+  // A constant-delta column is one RLE run: a handful of bytes total.
+  EXPECT_LE(buf.size(), 16u);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(graphar::DecodeInt64Chunk(buf, ids.size(), &out).ok());
+  EXPECT_EQ(out, ids);
+}
+
+TEST(EncodingTest, RleRejectsCorruptRuns) {
+  std::vector<int64_t> ids(100, 7);  // All-equal: RLE chosen.
+  std::vector<uint8_t> buf;
+  graphar::EncodeInt64Chunk(ids, &buf);
+  std::vector<int64_t> out;
+  // Claiming more rows than encoded must fail cleanly.
+  EXPECT_FALSE(graphar::DecodeInt64Chunk(buf, 101, &out).ok());
+}
+
+TEST(EncodingTest, StringAndBoolRoundTrip) {
+  std::vector<std::string> strs = {"", "a", "hello world", std::string(300, 'x')};
+  std::vector<uint8_t> buf;
+  graphar::EncodeStringChunk(strs, 0, strs.size(), &buf);
+  std::vector<std::string> sout;
+  ASSERT_TRUE(graphar::DecodeStringChunk(buf, strs.size(), &sout).ok());
+  EXPECT_EQ(sout, strs);
+
+  std::vector<uint8_t> bits = {1, 0, 0, 1, 1, 1, 0, 1, 1};
+  buf.clear();
+  graphar::EncodeBoolChunk(bits, &buf);
+  EXPECT_EQ(buf.size(), 2u);  // 9 bools -> 2 bytes.
+  std::vector<uint8_t> bout;
+  ASSERT_TRUE(graphar::DecodeBoolChunk(buf, bits.size(), &bout).ok());
+  EXPECT_EQ(bout, bits);
+}
+
+TEST(EncodingTest, TruncatedChunksFailCleanly) {
+  std::vector<int64_t> values = {1, 20, 300, -5, 17};  // Irregular: plain.
+  std::vector<uint8_t> buf;
+  graphar::EncodeInt64Chunk(values, &buf);
+  std::vector<int64_t> out;
+  EXPECT_FALSE(graphar::DecodeInt64Chunk({buf.data(), buf.size() - 1},
+                                         values.size(), &out)
+                   .ok());
+  std::vector<double> dout;
+  EXPECT_FALSE(graphar::DecodeDoubleChunk({buf.data(), 4}, 3, &dout).ok());
+}
+
+// -------------------------------------------------------------- GraphAr
+
+class GraphArRoundTrip : public ::testing::TestWithParam<size_t> {
+ protected:
+  std::string Path() const {
+    return testing::TempDir() + "graphar_rt_" +
+           std::to_string(GetParam()) + ".gar";
+  }
+};
+
+TEST_P(GraphArRoundTrip, PreservesGraphData) {
+  PropertyGraphData data = EcommerceData();
+  ASSERT_TRUE(graphar::WriteGraphAr(Path(), data, GetParam()).ok());
+  auto reader = graphar::GraphArReader::Open(Path()).value();
+  PropertyGraphData loaded = reader->ReadAll().value();
+
+  ASSERT_EQ(loaded.schema.vertex_label_num(), 2u);
+  ASSERT_EQ(loaded.schema.edge_label_num(), 2u);
+  EXPECT_EQ(loaded.total_vertices(), data.total_vertices());
+  EXPECT_EQ(loaded.total_edges(), data.total_edges());
+  // The loaded archive must build a store identical in shape.
+  auto store = VineyardStore::Build(loaded).value();
+  const label_t buyer = store->schema().FindVertexLabel("Buyer").value();
+  const label_t buy = store->schema().FindEdgeLabel("BUY").value();
+  const vid_t v2 = store->FindVertex(buyer, 2).value();
+  EXPECT_EQ(store->OutNeighbors(v2, buy).size(), 2u);
+  const auto& table = store->vertex_table(buyer);
+  // Order may differ; both usernames must be present.
+  std::multiset<std::string> names{table.Get(0, 0).AsString(),
+                                   table.Get(1, 0).AsString()};
+  EXPECT_EQ(names, (std::multiset<std::string>{"A1", "B2"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, GraphArRoundTrip,
+                         ::testing::Values(1, 2, 3, 1024));
+
+TEST(GraphArTest, ScanVerticesWithPushdown) {
+  PropertyGraphData data = EcommerceData();
+  const std::string path = testing::TempDir() + "graphar_scan.gar";
+  ASSERT_TRUE(graphar::WriteGraphAr(path, data, 2).ok());
+  auto reader = graphar::GraphArReader::Open(path).value();
+  const label_t buyer = reader->schema().FindVertexLabel("Buyer").value();
+  std::vector<oid_t> rich;
+  ASSERT_TRUE(reader
+                  ->ScanVertices(buyer,
+                                 [&](oid_t oid,
+                                     const std::vector<PropertyValue>& row) {
+                                   if (row[1].AsInt64() >= 15) {
+                                     rich.push_back(oid);
+                                   }
+                                   return true;
+                                 })
+                  .ok());
+  EXPECT_EQ(rich, (std::vector<oid_t>{2}));
+}
+
+TEST(GraphArTest, FetchNeighborsUsesChunkIndex) {
+  EdgeList list = datagen::GenerateUniform(500, 5000, 12);
+  PropertyGraphData data = MakeSimpleGraphData(list, /*with_weights=*/false);
+  const std::string path = testing::TempDir() + "graphar_nbrs.gar";
+  ASSERT_TRUE(graphar::WriteGraphAr(path, data, 256).ok());
+  auto reader = graphar::GraphArReader::Open(path).value();
+
+  // Reference adjacency.
+  std::multiset<oid_t> expected;
+  for (const RawEdge& e : list.edges) {
+    if (e.src == 123) expected.insert(static_cast<oid_t>(e.dst));
+  }
+  auto fetched = reader->FetchNeighbors(0, 123).value();
+  EXPECT_EQ(std::multiset<oid_t>(fetched.begin(), fetched.end()), expected);
+}
+
+TEST(GraphArTest, OpenDirectServesTopologyAndLazyProperties) {
+  PropertyGraphData data = EcommerceData();
+  const std::string path = testing::TempDir() + "graphar_direct.gar";
+  ASSERT_TRUE(graphar::WriteGraphAr(path, data, 2).ok());
+  auto reader = graphar::GraphArReader::Open(path).value();
+  auto g = reader->OpenDirect().value();
+  EXPECT_EQ(g->backend_name(), "graphar");
+  EXPECT_EQ(g->NumVertices(), 4u);
+  const label_t buyer = g->schema().FindVertexLabel("Buyer").value();
+  const label_t buy = g->schema().FindEdgeLabel("BUY").value();
+  const vid_t v2 = g->FindVertex(buyer, 2).value();
+  EXPECT_EQ(CollectNeighborOids(*g, v2, Direction::kOut, buy),
+            (std::vector<oid_t>{3, 4}));
+  EXPECT_EQ(g->GetVertexProperty(v2, 0).AsString(), "B2");
+  // Edge property via in-edge ids.
+  const label_t item = g->schema().FindVertexLabel("Item").value();
+  const vid_t v4 = g->FindVertex(item, 4).value();
+  std::multiset<int64_t> dates;
+  grin::ForEachAdj(*g, v4, Direction::kIn, buy, [&](vid_t, double, eid_t e) {
+    dates.insert(g->GetEdgeProperty(buy, e, 0).AsInt64());
+    return true;
+  });
+  EXPECT_EQ(dates, (std::multiset<int64_t>{105}));
+}
+
+TEST(GraphArTest, FetchNeighborsOfUnknownSourceIsEmpty) {
+  EdgeList list = datagen::GenerateUniform(100, 500, 2);
+  PropertyGraphData data = MakeSimpleGraphData(list, false);
+  const std::string path = testing::TempDir() + "graphar_missing.gar";
+  ASSERT_TRUE(graphar::WriteGraphAr(path, data, 64).ok());
+  auto reader = graphar::GraphArReader::Open(path).value();
+  EXPECT_TRUE(reader->FetchNeighbors(0, 999999).value().empty());
+  EXPECT_FALSE(reader->FetchNeighbors(5, 0).ok());  // Bad edge label.
+}
+
+TEST(GraphArTest, ScanVerticesEarlyStop) {
+  PropertyGraphData data = EcommerceData();
+  const std::string path = testing::TempDir() + "graphar_stop.gar";
+  ASSERT_TRUE(graphar::WriteGraphAr(path, data, 1).ok());
+  auto reader = graphar::GraphArReader::Open(path).value();
+  size_t visited = 0;
+  ASSERT_TRUE(reader
+                  ->ScanVertices(0,
+                                 [&](oid_t, const std::vector<PropertyValue>&) {
+                                   return ++visited < 1;
+                                 })
+                  .ok());
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(GraphArTest, OpenRejectsGarbage) {
+  const std::string path = testing::TempDir() + "garbage.gar";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "this is not an archive";
+  }
+  EXPECT_EQ(graphar::GraphArReader::Open(path).status().code(),
+            StatusCode::kIoError);
+  EXPECT_FALSE(graphar::GraphArReader::Open("/nonexistent/x.gar").ok());
+}
+
+// ------------------------------------------------------------------ CSV
+
+TEST(CsvTest, RoundTrip) {
+  PropertyGraphData data = EcommerceData();
+  const std::string dir = testing::TempDir() + "csv_rt";
+  ASSERT_TRUE(graphar::WriteCsv(dir, data).ok());
+  PropertyGraphData loaded = graphar::ReadCsv(dir, data.schema).value();
+  EXPECT_EQ(loaded.total_vertices(), data.total_vertices());
+  EXPECT_EQ(loaded.total_edges(), data.total_edges());
+  EXPECT_EQ(loaded.vertices[0].rows[0][0].AsString(), "A1");
+  EXPECT_DOUBLE_EQ(loaded.vertices[1].rows[0][0].AsDouble(), 9.5);
+  EXPECT_EQ(loaded.edges[1].rows[2][0].AsInt64(), 105);
+}
+
+TEST(CsvTest, MissingFileErrors) {
+  GraphSchema schema;
+  ASSERT_TRUE(schema.AddVertexLabel("Ghost", {}).ok());
+  EXPECT_EQ(graphar::ReadCsv("/nonexistent_dir_xyz", schema).status().code(),
+            StatusCode::kIoError);
+}
+
+// ---------------------------------------------------- GRIN negotiation
+
+TEST(GrinNegotiationTest, BackendsAdvertiseDifferentTraits) {
+  PropertyGraphData data = EcommerceData();
+  auto vineyard = VineyardStore::Build(data).value();
+  auto vg = vineyard->GetGrinHandle();
+  EXPECT_TRUE(vg->RequireTraits(grin::kPropertyColumnArray).ok());
+
+  GraphSchema simple_schema;
+  label_t v = simple_schema.AddVertexLabel("V", {}).value();
+  simple_schema.AddEdgeLabel("E", v, v, {}).value();
+  auto gart = GartStore::Create(simple_schema).value();
+  auto gs = gart->GetSnapshot();
+  // GART cannot provide contiguous columns or vertex ranges.
+  EXPECT_EQ(gs->RequireTraits(grin::kPropertyColumnArray).code(),
+            StatusCode::kCapabilityMissing);
+  EXPECT_EQ(gs->RequireTraits(grin::kVertexListArray).code(),
+            StatusCode::kCapabilityMissing);
+  // But both honour the iterator trait, so one engine serves both.
+  EXPECT_TRUE(vg->RequireTraits(grin::kAdjacentListIterator).ok());
+  EXPECT_TRUE(gs->RequireTraits(grin::kAdjacentListIterator).ok());
+}
+
+TEST(GrinNegotiationTest, SameAlgorithmRunsOnAllBackends) {
+  // A tiny "count all edges via GRIN" engine, run unchanged on three
+  // backends — the essence of Exp-1/Fig 7(a).
+  EdgeList list = datagen::GenerateUniform(300, 3000, 21);
+  PropertyGraphData data = MakeSimpleGraphData(list);
+  auto vineyard = VineyardStore::Build(data).value();
+  auto gart = GartStore::Build(data).value();
+  const std::string path = testing::TempDir() + "grin_all.gar";
+  ASSERT_TRUE(graphar::WriteGraphAr(path, data).ok());
+  auto reader = graphar::GraphArReader::Open(path).value();
+
+  auto count_edges = [](const grin::GrinGraph& g) {
+    size_t total = 0;
+    for (vid_t v = 0; v < g.NumVertices(); ++v) {
+      grin::ForEachAdj(g, v, Direction::kOut, 0,
+                       [&](vid_t, double, eid_t) { ++total; return true; });
+    }
+    return total;
+  };
+  EXPECT_EQ(count_edges(*vineyard->GetGrinHandle()), 3000u);
+  EXPECT_EQ(count_edges(*gart->GetSnapshot()), 3000u);
+  EXPECT_EQ(count_edges(*reader->OpenDirect().value()), 3000u);
+}
+
+}  // namespace
+}  // namespace flex::storage
