@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_gart_scan.dir/bench_exp1_gart_scan.cc.o"
+  "CMakeFiles/bench_exp1_gart_scan.dir/bench_exp1_gart_scan.cc.o.d"
+  "bench_exp1_gart_scan"
+  "bench_exp1_gart_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_gart_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_graphar_load.dir/bench_exp1_graphar_load.cc.o"
+  "CMakeFiles/bench_exp1_graphar_load.dir/bench_exp1_graphar_load.cc.o.d"
+  "bench_exp1_graphar_load"
+  "bench_exp1_graphar_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_graphar_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_grin_backends.dir/bench_exp1_grin_backends.cc.o"
+  "CMakeFiles/bench_exp1_grin_backends.dir/bench_exp1_grin_backends.cc.o.d"
+  "bench_exp1_grin_backends"
+  "bench_exp1_grin_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_grin_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

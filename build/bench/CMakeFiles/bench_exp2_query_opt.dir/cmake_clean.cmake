@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_query_opt.dir/bench_exp2_query_opt.cc.o"
+  "CMakeFiles/bench_exp2_query_opt.dir/bench_exp2_query_opt.cc.o.d"
+  "bench_exp2_query_opt"
+  "bench_exp2_query_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_query_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

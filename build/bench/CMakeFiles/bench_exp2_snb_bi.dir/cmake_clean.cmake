@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_snb_bi.dir/bench_exp2_snb_bi.cc.o"
+  "CMakeFiles/bench_exp2_snb_bi.dir/bench_exp2_snb_bi.cc.o.d"
+  "bench_exp2_snb_bi"
+  "bench_exp2_snb_bi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_snb_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

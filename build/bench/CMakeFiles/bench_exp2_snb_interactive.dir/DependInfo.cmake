@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_exp2_snb_interactive.cc" "bench/CMakeFiles/bench_exp2_snb_interactive.dir/bench_exp2_snb_interactive.cc.o" "gcc" "bench/CMakeFiles/bench_exp2_snb_interactive.dir/bench_exp2_snb_interactive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/flex_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/snb/CMakeFiles/flex_snb.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/flex_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/flex_query_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/flex_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/flex_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/flex_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/flex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/grin/CMakeFiles/flex_grin.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/flex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

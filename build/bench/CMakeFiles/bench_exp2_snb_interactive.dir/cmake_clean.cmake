@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_snb_interactive.dir/bench_exp2_snb_interactive.cc.o"
+  "CMakeFiles/bench_exp2_snb_interactive.dir/bench_exp2_snb_interactive.cc.o.d"
+  "bench_exp2_snb_interactive"
+  "bench_exp2_snb_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_snb_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

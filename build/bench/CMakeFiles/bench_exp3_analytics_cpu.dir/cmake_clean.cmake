@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_analytics_cpu.dir/bench_exp3_analytics_cpu.cc.o"
+  "CMakeFiles/bench_exp3_analytics_cpu.dir/bench_exp3_analytics_cpu.cc.o.d"
+  "bench_exp3_analytics_cpu"
+  "bench_exp3_analytics_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_analytics_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

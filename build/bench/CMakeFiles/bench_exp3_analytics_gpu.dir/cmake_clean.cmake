@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_analytics_gpu.dir/bench_exp3_analytics_gpu.cc.o"
+  "CMakeFiles/bench_exp3_analytics_gpu.dir/bench_exp3_analytics_gpu.cc.o.d"
+  "bench_exp3_analytics_gpu"
+  "bench_exp3_analytics_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_analytics_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp4_learning_scaleout.dir/bench_exp4_learning_scaleout.cc.o"
+  "CMakeFiles/bench_exp4_learning_scaleout.dir/bench_exp4_learning_scaleout.cc.o.d"
+  "bench_exp4_learning_scaleout"
+  "bench_exp4_learning_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp4_learning_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

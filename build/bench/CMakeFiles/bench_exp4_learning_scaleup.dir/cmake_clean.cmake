@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp4_learning_scaleup.dir/bench_exp4_learning_scaleup.cc.o"
+  "CMakeFiles/bench_exp4_learning_scaleup.dir/bench_exp4_learning_scaleup.cc.o.d"
+  "bench_exp4_learning_scaleup"
+  "bench_exp4_learning_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp4_learning_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp5_fraud.dir/bench_exp5_fraud.cc.o"
+  "CMakeFiles/bench_exp5_fraud.dir/bench_exp5_fraud.cc.o.d"
+  "bench_exp5_fraud"
+  "bench_exp5_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp5_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

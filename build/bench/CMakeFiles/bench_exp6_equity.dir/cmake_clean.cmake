@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp6_equity.dir/bench_exp6_equity.cc.o"
+  "CMakeFiles/bench_exp6_equity.dir/bench_exp6_equity.cc.o.d"
+  "bench_exp6_equity"
+  "bench_exp6_equity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp6_equity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp7_ncn.dir/bench_exp7_ncn.cc.o"
+  "CMakeFiles/bench_exp7_ncn.dir/bench_exp7_ncn.cc.o.d"
+  "bench_exp7_ncn"
+  "bench_exp7_ncn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp7_ncn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp8_cyber.dir/bench_exp8_cyber.cc.o"
+  "CMakeFiles/bench_exp8_cyber.dir/bench_exp8_cyber.cc.o.d"
+  "bench_exp8_cyber"
+  "bench_exp8_cyber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp8_cyber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

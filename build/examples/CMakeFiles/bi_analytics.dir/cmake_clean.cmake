@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bi_analytics.dir/bi_analytics.cpp.o"
+  "CMakeFiles/bi_analytics.dir/bi_analytics.cpp.o.d"
+  "bi_analytics"
+  "bi_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bi_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equity_analysis.dir/equity_analysis.cpp.o"
+  "CMakeFiles/equity_analysis.dir/equity_analysis.cpp.o.d"
+  "equity_analysis"
+  "equity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_prediction.dir/social_prediction.cpp.o"
+  "CMakeFiles/social_prediction.dir/social_prediction.cpp.o.d"
+  "social_prediction"
+  "social_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

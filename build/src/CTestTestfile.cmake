@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("graph")
+subdirs("datagen")
+subdirs("grin")
+subdirs("storage")
+subdirs("grape")
+subdirs("baselines")
+subdirs("ir")
+subdirs("lang")
+subdirs("optimizer")
+subdirs("query")
+subdirs("runtime")
+subdirs("snb")
+subdirs("learn")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_baselines.dir/analytics_baselines.cc.o"
+  "CMakeFiles/flex_baselines.dir/analytics_baselines.cc.o.d"
+  "CMakeFiles/flex_baselines.dir/relational.cc.o"
+  "CMakeFiles/flex_baselines.dir/relational.cc.o.d"
+  "libflex_baselines.a"
+  "libflex_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_common.dir/logging.cc.o"
+  "CMakeFiles/flex_common.dir/logging.cc.o.d"
+  "CMakeFiles/flex_common.dir/status.cc.o"
+  "CMakeFiles/flex_common.dir/status.cc.o.d"
+  "CMakeFiles/flex_common.dir/string_util.cc.o"
+  "CMakeFiles/flex_common.dir/string_util.cc.o.d"
+  "CMakeFiles/flex_common.dir/thread_pool.cc.o"
+  "CMakeFiles/flex_common.dir/thread_pool.cc.o.d"
+  "libflex_common.a"
+  "libflex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_datagen.dir/generators.cc.o"
+  "CMakeFiles/flex_datagen.dir/generators.cc.o.d"
+  "CMakeFiles/flex_datagen.dir/registry.cc.o"
+  "CMakeFiles/flex_datagen.dir/registry.cc.o.d"
+  "libflex_datagen.a"
+  "libflex_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

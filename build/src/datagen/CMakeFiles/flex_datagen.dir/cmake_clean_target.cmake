@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflex_datagen.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grape/apps/cdlp.cc" "src/grape/CMakeFiles/flex_grape.dir/apps/cdlp.cc.o" "gcc" "src/grape/CMakeFiles/flex_grape.dir/apps/cdlp.cc.o.d"
+  "/root/repo/src/grape/apps/equity.cc" "src/grape/CMakeFiles/flex_grape.dir/apps/equity.cc.o" "gcc" "src/grape/CMakeFiles/flex_grape.dir/apps/equity.cc.o.d"
+  "/root/repo/src/grape/apps/kcore.cc" "src/grape/CMakeFiles/flex_grape.dir/apps/kcore.cc.o" "gcc" "src/grape/CMakeFiles/flex_grape.dir/apps/kcore.cc.o.d"
+  "/root/repo/src/grape/apps/pagerank.cc" "src/grape/CMakeFiles/flex_grape.dir/apps/pagerank.cc.o" "gcc" "src/grape/CMakeFiles/flex_grape.dir/apps/pagerank.cc.o.d"
+  "/root/repo/src/grape/apps/traversal.cc" "src/grape/CMakeFiles/flex_grape.dir/apps/traversal.cc.o" "gcc" "src/grape/CMakeFiles/flex_grape.dir/apps/traversal.cc.o.d"
+  "/root/repo/src/grape/flash.cc" "src/grape/CMakeFiles/flex_grape.dir/flash.cc.o" "gcc" "src/grape/CMakeFiles/flex_grape.dir/flash.cc.o.d"
+  "/root/repo/src/grape/fragment.cc" "src/grape/CMakeFiles/flex_grape.dir/fragment.cc.o" "gcc" "src/grape/CMakeFiles/flex_grape.dir/fragment.cc.o.d"
+  "/root/repo/src/grape/ingress.cc" "src/grape/CMakeFiles/flex_grape.dir/ingress.cc.o" "gcc" "src/grape/CMakeFiles/flex_grape.dir/ingress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/flex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

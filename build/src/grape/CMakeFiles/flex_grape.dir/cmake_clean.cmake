@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_grape.dir/apps/cdlp.cc.o"
+  "CMakeFiles/flex_grape.dir/apps/cdlp.cc.o.d"
+  "CMakeFiles/flex_grape.dir/apps/equity.cc.o"
+  "CMakeFiles/flex_grape.dir/apps/equity.cc.o.d"
+  "CMakeFiles/flex_grape.dir/apps/kcore.cc.o"
+  "CMakeFiles/flex_grape.dir/apps/kcore.cc.o.d"
+  "CMakeFiles/flex_grape.dir/apps/pagerank.cc.o"
+  "CMakeFiles/flex_grape.dir/apps/pagerank.cc.o.d"
+  "CMakeFiles/flex_grape.dir/apps/traversal.cc.o"
+  "CMakeFiles/flex_grape.dir/apps/traversal.cc.o.d"
+  "CMakeFiles/flex_grape.dir/flash.cc.o"
+  "CMakeFiles/flex_grape.dir/flash.cc.o.d"
+  "CMakeFiles/flex_grape.dir/fragment.cc.o"
+  "CMakeFiles/flex_grape.dir/fragment.cc.o.d"
+  "CMakeFiles/flex_grape.dir/ingress.cc.o"
+  "CMakeFiles/flex_grape.dir/ingress.cc.o.d"
+  "libflex_grape.a"
+  "libflex_grape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_grape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

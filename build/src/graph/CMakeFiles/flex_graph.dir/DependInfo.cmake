@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/flex_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/flex_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/partitioner.cc" "src/graph/CMakeFiles/flex_graph.dir/partitioner.cc.o" "gcc" "src/graph/CMakeFiles/flex_graph.dir/partitioner.cc.o.d"
+  "/root/repo/src/graph/property.cc" "src/graph/CMakeFiles/flex_graph.dir/property.cc.o" "gcc" "src/graph/CMakeFiles/flex_graph.dir/property.cc.o.d"
+  "/root/repo/src/graph/property_table.cc" "src/graph/CMakeFiles/flex_graph.dir/property_table.cc.o" "gcc" "src/graph/CMakeFiles/flex_graph.dir/property_table.cc.o.d"
+  "/root/repo/src/graph/schema.cc" "src/graph/CMakeFiles/flex_graph.dir/schema.cc.o" "gcc" "src/graph/CMakeFiles/flex_graph.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_graph.dir/csr.cc.o"
+  "CMakeFiles/flex_graph.dir/csr.cc.o.d"
+  "CMakeFiles/flex_graph.dir/partitioner.cc.o"
+  "CMakeFiles/flex_graph.dir/partitioner.cc.o.d"
+  "CMakeFiles/flex_graph.dir/property.cc.o"
+  "CMakeFiles/flex_graph.dir/property.cc.o.d"
+  "CMakeFiles/flex_graph.dir/property_table.cc.o"
+  "CMakeFiles/flex_graph.dir/property_table.cc.o.d"
+  "CMakeFiles/flex_graph.dir/schema.cc.o"
+  "CMakeFiles/flex_graph.dir/schema.cc.o.d"
+  "libflex_graph.a"
+  "libflex_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_grin.dir/grin.cc.o"
+  "CMakeFiles/flex_grin.dir/grin.cc.o.d"
+  "libflex_grin.a"
+  "libflex_grin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_grin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

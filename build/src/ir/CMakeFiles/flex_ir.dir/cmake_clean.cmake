@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_ir.dir/expr.cc.o"
+  "CMakeFiles/flex_ir.dir/expr.cc.o.d"
+  "CMakeFiles/flex_ir.dir/plan.cc.o"
+  "CMakeFiles/flex_ir.dir/plan.cc.o.d"
+  "CMakeFiles/flex_ir.dir/row.cc.o"
+  "CMakeFiles/flex_ir.dir/row.cc.o.d"
+  "libflex_ir.a"
+  "libflex_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/cypher.cc" "src/lang/CMakeFiles/flex_lang.dir/cypher.cc.o" "gcc" "src/lang/CMakeFiles/flex_lang.dir/cypher.cc.o.d"
+  "/root/repo/src/lang/gremlin.cc" "src/lang/CMakeFiles/flex_lang.dir/gremlin.cc.o" "gcc" "src/lang/CMakeFiles/flex_lang.dir/gremlin.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/flex_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/flex_lang.dir/lexer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/flex_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/grin/CMakeFiles/flex_grin.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/flex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_lang.dir/cypher.cc.o"
+  "CMakeFiles/flex_lang.dir/cypher.cc.o.d"
+  "CMakeFiles/flex_lang.dir/gremlin.cc.o"
+  "CMakeFiles/flex_lang.dir/gremlin.cc.o.d"
+  "CMakeFiles/flex_lang.dir/lexer.cc.o"
+  "CMakeFiles/flex_lang.dir/lexer.cc.o.d"
+  "libflex_lang.a"
+  "libflex_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

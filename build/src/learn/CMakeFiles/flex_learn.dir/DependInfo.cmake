@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/pipeline.cc" "src/learn/CMakeFiles/flex_learn.dir/pipeline.cc.o" "gcc" "src/learn/CMakeFiles/flex_learn.dir/pipeline.cc.o.d"
+  "/root/repo/src/learn/sampler.cc" "src/learn/CMakeFiles/flex_learn.dir/sampler.cc.o" "gcc" "src/learn/CMakeFiles/flex_learn.dir/sampler.cc.o.d"
+  "/root/repo/src/learn/tensor.cc" "src/learn/CMakeFiles/flex_learn.dir/tensor.cc.o" "gcc" "src/learn/CMakeFiles/flex_learn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grin/CMakeFiles/flex_grin.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/flex_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_learn.dir/pipeline.cc.o"
+  "CMakeFiles/flex_learn.dir/pipeline.cc.o.d"
+  "CMakeFiles/flex_learn.dir/sampler.cc.o"
+  "CMakeFiles/flex_learn.dir/sampler.cc.o.d"
+  "CMakeFiles/flex_learn.dir/tensor.cc.o"
+  "CMakeFiles/flex_learn.dir/tensor.cc.o.d"
+  "libflex_learn.a"
+  "libflex_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_optimizer.dir/catalog.cc.o"
+  "CMakeFiles/flex_optimizer.dir/catalog.cc.o.d"
+  "CMakeFiles/flex_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/flex_optimizer.dir/optimizer.cc.o.d"
+  "libflex_optimizer.a"
+  "libflex_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_query.dir/service.cc.o"
+  "CMakeFiles/flex_query.dir/service.cc.o.d"
+  "libflex_query.a"
+  "libflex_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

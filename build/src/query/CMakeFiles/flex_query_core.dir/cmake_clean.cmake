@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_query_core.dir/interpreter.cc.o"
+  "CMakeFiles/flex_query_core.dir/interpreter.cc.o.d"
+  "libflex_query_core.a"
+  "libflex_query_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_query_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflex_query_core.a"
+)

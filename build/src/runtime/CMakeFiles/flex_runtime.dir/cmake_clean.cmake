@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_runtime.dir/gaia.cc.o"
+  "CMakeFiles/flex_runtime.dir/gaia.cc.o.d"
+  "CMakeFiles/flex_runtime.dir/hiactor.cc.o"
+  "CMakeFiles/flex_runtime.dir/hiactor.cc.o.d"
+  "libflex_runtime.a"
+  "libflex_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

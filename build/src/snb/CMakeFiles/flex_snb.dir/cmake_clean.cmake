@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_snb.dir/generator.cc.o"
+  "CMakeFiles/flex_snb.dir/generator.cc.o.d"
+  "CMakeFiles/flex_snb.dir/schema.cc.o"
+  "CMakeFiles/flex_snb.dir/schema.cc.o.d"
+  "CMakeFiles/flex_snb.dir/workloads.cc.o"
+  "CMakeFiles/flex_snb.dir/workloads.cc.o.d"
+  "libflex_snb.a"
+  "libflex_snb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_snb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/gart/gart_store.cc" "src/storage/CMakeFiles/flex_storage.dir/gart/gart_store.cc.o" "gcc" "src/storage/CMakeFiles/flex_storage.dir/gart/gart_store.cc.o.d"
+  "/root/repo/src/storage/graphar/csv.cc" "src/storage/CMakeFiles/flex_storage.dir/graphar/csv.cc.o" "gcc" "src/storage/CMakeFiles/flex_storage.dir/graphar/csv.cc.o.d"
+  "/root/repo/src/storage/graphar/encoding.cc" "src/storage/CMakeFiles/flex_storage.dir/graphar/encoding.cc.o" "gcc" "src/storage/CMakeFiles/flex_storage.dir/graphar/encoding.cc.o.d"
+  "/root/repo/src/storage/graphar/graphar.cc" "src/storage/CMakeFiles/flex_storage.dir/graphar/graphar.cc.o" "gcc" "src/storage/CMakeFiles/flex_storage.dir/graphar/graphar.cc.o.d"
+  "/root/repo/src/storage/livegraph/livegraph_store.cc" "src/storage/CMakeFiles/flex_storage.dir/livegraph/livegraph_store.cc.o" "gcc" "src/storage/CMakeFiles/flex_storage.dir/livegraph/livegraph_store.cc.o.d"
+  "/root/repo/src/storage/simple.cc" "src/storage/CMakeFiles/flex_storage.dir/simple.cc.o" "gcc" "src/storage/CMakeFiles/flex_storage.dir/simple.cc.o.d"
+  "/root/repo/src/storage/vineyard/vineyard_store.cc" "src/storage/CMakeFiles/flex_storage.dir/vineyard/vineyard_store.cc.o" "gcc" "src/storage/CMakeFiles/flex_storage.dir/vineyard/vineyard_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/flex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/grin/CMakeFiles/flex_grin.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flex_storage.dir/gart/gart_store.cc.o"
+  "CMakeFiles/flex_storage.dir/gart/gart_store.cc.o.d"
+  "CMakeFiles/flex_storage.dir/graphar/csv.cc.o"
+  "CMakeFiles/flex_storage.dir/graphar/csv.cc.o.d"
+  "CMakeFiles/flex_storage.dir/graphar/encoding.cc.o"
+  "CMakeFiles/flex_storage.dir/graphar/encoding.cc.o.d"
+  "CMakeFiles/flex_storage.dir/graphar/graphar.cc.o"
+  "CMakeFiles/flex_storage.dir/graphar/graphar.cc.o.d"
+  "CMakeFiles/flex_storage.dir/livegraph/livegraph_store.cc.o"
+  "CMakeFiles/flex_storage.dir/livegraph/livegraph_store.cc.o.d"
+  "CMakeFiles/flex_storage.dir/simple.cc.o"
+  "CMakeFiles/flex_storage.dir/simple.cc.o.d"
+  "CMakeFiles/flex_storage.dir/vineyard/vineyard_store.cc.o"
+  "CMakeFiles/flex_storage.dir/vineyard/vineyard_store.cc.o.d"
+  "libflex_storage.a"
+  "libflex_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flex_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grape_test.dir/grape_test.cc.o"
+  "CMakeFiles/grape_test.dir/grape_test.cc.o.d"
+  "grape_test"
+  "grape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

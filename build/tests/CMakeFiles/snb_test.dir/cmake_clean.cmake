@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_test.dir/snb_test.cc.o"
+  "CMakeFiles/snb_test.dir/snb_test.cc.o.d"
+  "snb_test"
+  "snb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

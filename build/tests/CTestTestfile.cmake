@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datagen_test "/root/repo/build/tests/datagen_test")
+set_tests_properties(datagen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(grape_test "/root/repo/build/tests/grape_test")
+set_tests_properties(grape_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(query_test "/root/repo/build/tests/query_test")
+set_tests_properties(query_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(snb_test "/root/repo/build/tests/snb_test")
+set_tests_properties(snb_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(learn_test "/root/repo/build/tests/learn_test")
+set_tests_properties(learn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(runtime_test "/root/repo/build/tests/runtime_test")
+set_tests_properties(runtime_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(interpreter_test "/root/repo/build/tests/interpreter_test")
+set_tests_properties(interpreter_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;flex_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexbuild.dir/flexbuild.cc.o"
+  "CMakeFiles/flexbuild.dir/flexbuild.cc.o.d"
+  "flexbuild"
+  "flexbuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexbuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
