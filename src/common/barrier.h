@@ -1,9 +1,9 @@
 #ifndef FLEX_COMMON_BARRIER_H_
 #define FLEX_COMMON_BARRIER_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace flex {
 
@@ -22,26 +22,29 @@ class Barrier {
 
   /// Blocks until `parties` threads have called Await for this generation.
   /// Returns true on exactly one thread per generation (the "leader").
-  bool Await() {
-    std::unique_lock<std::mutex> lock(mu_);
-    const size_t gen = generation_;
-    if (++waiting_ == parties_) {
+  bool Await() EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      const size_t gen = generation_;
+      if (++waiting_ < parties_) {
+        // A generation flip must release every blocked party, so the leader
+        // signals all (lost-wakeup audit, DESIGN.md).
+        while (generation_ == gen) cv_.Wait(&mu_);
+        return false;
+      }
       waiting_ = 0;
       ++generation_;
-      lock.unlock();
-      cv_.notify_all();
-      return true;
     }
-    cv_.wait(lock, [&] { return generation_ != gen; });
-    return false;
+    cv_.SignalAll();
+    return true;
   }
 
  private:
   const size_t parties_;
-  size_t waiting_;
-  size_t generation_ = 0;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  size_t waiting_ GUARDED_BY(mu_);
+  size_t generation_ GUARDED_BY(mu_) = 0;
+  Mutex mu_;
+  CondVar cv_;
 };
 
 }  // namespace flex

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <cstring>
+#include <iostream>
 #include <mutex>
 
 namespace flex {

@@ -2,7 +2,7 @@
 #define FLEX_COMMON_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
+#include <ostream>
 #include <sstream>
 
 namespace flex {

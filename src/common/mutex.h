@@ -1,0 +1,101 @@
+#ifndef FLEX_COMMON_MUTEX_H_
+#define FLEX_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace flex {
+
+class CondVar;
+
+/// Annotated mutex: a thin wrapper over std::mutex that carries the Clang
+/// capability attribute, so `-Wthread-safety` can statically verify which
+/// fields each lock protects. All concurrency primitives in the stack
+/// (ThreadPool, BoundedQueue, Barrier, the engines' schedulers) lock through
+/// this type rather than raw std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Static assertion to the analysis that the calling thread holds this
+  /// lock (e.g. inside a callback invoked with the lock held).
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over flex::Mutex (the annotated analogue of
+/// std::lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to flex::Mutex.
+///
+/// Wait() must be called with the mutex held (and the analysis enforces it);
+/// internally the lock is adopted into a std::unique_lock for the duration
+/// of the wait and released back without unlocking, so the annotated lock
+/// state stays truthful across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu` and blocks until notified; reacquires before
+  /// returning. Callers must re-check their predicate in a loop (spurious
+  /// wakeups are allowed, as with std::condition_variable).
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Like Wait() but returns after `timeout` even if not notified. Returns
+  /// false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex* mu, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const bool notified = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  /// Wakes one waiter. Only correct when any single waiter can consume the
+  /// state change; state transitions that every waiter must observe
+  /// (end-of-stream, shutdown) must use SignalAll — see the lost-wakeup
+  /// audit in DESIGN.md.
+  void Signal() { cv_.notify_one(); }
+
+  /// Wakes every waiter.
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_MUTEX_H_

@@ -1,11 +1,11 @@
 #ifndef FLEX_COMMON_QUEUE_H_
 #define FLEX_COMMON_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace flex {
 
@@ -16,6 +16,11 @@ namespace flex {
 /// HiActor mailboxes, GRAPE inter-fragment message channels, and the sample
 /// channel between GraphLearn sampling and training servers (§7) all ride on
 /// this type. `Close()` models end-of-stream.
+///
+/// Wakeup discipline (see the lost-wakeup audit in DESIGN.md): a Push/Pop
+/// changes state that exactly one waiter can consume, so it signals one
+/// waiter; Close() is a state change every blocked producer AND consumer
+/// must observe, so it signals all waiters on both conditions.
 template <typename T>
 class BoundedQueue {
  public:
@@ -25,81 +30,89 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while full. Returns false (drops `item`) if the queue is closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T item) EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (items_.size() >= capacity_ && !closed_) not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.Signal();
     return true;
   }
 
   /// Non-blocking push; returns false when full or closed.
-  bool TryPush(T item) {
+  bool TryPush(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.Signal();
     return true;
   }
 
   /// Blocks while empty. Returns nullopt once the queue is closed and
   /// drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return item;
-  }
-
-  /// Non-blocking pop.
-  std::optional<T> TryPop() {
+  std::optional<T> Pop() EXCLUDES(mu_) {
     std::optional<T> item;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
+      while (items_.empty() && !closed_) not_empty_.Wait(&mu_);
       if (items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.Signal();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(&mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.Signal();
     return item;
   }
 
   /// Signals end-of-stream: pending and future Pop() calls drain remaining
-  /// items then return nullopt; Push() calls fail.
-  void Close() {
+  /// items then return nullopt; Push() calls fail. SignalAll (never Signal)
+  /// on both conditions: an arbitrary number of producers and consumers may
+  /// be blocked, and every one of them must observe the transition —
+  /// notify_one here would strand all but one waiter forever
+  /// (tests/concurrency_stress_test.cc has the many-blocked-waiters
+  /// regression).
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.SignalAll();
+    not_full_.SignalAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace flex

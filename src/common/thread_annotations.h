@@ -1,0 +1,93 @@
+#ifndef FLEX_COMMON_THREAD_ANNOTATIONS_H_
+#define FLEX_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotations (a.k.a. -Wthread-safety).
+///
+/// These macros attach static lock-discipline contracts to data members and
+/// functions: which mutex guards a field, which locks a function requires,
+/// acquires, or releases. Under Clang with -Wthread-safety the compiler
+/// *proves* the discipline at compile time; under GCC (the container's
+/// toolchain) they expand to nothing and the same contracts are exercised
+/// dynamically by the TSan build mode (see tools/check.sh).
+///
+/// Convention (documented in DESIGN.md): every shared field of a concurrent
+/// class is either std::atomic or GUARDED_BY a flex::Mutex; public methods
+/// that take the lock are annotated EXCLUDES, private helpers that expect it
+/// held are annotated REQUIRES.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FLEX_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define FLEX_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op off Clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY FLEX_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+#endif
+
+#endif  // FLEX_COMMON_THREAD_ANNOTATIONS_H_

@@ -16,26 +16,29 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  // Shutdown must wake every idle worker, not just one (lost-wakeup audit,
+  // DESIGN.md).
+  task_available_.SignalAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     FLEX_CHECK(!shutdown_);
     tasks_.push_back(std::move(task));
     ++inflight_;
   }
-  task_available_.notify_one();
+  // One new task is consumable by exactly one worker.
+  task_available_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [&] { return inflight_ == 0; });
+  MutexLock lock(&mu_);
+  while (inflight_ != 0) all_done_.Wait(&mu_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -67,20 +70,18 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(&mu_);
+      while (!shutdown_ && tasks_.empty()) task_available_.Wait(&mu_);
+      if (tasks_.empty()) return;  // Shutdown with no pending work.
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --inflight_;
-      if (inflight_ == 0) all_done_.notify_all();
+      // Multiple threads may block in Wait(); release them all.
+      if (inflight_ == 0) all_done_.SignalAll();
     }
   }
 }

@@ -1,14 +1,13 @@
 #ifndef FLEX_COMMON_THREAD_POOL_H_
 #define FLEX_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace flex {
 
@@ -18,6 +17,10 @@ namespace flex {
 /// deployments: each engine (Gaia, HiActor, GRAPE, GraphLearn) acquires a
 /// pool sized to its configured "node/worker" count and partitions work
 /// across it exactly as the distributed engines partition across machines.
+///
+/// This is the only place in src/ allowed to construct std::thread directly
+/// (enforced by tools/flexlint.cc); everything else submits work here so
+/// thread lifetime and shutdown have a single audited implementation.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -27,10 +30,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished running.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// Work is chunked to limit queue traffic.
@@ -48,12 +51,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t inflight_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  CondVar task_available_;
+  CondVar all_done_;
+  size_t inflight_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace flex

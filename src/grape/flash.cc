@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <unordered_map>
 
 namespace flex::grape::flash {
@@ -160,7 +159,7 @@ std::vector<uint8_t> FlashEngine::KCore(uint32_t k) {
   // alive/degree arrays) is exactly what FLASH permits.
   while (!frontier.empty()) {
     VertexSubset next(n);
-    std::mutex next_mu;
+    Mutex next_mu;
     const auto& members = frontier.members();
     pool_.ParallelForRange(
         members.size(), [&](size_t, size_t begin, size_t end) {
@@ -172,7 +171,7 @@ std::vector<uint8_t> FlashEngine::KCore(uint32_t k) {
               if (before == k) local.push_back(w);
             }
           }
-          std::lock_guard<std::mutex> lock(next_mu);
+          MutexLock lock(&next_mu);
           for (vid_t w : local) {
             if (alive[w] != 0) {
               alive[w] = 0;

@@ -2,11 +2,11 @@
 #define FLEX_GRAPE_MESSAGE_MANAGER_H_
 
 #include <cstring>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/varint.h"
 #include "graph/types.h"
 
@@ -142,15 +142,20 @@ class MessageManager {
       PutVarint64(&buf, target);
       MsgCodec<MSG>::Encode(&buf, msg);
     } else {
-      // Per-message baseline: one synchronized append per message.
-      std::lock_guard<std::mutex> lock(per_msg_locks_[dst].mu);
+      // Per-message baseline: one synchronized append per message. The
+      // guard is per destination (per_msg_locks_[dst]), a sharded-lock
+      // pattern the static annotations cannot express per element; the
+      // discipline is checked dynamically under TSan instead.
+      MutexLock lock(&per_msg_locks_[dst].mu);
       per_msg_outgoing_[dst].push_back({target, msg});
     }
   }
 
   /// Superstep boundary; must be called by exactly one thread while all
-  /// workers wait at the barrier. Returns the number of fragments that
-  /// received at least one message.
+  /// workers wait at the barrier (the barrier's mutex publishes the
+  /// workers' Send() writes to the flushing leader, and the flush results
+  /// back to the workers — the only reason this needs no locks of its own).
+  /// Returns the number of fragments that received at least one message.
   size_t Flush() {
     size_t fragments_with_traffic = 0;
     if (mode_ == MessageMode::kAggregated) {
@@ -204,7 +209,7 @@ class MessageManager {
 
  private:
   struct AlignedMutex {
-    alignas(64) std::mutex mu;
+    alignas(64) Mutex mu;  // Cache-line padded: one lock per destination.
   };
 
   const partition_t nfrag_;

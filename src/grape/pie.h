@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "common/barrier.h"
+#include "common/thread_pool.h"
 #include "grape/fragment.h"
 #include "grape/message_manager.h"
 
@@ -102,12 +102,14 @@ int RunPie(const std::vector<std::unique_ptr<Fragment>>& fragments,
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(nfrag);
+  // One pool worker per fragment; the pool is sized to the fragment count
+  // so all workers run concurrently (they rendezvous at the barrier every
+  // superstep, which deadlocks if any fragment's worker were queued).
+  ThreadPool pool(nfrag);
   for (partition_t fid = 0; fid < nfrag; ++fid) {
-    threads.emplace_back(worker, fid);
+    pool.Submit([&worker, fid] { worker(fid); });
   }
-  for (auto& t : threads) t.join();
+  pool.Wait();
   return rounds.load(std::memory_order_relaxed);
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/queue.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace flex::learn {
@@ -55,7 +56,13 @@ EpochStats TrainingPipeline::TrainEpoch(int epoch) {
     replicas.push_back(std::make_unique<Mlp>(*model_));
   }
 
-  std::vector<std::thread> threads;
+  // One pool worker per sampler and per trainer. The pool is sized to the
+  // full worker count: trainers block in Pop() until their group's samplers
+  // close the channel, so every worker must run concurrently (a smaller
+  // pool could queue a group's samplers behind its blocked trainers and
+  // deadlock).
+  ThreadPool pool(config_.num_groups *
+                  (config_.num_samplers + config_.num_trainers));
   for (size_t g = 0; g < config_.num_groups; ++g) {
     // One bounded sample channel per group (§7's "sample channel" with
     // prefetch): samplers push, trainers pop.
@@ -66,8 +73,8 @@ EpochStats TrainingPipeline::TrainEpoch(int epoch) {
 
     // Sampler workers: static split of this group's batches.
     for (size_t sidx = 0; sidx < config_.num_samplers; ++sidx) {
-      threads.emplace_back([this, g, sidx, epoch, channel, remaining,
-                            &group_batches, &total_expanded] {
+      pool.Submit([this, g, sidx, epoch, channel, remaining,
+                   &group_batches, &total_expanded] {
         Rng rng(config_.seed ^ (epoch * 1315423911u) ^ (g << 16) ^ sidx);
         const auto& batches = group_batches[g];
         for (size_t i = sidx; i < batches.size();
@@ -84,8 +91,8 @@ EpochStats TrainingPipeline::TrainEpoch(int epoch) {
     // Trainer workers: prefetch from the channel, train their replica.
     for (size_t tidx = 0; tidx < config_.num_trainers; ++tidx) {
       Mlp* replica = replicas[g * config_.num_trainers + tidx].get();
-      threads.emplace_back([this, channel, replica, &total_batches,
-                            &total_samples, &loss_sum] {
+      pool.Submit([this, channel, replica, &total_batches,
+                   &total_samples, &loss_sum] {
         while (auto batch = channel->Pop()) {
           if (config_.simulated_device_us_per_batch > 0) {
             std::this_thread::sleep_for(std::chrono::microseconds(
@@ -104,7 +111,7 @@ EpochStats TrainingPipeline::TrainEpoch(int epoch) {
       });
     }
   }
-  for (auto& t : threads) t.join();
+  pool.Wait();
 
   // Synchronous data-parallel: average replicas into the global model.
   std::vector<const Mlp*> views;

@@ -61,7 +61,7 @@ Result<std::vector<ir::Row>> NaiveGraphDB::Run(
 
 Result<std::vector<ir::Row>> NaiveGraphDB::RunPlan(
     const ir::Plan& plan, std::vector<PropertyValue> params) {
-  std::lock_guard<std::mutex> lock(mu_);  // One query at a time.
+  MutexLock lock(&mu_);  // One query at a time.
   Interpreter interpreter(graph_);
   ExecOptions opts;
   opts.params = std::move(params);

@@ -2,7 +2,6 @@
 #define FLEX_QUERY_SERVICE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "optimizer/optimizer.h"
@@ -66,7 +65,7 @@ class NaiveGraphDB {
 
  private:
   const grin::GrinGraph* graph_;
-  std::mutex mu_;
+  Mutex mu_;
 };
 
 /// Shared parse helper.

@@ -1,6 +1,6 @@
 #include "runtime/gaia.h"
 
-#include <thread>
+#include "common/thread_pool.h"
 
 namespace flex::runtime {
 
@@ -27,14 +27,15 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
     return interpreter.Run(plan, opts);
   }
 
-  // Streaming prefix: one worker per scan shard.
+  // Streaming prefix: one pool worker per scan shard. Pool size equals the
+  // number of shard tasks, so every shard runs concurrently and the
+  // pool's Wait() is the exchange point.
   std::vector<Result<std::vector<ir::Row>>> partials(
       num_workers_, Result<std::vector<ir::Row>>(std::vector<ir::Row>{}));
   {
-    std::vector<std::thread> workers;
-    workers.reserve(num_workers_);
+    ThreadPool pool(num_workers_);
     for (size_t w = 0; w < num_workers_; ++w) {
-      workers.emplace_back([&, w] {
+      pool.Submit([&, w] {
         query::ExecOptions opts;
         opts.params = params;
         opts.shard_index = w;
@@ -42,7 +43,7 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
         partials[w] = interpreter.RunRange(plan, 0, split, {}, opts);
       });
     }
-    for (auto& t : workers) t.join();
+    pool.Wait();
   }
 
   // Exchange: gather shards.

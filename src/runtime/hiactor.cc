@@ -19,13 +19,18 @@ HiActorEngine::HiActorEngine(const grin::GrinGraph* default_graph,
 }
 
 HiActorEngine::~HiActorEngine() {
-  stop_.store(true, std::memory_order_release);
-  wake_.notify_all();
+  {
+    // Publish stop_ under wake_mu_ so a worker between its predicate check
+    // and its wait cannot miss the shutdown signal.
+    MutexLock lock(&wake_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_.SignalAll();
   for (auto& t : workers_) t.join();
 }
 
 void HiActorEngine::RegisterProcedure(const std::string& name, ir::Plan plan) {
-  std::lock_guard<std::mutex> lock(procs_mu_);
+  MutexLock lock(&procs_mu_);
   procedures_[name] = std::make_shared<const ir::Plan>(std::move(plan));
 }
 
@@ -35,7 +40,7 @@ HiActorEngine::SubmitProcedure(const std::string& name,
                                std::shared_ptr<const grin::GrinGraph> graph) {
   std::shared_ptr<const ir::Plan> plan;
   {
-    std::lock_guard<std::mutex> lock(procs_mu_);
+    MutexLock lock(&procs_mu_);
     auto it = procedures_.find(name);
     if (it == procedures_.end()) {
       return Status::NotFound("stored procedure: " + name);
@@ -58,11 +63,16 @@ std::future<Result<std::vector<ir::Row>>> HiActorEngine::Submit(
   const size_t shard =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   {
-    std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+    MutexLock lock(&shards_[shard]->mu);
     shards_[shard]->queue.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
-  wake_.notify_one();
+  {
+    // The 0→1 transition of pending_ is what wakes sleepers; doing it under
+    // wake_mu_ pairs it with the worker's locked predicate check.
+    MutexLock lock(&wake_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.Signal();
   return future;
 }
 
@@ -77,7 +87,7 @@ bool HiActorEngine::TryRunOne(size_t shard_index) {
     const size_t s = (shard_index + probe) % shards_.size();
     Task task;
     {
-      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      MutexLock lock(&shards_[s]->mu);
       if (shards_[s]->queue.empty()) continue;
       if (probe == 0) {
         task = std::move(shards_[s]->queue.front());
@@ -105,11 +115,13 @@ bool HiActorEngine::TryRunOne(size_t shard_index) {
 void HiActorEngine::WorkerLoop(size_t shard_index) {
   while (!stop_.load(std::memory_order_acquire)) {
     if (TryRunOne(shard_index)) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_.wait_for(lock, std::chrono::milliseconds(1), [&] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(&wake_mu_);
+    while (!stop_.load(std::memory_order_acquire) &&
+           pending_.load(std::memory_order_acquire) == 0) {
+      wake_.Wait(&wake_mu_);
+    }
+    // pending_ > 0 here may be stale (another worker claimed the task);
+    // the outer loop re-probes the queues and comes back if empty.
   }
   // Drain remaining tasks so no future is abandoned.
   while (TryRunOne(shard_index)) {

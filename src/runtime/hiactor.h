@@ -2,16 +2,15 @@
 #define FLEX_RUNTIME_HIACTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "query/interpreter.h"
 
 namespace flex::runtime {
@@ -40,7 +39,8 @@ class HiActorEngine {
   HiActorEngine& operator=(const HiActorEngine&) = delete;
 
   /// Registers a parameterized plan under `name` (stored procedure).
-  void RegisterProcedure(const std::string& name, ir::Plan plan);
+  void RegisterProcedure(const std::string& name, ir::Plan plan)
+      EXCLUDES(procs_mu_);
 
   /// Enqueues a registered procedure; the future resolves with its rows.
   Result<std::future<Result<std::vector<ir::Row>>>> SubmitProcedure(
@@ -67,8 +67,8 @@ class HiActorEngine {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::deque<Task> queue;
+    Mutex mu;
+    std::deque<Task> queue GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t shard_index);
@@ -76,16 +76,25 @@ class HiActorEngine {
 
   const grin::GrinGraph* default_graph_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::thread> workers_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_;
+  // Shard workers ARE the engine's thread pool (long-lived, one per shard,
+  // each owning a run queue) — the one legitimate raw-thread site outside
+  // flex::ThreadPool.
+  std::vector<std::thread> workers_;  // flexlint: allow(raw-thread)
+  // Sleep/wake protocol: transitions that can wake a sleeping worker
+  // (pending_ 0→1, stop_) happen under wake_mu_ so the signal cannot fall
+  // between a worker's predicate check and its wait (lost-wakeup audit,
+  // DESIGN.md). Decrements may stay outside the lock: they only make the
+  // predicate false, never true.
+  Mutex wake_mu_;
+  CondVar wake_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> next_shard_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> pending_{0};
 
-  std::mutex procs_mu_;
-  std::unordered_map<std::string, std::shared_ptr<const ir::Plan>> procedures_;
+  Mutex procs_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const ir::Plan>> procedures_
+      GUARDED_BY(procs_mu_);
 };
 
 }  // namespace flex::runtime

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <numeric>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/varint.h"
 #include "storage/graphar/encoding.h"
 
@@ -687,7 +687,7 @@ class GraphArDirectGraph final : public grin::GrinGraph {
   /// Decodes the chunk containing `row` of `section` (one-chunk cache).
   PropertyValue CachedGet(const std::string& section, PropertyType type,
                           size_t row) const {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     auto& entry = cache_[section];
     auto bytes = reader_->Section(section);
     if (!bytes.ok()) return PropertyValue();
@@ -723,8 +723,8 @@ class GraphArDirectGraph final : public grin::GrinGraph {
     int64_t chunk_id = -1;
     std::unique_ptr<PropertyColumn> column;
   };
-  mutable std::mutex cache_mu_;
-  mutable std::map<std::string, CacheEntry> cache_;
+  mutable Mutex cache_mu_;
+  mutable std::map<std::string, CacheEntry> cache_ GUARDED_BY(cache_mu_);
 };
 
 Result<std::unique_ptr<grin::GrinGraph>> GraphArReader::OpenDirect() const {

@@ -131,6 +131,75 @@ INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
                                            16383ull, 16384ull, (1ull << 35),
                                            UINT64_MAX - 1, UINT64_MAX));
 
+TEST(VarintTest, TruncatedMidVarintAtEveryPrefix) {
+  // A decoder fed any strict prefix of a multi-byte encoding must fail and
+  // must not advance pos (so callers can safely retry after a refill).
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, UINT64_MAX);  // 10-byte maximum-length encoding.
+  ASSERT_EQ(buf.size(), 10u);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    uint64_t v = 0;
+    EXPECT_FALSE(GetVarint64(buf.data(), cut, &pos, &v)) << "cut=" << cut;
+    EXPECT_EQ(pos, 0u) << "cut=" << cut;
+  }
+}
+
+TEST(VarintTest, MaxLengthEncodingRoundTrips) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, UINT64_MAX);
+  ASSERT_EQ(buf.size(), 10u);
+  // Every byte but the last carries a continuation bit.
+  for (size_t i = 0; i + 1 < buf.size(); ++i) EXPECT_TRUE(buf[i] & 0x80);
+  EXPECT_FALSE(buf.back() & 0x80);
+  size_t pos = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_EQ(pos, 10u);
+}
+
+TEST(VarintTest, OverlongContinuationRunFails) {
+  // 11+ continuation bytes can never terminate a valid 64-bit varint; the
+  // decoder must reject rather than shift past 63 bits.
+  std::vector<uint8_t> buf(16, 0x80);
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+}
+
+TEST(VarintTest, DecodeAtNonZeroPosRespectsBounds) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 7);
+  PutVarint64(&buf, 300);
+  size_t pos = 1;  // Start at the second value.
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+  EXPECT_EQ(v, 300u);
+  // One byte short of the second value's encoding.
+  pos = 1;
+  EXPECT_FALSE(GetVarint64(buf.data(), buf.size() - 1, &pos, &v));
+}
+
+TEST(VarintTest, SignedTruncatedFails) {
+  std::vector<uint8_t> buf;
+  PutVarintSigned(&buf, INT64_MIN);  // ZigZags to UINT64_MAX: 10 bytes.
+  ASSERT_EQ(buf.size(), 10u);
+  size_t pos = 0;
+  int64_t v = 0;
+  EXPECT_FALSE(GetVarintSigned(buf.data(), buf.size() - 1, &pos, &v));
+  pos = 0;
+  ASSERT_TRUE(GetVarintSigned(buf.data(), buf.size(), &pos, &v));
+  EXPECT_EQ(v, INT64_MIN);
+}
+
+TEST(VarintTest, EmptyBufferFails) {
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(nullptr, 0, &pos, &v));
+  EXPECT_EQ(pos, 0u);
+}
+
 // ---------------------------------------------------------------- Random
 
 TEST(RngTest, DeterministicForSameSeed) {

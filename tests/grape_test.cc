@@ -12,6 +12,7 @@
 #include "grape/apps/traversal.h"
 #include "grape/flash.h"
 #include "grape/ingress.h"
+#include "grape/message_manager.h"
 #include "grape/pregel.h"
 
 namespace flex::grape {
@@ -587,6 +588,86 @@ TEST(IngressTest, NoopBatchTouchesNothing) {
   // Re-inserting a parallel edge with a worse weight changes nothing.
   EXPECT_EQ(sssp.AddEdges({{0, 1, 5.0}}), 0u);
   EXPECT_EQ(sssp.last_relaxations(), 0u);
+}
+
+// ------------------------------------------------------ MsgCodec bounds
+
+// Every codec must reject a short read instead of reading past the buffer:
+// a truncated wire buffer is how a lost/partial channel write manifests,
+// and Receive() FLEX_CHECKs these decodes.
+
+TEST(MsgCodecTest, DoubleShortReadFails) {
+  std::vector<uint8_t> buf;
+  MsgCodec<double>::Encode(&buf, 3.25);
+  ASSERT_EQ(buf.size(), 8u);
+  double out = 0.0;
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    EXPECT_FALSE(MsgCodec<double>::Decode(buf.data(), cut, &pos, &out))
+        << "cut=" << cut;
+    EXPECT_EQ(pos, 0u) << "cut=" << cut;
+  }
+  size_t pos = 0;
+  ASSERT_TRUE(MsgCodec<double>::Decode(buf.data(), buf.size(), &pos, &out));
+  EXPECT_EQ(out, 3.25);
+}
+
+TEST(MsgCodecTest, Uint32TruncatedVarintFails) {
+  std::vector<uint8_t> buf;
+  MsgCodec<uint32_t>::Encode(&buf, 1u << 30);  // Multi-byte varint.
+  ASSERT_GT(buf.size(), 1u);
+  uint32_t out = 0;
+  size_t pos = 0;
+  EXPECT_FALSE(
+      MsgCodec<uint32_t>::Decode(buf.data(), buf.size() - 1, &pos, &out));
+}
+
+TEST(MsgCodecTest, AdjacencyCountExceedsPayloadFails) {
+  // Header claims 5 deltas but only 2 follow: decode must fail cleanly
+  // after consuming what exists, not fabricate vertices.
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 5);
+  PutVarintSigned(&buf, 10);
+  PutVarintSigned(&buf, 3);
+  std::vector<vid_t> out;
+  size_t pos = 0;
+  EXPECT_FALSE(
+      MsgCodec<std::vector<vid_t>>::Decode(buf.data(), buf.size(), &pos, &out));
+}
+
+TEST(MsgCodecTest, AdjacencyTruncatedCountFails) {
+  std::vector<uint8_t> empty;
+  std::vector<vid_t> out;
+  size_t pos = 0;
+  EXPECT_FALSE(
+      MsgCodec<std::vector<vid_t>>::Decode(empty.data(), 0, &pos, &out));
+}
+
+TEST(MsgCodecTest, AdjacencyRoundTripsWithDeltas) {
+  const std::vector<vid_t> adj = {3, 7, 8, 100, 1000};
+  std::vector<uint8_t> buf;
+  MsgCodec<std::vector<vid_t>>::Encode(&buf, adj);
+  std::vector<vid_t> out;
+  size_t pos = 0;
+  ASSERT_TRUE(
+      MsgCodec<std::vector<vid_t>>::Decode(buf.data(), buf.size(), &pos, &out));
+  EXPECT_EQ(out, adj);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(MsgCodecTest, PairShortReadFailsOnSecondHalf) {
+  using DPair = std::pair<double, double>;
+  std::vector<uint8_t> buf;
+  MsgCodec<DPair>::Encode(&buf, {1.5, -2.5});
+  ASSERT_EQ(buf.size(), 16u);
+  DPair out;
+  size_t pos = 0;
+  // 12 bytes: first double decodes, second must fail the whole decode.
+  EXPECT_FALSE(MsgCodec<DPair>::Decode(buf.data(), 12, &pos, &out));
+  pos = 0;
+  ASSERT_TRUE(MsgCodec<DPair>::Decode(buf.data(), buf.size(), &pos, &out));
+  EXPECT_EQ(out.first, 1.5);
+  EXPECT_EQ(out.second, -2.5);
 }
 
 }  // namespace

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Concurrency-correctness driver: builds and runs the tier-1 test suite
+# under ASan+UBSan and under TSan, with the suppression files in
+# tools/sanitizers/. Any sanitizer report fails the run (halt_on_error /
+# -fno-sanitize-recover=all).
+#
+# Usage:
+#   tools/check.sh            # both passes
+#   tools/check.sh asan       # address+undefined only
+#   tools/check.sh tsan       # thread only
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SUPP="$ROOT/tools/sanitizers"
+JOBS="$(nproc)"
+MODES="${1:-all}"
+
+run_pass() {
+  local name="$1" sanitize="$2" builddir="$ROOT/build-$1"
+  echo "=== $name: FLEX_SANITIZE=$sanitize -> $builddir ==="
+  cmake -B "$builddir" -S "$ROOT" -DFLEX_SANITIZE="$sanitize" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$builddir" -j "$JOBS"
+  (cd "$builddir" && ctest --output-on-failure -j "$JOBS")
+}
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:suppressions=$SUPP/asan.supp"
+export LSAN_OPTIONS="suppressions=$SUPP/lsan.supp"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$SUPP/ubsan.supp"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$SUPP/tsan.supp"
+
+case "$MODES" in
+  asan) run_pass asan address,undefined ;;
+  tsan) run_pass tsan thread ;;
+  all)
+    run_pass asan address,undefined
+    run_pass tsan thread
+    ;;
+  *)
+    echo "usage: tools/check.sh [asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== check.sh: all sanitizer passes clean ==="

@@ -1,0 +1,235 @@
+// flexlint: the repo's custom invariant linter, run as a ctest test.
+//
+// Walks src/ and tests/ and enforces the concurrency/determinism contracts
+// that keep the benchmark harness honest:
+//
+//   raw-thread       std::thread may only be constructed inside
+//                    common/thread_pool.{h,cc} (the audited pool) — every
+//                    other component must submit work to a ThreadPool, so
+//                    thread lifetime and shutdown have one implementation.
+//                    Scope: src/.
+//   nondeterminism   std::rand / srand / std::random_device are banned in
+//                    engine code; the datagen and bench layers promise
+//                    seed-reproducible runs, so all randomness flows through
+//                    flex::Rng (common/random.h). Scope: src/.
+//   stdio            printf / fprintf / puts / std::cout / std::cerr are
+//                    banned in engine code; use common/logging.h so output
+//                    is levelled, serialized, and redirectable. The logging
+//                    sink itself (common/logging.cc) is the one exemption.
+//                    Scope: src/.
+//   header-guard     Every header's include guard must be derived from its
+//                    path: src/grape/pie.h -> FLEX_GRAPE_PIE_H_. Scope:
+//                    src/ and tests/.
+//   iostream-header  #include <iostream> is banned in headers (it injects
+//                    the static ios_base initializer into every TU).
+//                    Scope: src/ and tests/.
+//
+// A violating line can be waived with a trailing marker naming the rule,
+//     ... code ...  // flexlint: allow(raw-thread)
+// which is meant to be rare and to carry a justification in a comment.
+//
+// Usage: flexlint <repo-root>   (exits non-zero and prints one line per
+// violation: file:line: [rule] message)
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;  // Repo-relative path.
+  size_t line;       // 1-based; 0 for file-level findings.
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Violation> g_violations;
+
+void Report(const std::string& file, size_t line, const std::string& rule,
+            const std::string& message) {
+  g_violations.push_back({file, line, rule, message});
+}
+
+bool HasAllowMarker(const std::string& line, const std::string& rule) {
+  return line.find("flexlint: allow(" + rule + ")") != std::string::npos;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when `token` occurs in `line` not preceded by an identifier
+/// character (so "printf(" does not match "snprintf(", which legitimately
+/// formats into buffers without touching stdio).
+bool ContainsToken(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool prefixed =
+        pos > 0 && (std::isalnum(static_cast<unsigned char>(line[pos - 1])) ||
+                    line[pos - 1] == '_');
+    if (!prefixed) return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+/// The include guard mandated for a repo-relative header path: the path
+/// with a leading "src/" stripped, uppercased, non-alphanumerics mapped to
+/// '_', prefixed with FLEX_ and suffixed with '_'.
+/// src/common/queue.h -> FLEX_COMMON_QUEUE_H_
+/// tests/foo_util.h   -> FLEX_TESTS_FOO_UTIL_H_
+std::string ExpectedGuard(std::string rel) {
+  if (StartsWith(rel, "src/")) rel = rel.substr(4);
+  std::string guard = "FLEX_";
+  for (char c : rel) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckHeaderGuard(const std::string& rel,
+                      const std::vector<std::string>& lines) {
+  const std::string guard = ExpectedGuard(rel);
+  std::string found_ifndef;
+  size_t ifndef_line = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (StartsWith(line, "#ifndef ")) {
+      found_ifndef = line.substr(8);
+      // Trim trailing whitespace/comment.
+      const size_t end = found_ifndef.find_first_of(" \t/");
+      if (end != std::string::npos) found_ifndef = found_ifndef.substr(0, end);
+      ifndef_line = i + 1;
+      break;
+    }
+    if (StartsWith(line, "#include") || StartsWith(line, "#pragma")) break;
+  }
+  if (found_ifndef.empty()) {
+    Report(rel, 0, "header-guard", "missing include guard, expected " + guard);
+    return;
+  }
+  if (found_ifndef != guard) {
+    Report(rel, ifndef_line, "header-guard",
+           "guard is " + found_ifndef + ", expected " + guard);
+    return;
+  }
+  if (ifndef_line >= lines.size() ||
+      lines[ifndef_line] != "#define " + guard) {
+    Report(rel, ifndef_line, "header-guard",
+           "#ifndef " + guard + " not followed by matching #define");
+  }
+}
+
+void CheckFile(const std::string& rel, const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    Report(rel, 0, "io", "could not open file");
+    return;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(std::move(line));
+  }
+
+  const bool in_src = StartsWith(rel, "src/");
+  const bool is_header = EndsWith(rel, ".h");
+  const bool is_pool_impl = rel == "src/common/thread_pool.h" ||
+                            rel == "src/common/thread_pool.cc";
+  const bool is_log_sink = rel == "src/common/logging.cc";
+
+  if (is_header) CheckHeaderGuard(rel, lines);
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const size_t ln = i + 1;
+
+    if (in_src && !is_pool_impl && ContainsToken(line, "std::thread") &&
+        !HasAllowMarker(line, "raw-thread")) {
+      Report(rel, ln, "raw-thread",
+             "construct threads via flex::ThreadPool (common/thread_pool.h)");
+    }
+
+    if (in_src && !HasAllowMarker(line, "nondeterminism")) {
+      for (const char* token : {"std::rand", "srand", "random_device"}) {
+        if (ContainsToken(line, token)) {
+          Report(rel, ln, "nondeterminism",
+                 std::string(token) +
+                     " breaks seed-reproducibility; use flex::Rng "
+                     "(common/random.h)");
+        }
+      }
+    }
+
+    if (in_src && !is_log_sink && !HasAllowMarker(line, "stdio")) {
+      for (const char* token :
+           {"printf", "fprintf", "puts", "std::cout", "std::cerr"}) {
+        if (ContainsToken(line, token)) {
+          Report(rel, ln, "stdio",
+                 std::string(token) +
+                     " bypasses the serialized log sink; use FLEX_LOG "
+                     "(common/logging.h)");
+        }
+      }
+    }
+
+    if (is_header && ContainsToken(line, "#include <iostream>") &&
+        !HasAllowMarker(line, "iostream-header")) {
+      Report(rel, ln, "iostream-header",
+             "<iostream> in a header injects a static initializer into "
+             "every TU; include it in the .cc instead");
+    }
+  }
+}
+
+void WalkTree(const fs::path& root, const std::string& subdir) {
+  const fs::path base = root / subdir;
+  if (!fs::exists(base)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(base)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    const std::string rel =
+        fs::relative(entry.path(), root).generic_string();
+    CheckFile(rel, entry.path());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: flexlint <repo-root>\n");
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "flexlint: %s has no src/ directory\n", argv[1]);
+    return 2;
+  }
+  WalkTree(root, "src");
+  WalkTree(root, "tests");
+  for (const auto& v : g_violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!g_violations.empty()) {
+    std::fprintf(stderr, "flexlint: %zu violation(s)\n", g_violations.size());
+    return 1;
+  }
+  std::printf("flexlint: clean\n");
+  return 0;
+}
