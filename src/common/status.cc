@@ -28,6 +28,14 @@ const char* StatusCodeName(StatusCode code) {
       return "PlanError";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -24,6 +24,10 @@ enum class StatusCode {
   kParseError,         ///< Query-language front end failed to parse input.
   kPlanError,          ///< IR construction / optimization failed.
   kAborted,            ///< MVCC conflict or cancelled execution.
+  kCancelled,          ///< Execution stopped via a CancellationToken.
+  kDeadlineExceeded,   ///< The query's deadline expired before completion.
+  kResourceExhausted,  ///< Admission control shed load (queue bound hit).
+  kDataLoss,           ///< Unrecoverable corruption or truncation of data.
 };
 
 /// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
@@ -71,6 +75,18 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

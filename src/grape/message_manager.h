@@ -2,11 +2,13 @@
 #define FLEX_GRAPE_MESSAGE_MANAGER_H_
 
 #include <cstring>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/varint.h"
 #include "graph/types.h"
 
@@ -89,6 +91,11 @@ struct MsgCodec<std::vector<vid_t>> {
                      std::vector<vid_t>* out) {
     uint64_t n;
     if (!GetVarint64(data, size, pos, &n)) return false;
+    // Each delta is at least one wire byte, so a count exceeding the
+    // remaining payload is corrupt — and honouring it in reserve() would
+    // let a malformed buffer demand arbitrary memory before the per-element
+    // bounds checks ever ran. Reject before allocating.
+    if (n > size - *pos) return false;
     out->clear();
     out->reserve(n);
     int64_t prev = 0;
@@ -179,17 +186,24 @@ class MessageManager {
   }
 
   /// Delivers the previous round's messages for fragment `fid` to
-  /// `fn(vid_t target, const MSG&)`.
+  /// `fn(vid_t target, const MSG&)`. A truncated or otherwise malformed
+  /// aggregated buffer — how a lost/partial channel write manifests — is
+  /// reported as kDataLoss instead of crashing the process; delivery stops
+  /// at the first bad record.
   template <typename Fn>
-  void Receive(partition_t fid, Fn&& fn) const {
+  Status Receive(partition_t fid, Fn&& fn) const {
     if (mode_ == MessageMode::kAggregated) {
       const std::vector<uint8_t>& buf = incoming_[fid];
       size_t pos = 0;
       uint64_t target = 0;
       MSG msg{};
       while (pos < buf.size()) {
-        FLEX_CHECK(GetVarint64(buf.data(), buf.size(), &pos, &target));
-        FLEX_CHECK(MsgCodec<MSG>::Decode(buf.data(), buf.size(), &pos, &msg));
+        if (!GetVarint64(buf.data(), buf.size(), &pos, &target) ||
+            !MsgCodec<MSG>::Decode(buf.data(), buf.size(), &pos, &msg)) {
+          return Status::DataLoss("fragment " + std::to_string(fid) +
+                                  ": malformed message buffer at byte " +
+                                  std::to_string(pos));
+        }
         fn(static_cast<vid_t>(target), msg);
       }
     } else {
@@ -197,6 +211,7 @@ class MessageManager {
         fn(target, msg);
       }
     }
+    return Status::OK();
   }
 
   /// Bytes queued for delivery this round (aggregated mode), a proxy for

@@ -27,11 +27,18 @@ class PieContext {
     messages_->Send(frag_->fid(), frag_->OwnerOf(target), target, msg);
   }
 
-  /// Streams this fragment's inbound messages for the current round.
+  /// Streams this fragment's inbound messages for the current round. A
+  /// delivery failure (kDataLoss after exhausted recovery) is latched into
+  /// receive_status() — apps keep their void callbacks; the runtime checks
+  /// the latch after each compute phase and aborts the run cleanly.
   template <typename Fn>
   void ForEachMessage(Fn&& fn) const {
-    messages_->Receive(frag_->fid(), std::forward<Fn>(fn));
+    Status st = messages_->Receive(frag_->fid(), std::forward<Fn>(fn));
+    if (!st.ok() && recv_status_.ok()) recv_status_ = std::move(st);
   }
+
+  /// First delivery error observed by ForEachMessage (OK if none).
+  const Status& receive_status() const { return recv_status_; }
 
   /// Sends `msg` to every fragment, addressed to the sentinel target
   /// kInvalidVid (global aggregation channel, e.g. PageRank dangling mass).
@@ -54,6 +61,9 @@ class PieContext {
   const Fragment* frag_;
   MessageManager<MSG>* messages_;
   int round_ = 0;
+  /// Mutable: ForEachMessage is const for the apps' benefit but must
+  /// record a failed delivery.
+  mutable Status recv_status_;
 };
 
 /// The PIE programming model [44] (§6): users supply a *partial evaluation*
@@ -99,6 +109,9 @@ int RunPie(const std::vector<std::unique_ptr<Fragment>>& fragments,
       if (!proceed.load(std::memory_order_acquire)) break;
       ctx.BeginRound(round);
       apps[fid]->IncEval(*fragments[fid], ctx);
+      // Delivery failures latch into the context; the legacy runtime still
+      // treats them as fatal (RunPieChecked is the recovering path).
+      FLEX_CHECK(ctx.receive_status().ok());
     }
   };
 

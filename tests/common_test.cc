@@ -34,9 +34,37 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kAborted); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDataLoss); ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+// Guards the name table against drift: a newly added StatusCode that
+// reuses (copy-pastes) an existing case label would silently alias two
+// codes in every log line and test failure message.
+TEST(StatusTest, AllCodeNamesDistinct) {
+  std::set<std::string> names;
+  int count = 0;
+  // Walk past the last known code until the table answers "Unknown", so
+  // codes added after kDataLoss are still covered without editing this
+  // test.
+  for (int c = 0; c < 64; ++c) {
+    const char* name = StatusCodeName(static_cast<StatusCode>(c));
+    if (std::string(name) == "Unknown") break;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<int>(StatusCode::kDataLoss) + 1)
+      << "StatusCodeName has a gap before the last enumerator";
+}
+
+TEST(StatusTest, RobustnessFactoriesCarryTheirCodes) {
+  EXPECT_EQ(Status::Cancelled("c").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("d").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("r").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DataLoss("l").code(), StatusCode::kDataLoss);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -194,11 +194,13 @@ void RunSuperstepExchange(grape::MessageMode mode) {
         }
         barrier.Await();
         uint64_t count = 0;
-        messages.Receive(f, [&](vid_t sender, const uint64_t& msg) {
-          ASSERT_LT(sender, static_cast<vid_t>(kFrags));
-          ASSERT_EQ(msg, static_cast<uint64_t>(round));
-          ++count;
-        });
+        const Status received =
+            messages.Receive(f, [&](vid_t sender, const uint64_t& msg) {
+              ASSERT_LT(sender, static_cast<vid_t>(kFrags));
+              ASSERT_EQ(msg, static_cast<uint64_t>(round));
+              ++count;
+            });
+        ASSERT_TRUE(received.ok()) << received.ToString();
         ASSERT_EQ(count, static_cast<uint64_t>(kFrags));
         total_received.fetch_add(count, std::memory_order_relaxed);
         // Don't let fast fragments race into the next round's sends while

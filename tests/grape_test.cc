@@ -594,7 +594,7 @@ TEST(IngressTest, NoopBatchTouchesNothing) {
 
 // Every codec must reject a short read instead of reading past the buffer:
 // a truncated wire buffer is how a lost/partial channel write manifests,
-// and Receive() FLEX_CHECKs these decodes.
+// and Receive() surfaces these decode failures as kDataLoss.
 
 TEST(MsgCodecTest, DoubleShortReadFails) {
   std::vector<uint8_t> buf;
@@ -641,6 +641,21 @@ TEST(MsgCodecTest, AdjacencyTruncatedCountFails) {
   size_t pos = 0;
   EXPECT_FALSE(
       MsgCodec<std::vector<vid_t>>::Decode(empty.data(), 0, &pos, &out));
+}
+
+TEST(MsgCodecTest, AdjacencyHugeCountRejectedBeforeAllocating) {
+  // A wire-controlled count must not drive reserve(): a frame claiming
+  // 2^60 neighbors with a two-byte payload is an OOM, not a loop that
+  // fails on element 3. The decode must reject it up front.
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, uint64_t{1} << 60);
+  PutVarintSigned(&buf, 1);
+  PutVarintSigned(&buf, 1);
+  std::vector<vid_t> out;
+  size_t pos = 0;
+  EXPECT_FALSE(
+      MsgCodec<std::vector<vid_t>>::Decode(buf.data(), buf.size(), &pos, &out));
+  EXPECT_EQ(out.capacity(), 0u);
 }
 
 TEST(MsgCodecTest, AdjacencyRoundTripsWithDeltas) {

@@ -184,13 +184,17 @@ TYPED_TEST(MsgCodecTest, RoundTripsThroughManager) {
   }
   manager.Flush();
   std::vector<std::pair<vid_t, TypeParam>> received;
-  manager.Receive(1, [&](vid_t t, const TypeParam& v) {
-    received.push_back({t, v});
-  });
+  EXPECT_TRUE(manager
+                  .Receive(1,
+                           [&](vid_t t, const TypeParam& v) {
+                             received.push_back({t, v});
+                           })
+                  .ok());
   EXPECT_EQ(received, sent);
   // Fragment 0 got nothing.
   size_t other = 0;
-  manager.Receive(0, [&](vid_t, const TypeParam&) { ++other; });
+  EXPECT_TRUE(
+      manager.Receive(0, [&](vid_t, const TypeParam&) { ++other; }).ok());
   EXPECT_EQ(other, 0u);
 }
 
@@ -202,10 +206,13 @@ TEST(MsgCodecVectorTest, AdjacencyPayloadRoundTrip) {
   for (const auto& p : payloads) manager.Send(1, 0, 9, p);
   manager.Flush();
   size_t i = 0;
-  manager.Receive(0, [&](vid_t target, const std::vector<vid_t>& v) {
-    EXPECT_EQ(target, 9u);
-    EXPECT_EQ(v, payloads[i++]);
-  });
+  EXPECT_TRUE(manager
+                  .Receive(0,
+                           [&](vid_t target, const std::vector<vid_t>& v) {
+                             EXPECT_EQ(target, 9u);
+                             EXPECT_EQ(v, payloads[i++]);
+                           })
+                  .ok());
   EXPECT_EQ(i, 4u);
 }
 
@@ -218,13 +225,14 @@ TEST(MessageManagerTest, ModesDeliverIdentically) {
     manager.Send(2, 2, 13, 300);
     EXPECT_EQ(manager.Flush(), 1u);  // Only fragment 2 has traffic.
     std::vector<uint32_t> got;
-    manager.Receive(2, [&](vid_t, uint32_t v) { got.push_back(v); });
+    EXPECT_TRUE(
+        manager.Receive(2, [&](vid_t, uint32_t v) { got.push_back(v); }).ok());
     std::sort(got.begin(), got.end());
     EXPECT_EQ(got, (std::vector<uint32_t>{100, 200, 300}));
     // Second flush with nothing sent: channels drain.
     EXPECT_EQ(manager.Flush(), 0u);
     size_t empty = 0;
-    manager.Receive(2, [&](vid_t, uint32_t) { ++empty; });
+    EXPECT_TRUE(manager.Receive(2, [&](vid_t, uint32_t) { ++empty; }).ok());
     EXPECT_EQ(empty, 0u);
   }
 }
