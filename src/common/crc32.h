@@ -1,0 +1,43 @@
+#ifndef FLEX_COMMON_CRC32_H_
+#define FLEX_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace flex {
+
+namespace internal_crc32 {
+
+/// Standard CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table
+/// generated at compile time.
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace internal_crc32
+
+/// CRC-32 checksum of `data[0, size)`. Used to frame aggregated message
+/// buffers so corruption and truncation are detected at Receive() rather
+/// than silently decoding garbage.
+inline uint32_t Crc32(const uint8_t* data, size_t size) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = internal_crc32::kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_CRC32_H_

@@ -1,0 +1,104 @@
+#ifndef FLEX_COMMON_DEADLINE_H_
+#define FLEX_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+
+namespace flex {
+
+/// An absolute point in time after which work must stop.
+///
+/// Threaded from QueryService::Run through the Gaia dataflow, the HiActor
+/// shards, and the PIE/Pregel superstep loops; each layer checks at its
+/// natural quantum (between operators, at superstep boundaries, at task
+/// dispatch) and fails with kDeadlineExceeded instead of running on.
+/// The default-constructed Deadline is infinite and costs one comparison
+/// to check.
+class Deadline {
+ public:
+  /// Infinite: never expires.
+  Deadline() : expiry_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `budget` from now.
+  template <typename Rep, typename Period>
+  static Deadline After(std::chrono::duration<Rep, Period> budget) {
+    Deadline d;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   budget);
+    return d;
+  }
+
+  /// Already expired at construction — admission checks must reject it
+  /// before any work happens.
+  static Deadline Expired() {
+    Deadline d;
+    d.expiry_ = Clock::time_point::min();
+    return d;
+  }
+
+  bool IsInfinite() const { return expiry_ == Clock::time_point::max(); }
+
+  bool HasExpired() const {
+    return !IsInfinite() && Clock::now() >= expiry_;
+  }
+
+  /// Time left before expiry; zero when expired, and effectively unbounded
+  /// when infinite.
+  std::chrono::nanoseconds Remaining() const {
+    if (IsInfinite()) return std::chrono::nanoseconds::max();
+    const auto now = Clock::now();
+    if (now >= expiry_) return std::chrono::nanoseconds{0};
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(expiry_ -
+                                                                now);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point expiry_;
+};
+
+/// Cooperative cancellation flag shared between a query's submitter and
+/// its executors. Executors poll Cancelled() at the same points they check
+/// deadlines; the submitter calls Cancel() from any thread. The token must
+/// outlive every execution it was handed to.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The one check every execution layer runs at its quantum boundary:
+/// cancellation wins over deadline (an explicit user action beats a
+/// timer), and `where` names the layer for the error message.
+inline Status CheckRunnable(const Deadline& deadline,
+                            const CancellationToken* cancel,
+                            const char* where) {
+  if (cancel != nullptr && cancel->Cancelled()) {
+    return Status::Cancelled(std::string(where) + ": cancelled");
+  }
+  if (deadline.HasExpired()) {
+    return Status::DeadlineExceeded(std::string(where) +
+                                    ": deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_DEADLINE_H_

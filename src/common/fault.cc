@@ -1,0 +1,191 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace flex::fault {
+
+namespace {
+
+/// The disarmed fast-path flag. Relaxed is sufficient: arming happens
+/// strictly before the armed run starts (test setup), and a stale false
+/// during teardown only skips accounting for a site being disarmed anyway.
+std::atomic<bool> g_armed{false};
+
+/// Parses "5ms" / "250us" / "1s" into microseconds.
+bool ParseDuration(const std::string& text, std::chrono::microseconds* out) {
+  size_t digits = 0;
+  while (digits < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[digits])) != 0)) {
+    ++digits;
+  }
+  if (digits == 0) return false;
+  const std::string suffix = text.substr(digits);
+  uint64_t value = 0;
+  for (size_t i = 0; i < digits; ++i) {
+    value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+  }
+  if (suffix == "us") {
+    *out = std::chrono::microseconds(value);
+  } else if (suffix == "ms") {
+    *out = std::chrono::microseconds(value * 1000);
+  } else if (suffix == "s") {
+    *out = std::chrono::microseconds(value * 1000 * 1000);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Armed() { return g_armed.load(std::memory_order_relaxed); }
+
+Injector& Injector::Instance() {
+  static Injector* injector = new Injector();  // Leaked: process lifetime.
+  return *injector;
+}
+
+void Injector::Arm(const std::string& site, const Policy& policy) {
+  MutexLock lock(&mu_);
+  SiteState state;
+  state.policy = policy;
+  state.rng = Rng(policy.seed);
+  sites_[site] = std::move(state);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+Status Injector::ArmFromSpec(const std::string& spec) {
+  for (const std::string& entry : Split(spec, ';')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry needs site=...: " +
+                                     entry);
+    }
+    const std::string site = entry.substr(0, eq);
+    const std::vector<std::string> tokens =
+        Split(entry.substr(eq + 1), ':');
+    if (tokens.size() % 2 != 0 || tokens.empty()) {
+      return Status::InvalidArgument("fault spec wants key:value pairs: " +
+                                     entry);
+    }
+    Policy policy;
+    bool has_delay = false;
+    bool has_prob = false;
+    for (size_t i = 0; i < tokens.size(); i += 2) {
+      const std::string& key = tokens[i];
+      const std::string& value = tokens[i + 1];
+      if (key == "nth") {
+        policy.nth = static_cast<uint64_t>(std::strtoull(value.c_str(),
+                                                         nullptr, 10));
+        if (policy.nth == 0) {
+          return Status::InvalidArgument("fault spec nth is 1-based: " +
+                                         entry);
+        }
+      } else if (key == "count") {
+        policy.count = static_cast<uint64_t>(std::strtoull(value.c_str(),
+                                                           nullptr, 10));
+      } else if (key == "prob") {
+        policy.probability = std::strtod(value.c_str(), nullptr);
+        has_prob = true;
+      } else if (key == "seed") {
+        policy.seed = static_cast<uint64_t>(std::strtoull(value.c_str(),
+                                                          nullptr, 10));
+      } else if (key == "delay") {
+        if (!ParseDuration(value, &policy.delay)) {
+          return Status::InvalidArgument("fault spec delay wants us|ms|s: " +
+                                         entry);
+        }
+        has_delay = true;
+      } else {
+        return Status::InvalidArgument("fault spec unknown key '" + key +
+                                       "': " + entry);
+      }
+    }
+    if (has_delay) {
+      policy.kind = Policy::Kind::kDelay;
+      // Delay sites default to sleeping on every hit.
+      if (policy.count == 1 && policy.nth == 1 && !has_prob) {
+        policy.count = ~uint64_t{0};
+      }
+    } else if (has_prob) {
+      policy.kind = Policy::Kind::kProbability;
+    }
+    Arm(site, policy);
+  }
+  return Status::OK();
+}
+
+Status Injector::ArmFromEnv() {
+  const char* spec = std::getenv("FLEX_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return ArmFromSpec(spec);
+}
+
+void Injector::DisarmAll() {
+  MutexLock lock(&mu_);
+  sites_.clear();
+  trace_.clear();
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+uint64_t Injector::Hits(const std::string& site) const {
+  MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t Injector::Fires(const std::string& site) const {
+  MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> Injector::Trace() const {
+  MutexLock lock(&mu_);
+  return trace_;
+}
+
+bool Injector::Hit(const char* site) {
+  std::chrono::microseconds sleep_for{0};
+  bool fired = false;
+  {
+    MutexLock lock(&mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return false;  // Armed, but not this site.
+    SiteState& state = it->second;
+    const uint64_t hit = ++state.hits;
+    const Policy& policy = state.policy;
+    const bool in_window =
+        hit >= policy.nth && (policy.count == ~uint64_t{0} ||
+                              hit - policy.nth < policy.count);
+    switch (policy.kind) {
+      case Policy::Kind::kFail:
+        fired = in_window;
+        break;
+      case Policy::Kind::kProbability:
+        // The Rng advances on every hit so the fire pattern depends only
+        // on (seed, hit index), never on which other sites are armed.
+        fired = state.rng.Bernoulli(policy.probability);
+        break;
+      case Policy::Kind::kDelay:
+        if (in_window) sleep_for = policy.delay;
+        break;
+    }
+    if (fired || sleep_for.count() > 0) {
+      ++state.fires;
+      trace_.push_back(std::string(site) + "#" + std::to_string(hit));
+    }
+  }
+  if (sleep_for.count() > 0) {
+    // Sleep outside the registry lock so a delay site never serializes
+    // unrelated sites.
+    std::this_thread::sleep_for(sleep_for);
+  }
+  return fired;
+}
+
+}  // namespace flex::fault

@@ -1,0 +1,150 @@
+#ifndef FLEX_COMMON_FAULT_H_
+#define FLEX_COMMON_FAULT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace flex::fault {
+
+/// Deterministic fault injection for the chaos harness.
+///
+/// Components mark *fault sites* — named points where a production
+/// deployment could lose, delay, or corrupt work — with FLEX_FAULT_POINT
+/// ("did the fault fire here?") or FLEX_FAULT_INJECT (delay-only sites).
+/// Tests arm sites with seeded, programmable policies; everything is
+/// reproducible: the same policies and seeds yield the same fire trace.
+///
+/// Cost when disarmed (the production/benchmark configuration) is a single
+/// relaxed atomic load and a predicted branch per site — no lock, no map
+/// lookup, no string materialization.
+///
+/// Sites currently instrumented across the stack:
+///   "msg.corrupt"      MessageManager::Flush — flips a payload byte in an
+///                      aggregated frame (CRC detects, retransmit recovers).
+///   "grape.flush"      MessageManager::Flush — truncates the tail of a
+///                      flushed buffer (partial flush; length checks detect).
+///   "msg.delay"        MessageManager::Send — injected latency on the
+///                      aggregated append path.
+///   "pie.compute"      RunPieChecked — fail-stop kill of one fragment's
+///                      compute for the round; the superstep leader
+///                      re-executes that fragment before flushing.
+///   "hiactor.dispatch" HiActorEngine::TryRunOne — fail: the task resolves
+///                      kAborted; delay: emulates a slow shard.
+///   "storage.read"     Interpreter scan — the storage read boundary fails
+///                      with kDataLoss.
+struct Policy {
+  enum class Kind {
+    /// Fires on hits [nth, nth + count): deterministic fail-on-Nth-hit.
+    kFail,
+    /// Fires each hit with `probability`, from an Rng seeded with `seed`
+    /// (flexlint-compliant: no global randomness, reproducible sequence).
+    kProbability,
+    /// Never fails; sleeps `delay` per fire instead (uses the same nth /
+    /// count / probability selectors to decide *which* hits sleep; the
+    /// default selects every hit).
+    kDelay,
+  };
+
+  Kind kind = Kind::kFail;
+  /// 1-based index of the first firing hit (kFail; also gates kDelay).
+  uint64_t nth = 1;
+  /// Number of consecutive firing hits starting at `nth`; ~0 = unbounded.
+  uint64_t count = 1;
+  double probability = 1.0;  ///< kProbability fire chance per hit.
+  uint64_t seed = 1;         ///< kProbability Rng seed.
+  std::chrono::microseconds delay{0};  ///< kDelay sleep per fire.
+};
+
+/// True while any site is armed. The disarmed fast path reads this and
+/// nothing else.
+bool Armed();
+
+/// Process-wide fault site registry. Thread-safe; all mutation and hit
+/// accounting is under one mutex (only ever contended in chaos runs).
+class Injector {
+ public:
+  static Injector& Instance();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Arms `site` with `policy`, resetting its hit/fire counters.
+  void Arm(const std::string& site, const Policy& policy) EXCLUDES(mu_);
+
+  /// Arms sites from a spec string, the FLEX_FAULT wire format:
+  ///
+  ///   site=key:value[:key:value...][;site=...]
+  ///
+  /// Keys: nth:<k>, count:<k> (fail-on-Nth-hit window), prob:<p>,
+  /// seed:<s> (seeded probability), delay:<d>{us|ms|s} (injected latency).
+  /// A spec with delay is a kDelay policy, one with prob is kProbability,
+  /// otherwise kFail. Example:
+  ///
+  ///   "msg.corrupt=nth:2;storage.read=prob:0.1:seed:7;msg.delay=delay:1ms"
+  Status ArmFromSpec(const std::string& spec) EXCLUDES(mu_);
+
+  /// Arms from the FLEX_FAULT environment variable; no-op when unset.
+  Status ArmFromEnv() EXCLUDES(mu_);
+
+  /// Disarms every site (counters and trace are cleared too). Restores the
+  /// single-relaxed-load fast path.
+  void DisarmAll() EXCLUDES(mu_);
+
+  /// Total times `site` was reached while armed.
+  uint64_t Hits(const std::string& site) const EXCLUDES(mu_);
+
+  /// Total times `site`'s policy fired (failed or slept).
+  uint64_t Fires(const std::string& site) const EXCLUDES(mu_);
+
+  /// The deterministic fire trace: one "site#hit" entry per fire, in fire
+  /// order. Same policies + seeds => same trace (hit indices are assigned
+  /// under the registry lock, so the trace is stable even when multiple
+  /// threads share a site).
+  std::vector<std::string> Trace() const EXCLUDES(mu_);
+
+  /// Hit accounting + policy evaluation for `site`. Returns true when the
+  /// site should fail now. kDelay policies sleep (outside the lock) and
+  /// return false. Call through the macros, not directly.
+  bool Hit(const char* site) EXCLUDES(mu_);
+
+ private:
+  struct SiteState {
+    Policy policy;
+    Rng rng{1};
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  Injector() = default;
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_ GUARDED_BY(mu_);
+  std::vector<std::string> trace_ GUARDED_BY(mu_);
+};
+
+}  // namespace flex::fault
+
+/// Expression form: true when the named fault fires here. Disarmed cost is
+/// one relaxed atomic load; the && keeps the registry entirely off the hot
+/// path.
+#define FLEX_FAULT_POINT(site) \
+  (::flex::fault::Armed() && ::flex::fault::Injector::Instance().Hit(site))
+
+/// Statement form for sites that only ever host delay policies (the fire
+/// result is deliberately dropped).
+#define FLEX_FAULT_INJECT(site)                              \
+  do {                                                       \
+    if (::flex::fault::Armed()) {                            \
+      (void)::flex::fault::Injector::Instance().Hit(site);   \
+    }                                                        \
+  } while (false)
+
+#endif  // FLEX_COMMON_FAULT_H_

@@ -34,8 +34,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Arrow/RocksDB-style status object; the stack never throws across public
-/// API boundaries.
-class Status {
+/// API boundaries. [[nodiscard]] because a dropped Status silently swallows
+/// the error it carries — callers must check, propagate, or explicitly
+/// (void)-cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -107,7 +109,7 @@ class Status {
 
 /// Holds either a value of type `T` or an error `Status`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or a non-OK status keeps call sites
   /// terse (`return 42;` / `return Status::NotFound(...)`).

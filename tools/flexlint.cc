@@ -23,6 +23,15 @@
 //   iostream-header  #include <iostream> is banned in headers (it injects
 //                    the static ios_base initializer into every TU).
 //                    Scope: src/ and tests/.
+//   discarded-status A statement-position call to a function that returns
+//                    flex::Status or flex::Result<...> silently swallows
+//                    the error; check it, propagate it, or (void)-cast it.
+//                    Function names are harvested from src/ headers (pass
+//                    one), then call sites are scanned (pass two). Both
+//                    types are also [[nodiscard]], so the compiler catches
+//                    direct discards at -Werror; this rule exists so the
+//                    invariant is enforced even in files excluded from
+//                    -Werror and is visible in lint output. Scope: src/.
 //
 // A violating line can be waived with a trailing marker naming the rule,
 //     ... code ...  // flexlint: allow(raw-thread)
@@ -35,7 +44,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -50,6 +61,16 @@ struct Violation {
 };
 
 std::vector<Violation> g_violations;
+
+/// Names of functions declared in src/ headers whose return type is Status
+/// or Result<...> (discarded-status pass one).
+std::set<std::string> g_status_fns;
+
+/// Names declared in src/ headers with any *other* return type. A name in
+/// both sets is ambiguous (e.g. a void AddEdge on one store and a Status
+/// AddEdge on another) and is left to the compiler's [[nodiscard]]
+/// diagnosis, which resolves overloads properly.
+std::set<std::string> g_nonstatus_fns;
 
 void Report(const std::string& file, size_t line, const std::string& rule,
             const std::string& message) {
@@ -67,6 +88,24 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string TrimLeft(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t");
+  return b == std::string::npos ? std::string() : s.substr(b);
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::string> ReadLines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(std::move(line));
+  }
+  return lines;
 }
 
 /// True when `token` occurs in `line` not preceded by an identifier
@@ -134,16 +173,87 @@ void CheckHeaderGuard(const std::string& rel,
   }
 }
 
+/// discarded-status pass one: remembers the name of every function a src/
+/// header declares with a Status or Result<...> return type. A line-based
+/// heuristic — it sees single-line declarations like
+///   Status ArmFromSpec(const std::string& spec);
+///   Result<int> RunPieChecked(...);
+/// after stripping declaration qualifiers, and ignores everything else.
+void CollectStatusReturning(const std::vector<std::string>& lines) {
+  for (const std::string& raw : lines) {
+    std::string t = TrimLeft(raw);
+    for (bool stripped = true; stripped;) {
+      stripped = false;
+      for (const char* q :
+           {"virtual ", "static ", "inline ", "constexpr ", "[[nodiscard]] ",
+            "::flex::", "flex::"}) {
+        if (StartsWith(t, q)) {
+          t = t.substr(std::string(q).size());
+          stripped = true;
+        }
+      }
+    }
+    size_t name_begin = 0;
+    bool returns_status = false;
+    if (StartsWith(t, "Status ")) {
+      name_begin = 7;
+      returns_status = true;
+    } else if (StartsWith(t, "Result<")) {
+      size_t depth = 1;
+      size_t i = 7;
+      while (i < t.size() && depth > 0) {
+        if (t[i] == '<') ++depth;
+        if (t[i] == '>') --depth;
+        ++i;
+      }
+      if (depth != 0 || i >= t.size() || t[i] != ' ') continue;
+      name_begin = i + 1;
+      returns_status = true;
+    } else {
+      // Possibly a declaration with another return type: `<type...> name(`.
+      // Require at least one type token (only identifier chars and
+      // <>,:*&[] allowed) followed by a pure-identifier name and '('.
+      const size_t paren = t.find('(');
+      if (paren == std::string::npos || paren == 0) continue;
+      size_t nb = paren;
+      while (nb > 0 && IsIdentChar(t[nb - 1])) --nb;
+      // The name must be preceded by whitespace (a return type exists) and
+      // the prefix must look like type tokens, not an expression.
+      if (nb == paren || nb == 0 || t[nb - 1] != ' ') continue;
+      bool type_like = true;
+      for (size_t k = 0; k + 1 < nb; ++k) {
+        const char c = t[k];
+        if (!IsIdentChar(c) && c != '<' && c != '>' && c != ',' &&
+            c != ':' && c != '*' && c != '&' && c != '[' && c != ']' &&
+            c != ' ') {
+          type_like = false;
+          break;
+        }
+      }
+      if (!type_like) continue;
+      g_nonstatus_fns.insert(t.substr(nb, paren - nb));
+      continue;
+    }
+    size_t name_end = name_begin;
+    while (name_end < t.size() && IsIdentChar(t[name_end])) ++name_end;
+    if (name_end == name_begin || name_end >= t.size() ||
+        t[name_end] != '(') {
+      continue;
+    }
+    if (returns_status) {
+      g_status_fns.insert(t.substr(name_begin, name_end - name_begin));
+    }
+  }
+}
+
 void CheckFile(const std::string& rel, const fs::path& path) {
   std::ifstream in(path);
   if (!in) {
     Report(rel, 0, "io", "could not open file");
     return;
   }
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) {
-    lines.push_back(std::move(line));
-  }
+  in.close();
+  const std::vector<std::string> lines = ReadLines(path);
 
   const bool in_src = StartsWith(rel, "src/");
   const bool is_header = EndsWith(rel, ".h");
@@ -153,9 +263,15 @@ void CheckFile(const std::string& rel, const fs::path& path) {
 
   if (is_header) CheckHeaderGuard(rel, lines);
 
+  // Tracks whether the next code line begins a new statement (for the
+  // discarded-status rule): true after ';', '{', '}', or a label; blank,
+  // comment, and preprocessor lines leave it unchanged.
+  bool stmt_begin = true;
+
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
     const size_t ln = i + 1;
+    const std::string trimmed = TrimLeft(line);
 
     if (in_src && !is_pool_impl && ContainsToken(line, "std::thread") &&
         !HasAllowMarker(line, "raw-thread")) {
@@ -192,20 +308,63 @@ void CheckFile(const std::string& rel, const fs::path& path) {
              "<iostream> in a header injects a static initializer into "
              "every TU; include it in the .cc instead");
     }
+
+    if (in_src && stmt_begin && !trimmed.empty() && trimmed[0] != '#' &&
+        !StartsWith(trimmed, "//") &&
+        !HasAllowMarker(line, "discarded-status")) {
+      // A candidate discarded call starts the statement with a bare call
+      // chain: only identifier characters and ./->/:: separators before
+      // the first '('. Anything else (return, =, if, a declaration's
+      // return type) introduces whitespace or operators and disqualifies.
+      const size_t paren = trimmed.find('(');
+      if (paren != std::string::npos && paren > 0) {
+        bool bare_chain = true;
+        for (size_t k = 0; k < paren; ++k) {
+          const char c = trimmed[k];
+          if (!IsIdentChar(c) && c != ':' && c != '.' && c != '-' &&
+              c != '>') {
+            bare_chain = false;
+            break;
+          }
+        }
+        if (bare_chain) {
+          size_t name_begin = paren;
+          while (name_begin > 0 && IsIdentChar(trimmed[name_begin - 1])) {
+            --name_begin;
+          }
+          const std::string callee =
+              trimmed.substr(name_begin, paren - name_begin);
+          if (g_status_fns.count(callee) != 0 &&
+              g_nonstatus_fns.count(callee) == 0) {
+            Report(rel, ln, "discarded-status",
+                   "result of Status/Result-returning " + callee +
+                       "() is discarded; check it, propagate it, or "
+                       "(void)-cast it");
+          }
+        }
+      }
+    }
+
+    if (!trimmed.empty() && trimmed[0] != '#' && !StartsWith(trimmed, "//")) {
+      const char last = trimmed.back();
+      stmt_begin = last == ';' || last == '{' || last == '}' || last == ':';
+    }
   }
 }
 
-void WalkTree(const fs::path& root, const std::string& subdir) {
+std::vector<std::pair<std::string, fs::path>> CollectFiles(
+    const fs::path& root, const std::string& subdir) {
+  std::vector<std::pair<std::string, fs::path>> files;
   const fs::path base = root / subdir;
-  if (!fs::exists(base)) return;
+  if (!fs::exists(base)) return files;
   for (const auto& entry : fs::recursive_directory_iterator(base)) {
     if (!entry.is_regular_file()) continue;
     const std::string ext = entry.path().extension().string();
     if (ext != ".h" && ext != ".cc") continue;
-    const std::string rel =
-        fs::relative(entry.path(), root).generic_string();
-    CheckFile(rel, entry.path());
+    files.emplace_back(fs::relative(entry.path(), root).generic_string(),
+                       entry.path());
   }
+  return files;
 }
 
 }  // namespace
@@ -220,8 +379,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "flexlint: %s has no src/ directory\n", argv[1]);
     return 2;
   }
-  WalkTree(root, "src");
-  WalkTree(root, "tests");
+  const auto src_files = CollectFiles(root, "src");
+  const auto test_files = CollectFiles(root, "tests");
+  for (const auto& [rel, path] : src_files) {
+    if (EndsWith(rel, ".h")) CollectStatusReturning(ReadLines(path));
+  }
+  for (const auto& [rel, path] : src_files) CheckFile(rel, path);
+  for (const auto& [rel, path] : test_files) CheckFile(rel, path);
   for (const auto& v : g_violations) {
     std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
                  v.rule.c_str(), v.message.c_str());
