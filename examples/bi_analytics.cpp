@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
 #include "query/service.h"
 #include "snb/snb.h"
 #include "storage/graphar/graphar.h"
@@ -17,6 +18,14 @@
 using namespace flex;
 
 int main() {
+  // Optional chaos: FLEX_FAULT='site=key:value;...' arms fault injection
+  // (see src/common/fault.h); unset means zero-overhead disarmed sites.
+  if (flex::Status st = flex::fault::Injector::Instance().ArmFromEnv();
+      !st.ok()) {
+    std::fprintf(stderr, "bad FLEX_FAULT: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
   // ---- A historical social-network snapshot, archived as GraphAr.
   snb::SnbConfig config;
   config.num_persons = 1000;

@@ -10,12 +10,21 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "grape/apps/equity.h"
 
 using namespace flex;
 
 int main() {
+  // Optional chaos: FLEX_FAULT='site=key:value;...' arms fault injection
+  // (see src/common/fault.h); unset means zero-overhead disarmed sites.
+  if (flex::Status st = flex::fault::Injector::Instance().ArmFromEnv();
+      !st.ok()) {
+    std::fprintf(stderr, "bad FLEX_FAULT: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
   // ---- The paper's Figure 6(b) example.
   //   A, C persons; Company1..3. C holds 0.8 of Company2; Company2 holds
   //   0.6 of Company1 and 0.3 of Company3; Company3 holds 0.7 of

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "query/service.h"
 #include "storage/gart/gart_store.h"
@@ -16,6 +17,14 @@
 using namespace flex;
 
 int main() {
+  // Optional chaos: FLEX_FAULT='site=key:value;...' arms fault injection
+  // (see src/common/fault.h); unset means zero-overhead disarmed sites.
+  if (flex::Status st = flex::fault::Injector::Instance().ArmFromEnv();
+      !st.ok()) {
+    std::fprintf(stderr, "bad FLEX_FAULT: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
   // ---- Schema: accounts buy items and know each other.
   GraphSchema schema;
   const label_t account = schema.AddVertexLabel("Account", {}).value();

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
 #include "grape/apps/pagerank.h"
 #include "query/service.h"
 #include "storage/vineyard/vineyard_store.h"
@@ -15,6 +16,14 @@
 using namespace flex;
 
 int main() {
+  // Optional chaos: FLEX_FAULT='site=key:value;...' arms fault injection
+  // (see src/common/fault.h); unset means zero-overhead disarmed sites.
+  if (flex::Status st = flex::fault::Injector::Instance().ArmFromEnv();
+      !st.ok()) {
+    std::fprintf(stderr, "bad FLEX_FAULT: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
   // ---- 1. A small e-commerce graph (Figure 2 of the paper).
   PropertyGraphData data;
   const label_t buyer =
@@ -44,12 +53,22 @@ int main() {
   std::printf("loaded %u vertices, %zu edges into Vineyard\n",
               graph->NumVertices(), store->num_edges());
 
-  // ---- 2. Query through the interactive stack.
+  // ---- 2. Query through the interactive stack. Transient failures
+  // (e.g. an injected storage.read fault) are retried with backoff;
+  // anything else surfaces as a clean Status instead of a crash.
   query::QueryService service(graph.get(), /*num_workers=*/2);
+  query::RunOptions run_options;
+  run_options.max_retries = 2;
   auto rows = service.Run(
       query::Language::kCypher,
       "MATCH (a:Buyer {username: 'alice'})-[:KNOWS]->(b:Buyer)"
-      "-[:BUY]->(i:Item) RETURN i.price ORDER BY i.price");
+      "-[:BUY]->(i:Item) RETURN i.price ORDER BY i.price",
+      run_options);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "Cypher query failed: %s\n",
+                 rows.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\nCypher: prices of items alice's friends bought:\n");
   for (const auto& line : query::RowsToStrings(rows.value())) {
     std::printf("  %s\n", line.c_str());
@@ -57,7 +76,13 @@ int main() {
 
   auto gremlin = service.Run(query::Language::kGremlin,
                              "g.V().hasLabel('Item').in('BUY').dedup()"
-                             ".values('username')");
+                             ".values('username')",
+                             run_options);
+  if (!gremlin.ok()) {
+    std::fprintf(stderr, "Gremlin query failed: %s\n",
+                 gremlin.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\nGremlin: who bought anything:\n");
   for (const auto& line : query::RowsToStrings(gremlin.value())) {
     std::printf("  %s\n", line.c_str());

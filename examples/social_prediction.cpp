@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/queue.h"
 #include "common/timer.h"
 #include "datagen/generators.h"
@@ -20,6 +21,14 @@
 using namespace flex;
 
 int main() {
+  // Optional chaos: FLEX_FAULT='site=key:value;...' arms fault injection
+  // (see src/common/fault.h); unset means zero-overhead disarmed sites.
+  if (flex::Status st = flex::fault::Injector::Instance().ArmFromEnv();
+      !st.ok()) {
+    std::fprintf(stderr, "bad FLEX_FAULT: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
   // ---- Social graph in Vineyard (RMAT stands in for the in-house data).
   EdgeList graph_data = datagen::GenerateRmat(
       {.scale = 12, .edge_factor = 16.0, .a = 0.57, .b = 0.19, .c = 0.19,

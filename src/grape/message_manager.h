@@ -1,11 +1,14 @@
 #ifndef FLEX_GRAPE_MESSAGE_MANAGER_H_
 #define FLEX_GRAPE_MESSAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/crc32.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "common/status.h"
@@ -126,6 +129,18 @@ struct MsgCodec<std::pair<double, double>> {
 /// Routes typed messages between fragments with a superstep (double
 /// buffered) lifecycle: workers Send() during a round, the barrier leader
 /// calls Flush(), then workers Receive() the previous round's traffic.
+///
+/// Aggregated buffers are shipped as CRC-framed units: Flush() wraps each
+/// non-empty (src, dst) payload in
+///
+///   [varint src][varint payload_len][crc32 (4 bytes)][payload]
+///
+/// and keeps the raw payload in a retained buffer until the next Flush().
+/// Receive() verifies each frame's checksum before decoding; a damaged
+/// frame (bit flip, truncated flush — how a lossy channel manifests) is
+/// repaired by retransmitting from the retained buffers, all within the
+/// superstep. Only a payload that fails to decode *after* its checksum
+/// passed is terminal (resending identical bytes cannot help): kDataLoss.
 template <typename MSG>
 class MessageManager {
  public:
@@ -133,6 +148,7 @@ class MessageManager {
       : nfrag_(num_fragments),
         mode_(mode),
         outgoing_(static_cast<size_t>(num_fragments) * num_fragments),
+        retained_(static_cast<size_t>(num_fragments) * num_fragments),
         incoming_(num_fragments),
         per_msg_outgoing_(num_fragments),
         per_msg_incoming_(num_fragments),
@@ -145,6 +161,7 @@ class MessageManager {
   /// Aggregated mode is lock-free: each (src, dst) pair has its own buffer.
   void Send(partition_t src, partition_t dst, vid_t target, const MSG& msg) {
     if (mode_ == MessageMode::kAggregated) {
+      FLEX_FAULT_INJECT("msg.delay");  // Chaos: slow channel emulation.
       std::vector<uint8_t>& buf = outgoing_[src * nfrag_ + dst];
       PutVarint64(&buf, target);
       MsgCodec<MSG>::Encode(&buf, msg);
@@ -169,11 +186,25 @@ class MessageManager {
       for (partition_t dst = 0; dst < nfrag_; ++dst) {
         incoming_[dst].clear();
         for (partition_t src = 0; src < nfrag_; ++src) {
-          std::vector<uint8_t>& buf = outgoing_[src * nfrag_ + dst];
-          incoming_[dst].insert(incoming_[dst].end(), buf.begin(), buf.end());
-          buf.clear();
+          // The payload moves into the retained buffer (kept until the
+          // next Flush so a damaged frame can be retransmitted), and a
+          // checksummed frame of it is appended to the incoming stream.
+          std::vector<uint8_t>& out = outgoing_[src * nfrag_ + dst];
+          std::vector<uint8_t>& kept = retained_[src * nfrag_ + dst];
+          kept.swap(out);
+          out.clear();
+          AppendFrame(&incoming_[dst], src, kept);
         }
         if (!incoming_[dst].empty()) ++fragments_with_traffic;
+        // Chaos: "msg.corrupt" flips a payload byte of the last frame (the
+        // checksum catches it); "grape.flush" drops the stream's tail byte
+        // (a partial flush; the frame length check catches it).
+        if (!incoming_[dst].empty() && FLEX_FAULT_POINT("msg.corrupt")) {
+          incoming_[dst].back() ^= 0x2A;
+        }
+        if (!incoming_[dst].empty() && FLEX_FAULT_POINT("grape.flush")) {
+          incoming_[dst].pop_back();
+        }
       }
     } else {
       for (partition_t dst = 0; dst < nfrag_; ++dst) {
@@ -186,32 +217,94 @@ class MessageManager {
   }
 
   /// Delivers the previous round's messages for fragment `fid` to
-  /// `fn(vid_t target, const MSG&)`. A truncated or otherwise malformed
-  /// aggregated buffer — how a lost/partial channel write manifests — is
-  /// reported as kDataLoss instead of crashing the process; delivery stops
-  /// at the first bad record.
+  /// `fn(vid_t target, const MSG&)`.
+  ///
+  /// Frame-integrity damage (bad header, short stream, checksum mismatch)
+  /// triggers one retransmit: the incoming stream is rebuilt from the
+  /// retained payloads and parsing restarts, skipping frames already
+  /// delivered so no message is duplicated. Damage that survives the
+  /// rebuild, or a payload that fails to decode despite a valid checksum,
+  /// is kDataLoss. Each fragment's stream is touched only by its own
+  /// worker between barriers, so mutating repair needs no lock.
   template <typename Fn>
-  Status Receive(partition_t fid, Fn&& fn) const {
-    if (mode_ == MessageMode::kAggregated) {
-      const std::vector<uint8_t>& buf = incoming_[fid];
-      size_t pos = 0;
-      uint64_t target = 0;
-      MSG msg{};
-      while (pos < buf.size()) {
-        if (!GetVarint64(buf.data(), buf.size(), &pos, &target) ||
-            !MsgCodec<MSG>::Decode(buf.data(), buf.size(), &pos, &msg)) {
-          return Status::DataLoss("fragment " + std::to_string(fid) +
-                                  ": malformed message buffer at byte " +
-                                  std::to_string(pos));
-        }
-        fn(static_cast<vid_t>(target), msg);
-      }
-    } else {
+  Status Receive(partition_t fid, Fn&& fn) {
+    if (mode_ == MessageMode::kPerMessage) {
       for (const auto& [target, msg] : per_msg_incoming_[fid]) {
         fn(target, msg);
       }
+      return Status::OK();
     }
-    return Status::OK();
+    size_t delivered_frames = 0;
+    bool repaired = false;
+    for (;;) {
+      const std::vector<uint8_t>& buf = incoming_[fid];
+      size_t pos = 0;
+      size_t frame_index = 0;
+      bool frame_damage = false;
+      while (pos < buf.size()) {
+        uint64_t src = 0;
+        uint64_t payload_len = 0;
+        size_t p = pos;
+        if (!GetVarint64(buf.data(), buf.size(), &p, &src) ||
+            !GetVarint64(buf.data(), buf.size(), &p, &payload_len) ||
+            buf.size() - p < sizeof(uint32_t) ||
+            payload_len > buf.size() - p - sizeof(uint32_t)) {
+          frame_damage = true;
+          break;
+        }
+        uint32_t expected_crc = 0;
+        std::memcpy(&expected_crc, buf.data() + p, sizeof(expected_crc));
+        p += sizeof(expected_crc);
+        const uint8_t* payload = buf.data() + p;
+        const size_t len = static_cast<size_t>(payload_len);
+        if (Crc32(payload, len) != expected_crc) {
+          frame_damage = true;
+          break;
+        }
+        if (frame_index >= delivered_frames) {
+          size_t mpos = 0;
+          uint64_t target = 0;
+          MSG msg{};
+          while (mpos < len) {
+            if (!GetVarint64(payload, len, &mpos, &target) ||
+                !MsgCodec<MSG>::Decode(payload, len, &mpos, &msg)) {
+              return Status::DataLoss(
+                  "fragment " + std::to_string(fid) + ": frame from " +
+                  std::to_string(src) +
+                  " fails to decode despite a valid checksum (byte " +
+                  std::to_string(mpos) + " of " + std::to_string(len) + ")");
+            }
+            fn(static_cast<vid_t>(target), msg);
+          }
+          delivered_frames = frame_index + 1;
+        }
+        ++frame_index;
+        pos = p + len;
+      }
+      if (!frame_damage) return Status::OK();
+      if (!retransmit_enabled_ || repaired) {
+        return Status::DataLoss("fragment " + std::to_string(fid) +
+                                ": corrupt message frame at byte " +
+                                std::to_string(pos) +
+                                (repaired ? " (after retransmit)" : "") +
+                                "; retransmission unavailable");
+      }
+      // Retransmit: the retained payloads are bit-identical to what the
+      // sources sent, so rebuilding the stream repairs any in-flight
+      // damage deterministically.
+      RebuildIncoming(fid);
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      repaired = true;
+    }
+  }
+
+  /// Chaos-harness switch: disabling retransmission turns frame damage
+  /// into an immediate kDataLoss (exercises the unrecoverable path).
+  void set_retransmit_enabled(bool enabled) { retransmit_enabled_ = enabled; }
+
+  /// Number of frame retransmissions performed by Receive() so far.
+  size_t retransmits() const {
+    return retransmits_.load(std::memory_order_relaxed);
   }
 
   /// Bytes queued for delivery this round (aggregated mode), a proxy for
@@ -227,10 +320,39 @@ class MessageManager {
     alignas(64) Mutex mu;  // Cache-line padded: one lock per destination.
   };
 
+  /// Appends `[varint src][varint len][crc32][payload]` to `out`; empty
+  /// payloads produce no frame.
+  static void AppendFrame(std::vector<uint8_t>* out, partition_t src,
+                          const std::vector<uint8_t>& payload) {
+    if (payload.empty()) return;
+    PutVarint64(out, src);
+    PutVarint64(out, payload.size());
+    const uint32_t crc = Crc32(payload.data(), payload.size());
+    const size_t n = out->size();
+    out->resize(n + sizeof(crc));
+    std::memcpy(out->data() + n, &crc, sizeof(crc));
+    out->insert(out->end(), payload.begin(), payload.end());
+  }
+
+  /// Reconstructs fragment `dst`'s incoming stream from the retained
+  /// payloads, in the same (src ascending) order Flush used.
+  void RebuildIncoming(partition_t dst) {
+    std::vector<uint8_t>& in = incoming_[dst];
+    in.clear();
+    for (partition_t src = 0; src < nfrag_; ++src) {
+      AppendFrame(&in, src, retained_[src * nfrag_ + dst]);
+    }
+  }
+
   const partition_t nfrag_;
   const MessageMode mode_;
   std::vector<std::vector<uint8_t>> outgoing_;  // [src * nfrag_ + dst]
+  /// Last-flushed payloads, [src * nfrag_ + dst]; the retransmission
+  /// source for damaged frames. Overwritten by the next Flush.
+  std::vector<std::vector<uint8_t>> retained_;
   std::vector<std::vector<uint8_t>> incoming_;  // [dst]
+  bool retransmit_enabled_ = true;
+  std::atomic<size_t> retransmits_{0};
   std::vector<std::vector<std::pair<vid_t, MSG>>> per_msg_outgoing_;
   std::vector<std::vector<std::pair<vid_t, MSG>>> per_msg_incoming_;
   mutable std::vector<AlignedMutex> per_msg_locks_;

@@ -3,9 +3,14 @@
 
 #include <atomic>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/barrier.h"
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "grape/fragment.h"
 #include "grape/message_manager.h"
@@ -79,39 +84,124 @@ class PieApp {
   virtual void IncEval(const Fragment& frag, PieContext<MSG>& ctx) = 0;
 };
 
+/// Knobs for RunPieChecked beyond the fragments and apps.
+struct PieOptions {
+  MessageMode mode = MessageMode::kAggregated;
+  int max_rounds = 1000000;
+  /// Checked at every superstep boundary (and once before round 0): an
+  /// expired deadline stops the run with kDeadlineExceeded before another
+  /// superstep executes.
+  Deadline deadline;
+  /// Optional; checked alongside the deadline. Cancellation wins.
+  const CancellationToken* cancel = nullptr;
+};
+
 /// Runs a PIE computation to fixpoint: supersteps continue while any
-/// fragment sent messages, up to `max_rounds`. One worker thread per
-/// fragment (the in-process stand-in for one compute node per fragment).
-/// Returns the number of rounds executed (including PEval as round 0).
+/// fragment sent messages, up to `options.max_rounds`. One worker thread
+/// per fragment (the in-process stand-in for one compute node per
+/// fragment). Returns the number of rounds executed (PEval is round 0).
+///
+/// Failure semantics:
+///  - The "pie.compute" fault site emulates a fail-stop worker loss: the
+///    fragment's compute for that round is skipped entirely. The superstep
+///    leader detects it at the next barrier and re-executes the lost
+///    fragment's compute before flushing — sends land in the pre-Flush
+///    outgoing buffers, so recovery is invisible to the other fragments.
+///  - Message-delivery failures that survive the MessageManager's own
+///    retransmission (kDataLoss) abort the run with that Status.
+///  - Deadline expiry / cancellation stop the run at the next superstep
+///    boundary with kDeadlineExceeded / kCancelled.
 template <typename MSG>
-int RunPie(const std::vector<std::unique_ptr<Fragment>>& fragments,
-           const std::vector<std::unique_ptr<PieApp<MSG>>>& apps,
-           MessageMode mode = MessageMode::kAggregated,
-           int max_rounds = 1000000) {
+Result<int> RunPieChecked(
+    const std::vector<std::unique_ptr<Fragment>>& fragments,
+    const std::vector<std::unique_ptr<PieApp<MSG>>>& apps,
+    const PieOptions& options = {}) {
   const partition_t nfrag = static_cast<partition_t>(fragments.size());
   FLEX_CHECK_EQ(apps.size(), fragments.size());
-  MessageManager<MSG> messages(nfrag, mode);
+  {
+    // Admission: an already-dead query must not execute a superstep.
+    Status st = CheckRunnable(options.deadline, options.cancel, "grape.pie");
+    if (!st.ok()) return st;
+  }
+
+  MessageManager<MSG> messages(nfrag, options.mode);
   Barrier barrier(nfrag);
   std::atomic<bool> proceed{true};
+  std::atomic<bool> stop{false};
   std::atomic<int> rounds{0};
+  // failed[fid] is set by fragment fid's worker when its compute was
+  // fail-stopped, and read + cleared by the superstep leader; the barrier
+  // between those accesses publishes them.
+  std::vector<uint8_t> failed(nfrag, 0);
+  Mutex err_mu;
+  Status first_error;
+
+  std::vector<PieContext<MSG>> contexts;
+  contexts.reserve(nfrag);
+  for (partition_t fid = 0; fid < nfrag; ++fid) {
+    contexts.emplace_back(fragments[fid].get(), &messages);
+  }
+
+  auto record_error = [&](Status st) {
+    MutexLock lock(&err_mu);
+    if (first_error.ok()) first_error = std::move(st);
+    stop.store(true, std::memory_order_release);
+  };
+
+  // One fragment's compute for one round; `round` 0 is PEval. The fault
+  // check comes first so a killed worker does no partial work (fail-stop).
+  auto compute = [&](partition_t fid, int round) {
+    if (FLEX_FAULT_POINT("pie.compute")) {
+      failed[fid] = 1;
+      return;
+    }
+    PieContext<MSG>& ctx = contexts[fid];
+    ctx.BeginRound(round);
+    if (round == 0) {
+      apps[fid]->PEval(*fragments[fid], ctx);
+    } else {
+      apps[fid]->IncEval(*fragments[fid], ctx);
+    }
+    if (!ctx.receive_status().ok()) record_error(ctx.receive_status());
+  };
+
+  // Re-executes every fail-stopped fragment's compute. Runs on the leader
+  // between barriers (or after the pool drains), so it is single-threaded
+  // and the round's incoming messages are still intact (pre-Flush).
+  auto recover = [&](int round) {
+    for (partition_t fid = 0; fid < nfrag; ++fid) {
+      if (failed[fid] == 0) continue;
+      failed[fid] = 0;
+      PieContext<MSG>& ctx = contexts[fid];
+      ctx.BeginRound(round);
+      if (round == 0) {
+        apps[fid]->PEval(*fragments[fid], ctx);
+      } else {
+        apps[fid]->IncEval(*fragments[fid], ctx);
+      }
+      if (!ctx.receive_status().ok()) record_error(ctx.receive_status());
+    }
+  };
 
   auto worker = [&](partition_t fid) {
-    PieContext<MSG> ctx(fragments[fid].get(), &messages);
-    apps[fid]->PEval(*fragments[fid], ctx);
-    for (int round = 1; round <= max_rounds; ++round) {
+    compute(fid, 0);
+    for (int round = 1; round <= options.max_rounds; ++round) {
       if (barrier.Await()) {
-        // Superstep boundary: the leader flushes channels and decides
-        // whether another round is needed (any traffic pending).
-        proceed.store(messages.Flush() > 0, std::memory_order_release);
+        // Superstep boundary: the leader repairs the previous round's
+        // fail-stopped fragments, enforces the deadline, flushes channels,
+        // and decides whether another round is needed.
+        recover(round - 1);
+        Status st =
+            CheckRunnable(options.deadline, options.cancel, "grape.pie");
+        if (!st.ok()) record_error(std::move(st));
+        const bool traffic = messages.Flush() > 0;
+        proceed.store(traffic && !stop.load(std::memory_order_acquire),
+                      std::memory_order_release);
         rounds.store(round, std::memory_order_relaxed);
       }
       barrier.Await();
       if (!proceed.load(std::memory_order_acquire)) break;
-      ctx.BeginRound(round);
-      apps[fid]->IncEval(*fragments[fid], ctx);
-      // Delivery failures latch into the context; the legacy runtime still
-      // treats them as fatal (RunPieChecked is the recovering path).
-      FLEX_CHECK(ctx.receive_status().ok());
+      compute(fid, round);
     }
   };
 
@@ -123,7 +213,30 @@ int RunPie(const std::vector<std::unique_ptr<Fragment>>& fragments,
     pool.Submit([&worker, fid] { worker(fid); });
   }
   pool.Wait();
+  // A kill in the very last executed round (max_rounds reached) has no
+  // further barrier to repair it; converge the app state here. Messages
+  // sent during this repair are dropped with everyone else's unflushed
+  // sends, exactly as if the round had completed normally.
+  recover(rounds.load(std::memory_order_relaxed));
+  {
+    MutexLock lock(&err_mu);
+    if (!first_error.ok()) return first_error;
+  }
   return rounds.load(std::memory_order_relaxed);
+}
+
+/// Legacy entry point: no deadline, no cancellation, failures fatal.
+template <typename MSG>
+int RunPie(const std::vector<std::unique_ptr<Fragment>>& fragments,
+           const std::vector<std::unique_ptr<PieApp<MSG>>>& apps,
+           MessageMode mode = MessageMode::kAggregated,
+           int max_rounds = 1000000) {
+  PieOptions options;
+  options.mode = mode;
+  options.max_rounds = max_rounds;
+  Result<int> result = RunPieChecked(fragments, apps, options);
+  FLEX_CHECK(result.ok());
+  return result.value();
 }
 
 }  // namespace flex::grape

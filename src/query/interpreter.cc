@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace flex::query {
@@ -129,6 +130,9 @@ Result<std::vector<Row>> Interpreter::RunRange(const ir::Plan& plan,
                                                const ExecOptions& opts) const {
   std::vector<Row> rows = std::move(input);
   for (size_t i = begin; i < end; ++i) {
+    // Operator boundary: the interpreter's cancellation/deadline quantum.
+    FLEX_RETURN_NOT_OK(
+        CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
     FLEX_RETURN_NOT_OK(Apply(plan.ops[i], &rows, opts));
   }
   return rows;
@@ -139,6 +143,11 @@ Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
   const grin::GrinGraph& g = *graph_;
   switch (op.kind) {
     case ir::OpKind::kScan: {
+      // Chaos: the storage read boundary — where a lost page or failed
+      // remote read would surface in a real deployment.
+      if (FLEX_FAULT_POINT("storage.read")) {
+        return Status::DataLoss("storage.read fault injected at scan");
+      }
       std::vector<Row> out;
       std::vector<Row> base = std::move(*rows);
       const bool leading = base.empty();

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "grin/grin.h"
 #include "ir/plan.h"
 #include "ir/row.h"
@@ -18,6 +19,10 @@ struct ExecOptions {
   /// Used by the Gaia engine to fan one plan out over workers.
   size_t shard_index = 0;
   size_t shard_count = 1;
+  /// Checked between operators: execution stops with kDeadlineExceeded /
+  /// kCancelled instead of running the next operator.
+  Deadline deadline;
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Reference executor for GraphIR plans over any GRIN backend. Both

@@ -1,5 +1,7 @@
 #include "query/service.h"
 
+#include <thread>
+
 #include "lang/cypher.h"
 #include "lang/gremlin.h"
 
@@ -34,14 +36,57 @@ Result<ir::Plan> QueryService::Compile(Language lang,
 Result<std::vector<ir::Row>> QueryService::Run(
     Language lang, const std::string& text, EngineKind engine,
     std::vector<PropertyValue> params) {
+  RunOptions options;
+  options.engine = engine;
+  return Run(lang, text, options, std::move(params));
+}
+
+namespace {
+
+/// Transient failures worth a retry: a dropped actor task / MVCC conflict
+/// (kAborted) or corruption that exhausted in-engine recovery (kDataLoss).
+/// Everything else is deterministic and retrying would just repeat it.
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kAborted ||
+         status.code() == StatusCode::kDataLoss;
+}
+
+}  // namespace
+
+Result<std::vector<ir::Row>> QueryService::Run(
+    Language lang, const std::string& text, const RunOptions& options,
+    std::vector<PropertyValue> params) {
   FLEX_ASSIGN_OR_RETURN(ir::Plan plan, Compile(lang, text));
-  if (engine == EngineKind::kGaia) {
-    return gaia_.Run(plan, std::move(params));
+  std::shared_ptr<const ir::Plan> shared_plan;
+  if (options.engine == EngineKind::kHiActor) {
+    shared_plan = std::make_shared<const ir::Plan>(std::move(plan));
   }
-  runtime::QueryTask task;
-  task.plan = std::make_shared<const ir::Plan>(std::move(plan));
-  task.params = std::move(params);
-  return hiactor_.Execute(std::move(task));
+
+  auto attempt =
+      [&](std::vector<PropertyValue> p) -> Result<std::vector<ir::Row>> {
+    if (options.engine == EngineKind::kGaia) {
+      return gaia_.Run(plan, std::move(p), options.deadline, options.cancel);
+    }
+    runtime::QueryTask task;
+    task.plan = shared_plan;
+    task.params = std::move(p);
+    task.deadline = options.deadline;
+    task.cancel = options.cancel;
+    return hiactor_.Execute(std::move(task));
+  };
+
+  std::chrono::milliseconds backoff = options.retry_backoff;
+  for (int tries = 0;; ++tries) {
+    Result<std::vector<ir::Row>> result = attempt(params);
+    if (result.ok() || !IsRetryable(result.status()) ||
+        tries >= options.max_retries) {
+      return result;
+    }
+    // Backing off still honours the deadline: if it expires while we
+    // sleep, the next attempt is rejected at admission, not executed.
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
 }
 
 Status QueryService::RegisterProcedure(const std::string& name, Language lang,

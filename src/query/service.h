@@ -1,9 +1,11 @@
 #ifndef FLEX_QUERY_SERVICE_H_
 #define FLEX_QUERY_SERVICE_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 
+#include "common/deadline.h"
 #include "optimizer/optimizer.h"
 #include "runtime/gaia.h"
 #include "runtime/hiactor.h"
@@ -15,6 +17,23 @@ enum class Language { kCypher, kGremlin };
 
 /// Which engine executes it — the OLAP/OLTP split of §5.
 enum class EngineKind { kGaia, kHiActor };
+
+/// Per-query execution policy for QueryService::Run.
+struct RunOptions {
+  EngineKind engine = EngineKind::kGaia;
+  /// Propagated through the engine into every operator boundary (and, for
+  /// analytics, superstep boundary). Infinite by default.
+  Deadline deadline;
+  /// Optional; must outlive the call. Cancellation wins over deadline.
+  const CancellationToken* cancel = nullptr;
+  /// Transient failures — kAborted (dropped task, MVCC conflict) and
+  /// kDataLoss (corruption that survived in-engine recovery) — are retried
+  /// up to this many additional attempts with exponential backoff.
+  /// Deterministic errors (parse, plan, invalid argument) never retry.
+  int max_retries = 0;
+  /// Sleep before the first retry; doubles per attempt.
+  std::chrono::milliseconds retry_backoff{1};
+};
 
 /// The interactive stack facade (Figure 5): parse (Gremlin or Cypher) →
 /// GraphIR → RBO + CBO → execute on Gaia (OLAP) or HiActor (OLTP).
@@ -30,6 +49,12 @@ class QueryService {
   /// End-to-end execution.
   Result<std::vector<ir::Row>> Run(Language lang, const std::string& text,
                                    EngineKind engine = EngineKind::kGaia,
+                                   std::vector<PropertyValue> params = {});
+
+  /// End-to-end execution with a full policy: deadline, cancellation, and
+  /// bounded retry of transient failures.
+  Result<std::vector<ir::Row>> Run(Language lang, const std::string& text,
+                                   const RunOptions& options,
                                    std::vector<PropertyValue> params = {});
 
   /// Compiles and registers a stored procedure on the HiActor engine.

@@ -5,7 +5,10 @@
 namespace flex::runtime {
 
 Result<std::vector<ir::Row>> GaiaEngine::Run(
-    const ir::Plan& plan, std::vector<PropertyValue> params) const {
+    const ir::Plan& plan, std::vector<PropertyValue> params,
+    Deadline deadline, const CancellationToken* cancel) const {
+  // Admission: a dead-on-arrival query must not reach the workers.
+  FLEX_RETURN_NOT_OK(CheckRunnable(deadline, cancel, "gaia"));
   query::Interpreter interpreter(graph_);
 
   // Split at the first blocking (exchange-requiring) operator.
@@ -24,6 +27,8 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
   if (!shardable) {
     query::ExecOptions opts;
     opts.params = std::move(params);
+    opts.deadline = deadline;
+    opts.cancel = cancel;
     return interpreter.Run(plan, opts);
   }
 
@@ -40,6 +45,8 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
         opts.params = params;
         opts.shard_index = w;
         opts.shard_count = num_workers_;
+        opts.deadline = deadline;
+        opts.cancel = cancel;
         partials[w] = interpreter.RunRange(plan, 0, split, {}, opts);
       });
     }
@@ -57,6 +64,8 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
   // Blocking suffix.
   query::ExecOptions opts;
   opts.params = std::move(params);
+  opts.deadline = deadline;
+  opts.cancel = cancel;
   return interpreter.RunRange(plan, split, plan.ops.size(), std::move(merged),
                               opts);
 }

@@ -19,9 +19,14 @@ class GaiaEngine {
   GaiaEngine(const grin::GrinGraph* graph, size_t num_workers)
       : graph_(graph), num_workers_(num_workers) {}
 
+  /// Runs `plan`. An already-expired deadline (or cancelled token) is
+  /// rejected up front with kDeadlineExceeded / kCancelled before any
+  /// operator executes; during execution both are re-checked at every
+  /// operator boundary in every shard.
   Result<std::vector<ir::Row>> Run(
-      const ir::Plan& plan,
-      std::vector<PropertyValue> params = {}) const;
+      const ir::Plan& plan, std::vector<PropertyValue> params = {},
+      Deadline deadline = {},
+      const CancellationToken* cancel = nullptr) const;
 
   size_t num_workers() const { return num_workers_; }
 

@@ -1,5 +1,6 @@
 #include "runtime/hiactor.h"
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace flex::runtime {
@@ -60,10 +61,31 @@ std::future<Result<std::vector<ir::Row>>> HiActorEngine::Submit(
   task.query = std::move(query);
   std::future<Result<std::vector<ir::Row>>> future =
       task.promise.get_future();
+  // Admission: a task that is already dead (expired deadline, cancelled
+  // token) must not consume a queue slot or execute.
+  {
+    Status admit = CheckRunnable(task.query.deadline, task.query.cancel,
+                                 "hiactor.submit");
+    if (!admit.ok()) {
+      task.promise.set_value(std::move(admit));
+      return future;
+    }
+  }
   const size_t shard =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   {
     MutexLock lock(&shards_[shard]->mu);
+    // Admission: bounded queue depth. Shedding here — before the enqueue —
+    // keeps every accepted task's queueing delay bounded, the overload
+    // behaviour actor systems prefer over unbounded mailboxes.
+    const size_t depth = max_queue_depth_.load(std::memory_order_relaxed);
+    if (depth > 0 && shards_[shard]->queue.size() >= depth) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(Status::ResourceExhausted(
+          "shard " + std::to_string(shard) + " queue depth " +
+          std::to_string(depth) + " reached; submission shed"));
+      return future;
+    }
     shards_[shard]->queue.push_back(std::move(task));
   }
   {
@@ -98,11 +120,31 @@ bool HiActorEngine::TryRunOne(size_t shard_index) {
       }
     }
     pending_.fetch_sub(1, std::memory_order_relaxed);
+    // Chaos: "hiactor.dispatch" with a fail policy drops the task at the
+    // shard boundary (resolved kAborted, the retryable transient); with a
+    // delay policy it emulates a slow shard and falls through to run.
+    if (FLEX_FAULT_POINT("hiactor.dispatch")) {
+      completed_.fetch_add(1, std::memory_order_release);
+      task.promise.set_value(Status::Aborted(
+          "hiactor.dispatch fault: task dropped by its shard"));
+      return true;
+    }
+    // The deadline may have expired (or the query been cancelled) while
+    // the task sat queued; resolve without running.
+    Status runnable = CheckRunnable(task.query.deadline, task.query.cancel,
+                                    "hiactor.dispatch");
+    if (!runnable.ok()) {
+      completed_.fetch_add(1, std::memory_order_release);
+      task.promise.set_value(std::move(runnable));
+      return true;
+    }
     const grin::GrinGraph* graph =
         task.query.graph != nullptr ? task.query.graph.get() : default_graph_;
     query::Interpreter interpreter(graph);
     query::ExecOptions opts;
     opts.params = std::move(task.query.params);
+    opts.deadline = task.query.deadline;
+    opts.cancel = task.query.cancel;
     // Count before resolving the future so a caller that joined on the
     // future observes the completion.
     completed_.fetch_add(1, std::memory_order_release);

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "query/interpreter.h"
 
@@ -23,6 +24,11 @@ struct QueryTask {
   /// Overrides the engine's default graph (e.g. a fresh GART snapshot);
   /// the shared_ptr keeps the snapshot alive until the task completes.
   std::shared_ptr<const grin::GrinGraph> graph;
+  /// Checked at submission, again at dispatch, and between operators while
+  /// the task runs. An already-expired deadline is rejected at Submit.
+  Deadline deadline;
+  /// Optional; must outlive the task. Cancellation wins over deadline.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// HiActor-like actor engine (§5.3): the OLTP path. Queries become actor
@@ -53,10 +59,22 @@ class HiActorEngine {
   /// Convenience: submit + wait.
   Result<std::vector<ir::Row>> Execute(QueryTask task);
 
-  /// Total tasks completed since construction.
+  /// Total tasks completed since construction. Tasks shed at admission or
+  /// rejected at Submit (expired deadline) are not counted: they never ran.
   uint64_t completed() const {
     return completed_.load(std::memory_order_relaxed);
   }
+
+  /// Admission control: a shard whose queue already holds `depth` tasks
+  /// sheds new submissions with kResourceExhausted instead of letting the
+  /// backlog (and every queued task's latency) grow without bound. 0
+  /// disables shedding (the default).
+  void set_max_queue_depth(size_t depth) {
+    max_queue_depth_.store(depth, std::memory_order_relaxed);
+  }
+
+  /// Submissions shed by admission control so far.
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
 
   size_t num_shards() const { return shards_.size(); }
 
@@ -91,6 +109,8 @@ class HiActorEngine {
   std::atomic<uint64_t> next_shard_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> pending_{0};
+  std::atomic<size_t> max_queue_depth_{0};
+  std::atomic<uint64_t> shed_{0};
 
   Mutex procs_mu_;
   std::unordered_map<std::string, std::shared_ptr<const ir::Plan>> procedures_

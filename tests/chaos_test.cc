@@ -1,0 +1,448 @@
+// Chaos harness: drives every fault site in the stack with fixed seeds and
+// asserts that execution either recovers to the fault-free answer or fails
+// with a clean non-OK Status — never a crash, hang, or silent wrong result.
+//
+// Determinism contract: arming the same policies with the same seeds
+// produces the same injected-fault trace (Injector::Trace()), so any chaos
+// failure reproduces with `FLEX_CHAOS_SEED=<seed> ./chaos_test`.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "datagen/generators.h"
+#include "grape/apps/pagerank.h"
+#include "query/service.h"
+#include "storage/vineyard/vineyard_store.h"
+
+namespace flex {
+namespace {
+
+/// Seed for the seeded-probability chaos policies; override with
+/// FLEX_CHAOS_SEED to explore (or reproduce) other schedules.
+uint64_t ChaosSeed() {
+  const char* s = std::getenv("FLEX_CHAOS_SEED");
+  return (s != nullptr && s[0] != '\0') ? std::strtoull(s, nullptr, 10) : 1;
+}
+
+fault::Injector& Faults() { return fault::Injector::Instance(); }
+
+void ArmSpec(const std::string& spec) {
+  ASSERT_TRUE(Faults().ArmFromSpec(spec).ok()) << spec;
+}
+
+/// Every test starts and ends disarmed so no fault leaks across tests.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Faults().DisarmAll(); }
+  void TearDown() override { Faults().DisarmAll(); }
+};
+
+// ----------------------------------------------------------- Injector
+
+TEST_F(ChaosTest, NthWindowPolicyFiresExactlyInWindow) {
+  fault::Policy policy;
+  policy.nth = 2;
+  policy.count = 2;
+  Faults().Arm("test.site", policy);
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(FLEX_FAULT_POINT("test.site"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, false, false}));
+  EXPECT_EQ(Faults().Hits("test.site"), 5u);
+  EXPECT_EQ(Faults().Fires("test.site"), 2u);
+  EXPECT_EQ(Faults().Trace(),
+            (std::vector<std::string>{"test.site#2", "test.site#3"}));
+}
+
+TEST_F(ChaosTest, ArmedProcessLeavesOtherSitesAlone) {
+  fault::Policy policy;
+  Faults().Arm("test.site", policy);
+  EXPECT_FALSE(FLEX_FAULT_POINT("test.other"));
+  EXPECT_EQ(Faults().Hits("test.other"), 0u);
+}
+
+TEST_F(ChaosTest, DisarmedFastPathDoesNoAccounting) {
+  fault::Policy policy;
+  Faults().Arm("test.site", policy);
+  Faults().DisarmAll();
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_FALSE(FLEX_FAULT_POINT("test.site"));
+  EXPECT_EQ(Faults().Hits("test.site"), 0u);
+  EXPECT_TRUE(Faults().Trace().empty());
+}
+
+TEST_F(ChaosTest, ProbabilityPolicyIsSeedDeterministic) {
+  auto run = [&]() {
+    fault::Policy policy;
+    policy.kind = fault::Policy::Kind::kProbability;
+    policy.probability = 0.5;
+    policy.seed = ChaosSeed();
+    Faults().Arm("test.prob", policy);
+    uint64_t fires = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (FLEX_FAULT_POINT("test.prob")) ++fires;
+    }
+    std::vector<std::string> trace = Faults().Trace();
+    Faults().DisarmAll();
+    return std::make_pair(fires, trace);
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  // p=0.5 over 200 trials: all-or-none would mean the Rng is broken.
+  EXPECT_GT(first.first, 0u);
+  EXPECT_LT(first.first, 200u);
+}
+
+TEST_F(ChaosTest, SpecStringArmsEveryPolicyKind) {
+  ArmSpec("test.a=nth:2;test.b=prob:0.25:seed:9;test.c=delay:1ms");
+  EXPECT_FALSE(FLEX_FAULT_POINT("test.a"));
+  EXPECT_TRUE(FLEX_FAULT_POINT("test.a"));   // nth:2, count defaults to 1.
+  EXPECT_FALSE(FLEX_FAULT_POINT("test.a"));  // Window closed.
+  // Delay policies sleep but never report failure; the fire is traced.
+  EXPECT_FALSE(FLEX_FAULT_POINT("test.c"));
+  EXPECT_EQ(Faults().Fires("test.c"), 1u);
+}
+
+TEST_F(ChaosTest, SpecStringRejectsGarbage) {
+  EXPECT_FALSE(Faults().ArmFromSpec("nonsense").ok());
+  EXPECT_FALSE(Faults().ArmFromSpec("x=").ok());
+  EXPECT_FALSE(Faults().ArmFromSpec("x=nth").ok());
+  EXPECT_FALSE(Faults().ArmFromSpec("x=nth:0").ok());
+  EXPECT_FALSE(Faults().ArmFromSpec("x=delay:5parsecs").ok());
+  EXPECT_FALSE(Faults().ArmFromSpec("x=warp:9").ok());
+}
+
+// ----------------------------------------------- MessageManager frames
+
+using Delivery = std::vector<std::pair<vid_t, uint64_t>>;
+
+Delivery ExpectedDelivery() {
+  Delivery expected;
+  for (uint64_t i = 0; i < 10; ++i) expected.push_back({i, 100 + i});
+  return expected;
+}
+
+TEST_F(ChaosTest, CorruptedFrameIsRetransmittedWithinTheSuperstep) {
+  grape::MessageManager<uint64_t> mm(2, grape::MessageMode::kAggregated);
+  for (uint64_t i = 0; i < 10; ++i) {
+    mm.Send(1, 0, static_cast<vid_t>(i), 100 + i);
+  }
+  ArmSpec("msg.corrupt=nth:1");
+  mm.Flush();  // Flips a payload byte; the frame checksum catches it.
+  Faults().DisarmAll();
+  Delivery got;
+  const Status st =
+      mm.Receive(0, [&](vid_t t, const uint64_t& m) { got.push_back({t, m}); });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(mm.retransmits(), 1u);
+  EXPECT_EQ(got, ExpectedDelivery());
+}
+
+TEST_F(ChaosTest, TruncatedFlushIsRepaired) {
+  grape::MessageManager<uint64_t> mm(2, grape::MessageMode::kAggregated);
+  for (uint64_t i = 0; i < 10; ++i) {
+    mm.Send(1, 0, static_cast<vid_t>(i), 100 + i);
+  }
+  ArmSpec("grape.flush=nth:1");
+  mm.Flush();  // Drops the stream's tail byte (partial flush).
+  Faults().DisarmAll();
+  Delivery got;
+  const Status st =
+      mm.Receive(0, [&](vid_t t, const uint64_t& m) { got.push_back({t, m}); });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(mm.retransmits(), 1u);
+  EXPECT_EQ(got, ExpectedDelivery());
+}
+
+TEST_F(ChaosTest, CorruptionWithoutRetransmissionIsDataLoss) {
+  grape::MessageManager<uint64_t> mm(2, grape::MessageMode::kAggregated);
+  mm.set_retransmit_enabled(false);
+  for (uint64_t i = 0; i < 10; ++i) {
+    mm.Send(1, 0, static_cast<vid_t>(i), 100 + i);
+  }
+  ArmSpec("msg.corrupt=nth:1");
+  mm.Flush();
+  Faults().DisarmAll();
+  Delivery got;
+  const Status st =
+      mm.Receive(0, [&](vid_t t, const uint64_t& m) { got.push_back({t, m}); });
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(mm.retransmits(), 0u);
+}
+
+TEST_F(ChaosTest, RepairDeliversEachFrameExactlyOnce) {
+  // Three sources feed fragment 0; the corrupting fault hits the *last*
+  // frame, so two frames deliver before the damage is found. The repair
+  // must not redeliver them.
+  grape::MessageManager<uint64_t> mm(3, grape::MessageMode::kAggregated);
+  for (partition_t src = 0; src < 3; ++src) {
+    mm.Send(src, 0, static_cast<vid_t>(src), 1000 + src);
+  }
+  ArmSpec("msg.corrupt=nth:1");
+  mm.Flush();
+  Faults().DisarmAll();
+  Delivery got;
+  const Status st =
+      mm.Receive(0, [&](vid_t t, const uint64_t& m) { got.push_back({t, m}); });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(mm.retransmits(), 1u);
+  EXPECT_EQ(got, (Delivery{{0, 1000}, {1, 1001}, {2, 1002}}));
+}
+
+// ------------------------------------------------------- PIE under chaos
+
+/// Fragments keep a pointer into their partitioner, so the two must travel
+/// together.
+struct ChaosGraph {
+  std::unique_ptr<EdgeCutPartitioner> part;
+  std::vector<std::unique_ptr<grape::Fragment>> frags;
+};
+
+ChaosGraph ChaosFragments(partition_t nfrag) {
+  EdgeList g = datagen::GenerateRmat(
+      {.scale = 8, .edge_factor = 4.0, .a = 0.57, .b = 0.19, .c = 0.19,
+       .seed = 7});
+  ChaosGraph cg;
+  cg.part = std::make_unique<EdgeCutPartitioner>(g.num_vertices, nfrag);
+  cg.frags = grape::Partition(g, *cg.part);
+  return cg;
+}
+
+TEST_F(ChaosTest, PageRankSurvivesWorkerKill) {
+  auto cg = ChaosFragments(4);
+  const auto& frags = cg.frags;
+  const std::vector<double> clean = grape::RunPageRank(frags, 8, 0.85);
+  // Kill two fragment computes (hits 3 and 4 land in PEval with 4 workers);
+  // the superstep leader re-executes them before the first flush.
+  ArmSpec("pie.compute=nth:3:count:2");
+  const std::vector<double> chaotic = grape::RunPageRank(frags, 8, 0.85);
+  EXPECT_EQ(Faults().Fires("pie.compute"), 2u);
+  Faults().DisarmAll();
+  ASSERT_EQ(chaotic.size(), clean.size());
+  for (size_t v = 0; v < clean.size(); ++v) {
+    // Recovery replays the identical compute, so the result is bit-equal.
+    EXPECT_DOUBLE_EQ(chaotic[v], clean[v]) << "vertex " << v;
+  }
+}
+
+TEST_F(ChaosTest, PageRankCorrectUnderRepeatedFrameCorruption) {
+  auto cg = ChaosFragments(3);
+  const auto& frags = cg.frags;
+  const std::vector<double> clean = grape::RunPageRank(frags, 6, 0.85);
+  ArmSpec("msg.corrupt=nth:2:count:3");
+  const std::vector<double> chaotic = grape::RunPageRank(frags, 6, 0.85);
+  EXPECT_EQ(Faults().Fires("msg.corrupt"), 3u);
+  Faults().DisarmAll();
+  ASSERT_EQ(chaotic.size(), clean.size());
+  for (size_t v = 0; v < clean.size(); ++v) {
+    EXPECT_DOUBLE_EQ(chaotic[v], clean[v]) << "vertex " << v;
+  }
+}
+
+TEST_F(ChaosTest, PageRankCorrectUnderInjectedChannelDelay) {
+  auto cg = ChaosFragments(3);
+  const auto& frags = cg.frags;
+  const std::vector<double> clean = grape::RunPageRank(frags, 4, 0.85);
+  ArmSpec("msg.delay=delay:100us:nth:1:count:16");
+  const std::vector<double> chaotic = grape::RunPageRank(frags, 4, 0.85);
+  EXPECT_EQ(Faults().Fires("msg.delay"), 16u);
+  Faults().DisarmAll();
+  ASSERT_EQ(chaotic.size(), clean.size());
+  for (size_t v = 0; v < clean.size(); ++v) {
+    EXPECT_DOUBLE_EQ(chaotic[v], clean[v]) << "vertex " << v;
+  }
+}
+
+TEST_F(ChaosTest, WorkerKillTraceIsReproducible) {
+  auto cg = ChaosFragments(3);
+  const auto& frags = cg.frags;
+  auto run = [&]() {
+    ArmSpec("pie.compute=prob:0.2:seed:" + std::to_string(ChaosSeed()));
+    grape::RunPageRank(frags, 5, 0.85);
+    std::vector<std::string> trace = Faults().Trace();
+    Faults().DisarmAll();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(ChaosTest, ExpiredDeadlineStopsPieBeforeAnySuperstep) {
+  auto cg = ChaosFragments(2);
+  const auto& frags = cg.frags;
+  std::vector<std::unique_ptr<grape::PieApp<double>>> apps;
+  for (int i = 0; i < 2; ++i) {
+    apps.push_back(std::make_unique<grape::PageRankApp>(5, 0.85));
+  }
+  grape::PieOptions options;
+  options.deadline = Deadline::Expired();
+  const auto result = grape::RunPieChecked(frags, apps, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ChaosTest, CancelledTokenStopsPieBeforeAnySuperstep) {
+  auto cg = ChaosFragments(2);
+  const auto& frags = cg.frags;
+  std::vector<std::unique_ptr<grape::PieApp<double>>> apps;
+  for (int i = 0; i < 2; ++i) {
+    apps.push_back(std::make_unique<grape::PageRankApp>(5, 0.85));
+  }
+  CancellationToken cancel;
+  cancel.Cancel();
+  grape::PieOptions options;
+  options.cancel = &cancel;
+  const auto result = grape::RunPieChecked(frags, apps, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// ------------------------------------------------- query layer under chaos
+
+PropertyGraphData ChainData() {
+  PropertyGraphData data;
+  const label_t person =
+      data.schema
+          .AddVertexLabel("Person", {{"name", PropertyType::kString}})
+          .value();
+  const label_t knows =
+      data.schema.AddEdgeLabel("KNOWS", person, person, {}).value();
+  for (oid_t i = 1; i <= 6; ++i) {
+    data.AddVertex(person, i, {PropertyValue("p" + std::to_string(i))});
+  }
+  for (oid_t i = 1; i < 6; ++i) {
+    data.AddEdge(knows, i, i + 1, {});
+  }
+  return data;
+}
+
+constexpr const char* kNamesQuery = "MATCH (p:Person) RETURN p.name";
+
+class ChaosQueryTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    ChaosTest::SetUp();
+    store_ = storage::VineyardStore::Build(ChainData()).value();
+    graph_ = store_->GetGrinHandle();
+    service_ = std::make_unique<query::QueryService>(graph_.get(), 2);
+  }
+
+  std::unique_ptr<storage::VineyardStore> store_;
+  std::unique_ptr<grin::GrinGraph> graph_;
+  std::unique_ptr<query::QueryService> service_;
+};
+
+TEST_F(ChaosQueryTest, GaiaRejectsExpiredDeadlineUpFront) {
+  query::RunOptions options;
+  options.engine = query::EngineKind::kGaia;
+  options.deadline = Deadline::Expired();
+  const auto result =
+      service_->Run(query::Language::kCypher, kNamesQuery, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ChaosQueryTest, HiActorRejectsExpiredDeadlineWithoutExecuting) {
+  query::RunOptions options;
+  options.engine = query::EngineKind::kHiActor;
+  options.deadline = Deadline::Expired();
+  const auto result =
+      service_->Run(query::Language::kCypher, kNamesQuery, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Rejected at Submit: no shard ever ran (or counted) the task.
+  EXPECT_EQ(service_->hiactor().completed(), 0u);
+}
+
+TEST_F(ChaosQueryTest, CancelledTokenShortCircuitsBothEngines) {
+  CancellationToken cancel;
+  cancel.Cancel();
+  for (const auto engine :
+       {query::EngineKind::kGaia, query::EngineKind::kHiActor}) {
+    query::RunOptions options;
+    options.engine = engine;
+    options.cancel = &cancel;
+    const auto result =
+        service_->Run(query::Language::kCypher, kNamesQuery, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST_F(ChaosQueryTest, StorageReadFaultSurfacesAsDataLossWithoutRetry) {
+  ArmSpec("storage.read=nth:1:count:1");
+  query::RunOptions options;
+  options.engine = query::EngineKind::kGaia;
+  const auto result =
+      service_->Run(query::Language::kCypher, kNamesQuery, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(ChaosQueryTest, StorageReadFaultIsRetriedToSuccess) {
+  ArmSpec("storage.read=nth:1:count:1");
+  query::RunOptions options;
+  options.engine = query::EngineKind::kGaia;
+  options.max_retries = 2;
+  const auto result =
+      service_->Run(query::Language::kCypher, kNamesQuery, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 6u);
+  EXPECT_EQ(Faults().Fires("storage.read"), 1u);
+}
+
+TEST_F(ChaosQueryTest, DroppedActorTaskIsRetriedToSuccess) {
+  ArmSpec("hiactor.dispatch=nth:1:count:1");
+  query::RunOptions options;
+  options.engine = query::EngineKind::kHiActor;
+  options.max_retries = 1;
+  const auto result =
+      service_->Run(query::Language::kCypher, kNamesQuery, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 6u);
+  EXPECT_EQ(Faults().Fires("hiactor.dispatch"), 1u);
+}
+
+TEST_F(ChaosQueryTest, AdmissionControlShedsOverload) {
+  // A single-shard engine whose worker is slowed by a dispatch delay: the
+  // queue backs up past the depth bound and later submissions shed with
+  // kResourceExhausted instead of queueing unboundedly.
+  query::QueryService slow(graph_.get(), 1);
+  slow.hiactor().set_max_queue_depth(1);
+  const auto shared_plan = std::make_shared<const ir::Plan>(
+      slow.Compile(query::Language::kCypher, kNamesQuery).value());
+  ArmSpec("hiactor.dispatch=delay:50ms:nth:1:count:32");
+
+  std::vector<std::future<Result<std::vector<ir::Row>>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    runtime::QueryTask task;
+    task.plan = shared_plan;
+    futures.push_back(slow.hiactor().Submit(std::move(task)));
+  }
+  size_t shed = 0;
+  size_t succeeded = 0;
+  for (auto& f : futures) {
+    const auto result = f.get();  // Every future resolves; no hangs.
+    if (result.ok()) {
+      ++succeeded;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 1u);
+  EXPECT_GE(succeeded, 1u);
+  EXPECT_EQ(slow.hiactor().shed(), shed);
+  // Shed tasks never executed.
+  EXPECT_EQ(slow.hiactor().completed(), 6u - shed);
+}
+
+}  // namespace
+}  // namespace flex

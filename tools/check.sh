@@ -4,10 +4,16 @@
 # tools/sanitizers/. Any sanitizer report fails the run (halt_on_error /
 # -fno-sanitize-recover=all).
 #
+# The chaos pass rebuilds nothing extra: it reuses both sanitizer build
+# trees and re-runs the chaos harness (tests/chaos_test) across several
+# FLEX_CHAOS_SEED values, so every fault site is exercised under ASan+UBSan
+# and under TSan with more than one injection schedule.
+#
 # Usage:
-#   tools/check.sh            # both passes
+#   tools/check.sh            # all passes (asan, tsan, chaos)
 #   tools/check.sh asan       # address+undefined only
 #   tools/check.sh tsan       # thread only
+#   tools/check.sh chaos      # multi-seed chaos harness under both sanitizers
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,6 +30,20 @@ run_pass() {
   (cd "$builddir" && ctest --output-on-failure -j "$JOBS")
 }
 
+CHAOS_SEEDS=(1 7 23 101)
+
+run_chaos() {
+  local name="$1" sanitize="$2" builddir="$ROOT/build-$1"
+  echo "=== chaos($name): FLEX_SANITIZE=$sanitize, seeds ${CHAOS_SEEDS[*]} ==="
+  cmake -B "$builddir" -S "$ROOT" -DFLEX_SANITIZE="$sanitize" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$builddir" -j "$JOBS" --target chaos_test
+  for seed in "${CHAOS_SEEDS[@]}"; do
+    echo "--- chaos($name) seed=$seed ---"
+    FLEX_CHAOS_SEED="$seed" "$builddir/tests/chaos_test"
+  done
+}
+
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:suppressions=$SUPP/asan.supp"
 export LSAN_OPTIONS="suppressions=$SUPP/lsan.supp"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$SUPP/ubsan.supp"
@@ -32,12 +52,18 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$SUPP/
 case "$MODES" in
   asan) run_pass asan address,undefined ;;
   tsan) run_pass tsan thread ;;
+  chaos)
+    run_chaos asan address,undefined
+    run_chaos tsan thread
+    ;;
   all)
     run_pass asan address,undefined
     run_pass tsan thread
+    run_chaos asan address,undefined
+    run_chaos tsan thread
     ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|all]" >&2
+    echo "usage: tools/check.sh [asan|tsan|chaos|all]" >&2
     exit 2
     ;;
 esac
