@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "optimizer/optimizer.h"
 #include "query/service.h"
 #include "snb/snb.h"
@@ -74,6 +75,32 @@ int main() {
     ratio_sum += naive_ms / flex_ms;
     std::printf("%-5s %10.3fms %10.3fms %10s\n", reads[i].name.c_str(),
                 flex_ms, naive_ms, bench::Ratio(naive_ms, flex_ms).c_str());
+  }
+
+  // ---- Per-query traces: one traced run of every read query through the
+  // full Run path (compile + HiActor execute), dumped as a JSON array. The
+  // root "query" span is the reported wall time; its direct children
+  // (compile, execute) must account for it up to scheduling slack.
+  {
+    std::vector<std::string> dumps;
+    Rng rng(200);
+    for (const auto& q : reads) {
+      trace::Trace trace(q.name);
+      query::RunOptions opts;
+      opts.engine = query::EngineKind::kHiActor;
+      opts.trace = &trace;
+      FLEX_CHECK(service
+                     .Run(query::Language::kCypher, q.cypher, opts,
+                          q.params(rng, stats))
+                     .ok());
+      const uint64_t wall_us = trace.SpanDurationMicros(1);
+      const uint64_t child_us = trace.ChildDurationMicros(1);
+      // Children are timed inside the root span, so they can never exceed
+      // it; they may undershoot by the retry-loop glue between spans.
+      FLEX_CHECK(child_us <= wall_us + 1);
+      dumps.push_back(trace.ToJson());
+    }
+    bench::WriteTraceJsonArray("exp2_snb_interactive.traces.json", dumps);
   }
 
   // ---- Update latencies (applied to GART, committed in batches).

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/timer.h"
 
@@ -35,6 +36,30 @@ inline std::string Ratio(double base, double ours) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2fx", ours == 0.0 ? 0.0 : base / ours);
   return buf;
+}
+
+/// Writes per-query trace dumps (each already a JSON object from
+/// Trace::ToJson) as one JSON array, so the experiment's latency table has
+/// a machine-readable per-span breakdown next to it. Returns false (after
+/// printing a warning) if the file cannot be written — benchmarks keep
+/// going, the trace artifact is best-effort.
+inline bool WriteTraceJsonArray(const std::string& path,
+                                const std::vector<std::string>& traces) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("warning: cannot write trace dump %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("[\n", f);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    std::fputs(traces[i].c_str(), f);
+    std::fputs(i + 1 < traces.size() ? ",\n" : "\n", f);
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+  std::printf("per-query traces: %s (%zu queries)\n", path.c_str(),
+              traces.size());
+  return true;
 }
 
 }  // namespace flex::bench

@@ -27,15 +27,26 @@ inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
 
 }  // namespace internal_crc32
 
+/// Incremental CRC-32: `state = Crc32Init()`, any number of
+/// `state = Crc32Update(state, chunk, len)` calls, then
+/// `Crc32Finalize(state)`. Feeding a buffer in arbitrary splits yields the
+/// same checksum as one shot (golden-vector tests in tests/common_test.cc).
+inline uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+inline uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    state = internal_crc32::kTable[(state ^ data[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+inline uint32_t Crc32Finalize(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
 /// CRC-32 checksum of `data[0, size)`. Used to frame aggregated message
 /// buffers so corruption and truncation are detected at Receive() rather
 /// than silently decoding garbage.
 inline uint32_t Crc32(const uint8_t* data, size_t size) {
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = internal_crc32::kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+  return Crc32Finalize(Crc32Update(Crc32Init(), data, size));
 }
 
 }  // namespace flex

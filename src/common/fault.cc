@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/metric_names.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace flex::fault {
@@ -178,6 +180,9 @@ bool Injector::Hit(const char* site) {
     if (fired || sleep_for.count() > 0) {
       ++state.fires;
       trace_.push_back(std::string(site) + "#" + std::to_string(hit));
+      // Chaos observability: every fired fault is a metrics event, so
+      // chaos tests assert on the registry instead of scraping logs.
+      FLEX_COUNTER_INC(metrics::kFaultsFiredTotal);
     }
   }
   if (sleep_for.count() > 0) {

@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstring>
 #include <iostream>
 #include <mutex>
@@ -30,18 +31,49 @@ std::mutex& SinkMutex() {
   return *mu;
 }
 
+/// Guarded by SinkMutex(); leaked so logging stays safe during static
+/// destruction.
+LogSink& Sink() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
+
+/// -1 = not yet derived from the environment. Stored as int so "unset" is
+/// representable; transitions are rare (startup + tests) and racing
+/// re-derivations all compute the same value.
+std::atomic<int> g_min_level{-1};
+
 }  // namespace
 
+LogLevel ParseLogLevel(const char* text, LogLevel fallback) {
+  if (text != nullptr && std::strlen(text) == 1 && text[0] >= '0' &&
+      text[0] <= '4') {
+    return static_cast<LogLevel>(text[0] - '0');
+  }
+  return fallback;
+}
+
 LogLevel MinLogLevel() {
-  static LogLevel level = [] {
-    const char* env = std::getenv("FLEX_LOG_LEVEL");
-    if (env != nullptr && std::strlen(env) == 1 && env[0] >= '0' &&
-        env[0] <= '4') {
-      return static_cast<LogLevel>(env[0] - '0');
-    }
-    return LogLevel::kInfo;
-  }();
-  return level;
+  int cached = g_min_level.load(std::memory_order_relaxed);
+  if (cached < 0) {
+    cached = static_cast<int>(
+        ParseLogLevel(std::getenv("FLEX_LOG_LEVEL"), LogLevel::kInfo));
+    g_min_level.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(cached);
+}
+
+void SetMinLogLevelForTesting(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ResetMinLogLevelForTesting() {
+  g_min_level.store(-1, std::memory_order_relaxed);
+}
+
+void SetSinkForTesting(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sink() = std::move(sink);
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -54,7 +86,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
     std::lock_guard<std::mutex> lock(SinkMutex());
-    std::cerr << stream_.str() << std::endl;
+    if (Sink()) {
+      Sink()(level_, stream_.str());
+    } else {
+      std::cerr << stream_.str() << std::endl;
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

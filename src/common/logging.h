@@ -2,8 +2,10 @@
 #define FLEX_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 namespace flex {
 namespace internal_logging {
@@ -13,6 +15,25 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 /// Returns the process-wide minimum level actually emitted. Defaults to
 /// kInfo; override with environment variable FLEX_LOG_LEVEL=0..4.
 LogLevel MinLogLevel();
+
+/// Strict FLEX_LOG_LEVEL parse: exactly one character in '0'..'4' maps to
+/// its level; anything else (null, empty, out of range, trailing bytes)
+/// yields `fallback`. Exposed so tests can cover the garbage cases.
+LogLevel ParseLogLevel(const char* text, LogLevel fallback);
+
+/// Replaces the stderr sink with `sink` (pass nullptr to restore stderr).
+/// The sink receives every emitted line, already formatted but without the
+/// trailing newline, under the logging mutex. Test-only: there is no
+/// ordering guarantee with concurrently destroyed sinks.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+void SetSinkForTesting(LogSink sink);
+
+/// Overrides the cached FLEX_LOG_LEVEL decision. Test-only.
+void SetMinLogLevelForTesting(LogLevel level);
+
+/// Drops the cached level so the next MinLogLevel() re-reads the
+/// environment. Test-only (FLEX_LOG_LEVEL parse tests).
+void ResetMinLogLevelForTesting();
 
 /// Stream-style log sink that emits one line on destruction and aborts the
 /// process for kFatal messages (used by FLEX_CHECK).

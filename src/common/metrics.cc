@@ -1,0 +1,213 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/metric_names.h"
+
+namespace flex::metrics {
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return slot;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Intentionally leaked: instrumented code may run during static
+  // destruction (engine threads joining), so the registry must outlive
+  // every other object in the process.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry::Entry MetricsRegistry::GetOrCreate(const std::string& name,
+                                                    Kind kind) {
+  MutexLock lock(&mu_);
+  for (auto& [entry_name, entry] : entries_) {
+    if (entry_name == name) {
+      FLEX_CHECK(entry.kind == kind);  // One kind per name, forever.
+      return entry;
+    }
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = new Counter();
+      break;
+    case Kind::kGauge:
+      entry.gauge = new Gauge();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = new Histogram();
+      break;
+  }
+  entries_.emplace_back(name, entry);
+  return entry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(name, Kind::kCounter).counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return GetOrCreate(name, Kind::kGauge).gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetOrCreate(name, Kind::kHistogram).histogram;
+}
+
+namespace {
+
+void RenderHistogram(std::ostringstream* out, const std::string& name,
+                     const Histogram& hist) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kLatencyBucketBoundsUs.size(); ++i) {
+    cumulative += hist.BucketCount(i);
+    *out << name << "_bucket{le=\"" << kLatencyBucketBoundsUs[i] << "\"} "
+         << cumulative << "\n";
+  }
+  cumulative += hist.BucketCount(kLatencyBucketBoundsUs.size());
+  *out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+  *out << name << "_sum " << hist.SumMicros() << "\n";
+  *out << name << "_count " << cumulative << "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Render() const {
+  // Snapshot (name, entry) pairs under the lock, then render sorted by
+  // name so the exposition is deterministic regardless of registration
+  // order. Entry pointers stay valid after unlock (never freed).
+  std::vector<std::pair<std::string, Entry>> snapshot;
+  {
+    MutexLock lock(&mu_);
+    snapshot = entries_;
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::ostringstream out;
+  for (const auto& [name, entry] : snapshot) {
+    const MetricSpec* spec = FindStackMetric(name.c_str());
+    if (spec != nullptr) {
+      out << "# HELP " << name << " " << spec->help << "\n";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << entry.counter->Value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << entry.gauge->Value() << "\n";
+        break;
+      case Kind::kHistogram:
+        out << "# TYPE " << name << " histogram\n";
+        RenderHistogram(&out, name, *entry.histogram);
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    MutexLock lock(&mu_);
+    names.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void MetricsRegistry::ResetAllForTesting() {
+  MutexLock lock(&mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->ResetForTesting();
+        break;
+      case Kind::kGauge:
+        entry.gauge->ResetForTesting();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->ResetForTesting();
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// Sorted by name; keep in lockstep with the constants in metric_names.h
+/// and the expected-names list in tests/metrics_test.cc (the drift guard).
+constexpr MetricSpec kStackMetrics[] = {
+    {kFaultsFiredTotal, "counter",
+     "Fault-injection sites that fired (common/fault.h chaos harness)."},
+    {kHiactorPendingTasks, "gauge",
+     "Tasks currently queued across HiActor shards."},
+    {kHiactorTasksCompletedTotal, "counter",
+     "Tasks resolved by HiActor shard workers (includes rejected-at-dispatch)."},
+    {kHiactorTasksStolenTotal, "counter",
+     "Tasks a HiActor worker stole from a peer shard's queue."},
+    {kMsgBytesFlushedTotal, "counter",
+     "Framed bytes published to incoming streams by MessageManager::Flush."},
+    {kMsgRetransmitsTotal, "counter",
+     "Damaged frames repaired by retained-payload retransmission."},
+    {kMsgsSentTotal, "counter",
+     "Messages handed to MessageManager::Send across all fragments."},
+    {kPieRecoveriesTotal, "counter",
+     "Fail-stopped fragment computes re-executed by the superstep leader."},
+    {kPieSuperstepDurationUs, "histogram",
+     "Wall time of one PIE superstep (barrier to barrier), microseconds."},
+    {kPieSuperstepsTotal, "counter",
+     "PIE supersteps executed (PEval round included)."},
+    {kQueriesShedTotal, "counter",
+     "Submissions shed by HiActor bounded-queue admission control."},
+    {kQueriesTotal, "counter", "Queries accepted by QueryService::Run."},
+    {kQueryFailuresTotal, "counter",
+     "Queries that returned a non-OK status after all retries."},
+    {kQueryLatencyUs, "histogram",
+     "End-to-end QueryService::Run latency (compile + execute), microseconds."},
+    {kQueryRetriesTotal, "counter",
+     "Transient-failure retry attempts made by QueryService::Run."},
+    {kStorageAdjVisitsTotal, "counter",
+     "Adjacency-list reads (GRIN VisitAdj) across all storage backends."},
+    {kStorageIndexLookupsTotal, "counter",
+     "Oid-index lookups (GRIN FindVertex) across all storage backends."},
+    {kStorageScansTotal, "counter",
+     "Vertex scans (GRIN VisitVertices) across all storage backends."},
+};
+
+}  // namespace
+
+std::span<const MetricSpec> AllStackMetrics() { return kStackMetrics; }
+
+const MetricSpec* FindStackMetric(const char* name) {
+  for (const MetricSpec& spec : kStackMetrics) {
+    if (std::strcmp(spec.name, name) == 0) return &spec;
+  }
+  return nullptr;
+}
+
+void TouchStandardMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  for (const MetricSpec& spec : kStackMetrics) {
+    if (std::strcmp(spec.kind, "counter") == 0) {
+      registry.GetCounter(spec.name);
+    } else if (std::strcmp(spec.kind, "gauge") == 0) {
+      registry.GetGauge(spec.name);
+    } else {
+      registry.GetHistogram(spec.name);
+    }
+  }
+}
+
+}  // namespace flex::metrics

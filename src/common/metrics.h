@@ -1,0 +1,223 @@
+#ifndef FLEX_COMMON_METRICS_H_
+#define FLEX_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace flex::metrics {
+
+/// Process-wide metrics: named counters, gauges and fixed-bucket latency
+/// histograms, rendered as deterministic Prometheus-style text by
+/// MetricsRegistry::Render().
+///
+/// The hot path mirrors the disarmed-fault-site design from common/fault.h:
+/// recording an event is one relaxed atomic add, no locks, no allocation.
+/// Counters additionally shard their cell across cache lines by thread so
+/// concurrent workers do not contend on one line; shards are merged only at
+/// scrape time. Registration (name lookup) is mutex-guarded but amortized
+/// to once per call site by the FLEX_COUNTER_* macros' static pointers —
+/// metric objects are never destroyed, so the cached pointers stay valid
+/// for the process lifetime (ResetAllForTesting zeroes values in place).
+
+/// Number of per-thread shards a counter spreads its cells over.
+inline constexpr size_t kCounterShards = 16;
+
+/// Returns this thread's stable shard slot in [0, kCounterShards).
+size_t ThreadShardIndex();
+
+/// Monotonically increasing event count, sharded to keep concurrent
+/// increments off a shared cache line.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    cells_[ThreadShardIndex()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Merged total across shards (scrape path; not linearizable with
+  /// concurrent Add, like any sharded counter).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void ResetForTesting() {
+    for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Cell, kCounterShards> cells_;
+};
+
+/// A value that can go up and down (queue depths, in-flight counts).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTesting() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed exponential-ish bucket bounds, in microseconds. Shared by every
+/// histogram so the exposition format never depends on registration order.
+inline constexpr std::array<uint64_t, 14> kLatencyBucketBoundsUs = {
+    1,    2,    5,     10,    25,    50,     100,
+    250,  500,  1000,  2500,  5000,  10000,  100000};
+
+/// Latency histogram over the fixed microsecond buckets above plus +Inf.
+/// Observe() is two relaxed atomic adds (bucket + sum).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = kLatencyBucketBoundsUs.size() + 1;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t micros) {
+    buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  uint64_t SumMicros() const { return sum_us_.load(std::memory_order_relaxed); }
+
+  void ResetForTesting() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_us_.store(0, std::memory_order_relaxed);
+  }
+
+  static size_t BucketOf(uint64_t micros) {
+    for (size_t i = 0; i < kLatencyBucketBoundsUs.size(); ++i) {
+      if (micros <= kLatencyBucketBoundsUs[i]) return i;
+    }
+    return kLatencyBucketBoundsUs.size();
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+/// Process-wide registry. Get*() registers on first use and returns a
+/// pointer that stays valid forever; re-registering the same name returns
+/// the same object. A name holds exactly one metric kind for the process
+/// lifetime (kind mismatch is a programmer error and FLEX_CHECKs).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
+
+  /// Deterministic Prometheus-style text exposition: metrics sorted by
+  /// name, `# HELP` / `# TYPE` headers (help taken from the standard-name
+  /// table in metric_names.h when known), histograms expanded into
+  /// cumulative `_bucket{le="..."}` series plus `_sum` / `_count`.
+  std::string Render() const EXCLUDES(mu_);
+
+  /// Registered metric names, sorted (drift-guard tests).
+  std::vector<std::string> Names() const EXCLUDES(mu_);
+
+  /// Zeroes every registered metric's value in place. Registrations (and
+  /// therefore pointers cached by the macros) survive.
+  void ResetAllForTesting() EXCLUDES(mu_);
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  /// Returns by value: the vector may reallocate under concurrent
+  /// registration, but the pointed-to metric objects never move.
+  Entry GetOrCreate(const std::string& name, Kind kind) EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  /// name → entry; values are heap objects intentionally never freed.
+  std::vector<std::pair<std::string, Entry>> entries_ GUARDED_BY(mu_);
+};
+
+}  // namespace flex::metrics
+
+/// Event-recording macros: the only way instrumented code should touch the
+/// registry. Each call site resolves its metric once (function-local static
+/// pointer), then every event is a single relaxed atomic add. Compiling
+/// with -DFLEX_METRICS_DISABLED (CMake -DFLEX_METRICS=OFF) turns them into
+/// no-ops for overhead A/B measurements.
+#ifndef FLEX_METRICS_DISABLED
+
+#define FLEX_COUNTER_ADD(name, delta)                                        \
+  do {                                                                       \
+    static ::flex::metrics::Counter* flex_metrics_cell =                     \
+        ::flex::metrics::MetricsRegistry::Instance().GetCounter(name);       \
+    flex_metrics_cell->Add(delta);                                           \
+  } while (false)
+
+#define FLEX_GAUGE_ADD(name, delta)                                          \
+  do {                                                                       \
+    static ::flex::metrics::Gauge* flex_metrics_cell =                       \
+        ::flex::metrics::MetricsRegistry::Instance().GetGauge(name);         \
+    flex_metrics_cell->Add(delta);                                           \
+  } while (false)
+
+#define FLEX_HISTOGRAM_OBSERVE_US(name, micros)                              \
+  do {                                                                       \
+    static ::flex::metrics::Histogram* flex_metrics_cell =                   \
+        ::flex::metrics::MetricsRegistry::Instance().GetHistogram(name);     \
+    flex_metrics_cell->Observe(micros);                                      \
+  } while (false)
+
+#else  // FLEX_METRICS_DISABLED
+
+#define FLEX_COUNTER_ADD(name, delta) \
+  do {                                \
+  } while (false)
+#define FLEX_GAUGE_ADD(name, delta) \
+  do {                              \
+  } while (false)
+#define FLEX_HISTOGRAM_OBSERVE_US(name, micros) \
+  do {                                          \
+  } while (false)
+
+#endif  // FLEX_METRICS_DISABLED
+
+#define FLEX_COUNTER_INC(name) FLEX_COUNTER_ADD(name, 1)
+
+#endif  // FLEX_COMMON_METRICS_H_

@@ -1,0 +1,134 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace flex::trace {
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// span names are code-controlled but query ids may carry user text.
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      case '\r':
+        *out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          *out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+Trace::Trace(std::string query_id)
+    : query_id_(std::move(query_id)), epoch_ns_(SteadyNowNanos()) {}
+
+uint64_t Trace::NowMicros() const {
+  return (SteadyNowNanos() - epoch_ns_) / 1000;
+}
+
+uint64_t Trace::BeginSpan(const std::string& name, const std::string& category,
+                          uint64_t parent) {
+  const uint64_t now = NowMicros();
+  MutexLock lock(&mu_);
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = name;
+  span.category = category;
+  span.start_us = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(uint64_t id) {
+  if (id == kNoParent) return;
+  const uint64_t now = NowMicros();
+  MutexLock lock(&mu_);
+  if (id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  // Clamp to 1 so end_us == 0 stays an unambiguous "still open" marker
+  // even for spans that close within the trace's first microsecond (the
+  // ≤1us duration skew is below the clock's own resolution).
+  if (span.end_us == 0) span.end_us = now == 0 ? 1 : now;
+}
+
+std::vector<Span> Trace::spans() const {
+  MutexLock lock(&mu_);
+  return spans_;
+}
+
+uint64_t Trace::SpanDurationMicros(uint64_t id) const {
+  MutexLock lock(&mu_);
+  if (id == kNoParent || id > spans_.size()) return 0;
+  return spans_[id - 1].duration_us();
+}
+
+uint64_t Trace::ChildDurationMicros(uint64_t parent) const {
+  MutexLock lock(&mu_);
+  uint64_t total = 0;
+  for (const Span& span : spans_) {
+    if (span.parent == parent) total += span.duration_us();
+  }
+  return total;
+}
+
+std::string Trace::ToJson() const {
+  std::vector<Span> snapshot = spans();
+  uint64_t wall_us = 0;
+  for (const Span& span : snapshot) {
+    if (span.parent == kNoParent) {
+      wall_us = span.duration_us();
+      break;
+    }
+  }
+  std::ostringstream out;
+  out << "{\"query_id\": ";
+  AppendJsonString(&out, query_id_);
+  out << ", \"wall_us\": " << wall_us << ", \"spans\": [";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const Span& span = snapshot[i];
+    if (i > 0) out << ", ";
+    out << "{\"id\": " << span.id << ", \"parent\": " << span.parent
+        << ", \"name\": ";
+    AppendJsonString(&out, span.name);
+    out << ", \"category\": ";
+    AppendJsonString(&out, span.category);
+    out << ", \"start_us\": " << span.start_us
+        << ", \"end_us\": " << span.end_us
+        << ", \"duration_us\": " << span.duration_us() << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace flex::trace

@@ -10,6 +10,8 @@
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/varint.h"
@@ -150,6 +152,7 @@ class MessageManager {
         outgoing_(static_cast<size_t>(num_fragments) * num_fragments),
         retained_(static_cast<size_t>(num_fragments) * num_fragments),
         incoming_(num_fragments),
+        sent_since_flush_(static_cast<size_t>(num_fragments) * num_fragments),
         per_msg_outgoing_(num_fragments),
         per_msg_incoming_(num_fragments),
         per_msg_locks_(num_fragments) {}
@@ -160,6 +163,12 @@ class MessageManager {
   /// Sends `msg` to `target` (owned by fragment `dst`), from worker `src`.
   /// Aggregated mode is lock-free: each (src, dst) pair has its own buffer.
   void Send(partition_t src, partition_t dst, vid_t target, const MSG& msg) {
+    // Counted locally and published to flex_msgs_sent_total once per
+    // Flush: a global (even sharded) atomic per message is measurable on
+    // this path. The slot is owned by worker `src` under the same
+    // synchronization as its outgoing buffers, and cache-line padded so
+    // workers do not false-share.
+    ++sent_since_flush_[src * nfrag_ + dst].count;
     if (mode_ == MessageMode::kAggregated) {
       FLEX_FAULT_INJECT("msg.delay");  // Chaos: slow channel emulation.
       std::vector<uint8_t>& buf = outgoing_[src * nfrag_ + dst];
@@ -182,6 +191,14 @@ class MessageManager {
   /// Returns the number of fragments that received at least one message.
   size_t Flush() {
     size_t fragments_with_traffic = 0;
+    {
+      uint64_t sent = 0;
+      for (auto& slot : sent_since_flush_) {
+        sent += slot.count;
+        slot.count = 0;
+      }
+      if (sent > 0) FLEX_COUNTER_ADD(metrics::kMsgsSentTotal, sent);
+    }
     if (mode_ == MessageMode::kAggregated) {
       for (partition_t dst = 0; dst < nfrag_; ++dst) {
         incoming_[dst].clear();
@@ -195,7 +212,11 @@ class MessageManager {
           out.clear();
           AppendFrame(&incoming_[dst], src, kept);
         }
-        if (!incoming_[dst].empty()) ++fragments_with_traffic;
+        if (!incoming_[dst].empty()) {
+          ++fragments_with_traffic;
+          FLEX_COUNTER_ADD(metrics::kMsgBytesFlushedTotal,
+                           incoming_[dst].size());
+        }
         // Chaos: "msg.corrupt" flips a payload byte of the last frame (the
         // checksum catches it); "grape.flush" drops the stream's tail byte
         // (a partial flush; the frame length check catches it).
@@ -294,6 +315,7 @@ class MessageManager {
       // damage deterministically.
       RebuildIncoming(fid);
       retransmits_.fetch_add(1, std::memory_order_relaxed);
+      FLEX_COUNTER_INC(metrics::kMsgRetransmitsTotal);
       repaired = true;
     }
   }
@@ -351,6 +373,12 @@ class MessageManager {
   /// source for damaged frames. Overwritten by the next Flush.
   std::vector<std::vector<uint8_t>> retained_;
   std::vector<std::vector<uint8_t>> incoming_;  // [dst]
+  struct AlignedCount {
+    alignas(64) uint64_t count = 0;  // Padded: written per-Send by `src`.
+  };
+  /// Messages accepted by Send since the last Flush, [src * nfrag_ + dst];
+  /// drained into flex_msgs_sent_total at the superstep boundary.
+  std::vector<AlignedCount> sent_since_flush_;
   bool retransmit_enabled_ = true;
   std::atomic<size_t> retransmits_{0};
   std::vector<std::vector<std::pair<vid_t, MSG>>> per_msg_outgoing_;

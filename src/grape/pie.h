@@ -9,9 +9,13 @@
 #include "common/barrier.h"
 #include "common/deadline.h"
 #include "common/fault.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "grape/fragment.h"
 #include "grape/message_manager.h"
 
@@ -94,6 +98,10 @@ struct PieOptions {
   Deadline deadline;
   /// Optional; checked alongside the deadline. Cancellation wins.
   const CancellationToken* cancel = nullptr;
+  /// Optional per-query trace: the superstep leader records superstep /
+  /// flush / recover spans under `trace_parent`. Must outlive the run.
+  trace::Trace* trace = nullptr;
+  uint64_t trace_parent = trace::kNoParent;
 };
 
 /// Runs a PIE computation to fixpoint: supersteps continue while any
@@ -172,6 +180,7 @@ Result<int> RunPieChecked(
     for (partition_t fid = 0; fid < nfrag; ++fid) {
       if (failed[fid] == 0) continue;
       failed[fid] = 0;
+      FLEX_COUNTER_INC(metrics::kPieRecoveriesTotal);
       PieContext<MSG>& ctx = contexts[fid];
       ctx.BeginRound(round);
       if (round == 0) {
@@ -183,6 +192,17 @@ Result<int> RunPieChecked(
     }
   };
 
+  // Superstep trace state, touched only by the barrier leader (and this
+  // thread before the pool starts / after it drains); the barrier's own
+  // synchronization publishes it between rounds. One counter bump and one
+  // histogram observation per superstep — not per fragment.
+  trace::Trace* const tr = options.trace;
+  uint64_t open_superstep =
+      tr != nullptr
+          ? tr->BeginSpan("superstep[0]", "superstep", options.trace_parent)
+          : trace::kNoParent;
+  Timer superstep_timer;
+
   auto worker = [&](partition_t fid) {
     compute(fid, 0);
     for (int round = 1; round <= options.max_rounds; ++round) {
@@ -190,14 +210,44 @@ Result<int> RunPieChecked(
         // Superstep boundary: the leader repairs the previous round's
         // fail-stopped fragments, enforces the deadline, flushes channels,
         // and decides whether another round is needed.
-        recover(round - 1);
+        bool any_failed = false;
+        for (partition_t f = 0; f < nfrag; ++f) {
+          any_failed = any_failed || failed[f] != 0;
+        }
+        {
+          trace::ScopedSpan recover_span(
+              any_failed ? tr : nullptr,
+              "recover[" + std::to_string(round - 1) + "]", "recover",
+              open_superstep);
+          recover(round - 1);
+        }
         Status st =
             CheckRunnable(options.deadline, options.cancel, "grape.pie");
         if (!st.ok()) record_error(std::move(st));
-        const bool traffic = messages.Flush() > 0;
+        size_t fragments_with_traffic;
+        {
+          trace::ScopedSpan flush_span(
+              tr, "flush[" + std::to_string(round - 1) + "]", "flush",
+              open_superstep);
+          fragments_with_traffic = messages.Flush();
+        }
+        const bool traffic = fragments_with_traffic > 0;
         proceed.store(traffic && !stop.load(std::memory_order_acquire),
                       std::memory_order_release);
         rounds.store(round, std::memory_order_relaxed);
+        FLEX_COUNTER_INC(metrics::kPieSuperstepsTotal);
+        FLEX_HISTOGRAM_OBSERVE_US(
+            metrics::kPieSuperstepDurationUs,
+            static_cast<uint64_t>(superstep_timer.ElapsedMicros()));
+        superstep_timer.Restart();
+        if (tr != nullptr) {
+          tr->EndSpan(open_superstep);
+          open_superstep =
+              proceed.load(std::memory_order_acquire)
+                  ? tr->BeginSpan("superstep[" + std::to_string(round) + "]",
+                                  "superstep", options.trace_parent)
+                  : trace::kNoParent;
+        }
       }
       barrier.Await();
       if (!proceed.load(std::memory_order_acquire)) break;
@@ -218,6 +268,7 @@ Result<int> RunPieChecked(
   // sent during this repair are dropped with everyone else's unflushed
   // sends, exactly as if the round had completed normally.
   recover(rounds.load(std::memory_order_relaxed));
+  if (tr != nullptr) tr->EndSpan(open_superstep);  // max_rounds exit.
   {
     MutexLock lock(&err_mu);
     if (!first_error.ok()) return first_error;

@@ -133,18 +133,23 @@ Result<std::vector<Row>> Interpreter::RunRange(const ir::Plan& plan,
     // Operator boundary: the interpreter's cancellation/deadline quantum.
     FLEX_RETURN_NOT_OK(
         CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
-    FLEX_RETURN_NOT_OK(Apply(plan.ops[i], &rows, opts));
+    trace::ScopedSpan op_span(opts.trace, ir::OpKindName(plan.ops[i].kind),
+                              "operator", opts.trace_parent);
+    FLEX_RETURN_NOT_OK(Apply(plan.ops[i], &rows, opts, op_span.id()));
   }
   return rows;
 }
 
 Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
-                          const ExecOptions& opts) const {
+                          const ExecOptions& opts, uint64_t op_span) const {
   const grin::GrinGraph& g = *graph_;
   switch (op.kind) {
     case ir::OpKind::kScan: {
-      // Chaos: the storage read boundary — where a lost page or failed
-      // remote read would surface in a real deployment.
+      // The storage read boundary — where a lost page or failed remote
+      // read would surface in a real deployment; also the span under
+      // which all GRIN scan work for this operator is accounted.
+      trace::ScopedSpan read_span(opts.trace, "storage.read", "storage",
+                                  op_span);
       if (FLEX_FAULT_POINT("storage.read")) {
         return Status::DataLoss("storage.read fault injected at scan");
       }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/trace.h"
 #include "grin/grin.h"
 #include "ir/plan.h"
 #include "ir/row.h"
@@ -23,6 +24,11 @@ struct ExecOptions {
   /// kCancelled instead of running the next operator.
   Deadline deadline;
   const CancellationToken* cancel = nullptr;
+  /// Optional per-query trace: each operator records a span (name =
+  /// OpKindName) under `trace_parent`, and scans nest a "storage.read"
+  /// child. Must outlive the call.
+  trace::Trace* trace = nullptr;
+  uint64_t trace_parent = trace::kNoParent;
 };
 
 /// Reference executor for GraphIR plans over any GRIN backend. Both
@@ -47,7 +53,7 @@ class Interpreter {
 
  private:
   Status Apply(const ir::Op& op, std::vector<ir::Row>* rows,
-               const ExecOptions& opts) const;
+               const ExecOptions& opts, uint64_t op_span) const;
 
   const grin::GrinGraph* graph_;
 };

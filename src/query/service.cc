@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "common/metric_names.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "lang/cypher.h"
 #include "lang/gremlin.h"
 
@@ -56,22 +59,47 @@ bool IsRetryable(const Status& status) {
 Result<std::vector<ir::Row>> QueryService::Run(
     Language lang, const std::string& text, const RunOptions& options,
     std::vector<PropertyValue> params) {
-  FLEX_ASSIGN_OR_RETURN(ir::Plan plan, Compile(lang, text));
+  FLEX_COUNTER_INC(metrics::kQueriesTotal);
+  trace::ScopedSpan root_span(options.trace, "query", "query");
+  Timer latency_timer;
+  // One deferred exit point so the latency histogram and failure counter
+  // observe every outcome, compile errors included.
+  auto finish =
+      [&](Result<std::vector<ir::Row>> result) -> Result<std::vector<ir::Row>> {
+    FLEX_HISTOGRAM_OBSERVE_US(
+        metrics::kQueryLatencyUs,
+        static_cast<uint64_t>(latency_timer.ElapsedMicros()));
+    if (!result.ok()) FLEX_COUNTER_INC(metrics::kQueryFailuresTotal);
+    return result;
+  };
+
+  Result<ir::Plan> compiled = [&] {
+    trace::ScopedSpan compile_span(options.trace, "compile", "compile",
+                                   root_span.id());
+    return Compile(lang, text);
+  }();
+  if (!compiled.ok()) return finish(compiled.status());
+  ir::Plan plan = std::move(compiled).value();
   std::shared_ptr<const ir::Plan> shared_plan;
   if (options.engine == EngineKind::kHiActor) {
     shared_plan = std::make_shared<const ir::Plan>(std::move(plan));
   }
 
+  trace::ScopedSpan execute_span(options.trace, "execute", "execute",
+                                 root_span.id());
   auto attempt =
       [&](std::vector<PropertyValue> p) -> Result<std::vector<ir::Row>> {
     if (options.engine == EngineKind::kGaia) {
-      return gaia_.Run(plan, std::move(p), options.deadline, options.cancel);
+      return gaia_.Run(plan, std::move(p), options.deadline, options.cancel,
+                       options.trace, execute_span.id());
     }
     runtime::QueryTask task;
     task.plan = shared_plan;
     task.params = std::move(p);
     task.deadline = options.deadline;
     task.cancel = options.cancel;
+    task.trace = options.trace;
+    task.trace_parent = execute_span.id();
     return hiactor_.Execute(std::move(task));
   };
 
@@ -80,10 +108,11 @@ Result<std::vector<ir::Row>> QueryService::Run(
     Result<std::vector<ir::Row>> result = attempt(params);
     if (result.ok() || !IsRetryable(result.status()) ||
         tries >= options.max_retries) {
-      return result;
+      return finish(std::move(result));
     }
     // Backing off still honours the deadline: if it expires while we
     // sleep, the next attempt is rejected at admission, not executed.
+    FLEX_COUNTER_INC(metrics::kQueryRetriesTotal);
     std::this_thread::sleep_for(backoff);
     backoff *= 2;
   }

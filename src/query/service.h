@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/deadline.h"
+#include "common/trace.h"
 #include "optimizer/optimizer.h"
 #include "runtime/gaia.h"
 #include "runtime/hiactor.h"
@@ -33,6 +34,10 @@ struct RunOptions {
   int max_retries = 0;
   /// Sleep before the first retry; doubles per attempt.
   std::chrono::milliseconds retry_backoff{1};
+  /// Optional per-query trace. Run opens a root "query" span with
+  /// "compile" and "execute" children; the engines and interpreter nest
+  /// their own spans below those. Must outlive the call.
+  trace::Trace* trace = nullptr;
 };
 
 /// The interactive stack facade (Figure 5): parse (Gremlin or Cypher) →

@@ -6,9 +6,11 @@ namespace flex::runtime {
 
 Result<std::vector<ir::Row>> GaiaEngine::Run(
     const ir::Plan& plan, std::vector<PropertyValue> params,
-    Deadline deadline, const CancellationToken* cancel) const {
+    Deadline deadline, const CancellationToken* cancel, trace::Trace* trace,
+    uint64_t trace_parent) const {
   // Admission: a dead-on-arrival query must not reach the workers.
   FLEX_RETURN_NOT_OK(CheckRunnable(deadline, cancel, "gaia"));
+  trace::ScopedSpan engine_span(trace, "gaia", "engine", trace_parent);
   query::Interpreter interpreter(graph_);
 
   // Split at the first blocking (exchange-requiring) operator.
@@ -29,6 +31,8 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
     opts.params = std::move(params);
     opts.deadline = deadline;
     opts.cancel = cancel;
+    opts.trace = trace;
+    opts.trace_parent = engine_span.id();
     return interpreter.Run(plan, opts);
   }
 
@@ -41,12 +45,17 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
     ThreadPool pool(num_workers_);
     for (size_t w = 0; w < num_workers_; ++w) {
       pool.Submit([&, w] {
+        trace::ScopedSpan shard_span(trace,
+                                     "gaia.shard[" + std::to_string(w) + "]",
+                                     "engine", engine_span.id());
         query::ExecOptions opts;
         opts.params = params;
         opts.shard_index = w;
         opts.shard_count = num_workers_;
         opts.deadline = deadline;
         opts.cancel = cancel;
+        opts.trace = trace;
+        opts.trace_parent = shard_span.id();
         partials[w] = interpreter.RunRange(plan, 0, split, {}, opts);
       });
     }
@@ -54,11 +63,15 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
   }
 
   // Exchange: gather shards.
-  for (auto& partial : partials) {
-    FLEX_RETURN_NOT_OK(partial.status());
-    auto rows = std::move(partial).value();
-    merged.insert(merged.end(), std::make_move_iterator(rows.begin()),
-                  std::make_move_iterator(rows.end()));
+  {
+    trace::ScopedSpan exchange_span(trace, "gaia.exchange", "engine",
+                                    engine_span.id());
+    for (auto& partial : partials) {
+      FLEX_RETURN_NOT_OK(partial.status());
+      auto rows = std::move(partial).value();
+      merged.insert(merged.end(), std::make_move_iterator(rows.begin()),
+                    std::make_move_iterator(rows.end()));
+    }
   }
 
   // Blocking suffix.
@@ -66,6 +79,8 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
   opts.params = std::move(params);
   opts.deadline = deadline;
   opts.cancel = cancel;
+  opts.trace = trace;
+  opts.trace_parent = engine_span.id();
   return interpreter.RunRange(plan, split, plan.ops.size(), std::move(merged),
                               opts);
 }

@@ -23,10 +23,14 @@ class GaiaEngine {
   /// rejected up front with kDeadlineExceeded / kCancelled before any
   /// operator executes; during execution both are re-checked at every
   /// operator boundary in every shard.
+  ///
+  /// When `trace` is non-null, a "gaia" span is recorded under
+  /// `trace_parent` with per-shard / exchange / suffix children.
   Result<std::vector<ir::Row>> Run(
       const ir::Plan& plan, std::vector<PropertyValue> params = {},
-      Deadline deadline = {},
-      const CancellationToken* cancel = nullptr) const;
+      Deadline deadline = {}, const CancellationToken* cancel = nullptr,
+      trace::Trace* trace = nullptr,
+      uint64_t trace_parent = trace::kNoParent) const;
 
   size_t num_workers() const { return num_workers_; }
 

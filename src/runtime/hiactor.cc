@@ -2,6 +2,8 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 
 namespace flex::runtime {
 
@@ -81,12 +83,18 @@ std::future<Result<std::vector<ir::Row>>> HiActorEngine::Submit(
     const size_t depth = max_queue_depth_.load(std::memory_order_relaxed);
     if (depth > 0 && shards_[shard]->queue.size() >= depth) {
       shed_.fetch_add(1, std::memory_order_relaxed);
+      FLEX_COUNTER_INC(metrics::kQueriesShedTotal);
       task.promise.set_value(Status::ResourceExhausted(
           "shard " + std::to_string(shard) + " queue depth " +
           std::to_string(depth) + " reached; submission shed"));
       return future;
     }
+    if (task.query.trace != nullptr) {
+      task.queue_span = task.query.trace->BeginSpan(
+          "hiactor.queue", "engine", task.query.trace_parent);
+    }
     shards_[shard]->queue.push_back(std::move(task));
+    FLEX_GAUGE_ADD(metrics::kHiactorPendingTasks, 1);
   }
   {
     // The 0→1 transition of pending_ is what wakes sleepers; doing it under
@@ -120,11 +128,19 @@ bool HiActorEngine::TryRunOne(size_t shard_index) {
       }
     }
     pending_.fetch_sub(1, std::memory_order_relaxed);
+    FLEX_GAUGE_ADD(metrics::kHiactorPendingTasks, -1);
+    if (probe > 0) FLEX_COUNTER_INC(metrics::kHiactorTasksStolenTotal);
+    // The queueing-delay span ends at dispatch regardless of how the task
+    // resolves below.
+    if (task.query.trace != nullptr) {
+      task.query.trace->EndSpan(task.queue_span);
+    }
     // Chaos: "hiactor.dispatch" with a fail policy drops the task at the
     // shard boundary (resolved kAborted, the retryable transient); with a
     // delay policy it emulates a slow shard and falls through to run.
     if (FLEX_FAULT_POINT("hiactor.dispatch")) {
       completed_.fetch_add(1, std::memory_order_release);
+      FLEX_COUNTER_INC(metrics::kHiactorTasksCompletedTotal);
       task.promise.set_value(Status::Aborted(
           "hiactor.dispatch fault: task dropped by its shard"));
       return true;
@@ -135,19 +151,25 @@ bool HiActorEngine::TryRunOne(size_t shard_index) {
                                     "hiactor.dispatch");
     if (!runnable.ok()) {
       completed_.fetch_add(1, std::memory_order_release);
+      FLEX_COUNTER_INC(metrics::kHiactorTasksCompletedTotal);
       task.promise.set_value(std::move(runnable));
       return true;
     }
     const grin::GrinGraph* graph =
         task.query.graph != nullptr ? task.query.graph.get() : default_graph_;
     query::Interpreter interpreter(graph);
+    trace::ScopedSpan execute_span(task.query.trace, "hiactor.execute",
+                                   "engine", task.query.trace_parent);
     query::ExecOptions opts;
     opts.params = std::move(task.query.params);
     opts.deadline = task.query.deadline;
     opts.cancel = task.query.cancel;
+    opts.trace = task.query.trace;
+    opts.trace_parent = execute_span.id();
     // Count before resolving the future so a caller that joined on the
     // future observes the completion.
     completed_.fetch_add(1, std::memory_order_release);
+    FLEX_COUNTER_INC(metrics::kHiactorTasksCompletedTotal);
     task.promise.set_value(interpreter.Run(*task.query.plan, opts));
     return true;
   }

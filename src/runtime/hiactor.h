@@ -12,6 +12,7 @@
 
 #include "common/deadline.h"
 #include "common/mutex.h"
+#include "common/trace.h"
 #include "query/interpreter.h"
 
 namespace flex::runtime {
@@ -29,6 +30,11 @@ struct QueryTask {
   Deadline deadline;
   /// Optional; must outlive the task. Cancellation wins over deadline.
   const CancellationToken* cancel = nullptr;
+  /// Optional per-query trace: Submit records a "hiactor.queue" span (the
+  /// task's queueing delay) and dispatch a "hiactor.execute" span, both
+  /// under `trace_parent`. Must outlive the task.
+  trace::Trace* trace = nullptr;
+  uint64_t trace_parent = trace::kNoParent;
 };
 
 /// HiActor-like actor engine (§5.3): the OLTP path. Queries become actor
@@ -82,6 +88,8 @@ class HiActorEngine {
   struct Task {
     QueryTask query;
     std::promise<Result<std::vector<ir::Row>>> promise;
+    /// Open "hiactor.queue" span, closed at dispatch (0 when untraced).
+    uint64_t queue_span = trace::kNoParent;
   };
 
   struct Shard {

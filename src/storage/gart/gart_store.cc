@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 
 namespace flex::storage {
 
@@ -482,6 +484,7 @@ class GartSnapshot final : public grin::GrinGraph {
   void VisitVertices(label_t label, grin::VertexPredicate pred,
                      void* pred_ctx, bool (*visitor)(void*, vid_t),
                      void* visitor_ctx) const override {
+    FLEX_COUNTER_INC(metrics::kStorageScansTotal);
     const auto& vids = store_->label_vertices_[label];
     const size_t visible = VisibleCount(label);
     for (size_t i = 0; i < visible; ++i) {
@@ -493,6 +496,7 @@ class GartSnapshot final : public grin::GrinGraph {
 
   bool VisitAdj(vid_t v, Direction dir, label_t edge_label,
                 grin::AdjVisitor visitor, void* ctx) const override {
+    FLEX_COUNTER_INC(metrics::kStorageAdjVisitsTotal);
     if (dir == Direction::kBoth) {
       return store_->ScanAdj(store_->AdjOf(edge_label, Direction::kOut, v),
                              version_, visitor, ctx) &&
@@ -529,6 +533,7 @@ class GartSnapshot final : public grin::GrinGraph {
   }
 
   Result<vid_t> FindVertex(label_t label, oid_t oid) const override {
+    FLEX_COUNTER_INC(metrics::kStorageIndexLookupsTotal);
     std::shared_lock<std::shared_mutex> lock(store_->mu_);
     auto it = store_->oid_index_[label].find(oid);
     if (it == store_->oid_index_[label].end() ||

@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/varint.h"
 #include "storage/graphar/encoding.h"
@@ -532,6 +534,7 @@ class GraphArDirectGraph final : public grin::GrinGraph {
   void VisitVertices(label_t label, grin::VertexPredicate pred,
                      void* pred_ctx, bool (*visitor)(void*, vid_t),
                      void* visitor_ctx) const override {
+    FLEX_COUNTER_INC(metrics::kStorageScansTotal);
     for (vid_t v = label_start_[label]; v < label_start_[label + 1]; ++v) {
       if (pred != nullptr && !pred(pred_ctx, v)) continue;
       if (!visitor(visitor_ctx, v)) return;
@@ -544,6 +547,7 @@ class GraphArDirectGraph final : public grin::GrinGraph {
       return VisitAdj(v, Direction::kOut, edge_label, visitor, ctx) &&
              VisitAdj(v, Direction::kIn, edge_label, visitor, ctx);
     }
+    FLEX_COUNTER_INC(metrics::kStorageAdjVisitsTotal);
     const Topo& t = topo_[edge_label];
     grin::AdjChunk chunk;
     if (dir == Direction::kOut) {
@@ -586,6 +590,7 @@ class GraphArDirectGraph final : public grin::GrinGraph {
   }
 
   Result<vid_t> FindVertex(label_t label, oid_t oid) const override {
+    FLEX_COUNTER_INC(metrics::kStorageIndexLookupsTotal);
     auto it = oid_index_[label].find(oid);
     if (it == oid_index_[label].end()) {
       return Status::NotFound("vertex oid " + std::to_string(oid));

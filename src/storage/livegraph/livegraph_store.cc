@@ -3,6 +3,8 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 
 namespace flex::storage {
 
@@ -96,6 +98,7 @@ class LiveGraphGrin final : public grin::GrinGraph {
   void VisitVertices(label_t, grin::VertexPredicate pred, void* pred_ctx,
                      bool (*visitor)(void*, vid_t),
                      void* visitor_ctx) const override {
+    FLEX_COUNTER_INC(metrics::kStorageScansTotal);
     for (vid_t v = 0; v < store_->num_vertices(); ++v) {
       if (pred != nullptr && !pred(pred_ctx, v)) continue;
       if (!visitor(visitor_ctx, v)) return;
@@ -104,6 +107,7 @@ class LiveGraphGrin final : public grin::GrinGraph {
 
   bool VisitAdj(vid_t v, Direction dir, label_t, grin::AdjVisitor visitor,
                 void* ctx) const override {
+    FLEX_COUNTER_INC(metrics::kStorageAdjVisitsTotal);
     if (dir != Direction::kOut) return true;  // Out-only baseline store.
     constexpr size_t kBuf = 64;
     vid_t nbuf[kBuf];
@@ -142,6 +146,7 @@ class LiveGraphGrin final : public grin::GrinGraph {
   }
 
   Result<vid_t> FindVertex(label_t, oid_t oid) const override {
+    FLEX_COUNTER_INC(metrics::kStorageIndexLookupsTotal);
     if (oid < 0 || oid >= static_cast<oid_t>(store_->num_vertices())) {
       return Status::NotFound("vertex oid " + std::to_string(oid));
     }

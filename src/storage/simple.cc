@@ -1,6 +1,8 @@
 #include "storage/simple.h"
 
 #include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 
 namespace flex::storage {
 
@@ -25,6 +27,115 @@ PropertyGraphData MakeSimpleGraphData(const EdgeList& list,
                  static_cast<oid_t>(e.dst), std::move(row));
   }
   return data;
+}
+
+namespace {
+
+/// GRIN view over a SimpleCsrStore: single label, vid == oid, array
+/// adjacency straight off the CSR spans.
+class SimpleGrinGraph final : public grin::GrinGraph {
+ public:
+  explicit SimpleGrinGraph(const SimpleCsrStore* store) : store_(store) {}
+
+  std::string backend_name() const override { return "simple"; }
+
+  uint32_t capabilities() const override {
+    return grin::kVertexListArray | grin::kAdjacentListArray |
+           grin::kAdjacentListIterator | grin::kOidIndex | grin::kLabelIndex;
+  }
+
+  const GraphSchema& schema() const override { return store_->schema(); }
+
+  vid_t NumVertices() const override { return store_->out().num_vertices(); }
+  vid_t NumVerticesOfLabel(label_t) const override { return NumVertices(); }
+  label_t VertexLabelOf(vid_t) const override { return 0; }
+
+  std::pair<vid_t, vid_t> VertexRange(label_t) const override {
+    return {0, NumVertices()};
+  }
+
+  void VisitVertices(label_t, grin::VertexPredicate pred, void* pred_ctx,
+                     bool (*visitor)(void*, vid_t),
+                     void* visitor_ctx) const override {
+    FLEX_COUNTER_INC(metrics::kStorageScansTotal);
+    const vid_t n = NumVertices();
+    for (vid_t v = 0; v < n; ++v) {
+      if (pred != nullptr && !pred(pred_ctx, v)) continue;
+      if (!visitor(visitor_ctx, v)) return;
+    }
+  }
+
+  bool VisitAdj(vid_t v, Direction dir, label_t edge_label,
+                grin::AdjVisitor visitor, void* ctx) const override {
+    if (dir == Direction::kBoth) {
+      return VisitAdj(v, Direction::kOut, edge_label, visitor, ctx) &&
+             VisitAdj(v, Direction::kIn, edge_label, visitor, ctx);
+    }
+    FLEX_COUNTER_INC(metrics::kStorageAdjVisitsTotal);
+    const Csr& csr = dir == Direction::kOut ? store_->out() : store_->in();
+    grin::AdjChunk chunk;
+    chunk.neighbors = csr.Neighbors(v);
+    chunk.weights = csr.Weights(v);
+    chunk.edge_id_base = csr.EdgeOffset(v);
+    if (chunk.neighbors.empty()) return true;
+    return visitor(ctx, chunk);
+  }
+
+  std::span<const eid_t> AdjacencyOffsets(label_t,
+                                          Direction dir) const override {
+    if (dir == Direction::kOut) return store_->out().offsets();
+    if (dir == Direction::kIn) return store_->in().offsets();
+    return {};
+  }
+
+  std::span<const vid_t> AdjacencyNeighbors(label_t,
+                                            Direction dir) const override {
+    if (dir == Direction::kOut) return store_->out().neighbors();
+    if (dir == Direction::kIn) return store_->in().neighbors();
+    return {};
+  }
+
+  size_t Degree(vid_t v, Direction dir, label_t) const override {
+    size_t deg = 0;
+    if (dir != Direction::kIn) deg += store_->out().degree(v);
+    if (dir != Direction::kOut) deg += store_->in().degree(v);
+    return deg;
+  }
+
+  PropertyValue GetVertexProperty(vid_t, size_t) const override {
+    return PropertyValue();
+  }
+  PropertyValue GetEdgeProperty(label_t, eid_t, size_t) const override {
+    return PropertyValue();
+  }
+
+  Result<vid_t> FindVertex(label_t, oid_t oid) const override {
+    FLEX_COUNTER_INC(metrics::kStorageIndexLookupsTotal);
+    if (oid < 0 || oid >= static_cast<oid_t>(NumVertices())) {
+      return Status::NotFound("vertex oid " + std::to_string(oid));
+    }
+    return static_cast<vid_t>(oid);
+  }
+
+  oid_t GetOid(vid_t v) const override { return static_cast<oid_t>(v); }
+
+ private:
+  const SimpleCsrStore* store_;
+};
+
+}  // namespace
+
+SimpleCsrStore::SimpleCsrStore(const EdgeList& list)
+    : out_(Csr::FromEdges(list, /*reversed=*/false)),
+      in_(Csr::FromEdges(list, /*reversed=*/true)) {
+  auto vlabel = schema_.AddVertexLabel("V", {});
+  FLEX_CHECK(vlabel.ok());
+  auto elabel = schema_.AddEdgeLabel("E", vlabel.value(), vlabel.value(), {});
+  FLEX_CHECK(elabel.ok());
+}
+
+std::unique_ptr<grin::GrinGraph> SimpleCsrStore::GetGrinHandle() const {
+  return std::make_unique<SimpleGrinGraph>(this);
 }
 
 }  // namespace flex::storage

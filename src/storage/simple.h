@@ -1,8 +1,13 @@
 #ifndef FLEX_STORAGE_SIMPLE_H_
 #define FLEX_STORAGE_SIMPLE_H_
 
+#include <memory>
+
+#include "graph/csr.h"
 #include "graph/edge_list.h"
 #include "graph/property_table.h"
+#include "graph/schema.h"
+#include "grin/grin.h"
 
 namespace flex::storage {
 
@@ -11,6 +16,28 @@ namespace flex::storage {
 /// weighted analytics graphs flow through the same LPG store builders.
 PropertyGraphData MakeSimpleGraphData(const EdgeList& list,
                                       bool with_weights = true);
+
+/// The minimal storage backend ("simple"): an immutable in-memory CSR pair
+/// (out + in) over a single-label graph with vid == oid. It is the
+/// plain-CSR reference point the paper treats as the read-throughput upper
+/// bound, and the baseline every richer backend is compared against in the
+/// cross-backend parity test (tests/backend_parity_test.cc).
+class SimpleCsrStore {
+ public:
+  explicit SimpleCsrStore(const EdgeList& list);
+
+  /// GRIN view; valid while this store lives.
+  std::unique_ptr<grin::GrinGraph> GetGrinHandle() const;
+
+  const Csr& out() const { return out_; }
+  const Csr& in() const { return in_; }
+  const GraphSchema& schema() const { return schema_; }
+
+ private:
+  GraphSchema schema_;
+  Csr out_;
+  Csr in_;
+};
 
 }  // namespace flex::storage
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 
 namespace flex::storage {
 
@@ -206,6 +208,7 @@ class VineyardGrin final : public grin::GrinGraph {
   void VisitVertices(label_t label, grin::VertexPredicate pred,
                      void* pred_ctx, bool (*visitor)(void*, vid_t),
                      void* visitor_ctx) const override {
+    FLEX_COUNTER_INC(metrics::kStorageScansTotal);
     auto [begin, end] = store_->VertexRange(label);
     for (vid_t v = begin; v < end; ++v) {
       if (pred != nullptr && !pred(pred_ctx, v)) continue;
@@ -219,6 +222,7 @@ class VineyardGrin final : public grin::GrinGraph {
       return VisitAdj(v, Direction::kOut, edge_label, visitor, ctx) &&
              VisitAdj(v, Direction::kIn, edge_label, visitor, ctx);
     }
+    FLEX_COUNTER_INC(metrics::kStorageAdjVisitsTotal);
     grin::AdjChunk chunk;
     if (dir == Direction::kOut) {
       chunk.neighbors = store_->OutNeighbors(v, edge_label);
@@ -286,6 +290,7 @@ class VineyardGrin final : public grin::GrinGraph {
   }
 
   Result<vid_t> FindVertex(label_t label, oid_t oid) const override {
+    FLEX_COUNTER_INC(metrics::kStorageIndexLookupsTotal);
     return store_->FindVertex(label, oid);
   }
 

@@ -17,6 +17,8 @@
 
 #include "common/deadline.h"
 #include "common/fault.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 #include "datagen/generators.h"
 #include "grape/apps/pagerank.h"
 #include "query/service.h"
@@ -131,6 +133,7 @@ Delivery ExpectedDelivery() {
 }
 
 TEST_F(ChaosTest, CorruptedFrameIsRetransmittedWithinTheSuperstep) {
+  metrics::MetricsRegistry::Instance().ResetAllForTesting();
   grape::MessageManager<uint64_t> mm(2, grape::MessageMode::kAggregated);
   for (uint64_t i = 0; i < 10; ++i) {
     mm.Send(1, 0, static_cast<vid_t>(i), 100 + i);
@@ -144,6 +147,11 @@ TEST_F(ChaosTest, CorruptedFrameIsRetransmittedWithinTheSuperstep) {
   ASSERT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ(mm.retransmits(), 1u);
   EXPECT_EQ(got, ExpectedDelivery());
+  // Recovery is observable through the metrics registry, not just the
+  // manager's own accessor: exactly one retransmit, one fault fired.
+  auto& registry = metrics::MetricsRegistry::Instance();
+  EXPECT_EQ(registry.GetCounter(metrics::kMsgRetransmitsTotal)->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter(metrics::kFaultsFiredTotal)->Value(), 1u);
 }
 
 TEST_F(ChaosTest, TruncatedFlushIsRepaired) {

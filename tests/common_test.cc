@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/barrier.h"
+#include "common/crc32.h"
 #include "common/queue.h"
 #include "common/random.h"
 #include "common/stable_vector.h"
@@ -158,6 +159,101 @@ INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
                          ::testing::Values(0ull, 1ull, 127ull, 128ull,
                                            16383ull, 16384ull, (1ull << 35),
                                            UINT64_MAX - 1, UINT64_MAX));
+
+// Property test: seeded-random values around every 7-bit group boundary
+// (where the encoded length changes) plus u32/u64 extremes round-trip,
+// and encoded streams decode back in order.
+TEST(VarintTest, RandomizedRoundTripAtGroupBoundaries) {
+  Rng rng(2024);
+  std::vector<uint64_t> values;
+  for (int group = 1; group < 10; ++group) {
+    const uint64_t boundary = 1ull << (7 * group);
+    for (uint64_t delta : {uint64_t{0}, uint64_t{1}, uint64_t{2}}) {
+      values.push_back(boundary - delta);
+      values.push_back(boundary + delta);
+    }
+    // A few random values inside this length class.
+    for (int i = 0; i < 16; ++i) {
+      values.push_back((boundary >> 1) + rng.Uniform(boundary >> 1));
+    }
+  }
+  values.push_back(uint64_t{UINT32_MAX} - 1);
+  values.push_back(uint64_t{UINT32_MAX});
+  values.push_back(uint64_t{UINT32_MAX} + 1);
+  values.push_back(UINT64_MAX);
+
+  std::vector<uint8_t> buf;
+  for (uint64_t v : values) {
+    const size_t before = buf.size();
+    PutVarint64(&buf, v);
+    ASSERT_EQ(buf.size() - before, VarintLength(v)) << v;
+  }
+  size_t pos = 0;
+  for (uint64_t want : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &got));
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, RandomizedSignedRoundTrip) {
+  Rng rng(4048);
+  std::vector<uint8_t> buf;
+  std::vector<int64_t> values = {0, -1, 1, INT64_MIN, INT64_MAX,
+                                 INT64_MIN + 1, INT64_MAX - 1};
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t raw = rng.Next();
+    values.push_back(static_cast<int64_t>(raw));
+  }
+  for (int64_t v : values) PutVarintSigned(&buf, v);
+  size_t pos = 0;
+  for (int64_t want : values) {
+    int64_t got = 0;
+    ASSERT_TRUE(GetVarintSigned(buf.data(), buf.size(), &pos, &got));
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+// ------------------------------------------------------------------ CRC32
+
+TEST(Crc32Test, GoldenVectors) {
+  // The IEEE 802.3 check value: CRC-32 of the ASCII digits "123456789".
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(digits, sizeof(digits)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0x00000000u);
+  const uint8_t a[] = {'a'};
+  EXPECT_EQ(Crc32(a, 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShotAtEverySplit) {
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  const uint32_t want = Crc32(data, sizeof(data));
+  for (size_t split = 0; split <= sizeof(data); ++split) {
+    uint32_t state = Crc32Init();
+    state = Crc32Update(state, data, split);
+    state = Crc32Update(state, data + split, sizeof(data) - split);
+    EXPECT_EQ(Crc32Finalize(state), want) << "split at " << split;
+  }
+  // Byte-at-a-time equals one shot too.
+  uint32_t state = Crc32Init();
+  for (uint8_t byte : data) state = Crc32Update(state, &byte, 1);
+  EXPECT_EQ(Crc32Finalize(state), want);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  Rng rng(99);
+  std::vector<uint8_t> payload(64);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.Uniform(256));
+  const uint32_t clean = Crc32(payload.data(), payload.size());
+  for (size_t bit = 0; bit < payload.size() * 8; bit += 13) {
+    payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32(payload.data(), payload.size()), clean) << bit;
+    payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  EXPECT_EQ(Crc32(payload.data(), payload.size()), clean);
+}
 
 TEST(VarintTest, TruncatedMidVarintAtEveryPrefix) {
   // A decoder fed any strict prefix of a multi-byte encoding must fail and

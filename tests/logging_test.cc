@@ -1,0 +1,125 @@
+// Logging verification net: the injectable sink makes emitted lines
+// observable, so level filtering, FLEX_LOG_LEVEL parsing (including
+// garbage), formatting and the FLEX_CHECK abort contract are all asserted
+// directly instead of eyeballed on stderr.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flex {
+namespace {
+
+using internal_logging::LogLevel;
+using internal_logging::MinLogLevel;
+using internal_logging::ParseLogLevel;
+using internal_logging::ResetMinLogLevelForTesting;
+using internal_logging::SetMinLogLevelForTesting;
+using internal_logging::SetSinkForTesting;
+
+/// Captures every emitted line for the duration of one test, restoring
+/// stderr and the env-derived level on the way out.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetSinkForTesting([this](LogLevel level, const std::string& line) {
+      captured_.emplace_back(level, line);
+    });
+  }
+  void TearDown() override {
+    SetSinkForTesting(nullptr);
+    ResetMinLogLevelForTesting();
+    unsetenv("FLEX_LOG_LEVEL");
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, SinkReceivesFormattedLine) {
+  SetMinLogLevelForTesting(LogLevel::kInfo);
+  FLEX_LOG(Info) << "observability " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  // "[I logging_test.cc:NN] observability 42"
+  EXPECT_NE(captured_[0].second.find("[I logging_test.cc:"),
+            std::string::npos);
+  EXPECT_NE(captured_[0].second.find("observability 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LinesBelowMinLevelAreSuppressed) {
+  SetMinLogLevelForTesting(LogLevel::kWarning);
+  FLEX_LOG(Debug) << "dropped";
+  FLEX_LOG(Info) << "dropped";
+  FLEX_LOG(Warning) << "kept-warning";
+  FLEX_LOG(Error) << "kept-error";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarning);
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, DebugLevelEmitsEverything) {
+  SetMinLogLevelForTesting(LogLevel::kDebug);
+  FLEX_LOG(Debug) << "d";
+  FLEX_LOG(Info) << "i";
+  EXPECT_EQ(captured_.size(), 2u);
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsExactlyTheFiveDigits) {
+  EXPECT_EQ(ParseLogLevel("0", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("1", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("2", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("3", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("4", LogLevel::kInfo), LogLevel::kFatal);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsGarbage) {
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("5", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("9", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("-1", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("22", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("abc", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("1 ", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel(" 1", LogLevel::kWarning), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, EnvironmentVariableDrivesMinLevel) {
+  setenv("FLEX_LOG_LEVEL", "3", /*overwrite=*/1);
+  ResetMinLogLevelForTesting();  // Drop the cache; next read hits the env.
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  FLEX_LOG(Warning) << "dropped";
+  FLEX_LOG(Error) << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kError);
+
+  setenv("FLEX_LOG_LEVEL", "garbage", /*overwrite=*/1);
+  ResetMinLogLevelForTesting();
+  EXPECT_EQ(MinLogLevel(), LogLevel::kInfo);  // Falls back to the default.
+}
+
+TEST_F(LoggingTest, FatalEmitsEvenWhenFilteredOut) {
+  // kFatal always reaches the sink (and then aborts) regardless of the
+  // minimum level — verified via the death test below; here we only check
+  // the level ordering used by the filter.
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kFatal));
+}
+
+// Death tests run outside the sink fixture: EXPECT_DEATH matches the
+// child's *stderr*, so the fatal line must flow through the default sink.
+TEST(LoggingDeathTest, FailedCheckLogsAndAborts) {
+  EXPECT_DEATH(FLEX_CHECK(1 + 1 == 3), "Check failed: 1 \\+ 1 == 3");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(FLEX_LOG(Fatal) << "unrecoverable", "unrecoverable");
+}
+
+}  // namespace
+}  // namespace flex

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Aggregates `gcov -t` output into a line-coverage report.
+
+Reads the concatenated annotated-source stream gcov prints to stdout
+(`gcov -r -s <root> -t <gcda>...`), merges execution counts per source
+line across every compilation unit that included the file, and writes:
+
+  <outdir>/coverage-summary.txt   per-file table + totals
+  <outdir>/index.html             the same table as a standalone page
+
+Exits non-zero when aggregate line coverage over src/common/ falls below
+the floor passed as the third argument (percent). Only first-party files
+(src/, tests/, bench/, examples/) are counted; gcov's -r already dropped
+system headers.
+
+Usage: coverage_report.py <all.gcov> <outdir> <common-floor-percent>
+"""
+
+import html
+import sys
+from collections import defaultdict
+
+
+def parse(stream):
+    """Returns {source_path: {line_no: max_count_seen}}."""
+    files = defaultdict(dict)
+    current = None
+    for raw in stream:
+        # Annotated lines look like "   COUNT:  LINENO:source text".
+        head, sep, _ = raw.partition(":")
+        if not sep:
+            continue
+        rest = raw[len(head) + 1 :]
+        lineno_text, sep, tail = rest.partition(":")
+        if not sep:
+            continue
+        count = head.strip()
+        try:
+            lineno = int(lineno_text)
+        except ValueError:
+            continue
+        if lineno == 0:
+            if tail.startswith("Source:"):
+                current = tail[len("Source:") :].strip()
+            continue
+        if current is None or count == "-":
+            continue
+        # "#####" (never executed) and "=====" (unexecuted exceptional
+        # path) are instrumented-but-zero; anything else is a count,
+        # possibly suffixed ("12*" for unexecuted-block markers).
+        if count in ("#####", "====="):
+            executed = 0
+        else:
+            try:
+                executed = int(count.rstrip("*"))
+            except ValueError:
+                continue
+        lines = files[current]
+        lines[lineno] = max(lines.get(lineno, 0), executed)
+    return files
+
+
+def first_party(path):
+    return path.startswith(("src/", "tests/", "bench/", "examples/"))
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    gcov_path, outdir, floor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+    with open(gcov_path, errors="replace") as f:
+        files = {p: v for p, v in parse(f).items() if first_party(p)}
+    if not files:
+        sys.exit("coverage_report.py: no first-party coverage data found")
+
+    rows = []  # (path, covered, instrumented)
+    for path in sorted(files):
+        counts = files[path].values()
+        rows.append((path, sum(1 for c in counts if c > 0), len(counts)))
+
+    def pct(covered, total):
+        return 100.0 * covered / total if total else 0.0
+
+    total_cov = sum(r[1] for r in rows)
+    total_ins = sum(r[2] for r in rows)
+    common = [r for r in rows if r[0].startswith("src/common/")]
+    common_cov = sum(r[1] for r in common)
+    common_ins = sum(r[2] for r in common)
+    common_pct = pct(common_cov, common_ins)
+
+    table = ["%-60s %8s %8s %7s" % ("file", "covered", "lines", "pct")]
+    for path, covered, instrumented in rows:
+        table.append(
+            "%-60s %8d %8d %6.1f%%"
+            % (path, covered, instrumented, pct(covered, instrumented))
+        )
+    table.append("")
+    table.append(
+        "TOTAL       %d/%d lines = %.1f%%"
+        % (total_cov, total_ins, pct(total_cov, total_ins))
+    )
+    table.append(
+        "src/common/ %d/%d lines = %.1f%% (floor %.0f%%)"
+        % (common_cov, common_ins, common_pct, floor)
+    )
+    summary = "\n".join(table) + "\n"
+
+    with open(outdir + "/coverage-summary.txt", "w") as f:
+        f.write(summary)
+
+    cells = "".join(
+        "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f%%</td></tr>\n"
+        % (html.escape(p), c, i, pct(c, i))
+        for p, c, i in rows
+    )
+    with open(outdir + "/index.html", "w") as f:
+        f.write(
+            "<!doctype html><title>flex coverage</title>"
+            "<h1>Line coverage</h1>"
+            "<p>total %.1f%% &mdash; src/common/ %.1f%% (floor %.0f%%)</p>"
+            "<table border=1 cellpadding=4>"
+            "<tr><th>file</th><th>covered</th><th>lines</th><th>pct</th></tr>"
+            "%s</table>" % (pct(total_cov, total_ins), common_pct, floor, cells)
+        )
+
+    sys.stdout.write(summary)
+    if common_pct < floor:
+        sys.exit(
+            "coverage_report.py: src/common/ line coverage %.1f%% is below "
+            "the %.0f%% floor" % (common_pct, floor)
+        )
+    print("coverage: src/common/ %.1f%% >= floor %.0f%%" % (common_pct, floor))
+
+
+if __name__ == "__main__":
+    main()
