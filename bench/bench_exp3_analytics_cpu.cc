@@ -5,6 +5,8 @@
 // Paper: on average 25.1x vs PowerGraph and 2.3x vs Gemini.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "baselines/analytics_baselines.h"
 #include "bench/bench_util.h"
@@ -12,8 +14,79 @@
 #include "grape/apps/pagerank.h"
 #include "grape/apps/traversal.h"
 
-int main() {
+namespace {
+
+/// Fragment-count scaling sweep: PageRank + BFS wall times at 1/2/4/8
+/// fragments on FB0 and G500. These are the numbers the perf ratchet
+/// tracks — `--json=PATH` writes them in the BENCH_exp3_analytics.json
+/// schema that tools/bench_compare.py diffs against the committed
+/// baseline (>15% regression fails `tools/check.sh bench`).
+void RunScalingSweep(const std::string& json_path) {
   using namespace flex;
+  const int kPrIters = 10;
+  const size_t kFragCounts[] = {1, 2, 4, 8};
+  const char* datasets[] = {"FB0", "G500"};
+
+  bench::PrintHeader(
+      "Exp-3 scaling: PageRank + BFS vs fragment count (superstep comm path)");
+  std::printf("%-8s %6s %12s %12s\n", "dataset", "frags", "PageRank", "BFS");
+
+  std::string json = "{\n  \"bench\": \"exp3_analytics\",\n  \"results\": [\n";
+  bool first = true;
+  for (const char* abbr : datasets) {
+    EdgeList g = datagen::Generate(datagen::FindDataset(abbr).value());
+    for (size_t nfrag : kFragCounts) {
+      EdgeCutPartitioner part(g.num_vertices,
+                              static_cast<partition_t>(nfrag));
+      auto frags = grape::Partition(g, part);
+      const double pr_ms = bench::TimeMs(
+          [&] { grape::RunPageRank(frags, kPrIters); }, 2);
+      const double bfs_ms =
+          bench::TimeMs([&] { grape::RunBfs(frags, 0); }, 2);
+      std::printf("%-8s %6zu %10.1fms %10.1fms\n", abbr, nfrag, pr_ms,
+                  bfs_ms);
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "%s    {\"name\": \"pagerank_%s_f%zu\", \"ms\": %.2f},\n"
+                    "    {\"name\": \"bfs_%s_f%zu\", \"ms\": %.2f}",
+                    first ? "" : ",\n", abbr, nfrag, pr_ms, abbr, nfrag,
+                    bfs_ms);
+      json += row;
+      first = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("warning: cannot write %s\n", json_path.c_str());
+    } else {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("scaling results: %s\n", json_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flex;
+  bool scaling_only = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling-only") == 0) {
+      scaling_only = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  if (scaling_only) {
+    RunScalingSweep(json_path);
+    return 0;
+  }
+
   const size_t kWorkers = 4;
   // One fragment: this host is a single node, and GRAPE deploys one
   // fragment per node (the multi-fragment message path is exercised by
@@ -105,5 +178,7 @@ int main() {
       "%.1fx vs Gemini (paper avg 25.1x / 2.3x)\n",
       pr_tot.pg / pr_tot.n, pr_tot.gem / pr_tot.n, bfs_tot.pg / bfs_tot.n,
       bfs_tot.gem / bfs_tot.n);
+
+  RunScalingSweep(json_path);
   return 0;
 }

@@ -38,6 +38,10 @@ inline constexpr char kPieSuperstepDurationUs[] =
 inline constexpr char kMsgsSentTotal[] = "flex_msgs_sent_total";
 inline constexpr char kMsgBytesFlushedTotal[] = "flex_msg_bytes_flushed_total";
 inline constexpr char kMsgRetransmitsTotal[] = "flex_msg_retransmits_total";
+inline constexpr char kFlushParallelShardsTotal[] =
+    "flex_flush_parallel_shards_total";
+inline constexpr char kMsgBytesCopyAvoidedTotal[] =
+    "flex_msg_bytes_copy_avoided_total";
 
 // --- storage (GRIN read paths, all backends) ---
 inline constexpr char kStorageScansTotal[] = "flex_storage_scans_total";

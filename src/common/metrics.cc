@@ -151,14 +151,20 @@ namespace {
 constexpr MetricSpec kStackMetrics[] = {
     {kFaultsFiredTotal, "counter",
      "Fault-injection sites that fired (common/fault.h chaos harness)."},
+    {kFlushParallelShardsTotal, "counter",
+     "Per-destination flush shards framed at superstep boundaries "
+     "(FlushShard calls that produced at least one frame)."},
     {kHiactorPendingTasks, "gauge",
      "Tasks currently queued across HiActor shards."},
     {kHiactorTasksCompletedTotal, "counter",
      "Tasks resolved by HiActor shard workers (includes rejected-at-dispatch)."},
     {kHiactorTasksStolenTotal, "counter",
      "Tasks a HiActor worker stole from a peer shard's queue."},
+    {kMsgBytesCopyAvoidedTotal, "counter",
+     "Payload bytes delivered zero-copy (frame spans into retained "
+     "buffers) that the pre-descriptor flush path would have copied."},
     {kMsgBytesFlushedTotal, "counter",
-     "Framed bytes published to incoming streams by MessageManager::Flush."},
+     "Wire-equivalent framed bytes published at superstep boundaries."},
     {kMsgRetransmitsTotal, "counter",
      "Damaged frames repaired by retained-payload retransmission."},
     {kMsgsSentTotal, "counter",

@@ -13,13 +13,29 @@ namespace flex {
 ///
 /// Encoding is LEB128: 7 payload bits per byte, high bit = continuation.
 
-/// Appends the varint encoding of `value` to `out`.
-inline void PutVarint64(std::vector<uint8_t>* out, uint64_t value) {
+/// Largest encoding PutVarint64 can emit (uint64 max: ten 7-bit groups).
+inline constexpr size_t kMaxVarintLen64 = 10;
+
+/// Writes the varint encoding of `value` to `dst` (which must have room
+/// for kMaxVarintLen64 bytes) and returns the number of bytes written.
+/// This is the bulk-encode primitive: callers encode into a stack scratch
+/// buffer and append the whole message to a vector once, instead of paying
+/// a capacity check per byte (the per-message cost Send() sits on).
+inline size_t PutVarint64To(uint8_t* dst, uint64_t value) {
+  size_t n = 0;
   while (value >= 0x80) {
-    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    dst[n++] = static_cast<uint8_t>(value) | 0x80;
     value >>= 7;
   }
-  out->push_back(static_cast<uint8_t>(value));
+  dst[n++] = static_cast<uint8_t>(value);
+  return n;
+}
+
+/// Appends the varint encoding of `value` to `out`.
+inline void PutVarint64(std::vector<uint8_t>* out, uint64_t value) {
+  uint8_t scratch[kMaxVarintLen64];
+  const size_t n = PutVarint64To(scratch, value);
+  out->insert(out->end(), scratch, scratch + n);
 }
 
 /// Decodes a varint starting at `data + *pos`; advances `*pos` past it.

@@ -24,7 +24,7 @@ Fragment::Fragment(partition_t fid, const EdgeCutPartitioner* partitioner,
 
   owner_.resize(full_graph_for_in.num_vertices);
   for (vid_t v = 0; v < full_graph_for_in.num_vertices; ++v) {
-    owner_[v] = static_cast<uint8_t>(partitioner_->GetPartition(v));
+    owner_[v] = partitioner_->GetPartition(v);
   }
 }
 

@@ -30,7 +30,11 @@ class Fragment {
   vid_t total_vertices() const { return partitioner_->num_vertices(); }
 
   /// Owner lookups sit on the hottest per-edge paths, so the partition
-  /// assignment is materialized as a byte map at fragment build time.
+  /// assignment is materialized as a flat map at fragment build time. The
+  /// element type is the full partition_t: a narrower byte map would
+  /// silently truncate partition ids beyond 255 and misroute every message
+  /// addressed through OwnerOf (regression-tested in grape_test.cc with
+  /// >256 fragments).
   bool IsInner(vid_t v) const { return owner_[v] == fid_; }
   partition_t OwnerOf(vid_t v) const { return owner_[v]; }
 
@@ -63,7 +67,7 @@ class Fragment {
   Csr out_;  // Edges whose source is inner.
   Csr in_;   // Edges whose destination is inner.
   std::vector<uint32_t> global_out_degree_;
-  std::vector<uint8_t> owner_;  // Partition id per vertex.
+  std::vector<partition_t> owner_;  // Partition id per vertex.
 };
 
 /// Partitions `graph` into `num_fragments` fragments.

@@ -2,7 +2,10 @@
 #define FLEX_GRAPE_MESSAGE_MANAGER_H_
 
 #include <atomic>
+#include <concepts>
 #include <cstring>
+#include <limits>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,17 +35,38 @@ enum class MessageMode {
 
 /// Per-type message codec. Vertex ids are varint-encoded in both modes'
 /// wire format; payload encoding is type-specific.
+///
+/// Codecs with a bounded wire size additionally provide
+///
+///   static constexpr size_t kMaxWireSize;
+///   static size_t EncodeTo(uint8_t* dst, const T& v);  // returns bytes
+///
+/// which Send() uses to assemble `[varint target][payload]` in one stack
+/// scratch buffer and append it with a single vector insert (one capacity
+/// check per message instead of one per byte). Unbounded payloads (e.g.
+/// adjacency lists) keep the vector-append Encode only.
 template <typename MSG>
 struct MsgCodec;
 
+/// True when MsgCodec<MSG> offers the bounded bulk-encode interface.
+template <typename MSG>
+concept BulkEncodableMsg = requires(uint8_t* dst, const MSG& v) {
+  { MsgCodec<MSG>::kMaxWireSize } -> std::convertible_to<size_t>;
+  { MsgCodec<MSG>::EncodeTo(dst, v) } -> std::convertible_to<size_t>;
+};
+
 template <>
 struct MsgCodec<double> {
-  static void Encode(std::vector<uint8_t>* buf, const double& v) {
+  static constexpr size_t kMaxWireSize = sizeof(uint64_t);
+  static size_t EncodeTo(uint8_t* dst, const double& v) {
     uint64_t bits;
     std::memcpy(&bits, &v, sizeof(bits));
-    const size_t n = buf->size();
-    buf->resize(n + sizeof(bits));
-    std::memcpy(buf->data() + n, &bits, sizeof(bits));
+    std::memcpy(dst, &bits, sizeof(bits));
+    return sizeof(bits);
+  }
+  static void Encode(std::vector<uint8_t>* buf, const double& v) {
+    uint8_t scratch[kMaxWireSize];
+    buf->insert(buf->end(), scratch, scratch + EncodeTo(scratch, v));
   }
   static bool Decode(const uint8_t* data, size_t size, size_t* pos,
                      double* out) {
@@ -57,6 +81,10 @@ struct MsgCodec<double> {
 
 template <>
 struct MsgCodec<uint32_t> {
+  static constexpr size_t kMaxWireSize = kMaxVarintLen64;
+  static size_t EncodeTo(uint8_t* dst, const uint32_t& v) {
+    return PutVarint64To(dst, v);
+  }
   static void Encode(std::vector<uint8_t>* buf, const uint32_t& v) {
     PutVarint64(buf, v);
   }
@@ -64,6 +92,12 @@ struct MsgCodec<uint32_t> {
                      uint32_t* out) {
     uint64_t v;
     if (!GetVarint64(data, size, pos, &v)) return false;
+    // A varint is self-delimiting, so a CRC-valid frame can still carry a
+    // value wider than the declared type (corruption upstream of framing,
+    // or a sender/receiver type mismatch). Truncating it would silently
+    // deliver a wrong vertex id; reject instead, mirroring the
+    // vector<vid_t> codec's bounds discipline.
+    if (v > std::numeric_limits<uint32_t>::max()) return false;
     *out = static_cast<uint32_t>(v);
     return true;
   }
@@ -71,6 +105,10 @@ struct MsgCodec<uint32_t> {
 
 template <>
 struct MsgCodec<uint64_t> {
+  static constexpr size_t kMaxWireSize = kMaxVarintLen64;
+  static size_t EncodeTo(uint8_t* dst, const uint64_t& v) {
+    return PutVarint64To(dst, v);
+  }
   static void Encode(std::vector<uint8_t>* buf, const uint64_t& v) {
     PutVarint64(buf, v);
   }
@@ -82,9 +120,12 @@ struct MsgCodec<uint64_t> {
 
 /// Adjacency payload (LCC / triangle counting exchange neighbor lists).
 /// Sorted lists delta-compress well, matching GRAPE's compact buffers.
+/// Unbounded size, so no EncodeTo — but Encode reserves the one-byte-per-
+/// element minimum up front so a long list costs at most one regrowth.
 template <>
 struct MsgCodec<std::vector<vid_t>> {
   static void Encode(std::vector<uint8_t>* buf, const std::vector<vid_t>& v) {
+    buf->reserve(buf->size() + 1 + v.size());
     PutVarint64(buf, v.size());
     vid_t prev = 0;
     for (vid_t x : v) {
@@ -116,6 +157,12 @@ struct MsgCodec<std::vector<vid_t>> {
 
 template <>
 struct MsgCodec<std::pair<double, double>> {
+  static constexpr size_t kMaxWireSize = 2 * sizeof(uint64_t);
+  static size_t EncodeTo(uint8_t* dst, const std::pair<double, double>& v) {
+    size_t n = MsgCodec<double>::EncodeTo(dst, v.first);
+    n += MsgCodec<double>::EncodeTo(dst + n, v.second);
+    return n;
+  }
   static void Encode(std::vector<uint8_t>* buf,
                      const std::pair<double, double>& v) {
     MsgCodec<double>::Encode(buf, v.first);
@@ -129,28 +176,53 @@ struct MsgCodec<std::pair<double, double>> {
 };
 
 /// Routes typed messages between fragments with a superstep (double
-/// buffered) lifecycle: workers Send() during a round, the barrier leader
-/// calls Flush(), then workers Receive() the previous round's traffic.
+/// buffered) lifecycle: workers Send() during a round, the superstep
+/// boundary flushes the channels, then workers Receive() the previous
+/// round's traffic.
 ///
-/// Aggregated buffers are shipped as CRC-framed units: Flush() wraps each
-/// non-empty (src, dst) payload in
+/// Aggregated delivery is zero-copy: Flush moves each (src, dst) payload
+/// into a retained buffer (kept until the next flush so a damaged frame can
+/// be re-verified/retransmitted) and publishes, per destination, a vector
+/// of frame descriptors
 ///
-///   [varint src][varint payload_len][crc32 (4 bytes)][payload]
+///   Frame{src, crc32(payload), payload-span-into-retained}
 ///
-/// and keeps the raw payload in a retained buffer until the next Flush().
-/// Receive() verifies each frame's checksum before decoding; a damaged
-/// frame (bit flip, truncated flush — how a lossy channel manifests) is
-/// repaired by retransmitting from the retained buffers, all within the
-/// superstep. Only a payload that fails to decode *after* its checksum
-/// passed is terminal (resending identical bytes cannot help): kDataLoss.
+/// in src-ascending order — no payload byte is copied at the boundary, and
+/// Receive() decodes straight out of the retained buffers. The descriptor
+/// table is the per-flush in-flight state, so that is what a lossy channel
+/// damages (chaos sites "msg.corrupt": frame checksum flipped in flight;
+/// "grape.flush": frame span truncated by a partial flush). Verification
+/// failures are repaired by rebuilding the descriptors from the retained
+/// payloads, all within the superstep, skipping frames already delivered so
+/// no message is duplicated. Only a payload that fails to decode *after*
+/// its checksum passed is terminal (re-verifying identical bytes cannot
+/// help): kDataLoss.
+///
+/// The boundary itself is two-phase so fragment workers can share the work
+/// (see RunPieChecked): the leader calls BeginFlush() once, every worker
+/// calls FlushShard(own fid) — per-destination work is independent — and
+/// the leader calls EndFlush(). The serial Flush() wrapper preserves the
+/// old single-caller contract for tests and non-PIE drivers.
 template <typename MSG>
 class MessageManager {
  public:
+  /// One delivered frame: `src`'s payload for a destination, described in
+  /// place. `data` points into the retained buffer for (src, dst), which is
+  /// stable until the next flush.
+  struct Frame {
+    partition_t src;
+    uint32_t crc;
+    const uint8_t* data;
+    size_t len;
+  };
+
   MessageManager(partition_t num_fragments, MessageMode mode)
       : nfrag_(num_fragments),
         mode_(mode),
         outgoing_(static_cast<size_t>(num_fragments) * num_fragments),
         retained_(static_cast<size_t>(num_fragments) * num_fragments),
+        last_flushed_bytes_(static_cast<size_t>(num_fragments) * num_fragments,
+                            0),
         incoming_(num_fragments),
         sent_since_flush_(static_cast<size_t>(num_fragments) * num_fragments),
         per_msg_outgoing_(num_fragments),
@@ -171,9 +243,26 @@ class MessageManager {
     ++sent_since_flush_[src * nfrag_ + dst].count;
     if (mode_ == MessageMode::kAggregated) {
       FLEX_FAULT_INJECT("msg.delay");  // Chaos: slow channel emulation.
-      std::vector<uint8_t>& buf = outgoing_[src * nfrag_ + dst];
-      PutVarint64(&buf, target);
-      MsgCodec<MSG>::Encode(&buf, msg);
+      const size_t channel = src * nfrag_ + dst;
+      std::vector<uint8_t>& buf = outgoing_[channel];
+      if (buf.empty()) {
+        // Reserve-ahead heuristic: superstep traffic is round-to-round
+        // stable for most apps, so the previous round's flushed size is a
+        // good capacity hint and saves the log(n) regrowth copies a round
+        // would otherwise pay. (The buffer swap below already recycles
+        // capacity from two rounds ago; this covers growth and round 1→2.)
+        const size_t hint = last_flushed_bytes_[channel];
+        if (buf.capacity() < hint) buf.reserve(hint);
+      }
+      if constexpr (BulkEncodableMsg<MSG>) {
+        uint8_t scratch[kMaxVarintLen64 + MsgCodec<MSG>::kMaxWireSize];
+        size_t n = PutVarint64To(scratch, target);
+        n += MsgCodec<MSG>::EncodeTo(scratch + n, msg);
+        buf.insert(buf.end(), scratch, scratch + n);
+      } else {
+        PutVarint64(&buf, target);
+        MsgCodec<MSG>::Encode(&buf, msg);
+      }
     } else {
       // Per-message baseline: one synchronized append per message. The
       // guard is per destination (per_msg_locks_[dst]), a sharded-lock
@@ -184,69 +273,111 @@ class MessageManager {
     }
   }
 
-  /// Superstep boundary; must be called by exactly one thread while all
-  /// workers wait at the barrier (the barrier's mutex publishes the
-  /// workers' Send() writes to the flushing leader, and the flush results
-  /// back to the workers — the only reason this needs no locks of its own).
-  /// Returns the number of fragments that received at least one message.
-  size_t Flush() {
-    size_t fragments_with_traffic = 0;
-    {
-      uint64_t sent = 0;
-      for (auto& slot : sent_since_flush_) {
-        sent += slot.count;
-        slot.count = 0;
-      }
-      if (sent > 0) FLEX_COUNTER_ADD(metrics::kMsgsSentTotal, sent);
+  /// Phase 1 of the superstep boundary; called by exactly one thread while
+  /// every worker is parked past a barrier (the barrier's mutex publishes
+  /// the workers' Send() writes to this thread — the only reason the flush
+  /// phases need no locks of their own). Drains the per-channel send
+  /// counters into the process metric.
+  void BeginFlush() {
+    uint64_t sent = 0;
+    for (auto& slot : sent_since_flush_) {
+      sent += slot.count;
+      slot.count = 0;
     }
+    if (sent > 0) FLEX_COUNTER_ADD(metrics::kMsgsSentTotal, sent);
+  }
+
+  /// Phase 2: frames destination `dst`'s incoming traffic. Calls for
+  /// distinct destinations touch disjoint state, so fragment workers run
+  /// their own destination's shard concurrently (a barrier between
+  /// BeginFlush and the FlushShard calls publishes phase 1, and one after
+  /// them publishes the frames to every receiver).
+  void FlushShard(partition_t dst) {
+    if (mode_ != MessageMode::kAggregated) {
+      per_msg_incoming_[dst].clear();
+      per_msg_incoming_[dst].swap(per_msg_outgoing_[dst]);
+      return;
+    }
+    std::vector<Frame>& frames = incoming_[dst];
+    frames.clear();
+    size_t payload_bytes = 0;
+    for (partition_t src = 0; src < nfrag_; ++src) {
+      // The payload moves into the retained buffer — kept until the next
+      // flush so a damaged frame can be re-verified — and is described,
+      // not copied: the frame's span aliases the retained bytes.
+      const size_t channel = src * nfrag_ + dst;
+      std::vector<uint8_t>& out = outgoing_[channel];
+      std::vector<uint8_t>& kept = retained_[channel];
+      kept.swap(out);
+      out.clear();
+      last_flushed_bytes_[channel] = kept.size();
+      if (kept.empty()) continue;
+      frames.push_back(
+          {src, Crc32(kept.data(), kept.size()), kept.data(), kept.size()});
+      payload_bytes += kept.size();
+    }
+    if (!frames.empty()) {
+      FLEX_COUNTER_INC(metrics::kFlushParallelShardsTotal);
+      FLEX_COUNTER_ADD(metrics::kMsgBytesCopyAvoidedTotal, payload_bytes);
+      // Chaos: the descriptor table is the state materialized per flush
+      // (the in-process stand-in for bytes in flight), so that is what the
+      // lossy-channel faults damage. "msg.corrupt" flips checksum bits of
+      // the last frame (indistinguishable, to the receiver, from a payload
+      // bit flip); "grape.flush" drops the frame's tail byte (a partial
+      // flush). Both are caught by Receive()'s verification and repaired
+      // from the retained payloads.
+      if (FLEX_FAULT_POINT("msg.corrupt")) {
+        frames.back().crc ^= 0x2A;
+      }
+      if (FLEX_FAULT_POINT("grape.flush")) {
+        --frames.back().len;
+      }
+    }
+  }
+
+  /// Phase 3: leader-only summary after every shard completed. Returns the
+  /// number of fragments that received at least one message and publishes
+  /// the wire-size metric.
+  size_t EndFlush() {
+    size_t fragments_with_traffic = 0;
     if (mode_ == MessageMode::kAggregated) {
+      size_t wire_bytes = 0;
       for (partition_t dst = 0; dst < nfrag_; ++dst) {
-        incoming_[dst].clear();
-        for (partition_t src = 0; src < nfrag_; ++src) {
-          // The payload moves into the retained buffer (kept until the
-          // next Flush so a damaged frame can be retransmitted), and a
-          // checksummed frame of it is appended to the incoming stream.
-          std::vector<uint8_t>& out = outgoing_[src * nfrag_ + dst];
-          std::vector<uint8_t>& kept = retained_[src * nfrag_ + dst];
-          kept.swap(out);
-          out.clear();
-          AppendFrame(&incoming_[dst], src, kept);
-        }
-        if (!incoming_[dst].empty()) {
-          ++fragments_with_traffic;
-          FLEX_COUNTER_ADD(metrics::kMsgBytesFlushedTotal,
-                           incoming_[dst].size());
-        }
-        // Chaos: "msg.corrupt" flips a payload byte of the last frame (the
-        // checksum catches it); "grape.flush" drops the stream's tail byte
-        // (a partial flush; the frame length check catches it).
-        if (!incoming_[dst].empty() && FLEX_FAULT_POINT("msg.corrupt")) {
-          incoming_[dst].back() ^= 0x2A;
-        }
-        if (!incoming_[dst].empty() && FLEX_FAULT_POINT("grape.flush")) {
-          incoming_[dst].pop_back();
-        }
+        if (incoming_[dst].empty()) continue;
+        ++fragments_with_traffic;
+        wire_bytes += WireBytes(incoming_[dst]);
+      }
+      if (wire_bytes > 0) {
+        FLEX_COUNTER_ADD(metrics::kMsgBytesFlushedTotal, wire_bytes);
       }
     } else {
       for (partition_t dst = 0; dst < nfrag_; ++dst) {
-        per_msg_incoming_[dst].clear();
-        per_msg_incoming_[dst].swap(per_msg_outgoing_[dst]);
         if (!per_msg_incoming_[dst].empty()) ++fragments_with_traffic;
       }
     }
     return fragments_with_traffic;
   }
 
+  /// Serial superstep boundary: all three phases on the calling thread.
+  /// Same contract as the pre-parallel Flush — exactly one caller while all
+  /// workers wait at a barrier. Returns the number of fragments that
+  /// received at least one message.
+  size_t Flush() {
+    BeginFlush();
+    for (partition_t dst = 0; dst < nfrag_; ++dst) FlushShard(dst);
+    return EndFlush();
+  }
+
   /// Delivers the previous round's messages for fragment `fid` to
   /// `fn(vid_t target, const MSG&)`.
   ///
-  /// Frame-integrity damage (bad header, short stream, checksum mismatch)
-  /// triggers one retransmit: the incoming stream is rebuilt from the
-  /// retained payloads and parsing restarts, skipping frames already
-  /// delivered so no message is duplicated. Damage that survives the
-  /// rebuild, or a payload that fails to decode despite a valid checksum,
-  /// is kDataLoss. Each fragment's stream is touched only by its own
-  /// worker between barriers, so mutating repair needs no lock.
+  /// Frame damage (truncated span, checksum mismatch) triggers one
+  /// retransmit: the frame descriptors are rebuilt from the retained
+  /// payloads and delivery restarts, skipping frames already delivered so
+  /// no message is duplicated. Damage that survives the rebuild, or a
+  /// payload that fails to decode despite a valid checksum, is kDataLoss.
+  /// Each fragment's frame table is touched only by its own worker between
+  /// barriers, so mutating repair needs no lock.
   template <typename Fn>
   Status Receive(partition_t fid, Fn&& fn) {
     if (mode_ == MessageMode::kPerMessage) {
@@ -258,27 +389,11 @@ class MessageManager {
     size_t delivered_frames = 0;
     bool repaired = false;
     for (;;) {
-      const std::vector<uint8_t>& buf = incoming_[fid];
-      size_t pos = 0;
+      const std::vector<Frame>& frames = incoming_[fid];
       size_t frame_index = 0;
       bool frame_damage = false;
-      while (pos < buf.size()) {
-        uint64_t src = 0;
-        uint64_t payload_len = 0;
-        size_t p = pos;
-        if (!GetVarint64(buf.data(), buf.size(), &p, &src) ||
-            !GetVarint64(buf.data(), buf.size(), &p, &payload_len) ||
-            buf.size() - p < sizeof(uint32_t) ||
-            payload_len > buf.size() - p - sizeof(uint32_t)) {
-          frame_damage = true;
-          break;
-        }
-        uint32_t expected_crc = 0;
-        std::memcpy(&expected_crc, buf.data() + p, sizeof(expected_crc));
-        p += sizeof(expected_crc);
-        const uint8_t* payload = buf.data() + p;
-        const size_t len = static_cast<size_t>(payload_len);
-        if (Crc32(payload, len) != expected_crc) {
+      for (const Frame& frame : frames) {
+        if (Crc32(frame.data, frame.len) != frame.crc) {
           frame_damage = true;
           break;
         }
@@ -286,33 +401,33 @@ class MessageManager {
           size_t mpos = 0;
           uint64_t target = 0;
           MSG msg{};
-          while (mpos < len) {
-            if (!GetVarint64(payload, len, &mpos, &target) ||
-                !MsgCodec<MSG>::Decode(payload, len, &mpos, &msg)) {
+          while (mpos < frame.len) {
+            if (!GetVarint64(frame.data, frame.len, &mpos, &target) ||
+                !MsgCodec<MSG>::Decode(frame.data, frame.len, &mpos, &msg)) {
               return Status::DataLoss(
                   "fragment " + std::to_string(fid) + ": frame from " +
-                  std::to_string(src) +
+                  std::to_string(frame.src) +
                   " fails to decode despite a valid checksum (byte " +
-                  std::to_string(mpos) + " of " + std::to_string(len) + ")");
+                  std::to_string(mpos) + " of " + std::to_string(frame.len) +
+                  ")");
             }
             fn(static_cast<vid_t>(target), msg);
           }
           delivered_frames = frame_index + 1;
         }
         ++frame_index;
-        pos = p + len;
       }
       if (!frame_damage) return Status::OK();
       if (!retransmit_enabled_ || repaired) {
         return Status::DataLoss("fragment " + std::to_string(fid) +
-                                ": corrupt message frame at byte " +
-                                std::to_string(pos) +
+                                ": corrupt message frame " +
+                                std::to_string(frame_index) +
                                 (repaired ? " (after retransmit)" : "") +
                                 "; retransmission unavailable");
       }
       // Retransmit: the retained payloads are bit-identical to what the
-      // sources sent, so rebuilding the stream repairs any in-flight
-      // damage deterministically.
+      // sources sent, so re-deriving the frame descriptors from them
+      // repairs any in-flight damage deterministically.
       RebuildIncoming(fid);
       retransmits_.fetch_add(1, std::memory_order_relaxed);
       FLEX_COUNTER_INC(metrics::kMsgRetransmitsTotal);
@@ -329,11 +444,18 @@ class MessageManager {
     return retransmits_.load(std::memory_order_relaxed);
   }
 
+  /// This round's frame descriptors for fragment `dst`, src-ascending.
+  /// Exposed for the flush-determinism tests and the A/B benchmark.
+  std::span<const Frame> IncomingFrames(partition_t dst) const {
+    return incoming_[dst];
+  }
+
   /// Bytes queued for delivery this round (aggregated mode), a proxy for
-  /// network traffic in the benchmarks.
+  /// network traffic in the benchmarks: what the frames would occupy on the
+  /// wire ([varint src][varint len][crc32][payload] each).
   size_t IncomingBytes() const {
     size_t total = 0;
-    for (const auto& buf : incoming_) total += buf.size();
+    for (const auto& frames : incoming_) total += WireBytes(frames);
     return total;
   }
 
@@ -342,37 +464,42 @@ class MessageManager {
     alignas(64) Mutex mu;  // Cache-line padded: one lock per destination.
   };
 
-  /// Appends `[varint src][varint len][crc32][payload]` to `out`; empty
-  /// payloads produce no frame.
-  static void AppendFrame(std::vector<uint8_t>* out, partition_t src,
-                          const std::vector<uint8_t>& payload) {
-    if (payload.empty()) return;
-    PutVarint64(out, src);
-    PutVarint64(out, payload.size());
-    const uint32_t crc = Crc32(payload.data(), payload.size());
-    const size_t n = out->size();
-    out->resize(n + sizeof(crc));
-    std::memcpy(out->data() + n, &crc, sizeof(crc));
-    out->insert(out->end(), payload.begin(), payload.end());
+  /// Wire footprint of a destination's frame table.
+  static size_t WireBytes(const std::vector<Frame>& frames) {
+    size_t total = 0;
+    for (const Frame& f : frames) {
+      total += VarintLength(f.src) + VarintLength(f.len) + sizeof(f.crc) +
+               f.len;
+    }
+    return total;
   }
 
-  /// Reconstructs fragment `dst`'s incoming stream from the retained
-  /// payloads, in the same (src ascending) order Flush used.
+  /// Reconstructs fragment `dst`'s frame table from the retained payloads,
+  /// in the same (src ascending) order FlushShard used, restoring spans and
+  /// recomputing checksums.
   void RebuildIncoming(partition_t dst) {
-    std::vector<uint8_t>& in = incoming_[dst];
-    in.clear();
+    std::vector<Frame>& frames = incoming_[dst];
+    frames.clear();
     for (partition_t src = 0; src < nfrag_; ++src) {
-      AppendFrame(&in, src, retained_[src * nfrag_ + dst]);
+      const std::vector<uint8_t>& kept = retained_[src * nfrag_ + dst];
+      if (kept.empty()) continue;
+      frames.push_back(
+          {src, Crc32(kept.data(), kept.size()), kept.data(), kept.size()});
     }
   }
 
   const partition_t nfrag_;
   const MessageMode mode_;
   std::vector<std::vector<uint8_t>> outgoing_;  // [src * nfrag_ + dst]
-  /// Last-flushed payloads, [src * nfrag_ + dst]; the retransmission
-  /// source for damaged frames. Overwritten by the next Flush.
+  /// Last-flushed payloads, [src * nfrag_ + dst]; the frames' backing
+  /// storage and the retransmission source for damaged frames. Overwritten
+  /// by the next flush.
   std::vector<std::vector<uint8_t>> retained_;
-  std::vector<std::vector<uint8_t>> incoming_;  // [dst]
+  /// Payload size each channel shipped at the last flush, [src*nfrag_+dst];
+  /// the Send() reserve-ahead hint.
+  std::vector<size_t> last_flushed_bytes_;
+  /// Frame descriptors per destination, spans into retained_.
+  std::vector<std::vector<Frame>> incoming_;  // [dst]
   struct AlignedCount {
     alignas(64) uint64_t count = 0;  // Padded: written per-Send by `src`.
   };

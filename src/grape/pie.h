@@ -192,24 +192,34 @@ Result<int> RunPieChecked(
     }
   };
 
-  // Superstep trace state, touched only by the barrier leader (and this
-  // thread before the pool starts / after it drains); the barrier's own
-  // synchronization publishes it between rounds. One counter bump and one
-  // histogram observation per superstep — not per fragment.
+  // Superstep trace state, touched only by one thread at a time between
+  // barriers (the phase-1 and phase-2 leaders may be *different* threads;
+  // the barrier's own synchronization publishes the state from one to the
+  // other and to the next round). One counter bump and one histogram
+  // observation per superstep — not per fragment.
   trace::Trace* const tr = options.trace;
   uint64_t open_superstep =
       tr != nullptr
           ? tr->BeginSpan("superstep[0]", "superstep", options.trace_parent)
           : trace::kNoParent;
+  uint64_t open_flush = trace::kNoParent;
   Timer superstep_timer;
 
+  // The superstep boundary is a two-phase barrier. Phase 1 (one leader,
+  // everyone else parked at the next barrier): repair the previous round's
+  // fail-stopped fragments, enforce the deadline, drain the send counters.
+  // Then every fragment worker frames its *own* destination's incoming
+  // traffic concurrently — the per-destination flush work is independent,
+  // so the nfrag² channel walk no longer serializes on the leader while
+  // the other workers idle. Phase 2 (one leader): aggregate the shard
+  // results and decide whether another round is needed.
   auto worker = [&](partition_t fid) {
     compute(fid, 0);
     for (int round = 1; round <= options.max_rounds; ++round) {
       if (barrier.Await()) {
-        // Superstep boundary: the leader repairs the previous round's
-        // fail-stopped fragments, enforces the deadline, flushes channels,
-        // and decides whether another round is needed.
+        // Phase 1 leader: recovery must precede the flush shards (its
+        // re-executed computes append to the pre-flush outgoing buffers),
+        // and the counter drain must follow recovery (recovery sends).
         bool any_failed = false;
         for (partition_t f = 0; f < nfrag; ++f) {
           any_failed = any_failed || failed[f] != 0;
@@ -224,13 +234,22 @@ Result<int> RunPieChecked(
         Status st =
             CheckRunnable(options.deadline, options.cancel, "grape.pie");
         if (!st.ok()) record_error(std::move(st));
-        size_t fragments_with_traffic;
-        {
-          trace::ScopedSpan flush_span(
-              tr, "flush[" + std::to_string(round - 1) + "]", "flush",
-              open_superstep);
-          fragments_with_traffic = messages.Flush();
-        }
+        messages.BeginFlush();
+        open_flush = tr != nullptr
+                         ? tr->BeginSpan("flush[" + std::to_string(round - 1) +
+                                             "]",
+                                         "flush", open_superstep)
+                         : trace::kNoParent;
+      }
+      // Publishes phase 1 (recovery sends, drained counters) to all
+      // workers, then each worker frames its own destination's traffic.
+      barrier.Await();
+      messages.FlushShard(fid);
+      if (barrier.Await()) {
+        // Phase 2 leader: every shard is framed (published by the barrier
+        // just crossed); summarize and decide.
+        const size_t fragments_with_traffic = messages.EndFlush();
+        if (tr != nullptr) tr->EndSpan(open_flush);
         const bool traffic = fragments_with_traffic > 0;
         proceed.store(traffic && !stop.load(std::memory_order_acquire),
                       std::memory_order_release);

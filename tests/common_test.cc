@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -242,6 +243,45 @@ TEST(Crc32Test, IncrementalMatchesOneShotAtEverySplit) {
   EXPECT_EQ(Crc32Finalize(state), want);
 }
 
+TEST(Crc32Test, SlicedKernelMatchesBytewiseReference) {
+  // The slicing-by-8 kernel must agree with the Sarwate byte-at-a-time
+  // reference for every length and alignment around the 8-byte block
+  // boundary (where a sliced implementation's bugs live): lengths 0..64
+  // starting at offsets 0..8 into a random buffer, plus a large buffer.
+  Rng rng(4242);
+  std::vector<uint8_t> data(64 + 9);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Uniform(256));
+  for (size_t offset = 0; offset <= 8; ++offset) {
+    for (size_t len = 0; len <= 64; ++len) {
+      const uint32_t sliced =
+          Crc32Finalize(Crc32Update(Crc32Init(), data.data() + offset, len));
+      const uint32_t reference = Crc32Finalize(
+          Crc32UpdateBytewise(Crc32Init(), data.data() + offset, len));
+      ASSERT_EQ(sliced, reference) << "offset " << offset << " len " << len;
+    }
+  }
+  std::vector<uint8_t> big(1 << 16);
+  for (auto& b : big) b = static_cast<uint8_t>(rng.Uniform(256));
+  EXPECT_EQ(Crc32(big.data(), big.size()),
+            Crc32Finalize(Crc32UpdateBytewise(Crc32Init(), big.data(),
+                                              big.size())));
+}
+
+TEST(Crc32Test, IncrementalSplitsCrossBlockBoundaries) {
+  // Splitting mid-block forces the sliced kernel to mix block and tail
+  // processing; every split of a 3-block buffer must match one shot.
+  Rng rng(7);
+  std::vector<uint8_t> data(24);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Uniform(256));
+  const uint32_t want = Crc32(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t state = Crc32Init();
+    state = Crc32Update(state, data.data(), split);
+    state = Crc32Update(state, data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32Finalize(state), want) << "split at " << split;
+  }
+}
+
 TEST(Crc32Test, DetectsSingleBitFlips) {
   Rng rng(99);
   std::vector<uint8_t> payload(64);
@@ -253,6 +293,35 @@ TEST(Crc32Test, DetectsSingleBitFlips) {
     payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
   }
   EXPECT_EQ(Crc32(payload.data(), payload.size()), clean);
+}
+
+TEST(VarintTest, ScratchEncodeMatchesVectorAppendEverywhere) {
+  // PutVarint64To (the bulk-encode primitive Send() builds messages with)
+  // must emit byte-identical encodings to the vector append path, report
+  // the VarintLength it consumed, and never exceed kMaxVarintLen64.
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             UINT64_MAX};
+  for (uint64_t v : values) {
+    uint8_t scratch[kMaxVarintLen64];
+    const size_t n = PutVarint64To(scratch, v);
+    EXPECT_EQ(n, VarintLength(v)) << v;
+    ASSERT_LE(n, kMaxVarintLen64);
+    std::vector<uint8_t> buf;
+    PutVarint64(&buf, v);
+    ASSERT_EQ(buf.size(), n) << v;
+    EXPECT_EQ(std::memcmp(scratch, buf.data(), n), 0) << v;
+    size_t pos = 0;
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(scratch, n, &pos, &got));
+    EXPECT_EQ(got, v);
+  }
 }
 
 TEST(VarintTest, TruncatedMidVarintAtEveryPrefix) {

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <queue>
 
+#include "common/barrier.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
 #include "datagen/generators.h"
 #include "grape/apps/cdlp.h"
 #include "grape/apps/equity.h"
@@ -132,6 +139,34 @@ TEST_P(FragmentCounts, PartitionCoversAllEdges) {
   EXPECT_EQ(inner_total, g.num_vertices);
   EXPECT_EQ(edge_total, g.num_edges());
   EXPECT_EQ(in_edge_total, g.num_edges());
+}
+
+TEST(FragmentTest, OwnerMapSurvivesMoreThan256Partitions) {
+  // owner_ used to be a byte map: partition ids beyond 255 were stored
+  // mod 256, so OwnerOf misrouted every message on a >256-fragment
+  // deployment while all small-fragment tests stayed green. Build with 300
+  // partitions and check the materialized map against the partitioner.
+  EdgeList g = datagen::GenerateRmat({.scale = 11, .edge_factor = 4.0,
+                                      .a = 0.57, .b = 0.19, .c = 0.19,
+                                      .seed = 5});
+  const partition_t kParts = 300;
+  EdgeCutPartitioner part(g.num_vertices, kParts);
+  partition_t max_partition = 0;
+  for (vid_t v = 0; v < g.num_vertices; ++v) {
+    max_partition = std::max(max_partition, part.GetPartition(v));
+  }
+  // The scenario only bites if some vertex actually lands beyond 255.
+  ASSERT_GT(max_partition, 255u);
+  auto frags = Partition(g, part);
+  ASSERT_EQ(frags.size(), static_cast<size_t>(kParts));
+  for (vid_t v = 0; v < g.num_vertices; ++v) {
+    const partition_t owner = part.GetPartition(v);
+    EXPECT_EQ(frags[0]->OwnerOf(v), owner) << "vertex " << v;
+    EXPECT_EQ(frags[owner]->IsInner(v), true) << "vertex " << v;
+    if (owner != 0) {
+      EXPECT_FALSE(frags[0]->IsInner(v)) << "vertex " << v;
+    }
+  }
 }
 
 // ------------------------------------------------------------ PageRank
@@ -590,6 +625,98 @@ TEST(IngressTest, NoopBatchTouchesNothing) {
   EXPECT_EQ(sssp.last_relaxations(), 0u);
 }
 
+// ------------------------------------------- Flush determinism (zero-copy)
+
+/// Sends a deterministic pseudo-random workload (every (src, dst) channel,
+/// mixed message sizes) into `mm` from the calling thread.
+void SendDeterministicTraffic(MessageManager<uint64_t>* mm, partition_t nfrag,
+                              uint64_t seed) {
+  Rng rng(seed);
+  for (partition_t src = 0; src < nfrag; ++src) {
+    for (partition_t dst = 0; dst < nfrag; ++dst) {
+      // Leave some channels empty so empty-payload elision is exercised.
+      if ((src + dst) % 5 == 0) continue;
+      const size_t n = 1 + rng.Uniform(64);
+      for (size_t i = 0; i < n; ++i) {
+        mm->Send(src, dst, static_cast<vid_t>(rng.Uniform(1 << 20)),
+                 rng.Next());
+      }
+    }
+  }
+}
+
+TEST(FlushDeterminismTest, ParallelShardsBitIdenticalToSerialReference) {
+  // The parallel boundary must be a pure work split: for identical sends,
+  // the frame set produced by per-worker FlushShard calls must be
+  // bit-identical — per destination, src-ascending, same CRCs, same
+  // payload bytes — to the serial single-caller Flush() reference.
+  constexpr partition_t kFrags = 8;
+  MessageManager<uint64_t> serial(kFrags, MessageMode::kAggregated);
+  MessageManager<uint64_t> parallel(kFrags, MessageMode::kAggregated);
+  SendDeterministicTraffic(&serial, kFrags, 1234);
+  SendDeterministicTraffic(&parallel, kFrags, 1234);
+
+  const size_t serial_traffic = serial.Flush();
+
+  Barrier barrier(kFrags);
+  std::atomic<size_t> parallel_traffic{0};
+  ThreadPool pool(kFrags);
+  for (partition_t fid = 0; fid < kFrags; ++fid) {
+    pool.Submit([&, fid] {
+      if (barrier.Await()) parallel.BeginFlush();
+      barrier.Await();
+      parallel.FlushShard(fid);
+      if (barrier.Await()) {
+        parallel_traffic.store(parallel.EndFlush(), std::memory_order_relaxed);
+      }
+      barrier.Await();
+    });
+  }
+  pool.Wait();
+
+  EXPECT_EQ(parallel_traffic.load(), serial_traffic);
+  EXPECT_EQ(parallel.IncomingBytes(), serial.IncomingBytes());
+  for (partition_t dst = 0; dst < kFrags; ++dst) {
+    const auto want = serial.IncomingFrames(dst);
+    const auto got = parallel.IncomingFrames(dst);
+    ASSERT_EQ(got.size(), want.size()) << "dst " << dst;
+    partition_t prev_src = 0;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].src, want[i].src);
+      EXPECT_EQ(got[i].crc, want[i].crc);
+      ASSERT_EQ(got[i].len, want[i].len);
+      EXPECT_EQ(std::memcmp(got[i].data, want[i].data, got[i].len), 0)
+          << "dst " << dst << " frame " << i;
+      // Descriptors are published src-ascending, the order Receive() and
+      // the retransmit rebuild both rely on.
+      if (i > 0) {
+        EXPECT_GT(got[i].src, prev_src);
+      }
+      prev_src = got[i].src;
+      // And each CRC is genuinely the payload's checksum, not a stale copy.
+      EXPECT_EQ(Crc32(got[i].data, got[i].len), got[i].crc);
+    }
+  }
+
+  // Both deliver the identical message sequence.
+  for (partition_t fid = 0; fid < kFrags; ++fid) {
+    std::vector<std::pair<vid_t, uint64_t>> from_serial, from_parallel;
+    ASSERT_TRUE(serial
+                    .Receive(fid, [&](vid_t t, const uint64_t& m) {
+                      from_serial.push_back({t, m});
+                    })
+                    .ok());
+    ASSERT_TRUE(parallel
+                    .Receive(fid, [&](vid_t t, const uint64_t& m) {
+                      from_parallel.push_back({t, m});
+                    })
+                    .ok());
+    EXPECT_EQ(from_parallel, from_serial) << "fragment " << fid;
+  }
+  EXPECT_EQ(serial.retransmits(), 0u);
+  EXPECT_EQ(parallel.retransmits(), 0u);
+}
+
 // ------------------------------------------------------ MsgCodec bounds
 
 // Every codec must reject a short read instead of reading past the buffer:
@@ -620,6 +747,58 @@ TEST(MsgCodecTest, Uint32TruncatedVarintFails) {
   size_t pos = 0;
   EXPECT_FALSE(
       MsgCodec<uint32_t>::Decode(buf.data(), buf.size() - 1, &pos, &out));
+}
+
+TEST(MsgCodecTest, Uint32OverflowingVarintFails) {
+  // A varint is self-delimiting, so a CRC-valid payload can still carry a
+  // value wider than uint32. Truncating it would deliver a silently wrong
+  // vertex id; the codec must reject instead.
+  for (const uint64_t wide :
+       {uint64_t{1} << 32, (uint64_t{1} << 32) + 5, UINT64_MAX}) {
+    std::vector<uint8_t> buf;
+    PutVarint64(&buf, wide);
+    uint32_t out = 0;
+    size_t pos = 0;
+    EXPECT_FALSE(MsgCodec<uint32_t>::Decode(buf.data(), buf.size(), &pos, &out))
+        << wide;
+  }
+  // The boundary value still decodes.
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, (uint64_t{1} << 32) - 1);
+  uint32_t out = 0;
+  size_t pos = 0;
+  ASSERT_TRUE(MsgCodec<uint32_t>::Decode(buf.data(), buf.size(), &pos, &out));
+  EXPECT_EQ(out, std::numeric_limits<uint32_t>::max());
+}
+
+template <typename MSG>
+void ExpectBulkEncodeMatches(const MSG& value) {
+  static_assert(BulkEncodableMsg<MSG>);
+  uint8_t scratch[MsgCodec<MSG>::kMaxWireSize];
+  const size_t n = MsgCodec<MSG>::EncodeTo(scratch, value);
+  ASSERT_LE(n, MsgCodec<MSG>::kMaxWireSize);
+  std::vector<uint8_t> buf;
+  MsgCodec<MSG>::Encode(&buf, value);
+  ASSERT_EQ(buf.size(), n);
+  EXPECT_EQ(std::memcmp(scratch, buf.data(), n), 0);
+  MSG out{};
+  size_t pos = 0;
+  ASSERT_TRUE(MsgCodec<MSG>::Decode(scratch, n, &pos, &out));
+  EXPECT_EQ(out, value);
+  EXPECT_EQ(pos, n);
+}
+
+TEST(MsgCodecTest, BulkEncodeToMatchesVectorEncode) {
+  // Send() assembles messages with EncodeTo into a stack scratch buffer;
+  // the wire bytes must be identical to the vector-append Encode path or
+  // mixed senders would produce undecodable streams.
+  ExpectBulkEncodeMatches(3.25);
+  ExpectBulkEncodeMatches(-0.0);
+  ExpectBulkEncodeMatches(uint32_t{0});
+  ExpectBulkEncodeMatches(uint32_t{1} << 30);
+  ExpectBulkEncodeMatches(uint64_t{127});
+  ExpectBulkEncodeMatches(UINT64_MAX);
+  ExpectBulkEncodeMatches(std::pair<double, double>{1.5, -2.5});
 }
 
 TEST(MsgCodecTest, AdjacencyCountExceedsPayloadFails) {

@@ -117,9 +117,11 @@ TEST(MetricsTest, RenderExposesCountersGaugesAndHistogramSeries) {
 // or vice versa — fails the test.
 const char* const kExpectedStackMetrics[] = {
     "flex_faults_fired_total",
+    "flex_flush_parallel_shards_total",
     "flex_hiactor_pending_tasks",
     "flex_hiactor_tasks_completed_total",
     "flex_hiactor_tasks_stolen_total",
+    "flex_msg_bytes_copy_avoided_total",
     "flex_msg_bytes_flushed_total",
     "flex_msg_retransmits_total",
     "flex_msgs_sent_total",

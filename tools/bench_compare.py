@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Perf ratchet: diff fresh bench numbers against the committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold=0.15]
+
+Both files use the schema bench_exp3_analytics_cpu --json=PATH emits:
+
+    {"bench": "...", "results": [{"name": "...", "ms": 12.3}, ...]}
+
+Exits non-zero if any entry regressed by more than the threshold (default
+15%, the bar set in ISSUE 4). Entries under the noise floor (5 ms) are
+reported but never fail the run — on a shared 1-core host, sub-5ms
+timings jitter far more than 15% between runs. Entries present in only
+one file are reported as added/removed but do not fail; the ratchet
+guards regressions on work both builds performed.
+"""
+
+import json
+import sys
+
+NOISE_FLOOR_MS = 5.0
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["name"]: float(r["ms"]) for r in doc["results"]}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    threshold = 0.15
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            threshold = float(a.split("=", 1)[1])
+
+    baseline = load(args[0])
+    current = load(args[1])
+
+    failures = []
+    print(f"{'benchmark':<24} {'baseline':>10} {'current':>10} {'delta':>8}")
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"{name:<24} {baseline[name]:>8.1f}ms {'(removed)':>10}")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        flag = ""
+        if delta > threshold:
+            if base < NOISE_FLOOR_MS and cur < NOISE_FLOOR_MS * (1 + threshold):
+                flag = "  (noise floor)"
+            else:
+                flag = "  REGRESSION"
+                failures.append(name)
+        print(f"{name:<24} {base:>8.1f}ms {cur:>8.1f}ms {delta:>+7.1%}{flag}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<24} {'(added)':>10} {current[name]:>8.1f}ms")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

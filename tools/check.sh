@@ -15,12 +15,21 @@
 # dependency). It writes build-cov/coverage/coverage-summary.txt plus a
 # small HTML index and enforces a line-coverage floor on src/common/.
 #
+# The bench pass is the perf ratchet: it rebuilds the Exp-3 analytics
+# bench unsanitized, runs the fragment-scaling sweep, and diffs the
+# numbers against the committed BENCH_exp3_analytics.json via
+# tools/bench_compare.py (>15% regression fails). The sanitizer passes
+# additionally run `bench_superstep_comm --smoke` so the superstep
+# communication path (flush sharding, zero-copy frames, CRC kernels)
+# is exercised under ASan+UBSan and TSan outside of ctest.
+#
 # Usage:
-#   tools/check.sh            # all passes (asan, tsan, chaos, coverage)
+#   tools/check.sh            # all passes (asan, tsan, chaos, coverage, bench)
 #   tools/check.sh asan       # address+undefined only
 #   tools/check.sh tsan       # thread only
 #   tools/check.sh chaos      # multi-seed chaos harness under both sanitizers
 #   tools/check.sh coverage   # gcov line coverage + floor on src/common/
+#   tools/check.sh bench      # perf ratchet vs BENCH_exp3_analytics.json
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -35,6 +44,20 @@ run_pass() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$builddir" -j "$JOBS"
   (cd "$builddir" && ctest --output-on-failure -j "$JOBS")
+  echo "--- $name: bench_superstep_comm --smoke ---"
+  "$builddir/bench/bench_superstep_comm" --smoke
+}
+
+run_bench() {
+  local builddir="$ROOT/build-bench"
+  echo "=== bench: perf ratchet vs BENCH_exp3_analytics.json ==="
+  cmake -B "$builddir" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$builddir" -j "$JOBS" --target bench_exp3_analytics_cpu
+  "$builddir/bench/bench_exp3_analytics_cpu" --scaling-only \
+      --json="$builddir/exp3_current.json"
+  python3 "$ROOT/tools/bench_compare.py" \
+      "$ROOT/BENCH_exp3_analytics.json" "$builddir/exp3_current.json"
 }
 
 CHAOS_SEEDS=(1 7 23 101)
@@ -88,15 +111,17 @@ case "$MODES" in
     run_chaos tsan thread
     ;;
   coverage) run_coverage ;;
+  bench) run_bench ;;
   all)
     run_pass asan address,undefined
     run_pass tsan thread
     run_chaos asan address,undefined
     run_chaos tsan thread
     run_coverage
+    run_bench
     ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|chaos|coverage|all]" >&2
+    echo "usage: tools/check.sh [asan|tsan|chaos|coverage|bench|all]" >&2
     exit 2
     ;;
 esac
