@@ -12,13 +12,16 @@ namespace flex::metrics {
 /// is added here without updating its expected list, and vice versa).
 ///
 /// Naming convention (DESIGN.md §Observability): `flex_<layer>_<what>`,
-/// `_total` suffix for counters, `_us` suffix for microsecond histograms.
+/// `_total` suffix for counters, `_us` suffix for microsecond histograms
+/// (value histograms use a `_per_<x>` distribution name instead).
 
 // --- query layer (QueryService) ---
 inline constexpr char kQueriesTotal[] = "flex_queries_total";
 inline constexpr char kQueryFailuresTotal[] = "flex_query_failures_total";
 inline constexpr char kQueryRetriesTotal[] = "flex_query_retries_total";
 inline constexpr char kQueryLatencyUs[] = "flex_query_latency_us";
+inline constexpr char kQueryBatchesTotal[] = "flex_query_batches_total";
+inline constexpr char kQueryRowsPerBatch[] = "flex_query_rows_per_batch";
 
 // --- HiActor (OLTP engine) ---
 inline constexpr char kQueriesShedTotal[] = "flex_queries_shed_total";

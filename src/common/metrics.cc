@@ -178,12 +178,17 @@ constexpr MetricSpec kStackMetrics[] = {
     {kQueriesShedTotal, "counter",
      "Submissions shed by HiActor bounded-queue admission control."},
     {kQueriesTotal, "counter", "Queries accepted by QueryService::Run."},
+    {kQueryBatchesTotal, "counter",
+     "Columnar batches emitted by vectorized query operators."},
     {kQueryFailuresTotal, "counter",
      "Queries that returned a non-OK status after all retries."},
     {kQueryLatencyUs, "histogram",
      "End-to-end QueryService::Run latency (compile + execute), microseconds."},
     {kQueryRetriesTotal, "counter",
      "Transient-failure retry attempts made by QueryService::Run."},
+    {kQueryRowsPerBatch, "histogram",
+     "Selected rows per emitted columnar batch (value histogram over the "
+     "latency buckets; a batch of n rows observes n)."},
     {kStorageAdjVisitsTotal, "counter",
      "Adjacency-list reads (GRIN VisitAdj) across all storage backends."},
     {kStorageIndexLookupsTotal, "counter",

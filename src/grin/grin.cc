@@ -16,6 +16,57 @@ std::pair<vid_t, vid_t> GrinGraph::VertexRange(label_t label) const {
   return {0, 0};
 }
 
+namespace {
+
+/// Adapts the scalar AdjVisitor to the batched one, tagging each chunk
+/// with the source index and concrete direction.
+struct BatchAdjForward {
+  BatchAdjVisitor visitor;
+  void* ctx;
+  size_t src_index = 0;
+  Direction dir = Direction::kOut;
+};
+
+bool ForwardChunk(void* raw, const AdjChunk& chunk) {
+  auto* f = static_cast<BatchAdjForward*>(raw);
+  return f->visitor(f->ctx, f->src_index, f->dir, chunk);
+}
+
+}  // namespace
+
+bool GrinGraph::GetNeighborsBatch(std::span<const vid_t> vids, Direction dir,
+                                  label_t edge_label, BatchAdjVisitor visitor,
+                                  void* ctx) const {
+  BatchAdjForward forward{visitor, ctx};
+  for (size_t i = 0; i < vids.size(); ++i) {
+    forward.src_index = i;
+    // kBoth expands per source (out then in), matching the scalar call
+    // order engines relied on before batching.
+    if (dir != Direction::kIn) {
+      forward.dir = Direction::kOut;
+      if (!VisitAdj(vids[i], Direction::kOut, edge_label, ForwardChunk,
+                    &forward)) {
+        return false;
+      }
+    }
+    if (dir != Direction::kOut) {
+      forward.dir = Direction::kIn;
+      if (!VisitAdj(vids[i], Direction::kIn, edge_label, ForwardChunk,
+                    &forward)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void GrinGraph::GetVerticesProperties(std::span<const vid_t> vids, size_t col,
+                                      PropertyValue* out) const {
+  for (size_t i = 0; i < vids.size(); ++i) {
+    out[i] = GetVertexProperty(vids[i], col);
+  }
+}
+
 std::span<const int64_t> GrinGraph::VertexInt64Column(label_t label,
                                                       size_t col) const {
   return {};

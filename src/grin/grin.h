@@ -82,6 +82,14 @@ struct AdjChunk {
 /// Return false to stop iteration early.
 using AdjVisitor = bool (*)(void* ctx, const AdjChunk& chunk);
 
+/// Visitor for batched adjacency (GetNeighborsBatch): `src_index` is the
+/// position of the source vertex inside the requested span and `dir` is the
+/// concrete direction of this chunk — always kOut or kIn, never kBoth, so
+/// callers expanding in both directions can orient each edge without
+/// re-deriving which list it came from. Return false to stop.
+using BatchAdjVisitor = bool (*)(void* ctx, size_t src_index, Direction dir,
+                                 const AdjChunk& chunk);
+
 /// Predicate evaluated inside storage scans when kPredicatePushdown is set.
 using VertexPredicate = bool (*)(void* ctx, vid_t v);
 
@@ -135,11 +143,30 @@ class GrinGraph {
 
   virtual size_t Degree(vid_t v, Direction dir, label_t edge_label) const = 0;
 
+  /// Batched adjacency for vectorized engines: streams, for each source
+  /// `vids[i]` in span order, its chunks under `edge_label` — for kBoth
+  /// first the kOut chunks then the kIn chunks of each source, matching
+  /// the scalar VisitAdj call sequence. Returns false if the visitor
+  /// stopped early. The default loops VisitAdj per source; array-trait
+  /// backends override it to serve CSR slices with no per-vertex virtual
+  /// dispatch.
+  virtual bool GetNeighborsBatch(std::span<const vid_t> vids, Direction dir,
+                                 label_t edge_label, BatchAdjVisitor visitor,
+                                 void* ctx) const;
+
   // ------------------------------------------------------------ property
   /// Boxed property access (row-wise traits).
   virtual PropertyValue GetVertexProperty(vid_t v, size_t col) const = 0;
   virtual PropertyValue GetEdgeProperty(label_t edge_label, eid_t e,
                                         size_t col) const = 0;
+
+  /// Batched boxed access: out[i] = GetVertexProperty(vids[i], col). The
+  /// default loops the scalar accessor so every backend keeps working;
+  /// chunked stores override it to amortize chunk location/decode across
+  /// the span. Callers get the most out of overrides by passing
+  /// contiguous same-label runs.
+  virtual void GetVerticesProperties(std::span<const vid_t> vids, size_t col,
+                                     PropertyValue* out) const;
 
   /// Column spans when kPropertyColumnArray is advertised; indexed by
   /// (vid - VertexRange(label).first). Empty span otherwise.

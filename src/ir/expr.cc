@@ -232,6 +232,230 @@ bool Expr::EvalBool(const Row& row, const grin::GrinGraph& graph,
   return Truthy(Eval(row, graph, params));
 }
 
+void Expr::EvalPropertyBatch(const Batch& batch,
+                             std::span<const uint32_t> rows,
+                             const grin::GrinGraph& graph,
+                             std::vector<PropertyValue>* out) const {
+  const class Column& col = batch.column(column_);
+  if (col.kind() == flex::ir::Column::Kind::kVertex) {
+    // The vectorized fast path: one schema lookup and one batched GRIN
+    // call per contiguous same-label run of source vertices.
+    const std::span<const vid_t> vids = col.vids();
+    std::vector<vid_t> run;
+    size_t i = 0;
+    while (i < rows.size()) {
+      const label_t label = graph.VertexLabelOf(vids[rows[i]]);
+      size_t j = i + 1;
+      while (j < rows.size() &&
+             graph.VertexLabelOf(vids[rows[j]]) == label) {
+        ++j;
+      }
+      auto prop = graph.schema().FindVertexProperty(label, property_);
+      if (!prop.ok()) {
+        for (size_t k = i; k < j; ++k) (*out)[k] = PropertyValue();
+      } else {
+        run.clear();
+        run.reserve(j - i);
+        for (size_t k = i; k < j; ++k) run.push_back(vids[rows[k]]);
+        graph.GetVerticesProperties(run, prop.value(), out->data() + i);
+      }
+      i = j;
+    }
+    return;
+  }
+  // Edge / value / mixed columns: scalar semantics per row.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const uint32_t r = rows[i];
+    if (col.IsVertexAt(r)) {
+      const vid_t v = col.VertexAt(r);
+      const label_t label = graph.VertexLabelOf(v);
+      auto prop = graph.schema().FindVertexProperty(label, property_);
+      (*out)[i] = prop.ok() ? graph.GetVertexProperty(v, prop.value())
+                            : PropertyValue();
+    } else if (const EdgeRef* edge = col.EdgeAt(r)) {
+      auto prop = graph.schema().FindEdgeProperty(edge->elabel, property_);
+      (*out)[i] = prop.ok()
+                      ? graph.GetEdgeProperty(edge->elabel, edge->eid,
+                                              prop.value())
+                      : PropertyValue();
+    } else {
+      (*out)[i] = PropertyValue();
+    }
+  }
+}
+
+void Expr::EvalBatch(const Batch& batch, std::span<const uint32_t> rows,
+                     const grin::GrinGraph& graph,
+                     const std::vector<PropertyValue>& params,
+                     std::vector<PropertyValue>* out) const {
+  out->clear();
+  out->resize(rows.size());
+  switch (kind_) {
+    case ExprKind::kConst:
+      for (size_t i = 0; i < rows.size(); ++i) (*out)[i] = value_;
+      return;
+    case ExprKind::kParam:
+      FLEX_CHECK_LT(param_index_, params.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        (*out)[i] = params[param_index_];
+      }
+      return;
+    case ExprKind::kColumn: {
+      const class Column& col = batch.column(column_);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const uint32_t r = rows[i];
+        if (col.IsValueAt(r)) {
+          (*out)[i] = col.ValueAt(r);
+        } else if (col.IsVertexAt(r)) {
+          (*out)[i] = PropertyValue(graph.GetOid(col.VertexAt(r)));
+        }
+      }
+      return;
+    }
+    case ExprKind::kProperty:
+      EvalPropertyBatch(batch, rows, graph, out);
+      return;
+    case ExprKind::kVertexId: {
+      const class Column& col = batch.column(column_);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const uint32_t r = rows[i];
+        if (col.IsVertexAt(r)) {
+          (*out)[i] = PropertyValue(graph.GetOid(col.VertexAt(r)));
+        }
+      }
+      return;
+    }
+    case ExprKind::kLabelName: {
+      const class Column& col = batch.column(column_);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const uint32_t r = rows[i];
+        if (col.IsVertexAt(r)) {
+          const label_t label = graph.VertexLabelOf(col.VertexAt(r));
+          (*out)[i] = PropertyValue(graph.schema().vertex_label(label).name);
+        } else if (const EdgeRef* edge = col.EdgeAt(r)) {
+          (*out)[i] =
+              PropertyValue(graph.schema().edge_label(edge->elabel).name);
+        }
+      }
+      return;
+    }
+    case ExprKind::kBinary: {
+      if (op_ == BinOp::kAnd || op_ == BinOp::kOr) {
+        std::vector<char> bools;
+        EvalBoolBatch(batch, rows, graph, params, &bools);
+        for (size_t i = 0; i < rows.size(); ++i) {
+          (*out)[i] = PropertyValue(bools[i] != 0);
+        }
+        return;
+      }
+      std::vector<PropertyValue> a, b;
+      lhs_->EvalBatch(batch, rows, graph, params, &a);
+      rhs_->EvalBatch(batch, rows, graph, params, &b);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        switch (op_) {
+          case BinOp::kEq:
+            (*out)[i] = PropertyValue(a[i] == b[i]);
+            break;
+          case BinOp::kNe:
+            (*out)[i] = PropertyValue(a[i] != b[i]);
+            break;
+          case BinOp::kLt:
+            (*out)[i] = PropertyValue(a[i].Compare(b[i]) < 0);
+            break;
+          case BinOp::kLe:
+            (*out)[i] = PropertyValue(a[i].Compare(b[i]) <= 0);
+            break;
+          case BinOp::kGt:
+            (*out)[i] = PropertyValue(a[i].Compare(b[i]) > 0);
+            break;
+          case BinOp::kGe:
+            (*out)[i] = PropertyValue(a[i].Compare(b[i]) >= 0);
+            break;
+          default:
+            (*out)[i] = Arith(op_, a[i], b[i]);
+            break;
+        }
+      }
+      return;
+    }
+    case ExprKind::kNot: {
+      std::vector<char> bools;
+      lhs_->EvalBoolBatch(batch, rows, graph, params, &bools);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        (*out)[i] = PropertyValue(bools[i] == 0);
+      }
+      return;
+    }
+    case ExprKind::kIn: {
+      std::vector<PropertyValue> needles;
+      lhs_->EvalBatch(batch, rows, graph, params, &needles);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        bool found = false;
+        for (const PropertyValue& candidate : in_values_) {
+          if (needles[i] == candidate) {
+            found = true;
+            break;
+          }
+        }
+        (*out)[i] = PropertyValue(found);
+      }
+      return;
+    }
+  }
+}
+
+void Expr::EvalBoolBatch(const Batch& batch, std::span<const uint32_t> rows,
+                         const grin::GrinGraph& graph,
+                         const std::vector<PropertyValue>& params,
+                         std::vector<char>* out) const {
+  out->clear();
+  out->resize(rows.size(), 0);
+  if (kind_ == ExprKind::kBinary &&
+      (op_ == BinOp::kAnd || op_ == BinOp::kOr)) {
+    const bool is_and = op_ == BinOp::kAnd;
+    std::vector<char> left;
+    lhs_->EvalBoolBatch(batch, rows, graph, params, &left);
+    // The left side decides rows where it is false (AND) / true (OR); the
+    // right side only sees the remainder.
+    std::vector<uint32_t> pending_rows;
+    std::vector<size_t> pending_pos;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (left[i] != 0) {
+        if (is_and) {
+          pending_rows.push_back(rows[i]);
+          pending_pos.push_back(i);
+        } else {
+          (*out)[i] = 1;
+        }
+      } else if (!is_and) {
+        pending_rows.push_back(rows[i]);
+        pending_pos.push_back(i);
+      }
+    }
+    if (!pending_rows.empty()) {
+      std::vector<char> right;
+      rhs_->EvalBoolBatch(batch, pending_rows, graph, params, &right);
+      for (size_t k = 0; k < pending_pos.size(); ++k) {
+        (*out)[pending_pos[k]] = right[k];
+      }
+    }
+    return;
+  }
+  if (kind_ == ExprKind::kNot) {
+    std::vector<char> inner;
+    lhs_->EvalBoolBatch(batch, rows, graph, params, &inner);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (*out)[i] = inner[i] == 0 ? 1 : 0;
+    }
+    return;
+  }
+  std::vector<PropertyValue> values;
+  EvalBatch(batch, rows, graph, params, &values);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    (*out)[i] = Truthy(values[i]) ? 1 : 0;
+  }
+}
+
 void Expr::CollectColumns(std::vector<size_t>* out) const {
   switch (kind_) {
     case ExprKind::kColumn:

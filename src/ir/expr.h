@@ -2,10 +2,12 @@
 #define FLEX_IR_EXPR_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "grin/grin.h"
+#include "ir/batch.h"
 #include "ir/row.h"
 
 namespace flex::ir {
@@ -55,6 +57,24 @@ class Expr {
   bool EvalBool(const Row& row, const grin::GrinGraph& graph,
                 const std::vector<PropertyValue>& params) const;
 
+  /// Vectorized evaluation: resizes `out` to rows.size() and fills
+  /// out[i] = Eval(row at physical index rows[i] of `batch`). Semantics are
+  /// identical to the scalar Eval (expressions are side-effect-free);
+  /// property dereferences over vertex columns go through the batched GRIN
+  /// accessor, one call per contiguous same-label run.
+  void EvalBatch(const Batch& batch, std::span<const uint32_t> rows,
+                 const grin::GrinGraph& graph,
+                 const std::vector<PropertyValue>& params,
+                 std::vector<PropertyValue>* out) const;
+
+  /// Truthiness per row (out[i] != 0 iff the row passes). AND/OR evaluate
+  /// their right side only on the rows the left side did not decide,
+  /// mirroring the scalar short-circuit.
+  void EvalBoolBatch(const Batch& batch, std::span<const uint32_t> rows,
+                     const grin::GrinGraph& graph,
+                     const std::vector<PropertyValue>& params,
+                     std::vector<char>* out) const;
+
   ExprKind kind() const { return kind_; }
   size_t column() const { return column_; }
   const std::string& property() const { return property_; }
@@ -80,6 +100,9 @@ class Expr {
 
   PropertyValue EvalProperty(const Row& row,
                              const grin::GrinGraph& graph) const;
+  void EvalPropertyBatch(const Batch& batch, std::span<const uint32_t> rows,
+                         const grin::GrinGraph& graph,
+                         std::vector<PropertyValue>* out) const;
 
   ExprKind kind_ = ExprKind::kConst;
   PropertyValue value_;

@@ -6,11 +6,15 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 
 namespace flex::query {
 
 namespace {
 
+using ir::Batch;
+using ir::Column;
 using ir::Entry;
 using ir::Row;
 
@@ -30,10 +34,15 @@ uint64_t RowKeyHash(const std::vector<Entry>& key) {
   return h;
 }
 
-/// Aggregate accumulator for one group.
+/// Aggregate accumulator for one group. SUM/AVG keep integer and floating
+/// contributions separate: int64 inputs accumulate exactly in `int_sum`
+/// (folding them through a double loses exactness above 2^53), doubles go
+/// to `double_sum`, and the two merge only at Finalize.
 struct Accumulator {
   size_t count = 0;
-  double sum = 0.0;
+  int64_t int_sum = 0;
+  double double_sum = 0.0;
+  bool saw_double = false;
   bool any = false;
   PropertyValue min;
   PropertyValue max;
@@ -56,7 +65,17 @@ void Accumulate(const ir::AggSpec& spec, const PropertyValue& value,
       ++acc->count;
       break;
     case ir::AggSpec::Fn::kSum:
-      acc->sum += value.is_empty() ? 0.0 : value.AsNumeric();
+    case ir::AggSpec::Fn::kAvg:
+      if (value.type() == PropertyType::kInt64) {
+        // Unsigned add: wraparound on (astronomically unlikely) overflow
+        // instead of UB.
+        acc->int_sum = static_cast<int64_t>(
+            static_cast<uint64_t>(acc->int_sum) +
+            static_cast<uint64_t>(value.AsInt64()));
+      } else if (!value.is_empty()) {
+        acc->double_sum += value.AsNumeric();
+        acc->saw_double = true;
+      }
       ++acc->count;
       break;
     case ir::AggSpec::Fn::kMin:
@@ -66,10 +85,6 @@ void Accumulate(const ir::AggSpec& spec, const PropertyValue& value,
     case ir::AggSpec::Fn::kMax:
       if (!acc->any || value.Compare(acc->max) > 0) acc->max = value;
       acc->any = true;
-      break;
-    case ir::AggSpec::Fn::kAvg:
-      acc->sum += value.is_empty() ? 0.0 : value.AsNumeric();
-      ++acc->count;
       break;
     case ir::AggSpec::Fn::kCollect:
       acc->collected.push_back(value);
@@ -82,8 +97,10 @@ PropertyValue Finalize(const ir::AggSpec& spec, const Accumulator& acc) {
     case ir::AggSpec::Fn::kCount:
       return PropertyValue(static_cast<int64_t>(acc.count));
     case ir::AggSpec::Fn::kSum: {
-      // Integral sums render as int64 when exact.
-      const double s = acc.sum;
+      // All-integer sums stay exact end to end.
+      if (!acc.saw_double) return PropertyValue(acc.int_sum);
+      const double s = acc.double_sum + static_cast<double>(acc.int_sum);
+      // Mixed sums render as int64 when integral.
       if (s == static_cast<double>(static_cast<int64_t>(s))) {
         return PropertyValue(static_cast<int64_t>(s));
       }
@@ -94,8 +111,11 @@ PropertyValue Finalize(const ir::AggSpec& spec, const Accumulator& acc) {
     case ir::AggSpec::Fn::kMax:
       return acc.any ? acc.max : PropertyValue();
     case ir::AggSpec::Fn::kAvg:
-      return acc.count == 0 ? PropertyValue()
-                            : PropertyValue(acc.sum / acc.count);
+      return acc.count == 0
+                 ? PropertyValue()
+                 : PropertyValue(
+                       (acc.double_sum + static_cast<double>(acc.int_sum)) /
+                       acc.count);
     case ir::AggSpec::Fn::kCollect:
       // Collections render as their size (full list support would need a
       // composite PropertyValue; none of the reproduced workloads needs
@@ -103,6 +123,159 @@ PropertyValue Finalize(const ir::AggSpec& spec, const Accumulator& acc) {
       return PropertyValue(static_cast<int64_t>(acc.collected.size()));
   }
   return PropertyValue();
+}
+
+/// Accounts one batch leaving an operator.
+void NoteBatch(const Batch& b) {
+  FLEX_COUNTER_INC(metrics::kQueryBatchesTotal);
+  FLEX_HISTOGRAM_OBSERVE_US(metrics::kQueryRowsPerBatch,
+                            static_cast<uint64_t>(b.NumSelected()));
+}
+
+/// Filter core of the vectorized path: evaluates `predicate` over the
+/// current selection and keeps only the passing rows — selection bits
+/// flip, no tuple is copied.
+void RefineSelection(const ir::Expr& predicate, const grin::GrinGraph& g,
+                     const std::vector<PropertyValue>& params, Batch* batch) {
+  if (batch->NumSelected() == 0) return;
+  std::vector<char> keep;
+  predicate.EvalBoolBatch(*batch, batch->selection(), g, params, &keep);
+  std::vector<uint32_t> sel;
+  sel.reserve(batch->NumSelected());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) sel.push_back(batch->selection()[i]);
+  }
+  batch->SetSelection(std::move(sel));
+}
+
+/// Output builder for the appending operators (EXPAND, EXPAND_EDGE, GETV):
+/// collects (source row, appended entry) pairs and flushes them as compact
+/// batches — source columns gathered column-wise, the new column appended,
+/// the operator predicate refining each flushed batch's selection. Output
+/// batches inherit the source batch's order_key; emission order breaks
+/// ties, so exchange ordering stays exact.
+class AppendBuilder {
+ public:
+  AppendBuilder(const Batch* src, const ir::Op* op, const grin::GrinGraph* g,
+                const std::vector<PropertyValue>* params,
+                std::vector<Batch>* out)
+      : src_(src), op_(op), g_(g), params_(params), out_(out) {}
+
+  void KeepVertex(uint32_t src_row, vid_t v) {
+    gather_.push_back(src_row);
+    appended_.AppendVertex(v);
+    if (gather_.size() >= ir::kBatchSize) Flush();
+  }
+
+  void KeepEdge(uint32_t src_row, const ir::EdgeRef& e) {
+    gather_.push_back(src_row);
+    appended_.AppendEdge(e);
+    if (gather_.size() >= ir::kBatchSize) Flush();
+  }
+
+  void Flush() {
+    if (gather_.empty()) return;
+    Batch b;
+    b.order_key = src_->order_key;
+    for (size_t c = 0; c < src_->num_columns(); ++c) {
+      Column col;
+      col.GatherFrom(src_->column(c), gather_);
+      b.AddColumn(std::move(col));
+    }
+    b.AddColumn(std::move(appended_));
+    b.SelectAll();
+    appended_ = Column();
+    gather_.clear();
+    if (op_->predicate != nullptr) {
+      RefineSelection(*op_->predicate, *g_, *params_, &b);
+    }
+    if (b.NumSelected() > 0) {
+      NoteBatch(b);
+      out_->push_back(std::move(b));
+    }
+  }
+
+ private:
+  const Batch* src_;
+  const ir::Op* op_;
+  const grin::GrinGraph* g_;
+  const std::vector<PropertyValue>* params_;
+  std::vector<Batch>* out_;
+  std::vector<uint32_t> gather_;
+  Column appended_;
+};
+
+/// State threaded through the columnar leading scan's C-style visitor.
+struct ScanState {
+  const ir::Op* op = nullptr;
+  const grin::GrinGraph* g = nullptr;
+  const ExecOptions* opts = nullptr;
+  std::vector<Batch>* out = nullptr;
+  bool windowed = false;
+  size_t total = 0;     ///< Scan positions across all scanned labels.
+  size_t position = 0;  ///< Global scan position (label-major, like rows).
+  size_t cur_begin = 0;  ///< Current claimed morsel window; empty at start.
+  size_t cur_end = 0;
+  bool exhausted = false;  ///< Morsel source ran past `total`.
+  Column pending;          ///< Vids owned but not yet flushed.
+  uint64_t pending_first = 0;
+  Status status;
+};
+
+/// Flushes the pending vids as one batch (selection starts full, the scan
+/// predicate then flips selection bits) and runs the batch-boundary
+/// deadline/cancellation check — the vectorized path's quantum.
+bool FlushScanBatch(ScanState* s) {
+  if (!s->pending.empty()) {
+    Batch b;
+    b.order_key = s->pending_first;
+    b.AddColumn(std::move(s->pending));
+    s->pending = Column();
+    b.SelectAll();
+    if (s->op->predicate != nullptr) {
+      RefineSelection(*s->op->predicate, *s->g, s->opts->params, &b);
+    }
+    if (b.NumSelected() > 0) {
+      NoteBatch(b);
+      s->out->push_back(std::move(b));
+    }
+  }
+  s->status = CheckRunnable(s->opts->deadline, s->opts->cancel, "scan");
+  return s->status.ok();
+}
+
+/// Per-vertex scan visitor. Ownership of a position: the claimed morsel
+/// windows when a ScanMorselSource is set, the static [scan_begin,
+/// scan_end) window when narrowed, else the legacy modulo shard. A batch
+/// never spans two morsel windows, so every batch covers one contiguous
+/// slice of the global scan order and order_key sorting at the exchange
+/// reconstructs it exactly.
+bool ScanVisit(void* raw, vid_t v) {
+  auto* s = static_cast<ScanState*>(raw);
+  const size_t pos = s->position++;
+  bool owned;
+  if (s->opts->morsels != nullptr) {
+    while (pos >= s->cur_end) {
+      if (!FlushScanBatch(s)) return false;
+      s->cur_begin = s->opts->morsels->Claim();
+      s->cur_end = s->cur_begin + s->opts->morsels->grain;
+      if (s->cur_begin >= s->total) {
+        s->exhausted = true;  // Nothing left anywhere ahead of us.
+        return false;
+      }
+    }
+    owned = pos >= s->cur_begin;
+  } else if (s->windowed) {
+    if (pos >= s->opts->scan_end) return false;  // Past the window: stop.
+    owned = pos >= s->opts->scan_begin;
+  } else {
+    owned = pos % s->opts->shard_count == s->opts->shard_index;
+  }
+  if (!owned) return true;
+  if (s->pending.empty()) s->pending_first = pos;
+  s->pending.AppendVertex(v);
+  if (s->pending.size() >= ir::kBatchSize) return FlushScanBatch(s);
+  return true;
 }
 
 }  // namespace
@@ -121,7 +294,12 @@ bool Interpreter::IsBlocking(const ir::Op& op) {
 
 Result<std::vector<Row>> Interpreter::Run(const ir::Plan& plan,
                                           const ExecOptions& opts) const {
-  return RunRange(plan, 0, plan.ops.size(), {}, opts);
+  if (!opts.vectorized) {
+    return RunRange(plan, 0, plan.ops.size(), {}, opts);
+  }
+  auto batches = RunRangeBatched(plan, 0, plan.ops.size(), {}, opts);
+  FLEX_RETURN_NOT_OK(batches.status());
+  return ir::BatchesToRows(batches.value());
 }
 
 Result<std::vector<Row>> Interpreter::RunRange(const ir::Plan& plan,
@@ -138,6 +316,335 @@ Result<std::vector<Row>> Interpreter::RunRange(const ir::Plan& plan,
     FLEX_RETURN_NOT_OK(Apply(plan.ops[i], &rows, opts, op_span.id()));
   }
   return rows;
+}
+
+Result<std::vector<Batch>> Interpreter::RunRangeBatched(
+    const ir::Plan& plan, size_t begin, size_t end, std::vector<Batch> input,
+    const ExecOptions& opts) const {
+  std::vector<Batch> batches = std::move(input);
+  for (size_t i = begin; i < end; ++i) {
+    FLEX_RETURN_NOT_OK(
+        CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+    trace::ScopedSpan op_span(opts.trace, ir::OpKindName(plan.ops[i].kind),
+                              "operator", opts.trace_parent);
+    FLEX_RETURN_NOT_OK(
+        ApplyBatched(plan.ops[i], &batches, opts, op_span.id()));
+  }
+  return batches;
+}
+
+Status Interpreter::ColumnarScan(const ir::Op& op, std::vector<Batch>* out,
+                                 const ExecOptions& opts,
+                                 uint64_t op_span) const {
+  const grin::GrinGraph& g = *graph_;
+  // Same storage boundary as the row path: one read span and one fault
+  // site per scan-operator execution.
+  trace::ScopedSpan read_span(opts.trace, "storage.read", "storage", op_span);
+  if (FLEX_FAULT_POINT("storage.read")) {
+    return Status::DataLoss("storage.read fault injected at scan");
+  }
+  ScanState st;
+  st.op = &op;
+  st.g = &g;
+  st.opts = &opts;
+  st.out = out;
+  st.windowed = opts.scan_begin != 0 ||
+                opts.scan_end != static_cast<size_t>(-1);
+  if (op.label == kInvalidLabel) {
+    for (size_t l = 0; l < g.schema().vertex_label_num(); ++l) {
+      st.total += g.NumVerticesOfLabel(static_cast<label_t>(l));
+    }
+  } else {
+    st.total = g.NumVerticesOfLabel(op.label);
+  }
+  auto done = [&]() {
+    return !st.status.ok() || st.exhausted ||
+           (st.windowed && st.position >= opts.scan_end);
+  };
+  if (op.label == kInvalidLabel) {
+    for (size_t l = 0; l < g.schema().vertex_label_num() && !done(); ++l) {
+      g.VisitVertices(static_cast<label_t>(l), nullptr, nullptr, &ScanVisit,
+                      &st);
+    }
+  } else {
+    g.VisitVertices(op.label, nullptr, nullptr, &ScanVisit, &st);
+  }
+  FLEX_RETURN_NOT_OK(st.status);
+  FlushScanBatch(&st);
+  return st.status;
+}
+
+Status Interpreter::ApplyBatched(const ir::Op& op, std::vector<Batch>* batches,
+                                 const ExecOptions& opts,
+                                 uint64_t op_span) const {
+  const grin::GrinGraph& g = *graph_;
+  // Row bridge: blocking operators, variable-length expansion and index
+  // scans reuse the row implementation verbatim — bit-identical results,
+  // identical trace children and fault sites.
+  auto bridge = [&](std::vector<Batch>* io) -> Status {
+    std::vector<Row> rows = ir::BatchesToRows(*io);
+    FLEX_RETURN_NOT_OK(Apply(op, &rows, opts, op_span));
+    *io = ir::RowsToBatches(rows);
+    for (const Batch& b : *io) NoteBatch(b);
+    return Status::OK();
+  };
+
+  switch (op.kind) {
+    case ir::OpKind::kScan: {
+      if (ir::TotalSelected(*batches) > 0) {
+        // Cartesian re-scans are rare and never position-sharded; the row
+        // implementation handles them.
+        return bridge(batches);
+      }
+      batches->clear();
+      if (op.id_lookup != nullptr) {
+        // Leading IndexScan, natively columnar: the common interactive
+        // shape `(v:Label {id: $0})` resolves to at most one row, so the
+        // row bridge's two conversions cost more than the scan itself.
+        // Same storage boundary as the row path: span and fault site open
+        // before the shard gate, exactly once per scan execution.
+        trace::ScopedSpan read_span(opts.trace, "storage.read", "storage",
+                                    op_span);
+        if (FLEX_FAULT_POINT("storage.read")) {
+          return Status::DataLoss("storage.read fault injected at scan");
+        }
+        // Index lookups are not position-sharded: only shard 0 resolves
+        // them, or every Gaia worker would emit the row.
+        if (opts.shard_index != 0) return Status::OK();
+        const Row empty;
+        const PropertyValue oid_value =
+            op.id_lookup->Eval(empty, g, opts.params);
+        if (oid_value.type() != PropertyType::kInt64) return Status::OK();
+        Column col;
+        auto lookup = [&](label_t label) {
+          auto found = g.FindVertex(label, oid_value.AsInt64());
+          if (found.ok()) col.AppendVertex(found.value());
+        };
+        if (op.label == kInvalidLabel) {
+          for (size_t l = 0; l < g.schema().vertex_label_num(); ++l) {
+            lookup(static_cast<label_t>(l));
+          }
+        } else {
+          lookup(op.label);
+        }
+        if (col.empty()) return Status::OK();
+        Batch b;
+        b.AddColumn(std::move(col));
+        b.SelectAll();
+        if (op.predicate != nullptr) {
+          RefineSelection(*op.predicate, g, opts.params, &b);
+        }
+        if (b.NumSelected() == 0) return Status::OK();
+        NoteBatch(b);
+        batches->push_back(std::move(b));
+        return Status::OK();
+      }
+      return ColumnarScan(op, batches, opts, op_span);
+    }
+
+    case ir::OpKind::kExpandEdge:
+    case ir::OpKind::kExpand: {
+      std::vector<Batch> out;
+      for (Batch& batch : *batches) {
+        FLEX_RETURN_NOT_OK(
+            CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+        AppendBuilder builder(&batch, &op, &g, &opts.params, &out);
+        const Column& from = batch.column(op.from_column);
+        // Dense source list: one batched adjacency call per input batch
+        // instead of one virtual call per (row, direction).
+        std::vector<uint32_t> vrows;
+        std::vector<vid_t> vids;
+        vrows.reserve(batch.NumSelected());
+        vids.reserve(batch.NumSelected());
+        for (uint32_t r : batch.selection()) {
+          if (from.IsVertexAt(r)) {
+            vrows.push_back(r);
+            vids.push_back(from.VertexAt(r));
+          }
+        }
+        struct Ctx {
+          const ir::Op* op;
+          const grin::GrinGraph* g;
+          AppendBuilder* builder;
+          const std::vector<uint32_t>* vrows;
+          const std::vector<vid_t>* vids;
+        } ctx{&op, &g, &builder, &vrows, &vids};
+        if (op.kind == ir::OpKind::kExpandEdge) {
+          g.GetNeighborsBatch(
+              vids, op.dir, op.elabel,
+              [](void* raw, size_t si, Direction dir,
+                 const grin::AdjChunk& chunk) -> bool {
+                auto* c = static_cast<Ctx*>(raw);
+                const uint32_t src_row = (*c->vrows)[si];
+                const vid_t origin = (*c->vids)[si];
+                for (size_t k = 0; k < chunk.neighbors.size(); ++k) {
+                  const vid_t nbr = chunk.neighbors[k];
+                  ir::EdgeRef edge;
+                  edge.elabel = c->op->elabel;
+                  edge.eid = chunk.edge_id(k);
+                  edge.src = dir == Direction::kOut ? origin : nbr;
+                  edge.dst = dir == Direction::kOut ? nbr : origin;
+                  c->builder->KeepEdge(src_row, edge);
+                }
+                return true;
+              },
+              &ctx);
+        } else {
+          g.GetNeighborsBatch(
+              vids, op.dir, op.elabel,
+              [](void* raw, size_t si, Direction,
+                 const grin::AdjChunk& chunk) -> bool {
+                auto* c = static_cast<Ctx*>(raw);
+                const uint32_t src_row = (*c->vrows)[si];
+                for (size_t k = 0; k < chunk.neighbors.size(); ++k) {
+                  const vid_t nbr = chunk.neighbors[k];
+                  if (c->op->label != kInvalidLabel &&
+                      c->g->VertexLabelOf(nbr) != c->op->label) {
+                    continue;
+                  }
+                  c->builder->KeepVertex(src_row, nbr);
+                }
+                return true;
+              },
+              &ctx);
+        }
+        builder.Flush();
+      }
+      *batches = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kGetVertex: {
+      std::vector<Batch> out;
+      for (Batch& batch : *batches) {
+        FLEX_RETURN_NOT_OK(
+            CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+        AppendBuilder builder(&batch, &op, &g, &opts.params, &out);
+        const Column& from = batch.column(op.from_column);
+        for (uint32_t r : batch.selection()) {
+          const ir::EdgeRef* edge = from.EdgeAt(r);
+          if (edge == nullptr) continue;
+          // dir selects the endpoint exactly as in the row path: kOut ->
+          // dst, kIn -> src, kBoth -> the end other than the origin.
+          vid_t other;
+          if (op.dir == Direction::kOut) {
+            other = edge->dst;
+          } else if (op.dir == Direction::kIn) {
+            other = edge->src;
+          } else {
+            const Column& origin_col = batch.column(op.origin_column);
+            if (!origin_col.IsVertexAt(r)) continue;
+            const vid_t origin = origin_col.VertexAt(r);
+            other = edge->src == origin ? edge->dst : edge->src;
+          }
+          if (op.label != kInvalidLabel &&
+              g.VertexLabelOf(other) != op.label) {
+            continue;
+          }
+          builder.KeepVertex(r, other);
+        }
+        builder.Flush();
+      }
+      *batches = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kExpandVar: {
+      // Path enumeration stays row-wise (DFS per start vertex) but runs
+      // batch-at-a-time; outputs inherit the input batch's order_key.
+      std::vector<Batch> out;
+      for (Batch& batch : *batches) {
+        FLEX_RETURN_NOT_OK(
+            CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+        std::vector<Batch> one;
+        one.push_back(std::move(batch));
+        std::vector<Row> rows = ir::BatchesToRows(one);
+        FLEX_RETURN_NOT_OK(Apply(op, &rows, opts, op_span));
+        std::vector<Batch> rebuilt = ir::RowsToBatches(rows);
+        for (Batch& b : rebuilt) {
+          b.order_key = one[0].order_key;
+          NoteBatch(b);
+          out.push_back(std::move(b));
+        }
+      }
+      *batches = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kExpandInto: {
+      for (Batch& batch : *batches) {
+        FLEX_RETURN_NOT_OK(
+            CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+        const Column& from = batch.column(op.from_column);
+        const Column& into = batch.column(op.into_column);
+        std::vector<uint32_t> sel;
+        sel.reserve(batch.NumSelected());
+        for (uint32_t r : batch.selection()) {
+          if (!from.IsVertexAt(r) || !into.IsVertexAt(r)) continue;
+          bool found = false;
+          const vid_t target = into.VertexAt(r);
+          grin::ForEachAdj(g, from.VertexAt(r), op.dir, op.elabel,
+                           [&](vid_t nbr, double, eid_t) {
+                             if (nbr == target) {
+                               found = true;
+                               return false;  // Early stop.
+                             }
+                             return true;
+                           });
+          if (found) sel.push_back(r);
+        }
+        batch.SetSelection(std::move(sel));
+      }
+      return Status::OK();
+    }
+
+    case ir::OpKind::kSelect: {
+      for (Batch& batch : *batches) {
+        FLEX_RETURN_NOT_OK(
+            CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+        RefineSelection(*op.exprs[0], g, opts.params, &batch);
+      }
+      return Status::OK();
+    }
+
+    case ir::OpKind::kProject: {
+      if (op.exprs.empty()) return bridge(batches);
+      std::vector<Batch> out;
+      out.reserve(batches->size());
+      for (Batch& batch : *batches) {
+        FLEX_RETURN_NOT_OK(
+            CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+        if (batch.NumSelected() == 0) continue;
+        Batch projected;
+        projected.order_key = batch.order_key;
+        std::vector<PropertyValue> vals;
+        for (const auto& expr : op.exprs) {
+          Column col;
+          if (expr->kind() == ir::ExprKind::kColumn) {
+            // Plain column references gather (and compact) column-wise.
+            col.GatherFrom(batch.column(expr->column()), batch.selection());
+          } else {
+            expr->EvalBatch(batch, batch.selection(), g, opts.params, &vals);
+            col.Reserve(vals.size());
+            for (PropertyValue& v : vals) col.AppendValue(std::move(v));
+          }
+          projected.AddColumn(std::move(col));
+        }
+        projected.SelectAll();
+        NoteBatch(projected);
+        out.push_back(std::move(projected));
+      }
+      *batches = std::move(out);
+      return Status::OK();
+    }
+
+    case ir::OpKind::kOrder:
+    case ir::OpKind::kGroup:
+    case ir::OpKind::kLimit:
+    case ir::OpKind::kDedup:
+      return bridge(batches);
+  }
+  return Status::Internal("unknown operator");
 }
 
 Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
@@ -194,7 +701,12 @@ Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
       }
       // Scans after the first (cartesian start of a new MATCH) are rare
       // and never sharded; only the leading scan honours shard options.
+      // Ownership of a position: the static [scan_begin, scan_end) window
+      // when narrowed (Gaia's order-preserving sharding), else the legacy
+      // modulo shard.
       size_t position = 0;
+      const bool windowed = opts.scan_begin != 0 ||
+                            opts.scan_end != static_cast<size_t>(-1);
       auto emit_label = [&](label_t label) {
         struct Ctx {
           const ir::Op* op;
@@ -203,15 +715,18 @@ Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
           std::vector<Row>* out;
           const std::vector<Row>* base;
           size_t* position;
-        } ctx{&op, &g, &opts, &out, &base, &position};
+          bool windowed;
+        } ctx{&op, &g, &opts, &out, &base, &position, windowed};
         g.VisitVertices(
             label, nullptr, nullptr,
             [](void* raw, vid_t v) -> bool {
               auto* c = static_cast<Ctx*>(raw);
               const size_t pos = (*c->position)++;
-              if (pos % c->opts->shard_count != c->opts->shard_index) {
-                return true;
-              }
+              const bool owned =
+                  c->windowed
+                      ? pos >= c->opts->scan_begin && pos < c->opts->scan_end
+                      : pos % c->opts->shard_count == c->opts->shard_index;
+              if (!owned) return true;
               for (const Row& row : *c->base) {
                 Row extended = row;
                 extended.push_back(ir::VertexRef{v});

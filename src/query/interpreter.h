@@ -1,32 +1,67 @@
 #ifndef FLEX_QUERY_INTERPRETER_H_
 #define FLEX_QUERY_INTERPRETER_H_
 
+#include <atomic>
+#include <cstddef>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/trace.h"
 #include "grin/grin.h"
+#include "ir/batch.h"
 #include "ir/plan.h"
 #include "ir/row.h"
 
 namespace flex::query {
 
+/// Shared morsel source for one sharded scan: workers claim contiguous
+/// position windows [k*grain, (k+1)*grain) off an atomic counter. The
+/// claims partition the position space, so every scan position is emitted
+/// by exactly one worker; each claimed window becomes at most one output
+/// batch whose order_key is its first position, which lets the exchange
+/// restore global scan order with a sort.
+struct ScanMorselSource {
+  explicit ScanMorselSource(size_t grain_size = ir::kBatchSize)
+      : grain(grain_size) {}
+
+  size_t grain;
+  std::atomic<size_t> next{0};
+
+  size_t Claim() { return next.fetch_add(grain, std::memory_order_relaxed); }
+};
+
 /// Options controlling one execution of a physical plan.
 struct ExecOptions {
   /// Bound values for $i parameters (stored procedures).
   std::vector<PropertyValue> params;
-  /// Data-parallel sharding of the leading SCAN: this invocation only
-  /// emits source vertices with (position % shard_count) == shard_index.
-  /// Used by the Gaia engine to fan one plan out over workers.
+  /// Data-parallel sharding of the leading SCAN. With the default window
+  /// below, this invocation only emits source vertices with
+  /// (position % shard_count) == shard_index. `shard_index` also gates
+  /// index scans: a leading id-lookup is resolved by shard 0 only.
   size_t shard_index = 0;
   size_t shard_count = 1;
-  /// Checked between operators: execution stops with kDeadlineExceeded /
-  /// kCancelled instead of running the next operator.
+  /// Contiguous position window [scan_begin, scan_end) for the leading
+  /// SCAN. When narrowed from the full default range it replaces the
+  /// modulo sharding above; Gaia shards by windows so that concatenating
+  /// worker outputs in worker order preserves global scan order.
+  size_t scan_begin = 0;
+  size_t scan_end = static_cast<size_t>(-1);
+  /// Morsel-driven scan: when set, the leading columnar SCAN claims
+  /// windows from this shared source instead of using the static window.
+  ScanMorselSource* morsels = nullptr;
+  /// Columnar execution (~kBatchSize-tuple batches through the streaming
+  /// operators; blocking operators bridge through rows, bit-identically).
+  /// The row-at-a-time path remains as the Exp-2 A/B baseline.
+  bool vectorized = true;
+  /// Checked between operators — and, when vectorized, at batch
+  /// boundaries inside operators — execution stops with kDeadlineExceeded
+  /// / kCancelled instead of running further.
   Deadline deadline;
   const CancellationToken* cancel = nullptr;
   /// Optional per-query trace: each operator records a span (name =
   /// OpKindName) under `trace_parent`, and scans nest a "storage.read"
-  /// child. Must outlive the call.
+  /// child. Must outlive the call. Both execution paths produce the same
+  /// span tree shape.
   trace::Trace* trace = nullptr;
   uint64_t trace_parent = trace::kNoParent;
 };
@@ -39,14 +74,25 @@ class Interpreter {
  public:
   explicit Interpreter(const grin::GrinGraph* graph) : graph_(graph) {}
 
-  /// Executes the full plan.
+  /// Executes the full plan (vectorized by default; see ExecOptions).
   Result<std::vector<ir::Row>> Run(const ir::Plan& plan,
                                    const ExecOptions& opts = {}) const;
 
-  /// Executes ops [begin, end) of the plan starting from `input` rows.
+  /// Executes ops [begin, end) of the plan starting from `input` rows,
+  /// one row-vector at a time (the legacy scalar path).
   Result<std::vector<ir::Row>> RunRange(const ir::Plan& plan, size_t begin,
                                         size_t end, std::vector<ir::Row> input,
                                         const ExecOptions& opts) const;
+
+  /// Executes ops [begin, end) over columnar batches. Streaming operators
+  /// (SCAN, EXPAND, GETV, PROJECT, SELECT) run batch-at-a-time with
+  /// filters refining the shared selection vector; blocking operators and
+  /// variable-length expansion bridge through the row representation, so
+  /// results are bit-identical to RunRange.
+  Result<std::vector<ir::Batch>> RunRangeBatched(const ir::Plan& plan,
+                                                 size_t begin, size_t end,
+                                                 std::vector<ir::Batch> input,
+                                                 const ExecOptions& opts) const;
 
   /// True if `op` requires all rows at once (Gaia exchange point).
   static bool IsBlocking(const ir::Op& op);
@@ -54,6 +100,12 @@ class Interpreter {
  private:
   Status Apply(const ir::Op& op, std::vector<ir::Row>* rows,
                const ExecOptions& opts, uint64_t op_span) const;
+
+  Status ApplyBatched(const ir::Op& op, std::vector<ir::Batch>* batches,
+                      const ExecOptions& opts, uint64_t op_span) const;
+
+  Status ColumnarScan(const ir::Op& op, std::vector<ir::Batch>* out,
+                      const ExecOptions& opts, uint64_t op_span) const;
 
   const grin::GrinGraph* graph_;
 };

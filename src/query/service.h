@@ -22,6 +22,10 @@ enum class EngineKind { kGaia, kHiActor };
 /// Per-query execution policy for QueryService::Run.
 struct RunOptions {
   EngineKind engine = EngineKind::kGaia;
+  /// Columnar (batch-at-a-time) execution; false selects the legacy
+  /// row-at-a-time path. Results are bit-identical either way (the Exp-2
+  /// A/B switch).
+  bool vectorized = true;
   /// Propagated through the engine into every operator boundary (and, for
   /// analytics, superstep boundary). Infinite by default.
   Deadline deadline;

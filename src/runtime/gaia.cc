@@ -1,17 +1,77 @@
 #include "runtime/gaia.h"
 
-#include "common/thread_pool.h"
+#include <algorithm>
+#include <string>
+
+#include "common/mutex.h"
 
 namespace flex::runtime {
+
+namespace {
+
+/// Per-query completion latch. The persistent pool serves many concurrent
+/// queries, so a query must wait for its own shard tasks only —
+/// ThreadPool::Wait() would block on unrelated queries' work too.
+class ShardLatch {
+ public:
+  explicit ShardLatch(size_t count) : remaining_(count) {}
+
+  void CountDown() {
+    MutexLock lock(&mu_);
+    if (--remaining_ == 0) done_.SignalAll();
+  }
+
+  void Wait() {
+    MutexLock lock(&mu_);
+    while (remaining_ > 0) done_.Wait(&mu_);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar done_;
+  size_t remaining_ GUARDED_BY(mu_);
+};
+
+/// A scan inside the prefix (cartesian restart of a new MATCH) must see
+/// every vertex in every worker; position-sharding would drop rows. Such
+/// plans run single-threaded.
+bool HasInnerScan(const ir::Plan& plan, size_t split) {
+  for (size_t i = 1; i < split; ++i) {
+    if (plan.ops[i].kind == ir::OpKind::kScan) return true;
+  }
+  return false;
+}
+
+/// Scan positions the leading scan enumerates (label-major, like the
+/// interpreter).
+size_t ScanTotal(const grin::GrinGraph& g, const ir::Op& scan) {
+  if (scan.label == kInvalidLabel) {
+    size_t total = 0;
+    for (size_t l = 0; l < g.schema().vertex_label_num(); ++l) {
+      total += g.NumVerticesOfLabel(static_cast<label_t>(l));
+    }
+    return total;
+  }
+  return g.NumVerticesOfLabel(scan.label);
+}
+
+}  // namespace
+
+GaiaEngine::GaiaEngine(const grin::GrinGraph* graph, size_t num_workers)
+    : graph_(graph),
+      num_workers_(num_workers),
+      pool_(num_workers > 1 ? std::make_unique<ThreadPool>(num_workers)
+                            : nullptr) {}
 
 Result<std::vector<ir::Row>> GaiaEngine::Run(
     const ir::Plan& plan, std::vector<PropertyValue> params,
     Deadline deadline, const CancellationToken* cancel, trace::Trace* trace,
-    uint64_t trace_parent) const {
+    uint64_t trace_parent, ExecMode mode) const {
   // Admission: a dead-on-arrival query must not reach the workers.
   FLEX_RETURN_NOT_OK(CheckRunnable(deadline, cancel, "gaia"));
   trace::ScopedSpan engine_span(trace, "gaia", "engine", trace_parent);
   query::Interpreter interpreter(graph_);
+  const bool vectorized = mode == ExecMode::kBatched;
 
   // Split at the first blocking (exchange-requiring) operator.
   size_t split = plan.ops.size();
@@ -22,13 +82,13 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
     }
   }
 
-  const bool shardable = !plan.ops.empty() &&
+  const bool shardable = pool_ != nullptr && !plan.ops.empty() &&
                          plan.ops[0].kind == ir::OpKind::kScan && split > 0 &&
-                         num_workers_ > 1;
-  std::vector<ir::Row> merged;
+                         !HasInnerScan(plan, split);
   if (!shardable) {
     query::ExecOptions opts;
     opts.params = std::move(params);
+    opts.vectorized = vectorized;
     opts.deadline = deadline;
     opts.cancel = cancel;
     opts.trace = trace;
@@ -36,34 +96,93 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
     return interpreter.Run(plan, opts);
   }
 
-  // Streaming prefix: one pool worker per scan shard. Pool size equals the
-  // number of shard tasks, so every shard runs concurrently and the
-  // pool's Wait() is the exchange point.
-  std::vector<Result<std::vector<ir::Row>>> partials(
-      num_workers_, Result<std::vector<ir::Row>>(std::vector<ir::Row>{}));
-  {
-    ThreadPool pool(num_workers_);
+  const size_t total = ScanTotal(*graph_, plan.ops[0]);
+  std::vector<ir::Row> merged;
+  if (vectorized) {
+    // Morsel-driven prefix: every worker pulls contiguous scan windows
+    // from one shared source, so load balances dynamically and no worker
+    // idles on a skewed shard.
+    query::ScanMorselSource morsels;
+    std::vector<Result<std::vector<ir::Batch>>> partials(
+        num_workers_,
+        Result<std::vector<ir::Batch>>(std::vector<ir::Batch>{}));
+    ShardLatch latch(num_workers_);
     for (size_t w = 0; w < num_workers_; ++w) {
-      pool.Submit([&, w] {
-        trace::ScopedSpan shard_span(trace,
-                                     "gaia.shard[" + std::to_string(w) + "]",
-                                     "engine", engine_span.id());
-        query::ExecOptions opts;
-        opts.params = params;
-        opts.shard_index = w;
-        opts.shard_count = num_workers_;
-        opts.deadline = deadline;
-        opts.cancel = cancel;
-        opts.trace = trace;
-        opts.trace_parent = shard_span.id();
-        partials[w] = interpreter.RunRange(plan, 0, split, {}, opts);
+      pool_->Submit([&, w] {
+        {
+          // Scoped so the span ends before CountDown: the waiter may read
+          // the trace the instant the latch releases.
+          trace::ScopedSpan shard_span(trace,
+                                       "gaia.shard[" + std::to_string(w) + "]",
+                                       "engine", engine_span.id());
+          query::ExecOptions opts;
+          opts.params = params;
+          opts.shard_index = w;  // Gates index scans to one resolver.
+          opts.shard_count = num_workers_;
+          opts.morsels = &morsels;
+          opts.vectorized = true;
+          opts.deadline = deadline;
+          opts.cancel = cancel;
+          opts.trace = trace;
+          opts.trace_parent = shard_span.id();
+          partials[w] = interpreter.RunRangeBatched(plan, 0, split, {}, opts);
+        }
+        latch.CountDown();
       });
     }
-    pool.Wait();
-  }
-
-  // Exchange: gather shards.
-  {
+    latch.Wait();
+    // Exchange: concatenate the worker batch lists and restore global
+    // scan order by order_key. Each scan window was claimed by exactly
+    // one worker and batches never span windows, so the sort reproduces
+    // the single-threaded row order exactly (stable: a worker's own
+    // batches are already ordered, and EXPAND outputs inherit their
+    // source batch's key).
+    trace::ScopedSpan exchange_span(trace, "gaia.exchange", "engine",
+                                    engine_span.id());
+    std::vector<ir::Batch> all;
+    for (auto& partial : partials) {
+      FLEX_RETURN_NOT_OK(partial.status());
+      auto batches = std::move(partial).value();
+      all.insert(all.end(), std::make_move_iterator(batches.begin()),
+                 std::make_move_iterator(batches.end()));
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const ir::Batch& a, const ir::Batch& b) {
+                       return a.order_key < b.order_key;
+                     });
+    merged = ir::BatchesToRows(all);
+  } else {
+    // Row-mode prefix: one contiguous scan window per worker, so the
+    // exchange's concatenation in worker order preserves global scan
+    // order — the same order the batched mode reconstructs.
+    std::vector<Result<std::vector<ir::Row>>> partials(
+        num_workers_, Result<std::vector<ir::Row>>(std::vector<ir::Row>{}));
+    ShardLatch latch(num_workers_);
+    for (size_t w = 0; w < num_workers_; ++w) {
+      pool_->Submit([&, w] {
+        {
+          // Scoped so the span ends before CountDown: the waiter may read
+          // the trace the instant the latch releases.
+          trace::ScopedSpan shard_span(trace,
+                                       "gaia.shard[" + std::to_string(w) + "]",
+                                       "engine", engine_span.id());
+          query::ExecOptions opts;
+          opts.params = params;
+          opts.shard_index = w;  // Gates index scans to one resolver.
+          opts.shard_count = num_workers_;
+          opts.scan_begin = w * total / num_workers_;
+          opts.scan_end = (w + 1) * total / num_workers_;
+          opts.vectorized = false;
+          opts.deadline = deadline;
+          opts.cancel = cancel;
+          opts.trace = trace;
+          opts.trace_parent = shard_span.id();
+          partials[w] = interpreter.RunRange(plan, 0, split, {}, opts);
+        }
+        latch.CountDown();
+      });
+    }
+    latch.Wait();
     trace::ScopedSpan exchange_span(trace, "gaia.exchange", "engine",
                                     engine_span.id());
     for (auto& partial : partials) {
@@ -74,9 +193,11 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
     }
   }
 
-  // Blocking suffix.
+  // Blocking suffix: starts with a blocking operator, which the batched
+  // path would bridge through rows anyway, so both modes run it row-wise.
   query::ExecOptions opts;
   opts.params = std::move(params);
+  opts.vectorized = false;
   opts.deadline = deadline;
   opts.cancel = cancel;
   opts.trace = trace;

@@ -162,6 +162,7 @@ bool HiActorEngine::TryRunOne(size_t shard_index) {
                                    "engine", task.query.trace_parent);
     query::ExecOptions opts;
     opts.params = std::move(task.query.params);
+    opts.vectorized = task.query.vectorized;
     opts.deadline = task.query.deadline;
     opts.cancel = task.query.cancel;
     opts.trace = task.query.trace;

@@ -564,6 +564,37 @@ class GraphArDirectGraph final : public grin::GrinGraph {
     return visitor(ctx, chunk);
   }
 
+  bool GetNeighborsBatch(std::span<const vid_t> vids, Direction dir,
+                         label_t edge_label, grin::BatchAdjVisitor visitor,
+                         void* ctx) const override {
+    // One virtual call per batch, CSR slices handed out directly. Counter
+    // increments match the scalar path: one per source per concrete
+    // direction.
+    const Topo& t = topo_[edge_label];
+    auto emit = [&](size_t i, Direction d) -> bool {
+      FLEX_COUNTER_INC(metrics::kStorageAdjVisitsTotal);
+      const vid_t v = vids[i];
+      grin::AdjChunk chunk;
+      if (d == Direction::kOut) {
+        chunk.neighbors = {t.out_nbrs.data() + t.out_offsets[v],
+                           t.out_offsets[v + 1] - t.out_offsets[v]};
+        chunk.edge_id_base = t.out_offsets[v];
+      } else {
+        chunk.neighbors = {t.in_nbrs.data() + t.in_offsets[v],
+                           t.in_offsets[v + 1] - t.in_offsets[v]};
+        chunk.edge_ids = {t.in_eids.data() + t.in_offsets[v],
+                          t.in_offsets[v + 1] - t.in_offsets[v]};
+      }
+      if (chunk.neighbors.empty()) return true;
+      return visitor(ctx, i, d, chunk);
+    };
+    for (size_t i = 0; i < vids.size(); ++i) {
+      if (dir != Direction::kIn && !emit(i, Direction::kOut)) return false;
+      if (dir != Direction::kOut && !emit(i, Direction::kIn)) return false;
+    }
+    return true;
+  }
+
   size_t Degree(vid_t v, Direction dir, label_t edge_label) const override {
     const Topo& t = topo_[edge_label];
     size_t deg = 0;
@@ -587,6 +618,28 @@ class GraphArDirectGraph final : public grin::GrinGraph {
     const std::string section =
         "e/" + def.name + "/p" + std::to_string(col);
     return CachedGet(section, def.properties[col].type, e);
+  }
+
+  void GetVerticesProperties(std::span<const vid_t> vids, size_t col,
+                             PropertyValue* out) const override {
+    // Parse the archive section once per same-label run instead of once
+    // per vertex (the scalar CachedGet re-reads and re-parses the chunk
+    // table on every call; only the decoded chunk is cached).
+    size_t i = 0;
+    while (i < vids.size()) {
+      const label_t label = VertexLabelOf(vids[i]);
+      size_t j = i + 1;
+      while (j < vids.size() && vids[j] >= label_start_[label] &&
+             vids[j] < label_start_[label + 1]) {
+        ++j;
+      }
+      const auto& def = reader_->schema().vertex_label(label);
+      const std::string section =
+          "v/" + def.name + "/p" + std::to_string(col);
+      CachedGetBatch(section, def.properties[col].type, label_start_[label],
+                     vids.subspan(i, j - i), out + i);
+      i = j;
+    }
   }
 
   Result<vid_t> FindVertex(label_t label, oid_t oid) const override {
@@ -716,6 +769,46 @@ class GraphArDirectGraph final : public grin::GrinGraph {
       entry.column = std::move(column);
     }
     return entry.column->Get(row - chunk_id * chunk_rows);
+  }
+
+  /// Batched CachedGet over one same-label run: section read + chunk-table
+  /// parse happen once; the one-chunk decode cache serves sequential rows.
+  void CachedGetBatch(const std::string& section, PropertyType type,
+                      vid_t base, std::span<const vid_t> vids,
+                      PropertyValue* out) const {
+    MutexLock lock(&cache_mu_);
+    auto fill_empty = [&] {
+      for (size_t i = 0; i < vids.size(); ++i) out[i] = PropertyValue();
+    };
+    auto bytes = reader_->Section(section);
+    if (!bytes.ok()) return fill_empty();
+    auto parsed = ParseChunks(bytes.value());
+    if (!parsed.ok()) return fill_empty();
+    const auto& chunks = parsed.value().chunks;
+    if (chunks.empty()) return fill_empty();
+    const size_t chunk_rows = chunks[0].nrows;
+    auto& entry = cache_[section];
+    for (size_t i = 0; i < vids.size(); ++i) {
+      const size_t row = vids[i] - base;
+      const size_t chunk_id = row / chunk_rows;
+      if (chunk_id >= chunks.size()) {
+        out[i] = PropertyValue();
+        continue;
+      }
+      if (entry.chunk_id != static_cast<int64_t>(chunk_id) ||
+          entry.column == nullptr) {
+        auto column = std::make_unique<PropertyColumn>(type);
+        if (!DecodeColumnChunk(chunks[chunk_id].bytes, chunks[chunk_id].nrows,
+                               column.get())
+                 .ok()) {
+          out[i] = PropertyValue();
+          continue;
+        }
+        entry.chunk_id = static_cast<int64_t>(chunk_id);
+        entry.column = std::move(column);
+      }
+      out[i] = entry.column->Get(row - chunk_id * chunk_rows);
+    }
   }
 
   const GraphArReader* reader_;

@@ -258,6 +258,119 @@ TEST(LexerTest, ErrorsOnBrokenInput) {
   EXPECT_EQ(lang::Tokenize("$x").status().code(), StatusCode::kParseError);
 }
 
+// ---------------------------------------------------- columnar batches
+
+TEST(BatchTest, TypedAppendsKeepColumnsTyped) {
+  Column c;
+  c.AppendVertex(3);
+  c.AppendVertex(7);
+  EXPECT_EQ(c.kind(), Column::Kind::kVertex);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.vids()[1], 7u);
+  EXPECT_TRUE(c.IsVertexAt(0));
+  EXPECT_EQ(c.VertexAt(1), 7u);
+  EXPECT_EQ(c.EdgeAt(0), nullptr);
+
+  Column e;
+  e.AppendEdge(EdgeRef{/*label=*/0, /*eid=*/5, /*src=*/1, /*dst=*/2});
+  EXPECT_EQ(e.kind(), Column::Kind::kEdge);
+  ASSERT_NE(e.EdgeAt(0), nullptr);
+  EXPECT_EQ(e.EdgeAt(0)->dst, 2u);
+}
+
+TEST(BatchTest, MixedAppendPromotesToBoxed) {
+  Column c;
+  c.AppendVertex(3);
+  c.AppendValue(PropertyValue(int64_t{42}));  // Kind mismatch: promote.
+  EXPECT_EQ(c.kind(), Column::Kind::kBoxed);
+  ASSERT_EQ(c.size(), 2u);
+  // Per-row views still answer correctly after promotion.
+  EXPECT_TRUE(c.IsVertexAt(0));
+  EXPECT_EQ(c.VertexAt(0), 3u);
+  EXPECT_TRUE(c.IsValueAt(1));
+  EXPECT_EQ(c.ValueAt(1).AsInt64(), 42);
+}
+
+TEST(BatchTest, PerRowViewsMirrorRowRepresentation) {
+  // HashAt/ToStringAt are the batched hash/render paths; they must agree
+  // with the row path's EntryHash/EntryToString for every entry kind.
+  Column c;
+  c.AppendVertex(9);
+  c.AppendEdge(EdgeRef{0, 1, 2, 3});
+  c.AppendValue(PropertyValue("abc"));
+  c.AppendValue(PropertyValue(2.5));
+  for (size_t i = 0; i < c.size(); ++i) {
+    const Entry boxed = c.EntryAt(i);
+    EXPECT_EQ(c.HashAt(i), EntryHash(boxed)) << "row " << i;
+    EXPECT_EQ(c.ToStringAt(i), EntryToString(boxed)) << "row " << i;
+  }
+}
+
+TEST(BatchTest, GatherFromCompactsSelectedRows) {
+  Column src;
+  for (vid_t v = 0; v < 8; ++v) src.AppendVertex(v * 10);
+  Column dst;
+  const std::vector<uint32_t> rows = {1, 4, 6};
+  dst.GatherFrom(src, rows);
+  EXPECT_EQ(dst.kind(), Column::Kind::kVertex);
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst.VertexAt(0), 10u);
+  EXPECT_EQ(dst.VertexAt(1), 40u);
+  EXPECT_EQ(dst.VertexAt(2), 60u);
+}
+
+TEST(BatchTest, SelectionRefinesWithoutCopying) {
+  Batch b;
+  Column c;
+  for (vid_t v = 0; v < 5; ++v) c.AppendVertex(v);
+  b.AddColumn(std::move(c));
+  b.SelectAll();
+  EXPECT_EQ(b.NumRows(), 5u);
+  EXPECT_EQ(b.NumSelected(), 5u);
+  b.SetSelection({0, 2, 4});
+  EXPECT_EQ(b.NumRows(), 5u);       // Physical rows untouched...
+  EXPECT_EQ(b.NumSelected(), 3u);   // ...only the view narrowed.
+  EXPECT_EQ(b.column(0).VertexAt(b.selection()[1]), 2u);
+}
+
+TEST(BatchTest, RowsRoundTripThroughBatches) {
+  // > kBatchSize rows so the chunker emits multiple batches with
+  // consecutive order keys.
+  std::vector<Row> rows;
+  for (vid_t v = 0; v < kBatchSize + 10; ++v) {
+    Row row;
+    row.push_back(VertexRef{v});
+    row.push_back(Entry{PropertyValue(static_cast<int64_t>(v) * 2)});
+    rows.push_back(std::move(row));
+  }
+  const auto batches = RowsToBatches(rows, /*first_order_key=*/7);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].order_key, 7u);
+  EXPECT_EQ(batches[1].order_key, 7u + kBatchSize);
+  EXPECT_EQ(TotalSelected(batches), rows.size());
+  const auto back = BatchesToRows(batches);
+  ASSERT_EQ(back.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(back[i], rows[i]) << "row " << i;
+  }
+}
+
+TEST(BatchTest, BatchesToRowsHonorsSelection) {
+  std::vector<Row> rows;
+  for (vid_t v = 0; v < 4; ++v) {
+    Row row;
+    row.push_back(VertexRef{v});
+    rows.push_back(std::move(row));
+  }
+  auto batches = RowsToBatches(rows);
+  ASSERT_EQ(batches.size(), 1u);
+  batches[0].SetSelection({1, 3});
+  const auto back = BatchesToRows(batches);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], rows[1]);
+  EXPECT_EQ(back[1], rows[3]);
+}
+
 TEST(LexerTest, NumbersAndDotsDisambiguate) {
   auto tokens = lang::Tokenize("a.b 1.5 7.name").value();
   // a . b | 1.5 | 7 . name — the float swallows the dot, the property

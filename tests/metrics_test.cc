@@ -130,9 +130,11 @@ const char* const kExpectedStackMetrics[] = {
     "flex_pie_superstep_duration_us",
     "flex_queries_shed_total",
     "flex_queries_total",
+    "flex_query_batches_total",
     "flex_query_failures_total",
     "flex_query_latency_us",
     "flex_query_retries_total",
+    "flex_query_rows_per_batch",
     "flex_storage_adj_visits_total",
     "flex_storage_index_lookups_total",
     "flex_storage_scans_total",
@@ -181,7 +183,11 @@ TEST(MetricsTest, EveryStandardMetricHasKindAndHelp) {
     if (kind == "counter") {
       EXPECT_TRUE(name.ends_with("_total")) << name;
     } else if (kind == "histogram") {
-      EXPECT_TRUE(name.ends_with("_us")) << name;
+      // Histograms carry a unit suffix: `_us` for latencies, or a
+      // `_per_<x>` distribution name for value histograms.
+      EXPECT_TRUE(name.ends_with("_us") || name.find("_per_") !=
+                                               std::string::npos)
+          << name;
     }
   }
   EXPECT_EQ(metrics::FindStackMetric("no_such_metric"), nullptr);

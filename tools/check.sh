@@ -18,10 +18,13 @@
 # The bench pass is the perf ratchet: it rebuilds the Exp-3 analytics
 # bench unsanitized, runs the fragment-scaling sweep, and diffs the
 # numbers against the committed BENCH_exp3_analytics.json via
-# tools/bench_compare.py (>15% regression fails). The sanitizer passes
-# additionally run `bench_superstep_comm --smoke` so the superstep
-# communication path (flush sharding, zero-copy frames, CRC kernels)
-# is exercised under ASan+UBSan and TSan outside of ctest.
+# tools/bench_compare.py (>15% regression fails). It then runs the Exp-2
+# row-vs-batched A/B (bench_exp2_snb_interactive --ab-only), which both
+# ratchets against BENCH_exp2_snb.json and enforces the vectorization
+# floor (batched >=1.2x geomean over row at 4 workers). The sanitizer
+# passes additionally run `bench_superstep_comm --smoke` and the Exp-2
+# A/B smoke so the superstep communication path and the columnar
+# executor are exercised under ASan+UBSan and TSan outside of ctest.
 #
 # Usage:
 #   tools/check.sh            # all passes (asan, tsan, chaos, coverage, bench)
@@ -46,6 +49,8 @@ run_pass() {
   (cd "$builddir" && ctest --output-on-failure -j "$JOBS")
   echo "--- $name: bench_superstep_comm --smoke ---"
   "$builddir/bench/bench_superstep_comm" --smoke
+  echo "--- $name: bench_exp2_snb_interactive --ab-only --smoke ---"
+  "$builddir/bench/bench_exp2_snb_interactive" --ab-only --smoke
 }
 
 run_bench() {
@@ -58,6 +63,14 @@ run_bench() {
       --json="$builddir/exp3_current.json"
   python3 "$ROOT/tools/bench_compare.py" \
       "$ROOT/BENCH_exp3_analytics.json" "$builddir/exp3_current.json"
+  echo "=== bench: Exp-2 row-vs-batched A/B vs BENCH_exp2_snb.json ==="
+  cmake --build "$builddir" -j "$JOBS" --target bench_exp2_snb_interactive
+  # --min-geomean is the vectorization floor: the batched path must keep a
+  # >=1.2x geomean over row-at-a-time on SNB interactive at 4 workers.
+  "$builddir/bench/bench_exp2_snb_interactive" --ab-only \
+      --json="$builddir/exp2_current.json" --min-geomean=1.2
+  python3 "$ROOT/tools/bench_compare.py" \
+      "$ROOT/BENCH_exp2_snb.json" "$builddir/exp2_current.json"
 }
 
 CHAOS_SEEDS=(1 7 23 101)
