@@ -40,6 +40,17 @@ namespace flex::fault {
 ///                      kAborted; delay: emulates a slow shard.
 ///   "storage.read"     Interpreter scan — the storage read boundary fails
 ///                      with kDataLoss.
+///
+/// kAllFaultSites is the machine-readable form of the table above. It is
+/// the registry flexcheck's registry-drift rule cross-checks against every
+/// FLEX_FAULT_POINT/FLEX_FAULT_INJECT call site in src/ (both directions:
+/// no unregistered site, no dead entry). Add new sites here and to the
+/// comment in the same change.
+inline constexpr const char* kAllFaultSites[] = {
+    "grape.flush",      "hiactor.dispatch", "msg.corrupt",
+    "msg.delay",        "pie.compute",      "storage.read",
+};
+
 struct Policy {
   enum class Kind {
     /// Fires on hits [nth, nth + count): deterministic fail-on-Nth-hit.

@@ -3,6 +3,13 @@
 #include <chrono>
 #include <sstream>
 
+#include "common/trace_spans.h"
+
+// The span table header is included here (it has no other mandatory
+// consumer) so the registry always compiles with the tracer it documents.
+static_assert(flex::trace::kSpanTableSize > 0,
+              "the span table must not be empty");
+
 namespace flex::trace {
 
 namespace {

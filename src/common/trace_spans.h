@@ -1,0 +1,45 @@
+#ifndef FLEX_COMMON_TRACE_SPANS_H_
+#define FLEX_COMMON_TRACE_SPANS_H_
+
+#include <cstddef>
+
+namespace flex::trace {
+
+/// The documented span table: every span name the stack emits through
+/// Trace::BeginSpan / ScopedSpan, with its category. `prefix` entries
+/// cover families whose names carry a dynamic suffix ("superstep[3]",
+/// "gaia.shard[0]"). Operator spans are the one dynamic family not listed
+/// here: their names come from ir::OpKindName() and always use category
+/// "operator".
+///
+/// flexcheck's registry-drift rule cross-checks this table against every
+/// span use in src/, both directions: a literal span name that is not
+/// listed here fails, and a listed span nobody emits fails. Keep the table
+/// in sync with DESIGN.md §Observability when adding spans.
+struct SpanSpec {
+  const char* name;      ///< Exact name, or name prefix when `prefix`.
+  const char* category;  ///< Category argument the emitter must pass.
+  bool prefix;           ///< True when `name` is a dynamic-suffix prefix.
+};
+
+inline constexpr SpanSpec kSpanTable[] = {
+    {"compile", "compile", false},
+    {"execute", "execute", false},
+    {"flush[", "flush", true},
+    {"gaia", "engine", false},
+    {"gaia.exchange", "engine", false},
+    {"gaia.shard[", "engine", true},
+    {"hiactor.execute", "engine", false},
+    {"hiactor.queue", "engine", false},
+    {"query", "query", false},
+    {"recover[", "recover", true},
+    {"storage.read", "storage", false},
+    {"superstep[", "superstep", true},
+};
+
+inline constexpr size_t kSpanTableSize =
+    sizeof(kSpanTable) / sizeof(kSpanTable[0]);
+
+}  // namespace flex::trace
+
+#endif  // FLEX_COMMON_TRACE_SPANS_H_

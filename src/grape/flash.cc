@@ -138,7 +138,11 @@ std::vector<double> FlashEngine::Lcc() {
   return lcc;
 }
 
-std::vector<uint8_t> FlashEngine::KCore(uint32_t k) {
+Result<std::vector<uint8_t>> FlashEngine::KCoreChecked(
+    uint32_t k, const FlashOptions& options) {
+  // Admission: an already-dead query must not start peeling.
+  Status admit = CheckRunnable(options.deadline, options.cancel, "flash.kcore");
+  if (!admit.ok()) return admit;
   const vid_t n = num_vertices();
   std::vector<std::atomic<uint32_t>> degree(n);
   std::vector<uint8_t> alive(n, 1);
@@ -158,6 +162,10 @@ std::vector<uint8_t> FlashEngine::KCore(uint32_t k) {
   // dropping below k joins the next frontier. Non-neighbor state (global
   // alive/degree arrays) is exactly what FLASH permits.
   while (!frontier.empty()) {
+    // Round count is data-dependent (worst case one vertex per round), so
+    // each peel round is the loop's quantum boundary.
+    Status st = CheckRunnable(options.deadline, options.cancel, "flash.kcore");
+    if (!st.ok()) return st;
     VertexSubset next(n);
     Mutex next_mu;
     const auto& members = frontier.members();
@@ -184,7 +192,16 @@ std::vector<uint8_t> FlashEngine::KCore(uint32_t k) {
   return alive;
 }
 
-std::vector<uint32_t> FlashEngine::LouvainCommunities(int max_passes) {
+std::vector<uint8_t> FlashEngine::KCore(uint32_t k) {
+  // Infinite deadline, no token: the checked run cannot fail.
+  return KCoreChecked(k, FlashOptions{}).value();
+}
+
+Result<std::vector<uint32_t>> FlashEngine::LouvainCommunitiesChecked(
+    int max_passes, const FlashOptions& options) {
+  Status admit =
+      CheckRunnable(options.deadline, options.cancel, "flash.louvain");
+  if (!admit.ok()) return admit;
   const vid_t n = num_vertices();
   std::vector<uint32_t> community(n);
   std::vector<double> degree(n);
@@ -200,6 +217,9 @@ std::vector<uint32_t> FlashEngine::LouvainCommunities(int max_passes) {
 
   std::unordered_map<uint32_t, double> links;  // Scratch: edges into cand.
   for (int pass = 0; pass < max_passes; ++pass) {
+    Status st =
+        CheckRunnable(options.deadline, options.cancel, "flash.louvain");
+    if (!st.ok()) return st;
     size_t moved = 0;
     for (vid_t v = 0; v < n; ++v) {
       links.clear();
@@ -234,6 +254,10 @@ std::vector<uint32_t> FlashEngine::LouvainCommunities(int max_passes) {
     if (moved == 0) break;
   }
   return community;
+}
+
+std::vector<uint32_t> FlashEngine::LouvainCommunities(int max_passes) {
+  return LouvainCommunitiesChecked(max_passes, FlashOptions{}).value();
 }
 
 double FlashEngine::Modularity(const std::vector<uint32_t>& communities) const {

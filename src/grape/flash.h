@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/csr.h"
 #include "graph/edge_list.h"
@@ -34,6 +36,16 @@ class VertexSubset {
  private:
   std::vector<uint8_t> bitmap_;
   std::vector<vid_t> members_;
+};
+
+/// Knobs for the Checked algorithm variants (the FLASH analog of
+/// PieOptions): the driver loop polls the deadline/cancel pair once per
+/// frontier round or local-move pass and stops with kDeadlineExceeded /
+/// kCancelled instead of running on.
+struct FlashOptions {
+  Deadline deadline;
+  /// Optional; checked alongside the deadline. Cancellation wins.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// The FLASH programming model [58] (§6): driver-style control flow with
@@ -89,12 +101,24 @@ class FlashEngine {
   /// over the undirected simple graph.
   std::vector<double> Lcc();
 
-  /// k-core membership via frontier-based peeling.
+  /// k-core membership via frontier-based peeling, with a runnable check
+  /// per peel round (the driver loop's natural quantum — how many rounds
+  /// run is data-dependent, so an engine-hosted run must be stoppable).
+  Result<std::vector<uint8_t>> KCoreChecked(uint32_t k,
+                                            const FlashOptions& options);
+
+  /// Unchecked convenience wrapper: KCoreChecked with infinite options
+  /// (cannot fail).
   std::vector<uint8_t> KCore(uint32_t k);
 
   /// Louvain-style community detection: repeated local-move passes that
   /// greedily maximize modularity gain until no vertex moves (single
-  /// level, no coarsening). Returns a community id per vertex.
+  /// level, no coarsening). Returns a community id per vertex. Polls the
+  /// runnable check once per pass.
+  Result<std::vector<uint32_t>> LouvainCommunitiesChecked(
+      int max_passes, const FlashOptions& options);
+
+  /// Unchecked convenience wrapper: infinite options (cannot fail).
   std::vector<uint32_t> LouvainCommunities(int max_passes = 10);
 
   /// Modularity of `communities` over the undirected simple graph.

@@ -386,9 +386,11 @@ class MessageManager {
       }
       return Status::OK();
     }
+    // At most two passes: the clean pass, plus one retry after a
+    // retransmit-driven rebuild. The bound is structural — the second pass
+    // either delivers or fails with kDataLoss.
     size_t delivered_frames = 0;
-    bool repaired = false;
-    for (;;) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
       const std::vector<Frame>& frames = incoming_[fid];
       size_t frame_index = 0;
       bool frame_damage = false;
@@ -398,31 +400,17 @@ class MessageManager {
           break;
         }
         if (frame_index >= delivered_frames) {
-          size_t mpos = 0;
-          uint64_t target = 0;
-          MSG msg{};
-          while (mpos < frame.len) {
-            if (!GetVarint64(frame.data, frame.len, &mpos, &target) ||
-                !MsgCodec<MSG>::Decode(frame.data, frame.len, &mpos, &msg)) {
-              return Status::DataLoss(
-                  "fragment " + std::to_string(fid) + ": frame from " +
-                  std::to_string(frame.src) +
-                  " fails to decode despite a valid checksum (byte " +
-                  std::to_string(mpos) + " of " + std::to_string(frame.len) +
-                  ")");
-            }
-            fn(static_cast<vid_t>(target), msg);
-          }
+          FLEX_RETURN_NOT_OK(DecodeFrame(fid, frame, fn));
           delivered_frames = frame_index + 1;
         }
         ++frame_index;
       }
       if (!frame_damage) return Status::OK();
-      if (!retransmit_enabled_ || repaired) {
+      if (!retransmit_enabled_ || attempt > 0) {
         return Status::DataLoss("fragment " + std::to_string(fid) +
                                 ": corrupt message frame " +
                                 std::to_string(frame_index) +
-                                (repaired ? " (after retransmit)" : "") +
+                                (attempt > 0 ? " (after retransmit)" : "") +
                                 "; retransmission unavailable");
       }
       // Retransmit: the retained payloads are bit-identical to what the
@@ -431,8 +419,9 @@ class MessageManager {
       RebuildIncoming(fid);
       retransmits_.fetch_add(1, std::memory_order_relaxed);
       FLEX_COUNTER_INC(metrics::kMsgRetransmitsTotal);
-      repaired = true;
     }
+    // Unreachable: the second pass always returns above.
+    return Status::OK();
   }
 
   /// Chaos-harness switch: disabling retransmission turns frame damage
@@ -472,6 +461,28 @@ class MessageManager {
                f.len;
     }
     return total;
+  }
+
+  /// Decodes every (target, message) pair in a checksum-valid frame,
+  /// invoking `fn` for each. kDataLoss if the varint stream is malformed
+  /// despite the checksum matching (an encoder bug, not wire damage).
+  template <typename Fn>
+  Status DecodeFrame(partition_t fid, const Frame& frame, Fn&& fn) {
+    size_t mpos = 0;
+    uint64_t target = 0;
+    MSG msg{};
+    while (mpos < frame.len) {
+      if (!GetVarint64(frame.data, frame.len, &mpos, &target) ||
+          !MsgCodec<MSG>::Decode(frame.data, frame.len, &mpos, &msg)) {
+        return Status::DataLoss(
+            "fragment " + std::to_string(fid) + ": frame from " +
+            std::to_string(frame.src) +
+            " fails to decode despite a valid checksum (byte " +
+            std::to_string(mpos) + " of " + std::to_string(frame.len) + ")");
+      }
+      fn(static_cast<vid_t>(target), msg);
+    }
+    return Status::OK();
   }
 
   /// Reconstructs fragment `dst`'s frame table from the retained payloads,

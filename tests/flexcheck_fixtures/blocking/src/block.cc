@@ -1,0 +1,35 @@
+// Fixture: blocking operations while a mutex is held. Drain() submits to
+// a thread pool under mu_; WaitWrong() waits on a condvar whose guard is
+// a different mutex than the one held. WaitRight() is the sanctioned
+// pattern (waiting releases the same mutex the waiter holds) and must not
+// be reported.
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+
+namespace flex {
+
+class Dispatcher {
+ public:
+  void Drain(ThreadPool* pool) {
+    MutexLock lock(&mu_);
+    pool->Submit([] {});
+  }
+
+  void WaitWrong() {
+    MutexLock lock(&mu_);
+    other_cv_.Wait(&other_mu_);
+  }
+
+  void WaitRight() {
+    MutexLock lock(&mu_);
+    cv_.Wait(&mu_);
+  }
+
+ private:
+  Mutex mu_;
+  Mutex other_mu_;
+  CondVar cv_;
+  CondVar other_cv_;
+};
+
+}  // namespace flex

@@ -1,0 +1,30 @@
+// Fixture: a well-behaved file — consistent single-mutex locking, a
+// bounded loop, no registry uses, no waivers. flexcheck must report
+// nothing here.
+#include "common/mutex.h"
+
+namespace flex {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    MutexLock lock(&mu_);
+    value_ += delta;
+  }
+
+  int Sum(const int* values, int n) {
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+      total += values[i];
+    }
+    MutexLock lock(&mu_);
+    value_ += total;
+    return value_;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace flex

@@ -1,0 +1,28 @@
+// Fixture: two flex::Mutex members acquired in opposite orders by two
+// functions in the same TU. flexcheck must report a lock-order cycle
+// mu_a_ -> mu_b_ -> mu_a_.
+#include "common/mutex.h"
+
+namespace flex {
+
+class Inventory {
+ public:
+  void Deposit() {
+    MutexLock a(&mu_a_);
+    MutexLock b(&mu_b_);
+    ++balance_;
+  }
+
+  void Withdraw() {
+    MutexLock b(&mu_b_);
+    MutexLock a(&mu_a_);
+    --balance_;
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+  int balance_ = 0;
+};
+
+}  // namespace flex

@@ -1,0 +1,26 @@
+// Fixture, TU 1 of 2: Publish() holds reg_mu_ and calls TouchMap(),
+// which lives in b.cc and acquires map_mu_. Together with b.cc's direct
+// map_mu_ -> reg_mu_ ordering this closes a cycle that no single TU
+// exhibits on its own.
+#include "common/mutex.h"
+
+namespace flex {
+
+class Registry {
+ public:
+  void Publish();
+
+  Mutex reg_mu_;
+  Mutex map_mu_;
+  int version_ = 0;
+};
+
+void TouchMap(Registry* r);
+
+void Registry::Publish() {
+  MutexLock lock(&reg_mu_);
+  ++version_;
+  TouchMap(this);
+}
+
+}  // namespace flex

@@ -1,0 +1,24 @@
+// Fixture, TU 2 of 2: TouchMap() acquires map_mu_ (reached from
+// Publish() in a.cc while reg_mu_ is held); Reindex() orders
+// map_mu_ -> reg_mu_ directly. The cycle spans both files.
+#include "common/mutex.h"
+
+namespace flex {
+
+class Registry;
+
+void TouchMap(Registry* r);
+void Reindex(Registry* r);
+
+void TouchMap(Registry* r) {
+  MutexLock lock(&r->map_mu_);
+  (void)r;
+}
+
+void Reindex(Registry* r) {
+  MutexLock map(&r->map_mu_);
+  MutexLock reg(&r->reg_mu_);
+  (void)r;
+}
+
+}  // namespace flex

@@ -1,0 +1,11 @@
+// Fixture registry: "known.site" is used by probe.cc, "dead.site" is
+// registered but never used (a dead entry the drift rule must flag).
+#ifndef FIXTURE_FAULT_H_
+#define FIXTURE_FAULT_H_
+
+inline constexpr const char* kAllFaultSites[] = {
+    "dead.site",
+    "known.site",
+};
+
+#endif  // FIXTURE_FAULT_H_

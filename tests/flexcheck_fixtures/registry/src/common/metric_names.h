@@ -1,0 +1,13 @@
+// Fixture registry: kKnownTotal is used by probe.cc, kDeadTotal is
+// declared but never used.
+#ifndef FIXTURE_METRIC_NAMES_H_
+#define FIXTURE_METRIC_NAMES_H_
+
+namespace metrics {
+
+inline constexpr char kKnownTotal[] = "fixture_known_total";
+inline constexpr char kDeadTotal[] = "fixture_dead_total";
+
+}  // namespace metrics
+
+#endif  // FIXTURE_METRIC_NAMES_H_

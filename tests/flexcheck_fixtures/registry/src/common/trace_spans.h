@@ -1,0 +1,19 @@
+// Fixture span table: "known" is emitted with the right category,
+// "dead" is never emitted, and "shard[" is a dynamic-suffix prefix
+// family.
+#ifndef FIXTURE_TRACE_SPANS_H_
+#define FIXTURE_TRACE_SPANS_H_
+
+struct SpanSpec {
+  const char* name;
+  const char* category;
+  bool prefix;
+};
+
+inline constexpr SpanSpec kSpanTable[] = {
+    {"dead", "engine", false},
+    {"known", "engine", false},
+    {"shard[", "engine", true},
+};
+
+#endif  // FIXTURE_TRACE_SPANS_H_

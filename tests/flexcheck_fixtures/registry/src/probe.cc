@@ -1,0 +1,27 @@
+// Fixture: one clean use of each registry plus every drift shape —
+// an unregistered fault site, an undeclared metric constant, a raw
+// metric-name literal, an unknown span, and a wrong span category.
+// Together with the registries' dead entries this exercises both
+// directions of the registry-drift rule.
+#include "common/fault.h"
+#include "common/metric_names.h"
+
+namespace flex {
+
+void Probe(trace::Trace* trace) {
+  if (FLEX_FAULT_POINT("known.site")) {
+    return;
+  }
+  if (FLEX_FAULT_POINT("mystery.site")) {
+    return;
+  }
+  FLEX_COUNTER_INC(metrics::kKnownTotal);
+  FLEX_COUNTER_INC(metrics::kMissingTotal);
+  FLEX_COUNTER_ADD("fixture_raw_literal", 1);
+  trace->BeginSpan("known", "engine");
+  trace->BeginSpan("shard[" + std::to_string(0), "engine");
+  trace->BeginSpan("mystery", "engine");
+  trace->BeginSpan("known", "storage");
+}
+
+}  // namespace flex

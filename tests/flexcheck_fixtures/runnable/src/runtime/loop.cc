@@ -1,0 +1,55 @@
+// Fixture: DrainForever() spins an unbounded loop with a long body and no
+// deadline/cancellation poll — the exact shape runnable-coverage exists to
+// catch. DrainPolled() is the same loop with a CheckRunnable call at the
+// top of each iteration and must not be reported.
+#include "common/deadline.h"
+
+namespace flex {
+
+int DrainForever(int* queue, int n) {
+  int processed = 0;
+  int idle_rounds = 0;
+  for (;;) {
+    int batch = 0;
+    for (int i = 0; i < n; ++i) {
+      if (queue[i] > 0) {
+        --queue[i];
+        ++batch;
+      }
+    }
+    processed += batch;
+    if (batch == 0) {
+      ++idle_rounds;
+    } else {
+      idle_rounds = 0;
+    }
+    if (idle_rounds > 1000000) {
+      break;
+    }
+  }
+  return processed;
+}
+
+int DrainPolled(const Deadline& deadline, int* queue, int n) {
+  int processed = 0;
+  for (;;) {
+    Status st = CheckRunnable(deadline, nullptr, "fixture.drain");
+    if (!st.ok()) {
+      break;
+    }
+    int batch = 0;
+    for (int i = 0; i < n; ++i) {
+      if (queue[i] > 0) {
+        --queue[i];
+        ++batch;
+      }
+    }
+    processed += batch;
+    if (batch == 0) {
+      break;
+    }
+  }
+  return processed;
+}
+
+}  // namespace flex

@@ -1,0 +1,24 @@
+// Fixture: a naked allow() marker (no justification anywhere nearby) must
+// be reported; the justified forms — same-line reason, or a preceding
+// pure-comment line — must not.
+#include "common/mutex.h"
+
+namespace flex {
+
+int Naked(int* p) {
+  // flexlint: allow(lock-order)
+  return *p;
+}
+
+int JustifiedInline(int* p) {
+  // flexlint: allow(lock-order): ordering is pinned by the caller here.
+  return *p;
+}
+
+int JustifiedAbove(int* p) {
+  // The caller serializes access, so acquisition order cannot matter.
+  // flexlint: allow(lock-order)
+  return *p;
+}
+
+}  // namespace flex

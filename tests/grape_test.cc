@@ -438,6 +438,30 @@ TEST(FlashTest, TriangleTotalMatchesBruteForce) {
   EXPECT_EQ(total, brute * 3);  // Each triangle counted at 3 corners.
 }
 
+TEST(FlashTest, CheckedVariantsStopOnDeadlineAndCancel) {
+  EdgeList g = TestGraph();
+  flash::FlashEngine engine(g, 2);
+
+  flash::FlashOptions expired;
+  expired.deadline = Deadline::Expired();
+  auto kcore = engine.KCoreChecked(4, expired);
+  ASSERT_FALSE(kcore.ok());
+  EXPECT_EQ(kcore.status().code(), StatusCode::kDeadlineExceeded);
+
+  CancellationToken token;
+  token.Cancel();
+  flash::FlashOptions cancelled;
+  cancelled.cancel = &token;
+  auto louvain = engine.LouvainCommunitiesChecked(10, cancelled);
+  ASSERT_FALSE(louvain.ok());
+  EXPECT_EQ(louvain.status().code(), StatusCode::kCancelled);
+
+  // Infinite options match the unchecked wrappers bit-for-bit.
+  auto checked = engine.KCoreChecked(3, flash::FlashOptions{});
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked.value(), engine.KCore(3));
+}
+
 TEST(FlashTest, LccBounds) {
   EdgeList g = TestGraph();
   flash::FlashEngine engine(g, 3);

@@ -26,13 +26,30 @@
 # A/B smoke so the superstep communication path and the columnar
 # executor are exercised under ASan+UBSan and TSan outside of ctest.
 #
+# The static pass builds only the two analyzers (flexlint for per-line
+# invariants, flexcheck for the cross-TU concurrency/propagation
+# contracts — lock-order cycles, blocking-under-lock, runnable-coverage,
+# registry-drift) and runs both over the tree. Fast enough for every
+# commit; the same binaries also run as ctest tests in tier-1 and so are
+# exercised inside the sanitizer passes automatically.
+#
+# The tidy pass runs clang-tidy (the curated .clang-tidy at the repo
+# root: bugprone-*, concurrency-*, performance-*) over src/common/ and
+# src/runtime/ using the compile database from the static build tree.
+# clang-tidy is optional tooling — when it is not installed the pass
+# prints a notice and succeeds, so `all` stays runnable on the
+# gcc-only image.
+#
 # Usage:
-#   tools/check.sh            # all passes (asan, tsan, chaos, coverage, bench)
+#   tools/check.sh            # all passes (static, asan, tsan, chaos,
+#                             # coverage, bench; tidy when available)
 #   tools/check.sh asan       # address+undefined only
 #   tools/check.sh tsan       # thread only
 #   tools/check.sh chaos      # multi-seed chaos harness under both sanitizers
 #   tools/check.sh coverage   # gcov line coverage + floor on src/common/
 #   tools/check.sh bench      # perf ratchet vs BENCH_exp3_analytics.json
+#   tools/check.sh static     # flexlint + flexcheck over the tree
+#   tools/check.sh tidy       # clang-tidy over src/common/ + src/runtime/
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -99,6 +116,34 @@ run_coverage() {
       "$covdir/all.gcov" "$covdir" "$COMMON_COVERAGE_FLOOR"
 }
 
+run_static() {
+  local builddir="$ROOT/build-static"
+  echo "=== static: flexlint + flexcheck over $ROOT ==="
+  cmake -B "$builddir" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  cmake --build "$builddir" -j "$JOBS" --target flexlint flexcheck
+  "$builddir/tools/flexlint" "$ROOT"
+  "$builddir/tools/flexcheck" "$ROOT"
+}
+
+run_tidy() {
+  local builddir="$ROOT/build-static"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== tidy: clang-tidy not installed, skipping (gcc-only image) ==="
+    return 0
+  fi
+  echo "=== tidy: clang-tidy over src/common/ + src/runtime/ ==="
+  # Reuse the static pass's build tree for compile_commands.json.
+  if [ ! -f "$builddir/compile_commands.json" ]; then
+    cmake -B "$builddir" -S "$ROOT" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  find "$ROOT/src/common" "$ROOT/src/runtime" -name '*.cc' -print0 |
+    xargs -0 -n 1 -P "$JOBS" clang-tidy -p "$builddir" --quiet
+}
+
 run_chaos() {
   local name="$1" sanitize="$2" builddir="$ROOT/build-$1"
   echo "=== chaos($name): FLEX_SANITIZE=$sanitize, seeds ${CHAOS_SEEDS[*]} ==="
@@ -125,7 +170,12 @@ case "$MODES" in
     ;;
   coverage) run_coverage ;;
   bench) run_bench ;;
+  static) run_static ;;
+  tidy) run_tidy ;;
   all)
+    # Static analysis first: it is the cheapest pass and fails fastest.
+    run_static
+    run_tidy
     run_pass asan address,undefined
     run_pass tsan thread
     run_chaos asan address,undefined
@@ -134,7 +184,7 @@ case "$MODES" in
     run_bench
     ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|chaos|coverage|bench|all]" >&2
+    echo "usage: tools/check.sh [asan|tsan|chaos|coverage|bench|static|tidy|all]" >&2
     exit 2
     ;;
 esac

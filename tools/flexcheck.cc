@@ -1,0 +1,55 @@
+// flexcheck: cross-file semantic analyzer for the stack's concurrency and
+// propagation contracts. Where flexlint checks single lines, flexcheck
+// builds a lightweight cross-TU model of src/ (functions, lock
+// acquisitions, call sites, loops, registries) and enforces:
+//
+//   lock-order            no cycles in the global lock acquisition graph
+//   blocking-under-lock   no waits/joins/sleeps while holding an unrelated
+//                         mutex
+//   runnable-coverage     unbounded/long loops in src/runtime|query|grape
+//                         must reach a CheckRunnable/deadline poll
+//   registry-drift        fault sites, metric names, and trace span names
+//                         must match the registries in src/common/, with no
+//                         dead entries
+//   waiver-justification  every `// flexlint: allow(<rule>)` needs a
+//                         justification comment
+//
+// Usage: flexcheck <repo-root>
+//
+// Run automatically as a ctest test and by `tools/check.sh static`.
+// Exits non-zero when any violation is found. See DESIGN.md §"Static
+// analysis" for the rules and the waiver policy.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flexcheck/model.h"
+#include "flexcheck/rules.h"
+
+int main(int argc, char** argv) {
+  std::string root = argc > 1 ? argv[1] : ".";
+  flexcheck::Model model = flexcheck::BuildModel(root);
+  if (model.functions.empty()) {
+    std::fprintf(stderr, "flexcheck: no sources found under %s/src\n",
+                 root.c_str());
+    return 2;
+  }
+  std::vector<flexcheck::Violation> violations =
+      flexcheck::RunAllRules(model);
+  for (const flexcheck::Violation& v : violations) {
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::printf("flexcheck: %zu violation(s) across %zu function(s) scanned\n",
+                violations.size(), model.functions.size());
+    return 1;
+  }
+  std::printf(
+      "flexcheck: OK (%zu functions, %zu mutexes, %zu span uses, "
+      "%zu metric uses, %zu fault sites)\n",
+      model.functions.size(), model.mutexes.size(), model.span_uses.size(),
+      model.metric_uses.size(), model.fault_uses.size());
+  return 0;
+}

@@ -1,0 +1,1468 @@
+#include "flexcheck/model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace flexcheck {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr size_t kNoIndex = static_cast<size_t>(-1);
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// True when `tok` occurs in `s` with identifier boundaries on both sides.
+bool ContainsToken(const std::string& s, const std::string& tok) {
+  size_t pos = 0;
+  while ((pos = s.find(tok, pos)) != std::string::npos) {
+    bool lb = pos == 0 || !IsIdentChar(s[pos - 1]);
+    size_t end = pos + tok.size();
+    bool rb = end >= s.size() || !IsIdentChar(s[end]);
+    if (lb && rb) return true;
+    pos += tok.size();
+  }
+  return false;
+}
+
+/// Finds `tok` with identifier boundaries; returns npos when absent.
+size_t FindToken(const std::string& s, const std::string& tok, size_t from) {
+  size_t pos = from;
+  while ((pos = s.find(tok, pos)) != std::string::npos) {
+    bool lb = pos == 0 || !IsIdentChar(s[pos - 1]);
+    size_t end = pos + tok.size();
+    bool rb = end >= s.size() || !IsIdentChar(s[end]);
+    if (lb && rb) return pos;
+    pos += tok.size();
+  }
+  return std::string::npos;
+}
+
+std::string CollapseWs(const std::string& s) {
+  std::string out;
+  bool ws = false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ws = true;
+      continue;
+    }
+    if (ws && !out.empty()) out += ' ';
+    ws = false;
+    out += c;
+  }
+  return out;
+}
+
+std::string RemoveWs(const std::string& s) {
+  std::string out;
+  for (char c : s)
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') out += c;
+  return out;
+}
+
+/// Strips //, /* */ comments and blanks raw-string bodies; keeps ordinary
+/// string/char literals (quotes and contents) so the statement scanner can
+/// harvest them. Line count is preserved.
+std::vector<std::string> StripComments(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string o;
+    o.reserve(line.size());
+    for (size_t i = 0; i < line.size();) {
+      if (in_block) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        i += 2;
+        continue;
+      }
+      if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+          (i == 0 || !IsIdentChar(line[i - 1]))) {
+        // Raw string: blank the body (possibly spanning lines is not
+        // supported per-line here; bodies in this repo are single-file
+        // blocks that the scanner never needs). Emit an empty literal.
+        size_t paren = line.find('(', i + 2);
+        if (paren == std::string::npos) {
+          o += "\"\"";
+          break;
+        }
+        std::string delim = line.substr(i + 2, paren - (i + 2));
+        std::string closer = ")" + delim + "\"";
+        size_t end = line.find(closer, paren + 1);
+        o += "\"\"";
+        if (end == std::string::npos) break;  // body continues: drop rest.
+        i = end + closer.size();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char q = c;
+        o += c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            o += line[i];
+            o += line[i + 1];
+            i += 2;
+            continue;
+          }
+          o += line[i];
+          if (line[i] == q) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      o += c;
+      ++i;
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+/// Extracts the contents of every "..." literal in `s`, in order.
+std::vector<std::string> StringLiterals(const std::string& s) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '"') continue;
+    std::string lit;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      lit += s[i];
+      ++i;
+    }
+    out.push_back(lit);
+  }
+  return out;
+}
+
+/// Splits a balanced argument list (text between one call's parens) on
+/// top-level commas.
+std::vector<std::string> SplitArgs(const std::string& args) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  bool in_str = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    char c = args[i];
+    if (in_str) {
+      cur += c;
+      if (c == '\\' && i + 1 < args.size()) {
+        cur += args[++i];
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+      cur += c;
+      continue;
+    }
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(Trim(cur));
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (!Trim(cur).empty()) out.push_back(Trim(cur));
+  return out;
+}
+
+/// Returns the argument list of the first call to `fn` in `s` (text inside
+/// the matching parens), or nullopt-ish empty + found=false.
+bool CallArgs(const std::string& s, const std::string& fn, size_t from,
+              std::string* out, size_t* call_pos) {
+  size_t pos = FindToken(s, fn, from);
+  if (pos == std::string::npos) return false;
+  size_t p = s.find('(', pos + fn.size());
+  if (p == std::string::npos || Trim(s.substr(pos + fn.size(), p - pos - fn.size())) != "")
+    return false;
+  int depth = 0;
+  bool in_str = false;
+  for (size_t i = p; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') in_str = true;
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth == 0) {
+        *out = s.substr(p + 1, i - p - 1);
+        if (call_pos != nullptr) *call_pos = pos;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string LastIdentifier(const std::string& s) {
+  size_t end = s.size();
+  while (end > 0 && !IsIdentChar(s[end - 1])) --end;
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(s[begin - 1])) --begin;
+  return s.substr(begin, end - begin);
+}
+
+std::string FirstIdentifier(const std::string& s) {
+  size_t begin = 0;
+  while (begin < s.size() && !IsIdentChar(s[begin])) ++begin;
+  size_t end = begin;
+  while (end < s.size() && IsIdentChar(s[end])) ++end;
+  return s.substr(begin, end - begin);
+}
+
+bool EndsWithIdent(const std::string& s, const std::string& ident) {
+  if (s.size() < ident.size()) return false;
+  if (s.compare(s.size() - ident.size(), ident.size(), ident) != 0)
+    return false;
+  size_t before = s.size() - ident.size();
+  return before == 0 || !IsIdentChar(s[before - 1]);
+}
+
+const char* const kControlKeywords[] = {"if",     "else", "for",   "while",
+                                        "do",     "try",  "catch", "switch"};
+
+bool StartsWithToken(const std::string& s, const std::string& tok) {
+  if (s.compare(0, tok.size(), tok) != 0) return false;
+  return s.size() == tok.size() || !IsIdentChar(s[tok.size()]);
+}
+
+/// Strips one leading `template <...>` (angle-matched) from a header.
+std::string StripTemplatePrefix(std::string s) {
+  s = Trim(s);
+  while (StartsWithToken(s, "template")) {
+    size_t lt = s.find('<');
+    if (lt == std::string::npos) break;
+    int depth = 0;
+    size_t i = lt;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '<') ++depth;
+      if (s[i] == '>') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (i >= s.size()) break;
+    s = Trim(s.substr(i + 1));
+  }
+  return s;
+}
+
+int ParenBalance(const std::string& s) {
+  int bal = 0;
+  bool in_str = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') in_str = true;
+    if (c == '(') ++bal;
+    if (c == ')') --bal;
+  }
+  return bal;
+}
+
+bool IsKeyword(const std::string& id) {
+  static const std::set<std::string> kw = {
+      "if",       "else",    "for",      "while",     "do",       "switch",
+      "case",     "return",  "sizeof",   "alignof",   "new",      "delete",
+      "static_cast",         "dynamic_cast",          "const_cast",
+      "reinterpret_cast",    "decltype", "noexcept",  "throw",    "catch",
+      "try",      "typename","template", "class",     "struct",   "union",
+      "enum",     "namespace",           "using",     "typedef",  "operator",
+      "static_assert",       "defined",  "alignas",   "co_await", "co_return",
+      "co_yield", "assert"};
+  return kw.count(id) > 0;
+}
+
+struct ScannerState;
+
+enum class ScopeKind {
+  kNamespace,
+  kClass,
+  kFunction,
+  kBlock,
+  kLoop,
+  kLambda,
+  kExpr,
+};
+
+struct Frame {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string name;  ///< Namespace / class simple name; function qual name.
+  size_t open_line = 0;
+  size_t func_idx = kNoIndex;        ///< kFunction only.
+  std::vector<std::string> locks;    ///< Lock ids acquired in this scope.
+  Loop loop;                         ///< kLoop only.
+  size_t loop_stmts = 0;
+  size_t loop_waits = 0;
+  std::string saved_stmt;            ///< kExpr / kLambda: suspended stmt.
+  size_t saved_stmt_line = 0;
+  int saved_paren = 0;
+};
+
+struct ScannerState {
+  Model* model = nullptr;
+  std::string file;  ///< Repo-relative.
+  bool collect_only = false;
+
+  std::vector<Frame> stack;
+  std::string stmt;
+  size_t stmt_line = 0;  ///< Line where the current stmt started.
+  int paren = 0;
+
+  /// Function-local mutexes and guard-variable -> lock-id bindings of the
+  /// innermost function (reset on function entry; lambdas share them,
+  /// which is the useful approximation).
+  std::map<std::string, std::string> local_mutexes;
+  std::map<std::string, std::string> guard_vars;
+};
+
+/// Innermost function frame index in the stack, or kNoIndex.
+size_t InnerFunction(const ScannerState& st) {
+  for (size_t i = st.stack.size(); i-- > 0;) {
+    if (st.stack[i].kind == ScopeKind::kFunction) return i;
+  }
+  return kNoIndex;
+}
+
+std::string EnclosingClass(const ScannerState& st) {
+  std::string name;
+  for (const Frame& f : st.stack) {
+    if (f.kind == ScopeKind::kClass) {
+      if (!name.empty()) name += "::";
+      name += f.name;
+    }
+  }
+  return name;
+}
+
+std::vector<std::string> HeldLocks(const ScannerState& st) {
+  std::vector<std::string> held;
+  for (const Frame& f : st.stack)
+    for (const std::string& l : f.locks) held.push_back(l);
+  return held;
+}
+
+void ReleaseLock(ScannerState* st, const std::string& id) {
+  for (size_t i = st->stack.size(); i-- > 0;) {
+    auto& locks = st->stack[i].locks;
+    auto it = std::find(locks.rbegin(), locks.rend(), id);
+    if (it != locks.rend()) {
+      locks.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+/// Resolves a lock expression (already stripped of '&') to a stable id.
+/// See model.h for the naming scheme.
+std::string ResolveLockExpr(const ScannerState& st, std::string expr) {
+  expr = Trim(expr);
+  while (!expr.empty() && (expr[0] == '&' || expr[0] == '*')) {
+    expr = Trim(expr.substr(1));
+  }
+  if (expr.compare(0, 6, "this->") == 0) expr = expr.substr(6);
+  const std::string cls = EnclosingClass(st);
+  if (expr.find('(') != std::string::npos) {
+    // Call form, e.g. ShardLock(src). Identify by callee.
+    std::string callee = LastIdentifier(expr.substr(0, expr.find('(')));
+    if (!cls.empty()) return cls + "::" + callee + "()";
+    return st.file + "::" + callee + "()";
+  }
+  size_t sep = std::string::npos;
+  for (size_t i = expr.size(); i-- > 0;) {
+    if (expr[i] == '.' ||
+        (expr[i] == '>' && i > 0 && expr[i - 1] == '-')) {
+      sep = i;
+      break;
+    }
+  }
+  std::string field = LastIdentifier(expr);
+  if (field.empty()) return st.file + "::" + RemoveWs(expr);
+  if (sep == std::string::npos) {
+    auto lm = st.local_mutexes.find(field);
+    if (lm != st.local_mutexes.end()) return lm->second;
+    auto gv = st.guard_vars.find(field);
+    if (gv != st.guard_vars.end()) return gv->second;
+  }
+  std::vector<const MutexDecl*> candidates;
+  for (const MutexDecl& d : st.model->mutexes)
+    if (d.field == field) candidates.push_back(&d);
+  if (sep == std::string::npos && !cls.empty()) {
+    // Plain member reference: enclosing class chain wins outright.
+    for (const MutexDecl* d : candidates) {
+      if (d->owner == cls) return d->owner + "::" + d->field;
+    }
+    // An enclosing outer class (methods of Outer referencing a field that
+    // Outer itself declares while we are inside Outer::Inner).
+    for (const MutexDecl* d : candidates) {
+      if (cls.compare(0, d->owner.size(), d->owner) == 0 &&
+          (cls.size() == d->owner.size() || cls[d->owner.size()] == ':'))
+        return d->owner + "::" + d->field;
+    }
+  }
+  if (candidates.size() == 1)
+    return candidates[0]->owner + "::" + candidates[0]->field;
+  if (!cls.empty()) {
+    // Compound expr (x->mu): a nested struct of the enclosing class.
+    std::vector<const MutexDecl*> nested;
+    std::string outer = FirstIdentifier(cls);
+    for (const MutexDecl* d : candidates) {
+      if (d->owner.compare(0, outer.size(), outer) == 0) nested.push_back(d);
+    }
+    if (nested.size() == 1) return nested[0]->owner + "::" + nested[0]->field;
+  }
+  return st.file + "::" + RemoveWs(expr);
+}
+
+void MarkLoopPoll(ScannerState* st) {
+  for (Frame& f : st->stack)
+    if (f.kind == ScopeKind::kLoop) f.loop.has_poll = true;
+}
+
+void AddLoopCall(ScannerState* st, const std::string& simple) {
+  for (Frame& f : st->stack)
+    if (f.kind == ScopeKind::kLoop) f.loop.calls.insert(simple);
+}
+
+/// Registers one lock acquisition in the innermost scope: ordering edges
+/// against everything currently held, then pushes onto the held set.
+void Acquire(ScannerState* st, const std::string& id, size_t line) {
+  size_t fi = InnerFunction(*st);
+  if (fi == kNoIndex) return;
+  Function& fn = st->model->functions[st->stack[fi].func_idx];
+  fn.acquired_locks.insert(id);
+  for (const std::string& held : HeldLocks(*st)) {
+    fn.order_edges.push_back(OrderEdge{held, id, st->file, line});
+  }
+  st->stack.back().locks.push_back(id);
+}
+
+struct GuardSpec {
+  const char* token;
+  bool shared;
+  bool multi_arg;  ///< std::scoped_lock takes several mutexes.
+};
+
+constexpr GuardSpec kGuards[] = {
+    {"MutexLock", false, false},  {"lock_guard", false, false},
+    {"unique_lock", false, false}, {"shared_lock", true, false},
+    {"scoped_lock", false, true},
+};
+
+const char* const kBlockingTokens[] = {
+    "Await", "join",  "Join",       "Submit",      "ParallelFor",
+    "ParallelForRange", "Receive",  "sleep_for",   "sleep_until",
+};
+
+const char* const kPollTokens[] = {"CheckRunnable", "HasExpired", "Cancelled",
+                                   "IsCancelled"};
+
+/// True when `pos` (start of a token) is preceded by `.` or `->`.
+bool IsMemberCall(const std::string& s, size_t pos) {
+  size_t i = pos;
+  while (i > 0 && (s[i - 1] == ' ' || s[i - 1] == '\t')) --i;
+  if (i == 0) return false;
+  if (s[i - 1] == '.') return true;
+  if (s[i - 1] == '>' && i >= 2 && s[i - 2] == '-') return true;
+  return false;
+}
+
+/// Receiver expression preceding a member call at `pos` ("x->y" for
+/// "x->y.Wait"), best effort: scans back over idents, ., ->, [], ().
+std::string ReceiverBefore(const std::string& s, size_t pos) {
+  size_t i = pos;
+  while (i > 0 && (s[i - 1] == ' ' || s[i - 1] == '\t')) --i;
+  // Skip the separator itself.
+  if (i > 0 && s[i - 1] == '.') {
+    --i;
+  } else if (i > 1 && s[i - 1] == '>' && s[i - 2] == '-') {
+    i -= 2;
+  } else {
+    return "";
+  }
+  size_t end = i;
+  int depth = 0;
+  while (i > 0) {
+    char c = s[i - 1];
+    if (c == ')' || c == ']') {
+      ++depth;
+      --i;
+      continue;
+    }
+    if (c == '(' || c == '[') {
+      if (depth == 0) break;
+      --depth;
+      --i;
+      continue;
+    }
+    if (depth > 0) {
+      --i;
+      continue;
+    }
+    if (IsIdentChar(c) || c == '.' || c == '_' ) {
+      --i;
+      continue;
+    }
+    if (c == '>' && i > 1 && s[i - 2] == '-') {
+      i -= 2;
+      continue;
+    }
+    break;
+  }
+  return Trim(s.substr(i, end - i));
+}
+
+// ---------------------------------------------------------------------------
+// Registry parsing (special-cased files)
+// ---------------------------------------------------------------------------
+
+void ParseFaultRegistry(Model* m, const std::string& rel,
+                        const std::vector<std::string>& code) {
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].find("kAllFaultSites") == std::string::npos) continue;
+    m->has_fault_registry = true;
+    m->fault_registry_file = rel;
+    m->fault_registry_line = i + 1;
+    for (size_t j = i; j < code.size(); ++j) {
+      for (const std::string& lit : StringLiterals(code[j]))
+        m->fault_registry.push_back(lit);
+      if (code[j].find("};") != std::string::npos) return;
+    }
+    return;
+  }
+}
+
+void ParseMetricRegistry(Model* m, const std::string& rel,
+                         const std::vector<std::string>& code) {
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& l = code[i];
+    size_t k = FindToken(l, "constexpr", 0);
+    if (k == std::string::npos) continue;
+    size_t ch = l.find("char", k);
+    if (ch == std::string::npos) continue;
+    size_t name_b = l.find('k', ch + 4);
+    if (name_b == std::string::npos) continue;
+    size_t name_e = name_b;
+    while (name_e < l.size() && IsIdentChar(l[name_e])) ++name_e;
+    std::string name = l.substr(name_b, name_e - name_b);
+    if (name.size() < 2) continue;
+    // The value literal may sit on a continuation line.
+    std::vector<std::string> lits = StringLiterals(l);
+    for (size_t j = i + 1; lits.empty() && j < code.size() && j <= i + 2; ++j)
+      lits = StringLiterals(code[j]);
+    if (lits.empty()) continue;
+    m->has_metric_registry = true;
+    m->metric_registry_file = rel;
+    m->metric_registry[name] = lits[0];
+    m->metric_registry_lines[name] = i + 1;
+  }
+}
+
+void ParseSpanTable(Model* m, const std::string& rel,
+                    const std::vector<std::string>& code) {
+  m->span_table_file = rel;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& l = code[i];
+    size_t b = l.find('{');
+    if (b == std::string::npos) continue;
+    std::vector<std::string> lits = StringLiterals(l);
+    if (lits.size() < 2) continue;
+    SpanSpecEntry e;
+    e.name = lits[0];
+    e.category = lits[1];
+    e.prefix = l.find("true") != std::string::npos;
+    e.line = i + 1;
+    m->has_span_table = true;
+    m->span_table.push_back(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Usage harvesting
+// ---------------------------------------------------------------------------
+
+void HarvestUsages(ScannerState* st, const std::string& stmt, size_t line) {
+  Model* m = st->model;
+  // Fault sites: FLEX_FAULT_POINT("x") / FLEX_FAULT_INJECT("x").
+  for (const char* macro : {"FLEX_FAULT_POINT", "FLEX_FAULT_INJECT"}) {
+    size_t from = 0;
+    std::string args;
+    size_t pos = 0;
+    while (CallArgs(stmt, macro, from, &args, &pos)) {
+      std::vector<std::string> lits = StringLiterals(args);
+      std::string first = SplitArgs(args).empty() ? "" : SplitArgs(args)[0];
+      if (!first.empty() && first[0] == '"' && !lits.empty()) {
+        m->fault_uses.push_back(FaultUse{lits[0], st->file, line});
+      }
+      from = pos + std::string(macro).size();
+    }
+  }
+  // Metric constants: metrics::kFoo.
+  size_t mp = 0;
+  while ((mp = stmt.find("metrics::k", mp)) != std::string::npos) {
+    size_t b = mp + std::string("metrics::").size();
+    size_t e = b;
+    while (e < stmt.size() && IsIdentChar(stmt[e])) ++e;
+    m->metric_uses.push_back(MetricUse{stmt.substr(b, e - b), st->file, line});
+    mp = e;
+  }
+  // Raw string literals passed to metric macros.
+  for (const char* macro :
+       {"FLEX_COUNTER_ADD", "FLEX_COUNTER_INC", "FLEX_GAUGE_ADD",
+        "FLEX_GAUGE_SET", "FLEX_HISTOGRAM_OBSERVE_US"}) {
+    size_t from = 0;
+    std::string args;
+    size_t pos = 0;
+    while (CallArgs(stmt, macro, from, &args, &pos)) {
+      std::vector<std::string> parts = SplitArgs(args);
+      if (!parts.empty() && !parts[0].empty() && parts[0][0] == '"') {
+        std::vector<std::string> lits = StringLiterals(parts[0]);
+        m->raw_metric_literals.push_back(
+            MetricUse{lits.empty() ? "" : lits[0], st->file, line});
+      }
+      from = pos + std::string(macro).size();
+    }
+  }
+  // Trace spans. Name is arg 0 of BeginSpan, arg 1 of a ScopedSpan ctor;
+  // category follows the name.
+  auto harvest_span = [&](const std::string& name_arg,
+                          const std::string& cat_arg) {
+    std::string na = Trim(name_arg);
+    if (na.empty() || na[0] != '"') return;  // Dynamic name: not checkable.
+    std::vector<std::string> lits = StringLiterals(na);
+    if (lits.empty()) return;
+    SpanUse u;
+    u.name = lits[0];
+    u.is_prefix = na.find('+') != std::string::npos;
+    std::string ca = Trim(cat_arg);
+    if (!ca.empty() && ca[0] == '"') {
+      std::vector<std::string> cl = StringLiterals(ca);
+      if (!cl.empty()) u.category = cl[0];
+    }
+    u.file = st->file;
+    u.line = line;
+    m->span_uses.push_back(u);
+  };
+  {
+    size_t from = 0;
+    std::string args;
+    size_t pos = 0;
+    while (CallArgs(stmt, "BeginSpan", from, &args, &pos)) {
+      std::vector<std::string> parts = SplitArgs(args);
+      if (parts.size() >= 2) harvest_span(parts[0], parts[1]);
+      from = pos + std::string("BeginSpan").size();
+    }
+  }
+  {
+    // trace::ScopedSpan <var>(<trace>, <name>, <category>[, parent]).
+    size_t sp = 0;
+    while ((sp = FindToken(stmt, "ScopedSpan", sp)) != std::string::npos) {
+      size_t after = sp + std::string("ScopedSpan").size();
+      // Require an identifier between the type and '(' — a declaration.
+      size_t ws = after;
+      while (ws < stmt.size() && std::isspace((unsigned char)stmt[ws])) ++ws;
+      size_t id_end = ws;
+      while (id_end < stmt.size() && IsIdentChar(stmt[id_end])) ++id_end;
+      if (id_end == ws) {
+        sp = after;
+        continue;
+      }
+      std::string var = stmt.substr(ws, id_end - ws);
+      std::string args;
+      size_t pos = 0;
+      if (CallArgs(stmt, var, id_end - var.size(), &args, &pos)) {
+        std::vector<std::string> parts = SplitArgs(args);
+        if (parts.size() >= 3) harvest_span(parts[1], parts[2]);
+      }
+      sp = after;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statement analysis inside functions
+// ---------------------------------------------------------------------------
+
+void AnalyzeClassMember(ScannerState* st, const std::string& stmt,
+                        size_t line) {
+  Model* m = st->model;
+  std::string s = CollapseWs(Trim(stmt));
+  if (s.empty()) return;
+  // Mutex field declarations — harvested only in the collect pass so the
+  // analysis pass does not duplicate them.
+  if (st->collect_only) {
+    std::string t = s;
+    if (StartsWithToken(t, "mutable")) t = Trim(t.substr(7));
+    static const char* const kMutexTypes[] = {
+        "Mutex", "std::mutex", "std::shared_mutex", "std::recursive_mutex"};
+    for (const char* ty : kMutexTypes) {
+      if (t.compare(0, std::string(ty).size(), ty) == 0) {
+        std::string rest = t.substr(std::string(ty).size());
+        // Reject "Mutex" as a prefix of a longer token (e.g. MutexLock).
+        if (!rest.empty() && IsIdentChar(rest[0])) continue;
+        rest = Trim(rest);
+        while (!rest.empty() && rest[0] == '*') rest = Trim(rest.substr(1));
+        std::string field = FirstIdentifier(rest);
+        if (field.empty()) continue;
+        // A method returning Mutex* has '(' right after the name.
+        size_t fp = rest.find(field);
+        size_t after = fp + field.size();
+        if (after < rest.size() && rest[after] == '(') continue;
+        MutexDecl d;
+        d.owner = EnclosingClass(*st);
+        d.field = field;
+        d.file = st->file;
+        d.line = line;
+        if (!d.owner.empty()) m->mutexes.push_back(d);
+      }
+    }
+    return;
+  }
+  // ACQUIRE/EXCLUDES annotations on member declarations: record the
+  // promise "calling this function acquires these locks".
+  for (const char* ann : {"ACQUIRE", "ACQUIRE_SHARED", "EXCLUDES"}) {
+    std::string args;
+    size_t pos = 0;
+    if (!CallArgs(s, ann, 0, &args, &pos)) continue;
+    size_t first_paren = s.find('(');
+    if (first_paren == std::string::npos || first_paren >= pos) continue;
+    std::string method = LastIdentifier(s.substr(0, first_paren));
+    if (method.empty()) continue;
+    // Parameter names of the declaration: annotation args naming a
+    // parameter (e.g. MutexLock(Mutex* mu) ACQUIRE(mu)) are dynamic.
+    std::string params;
+    CallArgs(s, method, 0, &params, nullptr);
+    for (const std::string& a : SplitArgs(args)) {
+      std::string ident = Trim(a);
+      if (ident.empty()) continue;
+      if (!params.empty() && ContainsToken(params, FirstIdentifier(ident)))
+        continue;
+      st->model->annotation_locks[method].insert(ResolveLockExpr(*st, ident));
+    }
+  }
+}
+
+void AnalyzeStatement(ScannerState* st, const std::string& raw_stmt,
+                      size_t line, bool is_header) {
+  std::string s = CollapseWs(Trim(raw_stmt));
+  if (s.empty()) return;
+  size_t fi = InnerFunction(*st);
+  if (st->collect_only) {
+    if (fi == kNoIndex && !st->stack.empty() &&
+        st->stack.back().kind == ScopeKind::kClass)
+      AnalyzeClassMember(st, s, line);
+    return;
+  }
+  HarvestUsages(st, s, line);
+
+  if (fi == kNoIndex) {
+    if (!st->stack.empty() && st->stack.back().kind == ScopeKind::kClass)
+      AnalyzeClassMember(st, s, line);
+    return;
+  }
+  Function& fn = st->model->functions[st->stack[fi].func_idx];
+
+  // Poll tokens.
+  for (const char* p : kPollTokens) {
+    if (ContainsToken(s, p)) {
+      fn.has_poll = true;
+      MarkLoopPoll(st);
+      break;
+    }
+  }
+
+  bool pure_wait = false;
+
+  // Local mutex declarations: "Mutex err_mu;".
+  if ((StartsWithToken(s, "Mutex") || StartsWithToken(s, "flex::Mutex")) &&
+      s.find('(') == std::string::npos) {
+    std::string rest = Trim(s.substr(s.find("Mutex") + 5));
+    std::string name = FirstIdentifier(rest);
+    if (!name.empty()) {
+      st->local_mutexes[name] =
+          "local:" + st->file + ":" + fn.simple_name + ":" + name;
+    }
+  }
+
+  // Lock guard declarations.
+  for (const GuardSpec& g : kGuards) {
+    size_t pos = FindToken(s, g.token, 0);
+    if (pos == std::string::npos) continue;
+    size_t i = pos + std::string(g.token).size();
+    // Optional template argument list.
+    while (i < s.size() && std::isspace((unsigned char)s[i])) ++i;
+    if (i < s.size() && s[i] == '<') {
+      int depth = 0;
+      for (; i < s.size(); ++i) {
+        if (s[i] == '<') ++depth;
+        if (s[i] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+    }
+    while (i < s.size() && std::isspace((unsigned char)s[i])) ++i;
+    size_t id_b = i;
+    while (i < s.size() && IsIdentChar(s[i])) ++i;
+    if (i == id_b) continue;  // Not a declaration (e.g. a cast or type use).
+    std::string var = s.substr(id_b, i - id_b);
+    std::string args;
+    if (!CallArgs(s, var, id_b, &args, nullptr)) continue;
+    std::vector<std::string> parts = SplitArgs(args);
+    if (parts.empty()) continue;
+    bool adopted = false;
+    for (const std::string& p : parts)
+      if (p.find("adopt_lock") != std::string::npos ||
+          p.find("defer_lock") != std::string::npos)
+        adopted = true;
+    if (adopted) continue;
+    size_t nargs = g.multi_arg ? parts.size() : 1;
+    for (size_t a = 0; a < nargs; ++a) {
+      std::string id = ResolveLockExpr(*st, parts[a]);
+      Acquire(st, id, line);
+      st->guard_vars[var] = id;
+    }
+  }
+
+  // Manual Lock()/Unlock() (and std lock()/unlock()/lock_shared()).
+  for (const char* tok : {"Lock", "lock", "lock_shared"}) {
+    size_t pos = 0;
+    while ((pos = FindToken(s, tok, pos)) != std::string::npos) {
+      size_t after = pos + std::string(tok).size();
+      if (after < s.size() && s[after] == '(' && IsMemberCall(s, pos)) {
+        std::string recv = ReceiverBefore(s, pos);
+        // A guard var's .lock() re-acquires the bound mutex.
+        if (!recv.empty()) Acquire(st, ResolveLockExpr(*st, recv), line);
+      }
+      pos = after;
+    }
+  }
+  for (const char* tok : {"Unlock", "unlock", "unlock_shared"}) {
+    size_t pos = 0;
+    while ((pos = FindToken(s, tok, pos)) != std::string::npos) {
+      size_t after = pos + std::string(tok).size();
+      if (after < s.size() && s[after] == '(' && IsMemberCall(s, pos)) {
+        std::string recv = ReceiverBefore(s, pos);
+        if (!recv.empty()) ReleaseLock(st, ResolveLockExpr(*st, recv));
+      }
+      pos = after;
+    }
+  }
+
+  // Condition-variable waits.
+  auto handle_wait = [&](const char* tok) {
+    size_t pos = 0;
+    while ((pos = FindToken(s, tok, pos)) != std::string::npos) {
+      size_t after = pos + std::string(tok).size();
+      if (after >= s.size() || s[after] != '(' || !IsMemberCall(s, pos)) {
+        pos = after;
+        continue;
+      }
+      std::string args;
+      if (!CallArgs(s, tok, pos, &args, nullptr)) {
+        pos = after;
+        continue;
+      }
+      std::vector<std::string> parts = SplitArgs(args);
+      std::vector<std::string> held = HeldLocks(*st);
+      if (parts.empty()) {
+        // Join-style Wait(): blocking call, no own guard.
+        if (!held.empty()) {
+          // Recorded below through the blocking-token scan ("Wait" is not
+          // in kBlockingTokens, so record here).
+          BlockingEvent ev;
+          ev.kind = BlockingEvent::Kind::kBlockingCall;
+          ev.what = tok;
+          ev.held = held;
+          ev.file = st->file;
+          ev.line = line;
+          fn.blocking.push_back(ev);
+        }
+      } else {
+        std::string target = ResolveLockExpr(*st, parts[0]);
+        BlockingEvent ev;
+        ev.kind = BlockingEvent::Kind::kCondWait;
+        ev.what = tok;
+        ev.target = target;
+        ev.held = held;
+        ev.file = st->file;
+        ev.line = line;
+        if (!held.empty()) fn.blocking.push_back(ev);
+        pure_wait = true;
+      }
+      pos = after;
+    }
+  };
+  handle_wait("Wait");
+  handle_wait("WaitFor");
+  handle_wait("wait");
+  handle_wait("wait_for");
+
+  // Other blocking calls while holding a lock.
+  {
+    std::vector<std::string> held = HeldLocks(*st);
+    if (!held.empty()) {
+      for (const char* tok : kBlockingTokens) {
+        size_t pos = FindToken(s, tok, 0);
+        if (pos == std::string::npos) continue;
+        size_t after = pos + std::string(tok).size();
+        if (after >= s.size() || s[after] != '(') continue;
+        BlockingEvent ev;
+        ev.kind = BlockingEvent::Kind::kBlockingCall;
+        ev.what = tok;
+        ev.held = held;
+        ev.file = st->file;
+        ev.line = line;
+        fn.blocking.push_back(ev);
+      }
+    }
+  }
+
+  // Call harvest. Tokens the lock/wait machinery already interpreted are
+  // excluded so call-graph propagation does not double-count them.
+  {
+    static const std::set<std::string> handled = {
+        "Lock", "Unlock", "lock", "unlock", "lock_shared", "unlock_shared",
+        "Wait", "WaitFor", "wait", "wait_for"};
+    std::vector<std::string> held = HeldLocks(*st);
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      if (!IsIdentChar(s[i])) continue;
+      size_t b = i;
+      while (i < s.size() && IsIdentChar(s[i])) ++i;
+      std::string id = s.substr(b, i - b);
+      if (i < s.size() && s[i] == '(' && !IsKeyword(id) &&
+          handled.count(id) == 0 && !std::isdigit((unsigned char)id[0])) {
+        fn.calls.insert(id);
+        AddLoopCall(st, id);
+        if (!held.empty()) {
+          fn.calls_under_lock.push_back(
+              CallUnderLock{held, id, st->file, line});
+        }
+      }
+    }
+  }
+
+  // Loop statement bookkeeping.
+  if (!is_header) {
+    for (Frame& f : st->stack) {
+      if (f.kind != ScopeKind::kLoop) continue;
+      ++f.loop_stmts;
+      if (pure_wait) ++f.loop_waits;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Brace classification
+// ---------------------------------------------------------------------------
+
+struct BraceDecision {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string name;
+};
+
+BraceDecision ClassifyBrace(ScannerState* st, const std::string& header,
+                            int paren_at_brace) {
+  BraceDecision d;
+  std::string s = CollapseWs(Trim(header));
+  if (!st->stack.empty() && st->stack.back().kind == ScopeKind::kExpr) {
+    d.kind = ScopeKind::kExpr;
+    return d;
+  }
+  if (paren_at_brace > 0) {
+    // Inside an argument list: a lambda body or a braced initializer.
+    if (!s.empty() && (s.back() == ']' || s.back() == ')'))
+      d.kind = ScopeKind::kLambda;
+    else if (s.find("](") != std::string::npos ||
+             s.find("] (") != std::string::npos)
+      d.kind = ScopeKind::kLambda;
+    else
+      d.kind = ScopeKind::kExpr;
+    return d;
+  }
+  if (s.empty()) {
+    d.kind = InnerFunction(*st) != kNoIndex ? ScopeKind::kBlock
+                                            : ScopeKind::kExpr;
+    return d;
+  }
+  char last = s.back();
+  if (last == '=' || last == ',' || last == '(' || last == '[' ||
+      EndsWithIdent(s, "return")) {
+    d.kind = ScopeKind::kExpr;
+    return d;
+  }
+  s = StripTemplatePrefix(s);
+  if (StartsWithToken(s, "namespace") || StartsWithToken(s, "extern")) {
+    d.kind = ScopeKind::kNamespace;
+    std::string rest = Trim(s.substr(s.find(' ') == std::string::npos
+                                         ? s.size()
+                                         : s.find(' ')));
+    d.name = FirstIdentifier(rest);
+    return d;
+  }
+  if (StartsWithToken(s, "enum")) {
+    d.kind = ScopeKind::kExpr;
+    return d;
+  }
+  if (StartsWithToken(s, "class") || StartsWithToken(s, "struct") ||
+      StartsWithToken(s, "union")) {
+    d.kind = ScopeKind::kClass;
+    // Name: first identifier after the keyword that is not an ALL_CAPS
+    // macro (CAPABILITY("mutex")), not `final`/`alignas`.
+    std::string rest = Trim(s.substr(s.find(' ') == std::string::npos
+                                         ? s.size()
+                                         : s.find(' ')));
+    // Cut the base-clause.
+    size_t colon = std::string::npos;
+    int ang = 0;
+    bool in_str2 = false;
+    for (size_t i = 0; i + 1 <= rest.size(); ++i) {
+      char c = rest[i];
+      if (in_str2) {
+        if (c == '"') in_str2 = false;
+        continue;
+      }
+      if (c == '"') in_str2 = true;
+      if (c == '<') ++ang;
+      if (c == '>') --ang;
+      if (c == ':' && ang == 0 && (i + 1 >= rest.size() || rest[i + 1] != ':') &&
+          (i == 0 || rest[i - 1] != ':')) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon != std::string::npos) rest = Trim(rest.substr(0, colon));
+    std::string name;
+    size_t i = 0;
+    while (i < rest.size()) {
+      while (i < rest.size() && !IsIdentChar(rest[i])) {
+        if (rest[i] == '(') {  // Skip a macro's argument list.
+          int depth = 0;
+          for (; i < rest.size(); ++i) {
+            if (rest[i] == '(') ++depth;
+            if (rest[i] == ')') {
+              --depth;
+              if (depth == 0) {
+                ++i;
+                break;
+              }
+            }
+          }
+        } else {
+          ++i;
+        }
+      }
+      size_t b = i;
+      while (i < rest.size() && IsIdentChar(rest[i])) ++i;
+      std::string tok = rest.substr(b, i - b);
+      if (tok.empty()) break;
+      if (tok == "final" || tok == "alignas") continue;
+      bool all_caps = true;
+      for (char c : tok)
+        if (std::islower((unsigned char)c)) all_caps = false;
+      // ALL_CAPS followed by '(' is an annotation macro.
+      if (all_caps && i < rest.size() && rest[i] == '(') continue;
+      // A plain ALL_CAPS token could still be a macro (SCOPED_CAPABILITY);
+      // accept it only if nothing follows.
+      if (all_caps && tok.size() > 3 && i < rest.size()) {
+        size_t j = i;
+        while (j < rest.size() && std::isspace((unsigned char)rest[j])) ++j;
+        if (j < rest.size() && IsIdentChar(rest[j])) continue;
+      }
+      name = tok;
+      break;
+    }
+    d.name = name.empty() ? "<anon>" : name;
+    return d;
+  }
+  for (const char* kw : kControlKeywords) {
+    if (StartsWithToken(s, kw)) {
+      d.kind = (std::string(kw) == "for" || std::string(kw) == "while" ||
+                std::string(kw) == "do")
+                   ? ScopeKind::kLoop
+                   : ScopeKind::kBlock;
+      d.name = kw;
+      return d;
+    }
+  }
+  bool in_function = InnerFunction(*st) != kNoIndex;
+  if (in_function) {
+    if (!s.empty() && s.back() == ']') {
+      d.kind = ScopeKind::kLambda;
+      return d;
+    }
+    if (ParenBalance(s) > 0 || s.find("= [") != std::string::npos ||
+        s.find("=[") != std::string::npos) {
+      d.kind = ScopeKind::kLambda;
+      return d;
+    }
+    d.kind = ScopeKind::kBlock;
+    return d;
+  }
+  // Namespace / class / global scope.
+  size_t paren = s.find('(');
+  if (paren == std::string::npos) {
+    d.kind = ScopeKind::kExpr;  // Braced member initializer.
+    return d;
+  }
+  // Function definition if the header ends plausibly (")", "const",
+  // "noexcept", "override", a ")"-terminated annotation) or has a trailing
+  // return type.
+  bool func_like = s.back() == ')' || EndsWithIdent(s, "const") ||
+                   EndsWithIdent(s, "noexcept") || EndsWithIdent(s, "override") ||
+                   EndsWithIdent(s, "final") || EndsWithIdent(s, "try") ||
+                   s.find(") ->") != std::string::npos ||
+                   s.find(")->") != std::string::npos;
+  // A constructor init-list brace-init ("Foo() : v_{") ends with an
+  // identifier and contains ") :" — expression brace.
+  if (!func_like) {
+    d.kind = ScopeKind::kExpr;
+    return d;
+  }
+  d.kind = ScopeKind::kFunction;
+  std::string before = s.substr(0, paren);
+  // `operator()` would leave before ending with "operator".
+  std::string name = LastIdentifier(before);
+  if (EndsWithIdent(Trim(before), "operator")) name = "operator()";
+  // Qualified name: walk back over Name::Name chains.
+  std::string qual = name;
+  {
+    size_t end = before.find_last_not_of(" \t");
+    if (end != std::string::npos) {
+      std::string t = Trim(before);
+      size_t e = t.size();
+      // Scan back over [ident|::|~] characters.
+      size_t b2 = e;
+      while (b2 > 0 && (IsIdentChar(t[b2 - 1]) || t[b2 - 1] == ':' ||
+                        t[b2 - 1] == '~'))
+        --b2;
+      qual = t.substr(b2);
+      if (!qual.empty() && qual[0] == ':') qual = Trim(qual.substr(qual.find_first_not_of(':')));
+    }
+  }
+  std::string cls = EnclosingClass(*st);
+  if (!cls.empty() && qual.find("::") == std::string::npos)
+    qual = cls + "::" + qual;
+  d.name = qual.empty() ? name : qual;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// The per-file scan
+// ---------------------------------------------------------------------------
+
+void ScanFile(Model* m, const std::string& rel,
+              const std::vector<std::string>& code, bool collect_only) {
+  ScannerState st;
+  st.model = m;
+  st.file = rel;
+  st.collect_only = collect_only;
+
+  bool in_preproc = false;
+  for (size_t ln = 0; ln < code.size(); ++ln) {
+    const std::string& line = code[ln];
+    std::string trimmed = Trim(line);
+    bool cont = in_preproc;
+    in_preproc = false;
+    if (cont || (!trimmed.empty() && trimmed[0] == '#')) {
+      if (!trimmed.empty() && trimmed.back() == '\\') in_preproc = true;
+      continue;
+    }
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (c == '"' || c == '\'') {
+        char q = c;
+        if (st.stmt.empty()) st.stmt_line = ln + 1;
+        st.stmt += c;
+        ++i;
+        while (i < line.size()) {
+          st.stmt += line[i];
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            st.stmt += line[i + 1];
+            i += 2;
+            continue;
+          }
+          if (line[i] == q) break;
+          ++i;
+        }
+        continue;
+      }
+      if (c == '(') {
+        ++st.paren;
+      } else if (c == ')') {
+        if (st.paren > 0) --st.paren;
+      }
+      if (c == '{') {
+        BraceDecision d = ClassifyBrace(&st, st.stmt, st.paren);
+        Frame f;
+        f.kind = d.kind;
+        f.name = d.name;
+        f.open_line = ln + 1;
+        if (d.kind == ScopeKind::kExpr || d.kind == ScopeKind::kLambda) {
+          f.saved_stmt = st.stmt;
+          f.saved_stmt_line = st.stmt_line;
+          f.saved_paren = st.paren;
+          st.paren = 0;
+          st.stmt.clear();
+          st.stack.push_back(std::move(f));
+          continue;
+        }
+        std::string header = st.stmt;
+        size_t header_line = st.stmt_line == 0 ? ln + 1 : st.stmt_line;
+        st.stmt.clear();
+        st.paren = 0;
+        if (d.kind == ScopeKind::kFunction) {
+          Function fn;
+          fn.qual_name = d.name;
+          size_t sep = d.name.rfind("::");
+          fn.simple_name =
+              sep == std::string::npos ? d.name : d.name.substr(sep + 2);
+          fn.file = rel;
+          fn.begin_line = header_line;
+          f.func_idx = m->functions.size();
+          m->functions.push_back(std::move(fn));
+          st.local_mutexes.clear();
+          st.guard_vars.clear();
+        }
+        if (d.kind == ScopeKind::kLoop) {
+          f.loop.file = rel;
+          f.loop.header_line = header_line;
+          f.loop.body_begin = ln + 1;
+          f.loop.header = CollapseWs(Trim(header));
+          std::string nw = RemoveWs(header);
+          // Unbounded shape: no a-priori iteration bound in the header.
+          // A `for` loop that also tests .empty()/.load() still has its
+          // counter bound, so only `while` conditions count for those.
+          bool while_cond = nw.find("while(") != std::string::npos;
+          f.loop.unbounded =
+              nw.find("for(;;") != std::string::npos ||
+              nw.find("while(true") != std::string::npos ||
+              nw.find("while(1)") != std::string::npos ||
+              (while_cond && (nw.find(".empty()") != std::string::npos ||
+                              nw.find("->empty()") != std::string::npos ||
+                              nw.find(".load(") != std::string::npos));
+        }
+        st.stack.push_back(std::move(f));
+        if (d.kind == ScopeKind::kLoop || d.kind == ScopeKind::kBlock) {
+          // Harvest calls/events from the header (condition) text.
+          AnalyzeStatement(&st, header, header_line, /*is_header=*/true);
+        }
+        continue;
+      }
+      if (c == '}') {
+        // Complete any dangling statement first (e.g. "int x = 1; }") —
+        // but not the interior of an initializer-expression brace.
+        if (!Trim(st.stmt).empty() && st.paren == 0 &&
+            (st.stack.empty() ||
+             st.stack.back().kind != ScopeKind::kExpr)) {
+          AnalyzeStatement(&st, st.stmt, st.stmt_line, false);
+        }
+        st.stmt.clear();
+        if (st.stack.empty()) continue;
+        Frame f = std::move(st.stack.back());
+        st.stack.pop_back();
+        if (f.kind == ScopeKind::kExpr || f.kind == ScopeKind::kLambda) {
+          st.stmt = f.saved_stmt + "{}";
+          st.stmt_line = f.saved_stmt_line;
+          st.paren = f.saved_paren;
+          continue;
+        }
+        if (f.kind == ScopeKind::kFunction && f.func_idx != kNoIndex) {
+          m->functions[f.func_idx].end_line = ln + 1;
+        }
+        if (f.kind == ScopeKind::kLoop && !collect_only) {
+          f.loop.body_end = ln + 1;
+          f.loop.wait_only = f.loop_stmts > 0 && f.loop_stmts == f.loop_waits;
+          f.loop.statements = f.loop_stmts;
+          size_t fi = InnerFunction(st);
+          if (fi != kNoIndex) {
+            m->functions[st.stack[fi].func_idx].loops.push_back(
+                std::move(f.loop));
+          }
+        }
+        continue;
+      }
+      if (c == ';' && st.paren == 0) {
+        if (st.stack.empty() || st.stack.back().kind != ScopeKind::kExpr) {
+          AnalyzeStatement(&st, st.stmt, st.stmt_line, false);
+        }
+        st.stmt.clear();
+        continue;
+      }
+      if (c == ':' && st.paren == 0) {
+        std::string t = Trim(st.stmt);
+        bool dcolon = (i + 1 < line.size() && line[i + 1] == ':') ||
+                      (!st.stmt.empty() && st.stmt.back() == ':');
+        if (!dcolon && (t == "public" || t == "private" || t == "protected" ||
+                        t == "default" || StartsWithToken(t, "case"))) {
+          st.stmt.clear();
+          continue;
+        }
+      }
+      if (st.stmt.empty()) {
+        if (std::isspace((unsigned char)c)) continue;  // No leading ws.
+        st.stmt_line = ln + 1;
+      }
+      st.stmt += c;
+    }
+    if (!st.stmt.empty()) st.stmt += ' ';
+  }
+}
+
+std::vector<fs::path> CollectFiles(const fs::path& dir) {
+  std::vector<fs::path> files;
+  if (!fs::exists(dir)) return files;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::string ext = e.path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void HarvestAllowMarkers(Model* m, const std::string& rel,
+                         const std::vector<std::string>& raw) {
+  for (size_t i = 0; i < raw.size(); ++i) {
+    size_t pos = raw[i].find("flexlint: allow(");
+    if (pos == std::string::npos) continue;
+    size_t b = pos + std::string("flexlint: allow(").size();
+    size_t e = raw[i].find(')', b);
+    if (e == std::string::npos) continue;
+    AllowMarker mark;
+    mark.rule = raw[i].substr(b, e - b);
+    mark.file = rel;
+    mark.line = i + 1;
+    // Justified when non-trivial text follows the marker on the same line,
+    // or the preceding line is a comment that is not itself a marker.
+    std::string after = Trim(raw[i].substr(e + 1));
+    if (!after.empty() && after[0] == ':') after = Trim(after.substr(1));
+    if (after.size() >= 8) mark.justified = true;
+    if (!mark.justified && i > 0) {
+      std::string prev = Trim(raw[i - 1]);
+      if (prev.compare(0, 2, "//") == 0 &&
+          prev.find("flexlint:") == std::string::npos &&
+          Trim(prev.substr(2)).size() >= 8)
+        mark.justified = true;
+    }
+    m->allow_markers.push_back(mark);
+  }
+}
+
+}  // namespace
+
+bool Model::IsWaived(const std::string& file, size_t line,
+                     const std::string& rule) const {
+  auto it = raw_lines.find(file);
+  if (it == raw_lines.end()) return false;
+  const std::vector<std::string>& raw = it->second;
+  std::string needle = "flexlint: allow(" + rule + ")";
+  for (size_t l : {line, line - 1}) {
+    if (l == 0 || l > raw.size()) continue;
+    if (raw[l - 1].find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+Model BuildModel(const std::string& root) {
+  Model m;
+  fs::path src = fs::path(root) / "src";
+  std::vector<fs::path> files = CollectFiles(src);
+
+  struct Loaded {
+    std::string rel;
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+  };
+  std::vector<Loaded> loaded;
+  for (const fs::path& p : files) {
+    Loaded l;
+    l.rel = fs::relative(p, fs::path(root)).generic_string();
+    std::ifstream in(p);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      l.raw.push_back(line);
+    }
+    l.code = StripComments(l.raw);
+    loaded.push_back(std::move(l));
+  }
+
+  for (const Loaded& l : loaded) {
+    m.raw_lines[l.rel] = l.raw;
+    HarvestAllowMarkers(&m, l.rel, l.raw);
+    if (l.rel == "src/common/fault.h") ParseFaultRegistry(&m, l.rel, l.code);
+    if (l.rel == "src/common/metric_names.h")
+      ParseMetricRegistry(&m, l.rel, l.code);
+    if (l.rel == "src/common/trace_spans.h") ParseSpanTable(&m, l.rel, l.code);
+  }
+
+  // Pass 1: mutex member declarations only (lock-id resolution needs the
+  // full cross-file table before any acquisition is interpreted). A scratch
+  // model keeps pass-1 function records from polluting the real one.
+  {
+    Model scratch;
+    for (const Loaded& l : loaded) ScanFile(&scratch, l.rel, l.code, true);
+    m.mutexes = std::move(scratch.mutexes);
+  }
+  // Pass 2: everything else.
+  for (const Loaded& l : loaded) ScanFile(&m, l.rel, l.code, false);
+
+  for (size_t i = 0; i < m.functions.size(); ++i) {
+    m.by_simple_name[m.functions[i].simple_name].push_back(i);
+  }
+  return m;
+}
+
+}  // namespace flexcheck

@@ -1,0 +1,197 @@
+#ifndef FLEX_TOOLS_FLEXCHECK_MODEL_H_
+#define FLEX_TOOLS_FLEXCHECK_MODEL_H_
+
+// flexcheck source model: a lightweight cross-TU view of src/ built by a
+// comment-aware, statement-level scanner — no compiler needed. The model
+// captures exactly what the rules in rules.h consume:
+//
+//   * every function definition (qualified name, file, line range),
+//   * every lock acquisition (flex::MutexLock, std lock guards, manual
+//     Lock()/Unlock()) with the held-lock stack at that point,
+//   * every call made while holding a lock, and every blocking call
+//     (CondVar waits, pool joins, queue ops, sleeps) with held locks,
+//   * every loop in the runnable-coverage scope with its header shape,
+//     body size, contained calls, and whether a deadline/cancel poll is
+//     reachable,
+//   * ACQUIRE/EXCLUDES thread-safety annotations (a declared promise that
+//     the function acquires the named lock internally),
+//   * the contract registries (fault sites, metric names, trace span
+//     table) and every use site of those names across src/,
+//   * `// flexlint: allow(<rule>)` waivers and whether they carry a
+//     justification.
+//
+// Lock identity is resolved to a *type-level* name (Class::field, or
+// file::function::name for locals) — instances of a class share a node in
+// the acquisition graph, which is the standard lock-order abstraction.
+// When a field name is ambiguous across classes the id degrades to a
+// file-qualified name, which over-splits (never falsely merges) and so
+// can only under-report cycles, never invent them.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace flexcheck {
+
+/// One lock acquisition ordering edge: `held` was held when `acquired`
+/// was taken at file:line.
+struct OrderEdge {
+  std::string held;
+  std::string acquired;
+  std::string file;
+  size_t line = 0;
+};
+
+/// A call made while at least one lock was held.
+struct CallUnderLock {
+  std::vector<std::string> held;  ///< Innermost last.
+  std::string callee;             ///< Simple (unqualified) callee name.
+  std::string file;
+  size_t line = 0;
+};
+
+/// A potentially blocking operation and the locks held around it.
+struct BlockingEvent {
+  enum class Kind {
+    kCondWait,      ///< CondVar::Wait/WaitFor — `target` is the wait's guard.
+    kBlockingCall,  ///< Pool/latch joins, queue ops, sleeps, Receive.
+  };
+  Kind kind = Kind::kBlockingCall;
+  std::string what;    ///< Token that matched, e.g. "Wait", "Submit".
+  std::string target;  ///< kCondWait: resolved guard lock id.
+  std::vector<std::string> held;
+  std::string file;
+  size_t line = 0;
+};
+
+/// One loop inside a function (runnable-coverage raw material).
+struct Loop {
+  std::string file;
+  size_t header_line = 0;
+  size_t body_begin = 0;
+  size_t body_end = 0;  ///< Line of the closing brace.
+  std::string header;   ///< Normalized header text, e.g. "while (true)".
+  bool unbounded = false;
+  /// Body is nothing but a condition-variable wait (a parked predicate
+  /// loop does no work; deadline enforcement belongs to its waker).
+  bool wait_only = true;
+  bool has_poll = false;  ///< CheckRunnable/HasExpired/Cancelled inline.
+  size_t statements = 0;
+  std::set<std::string> calls;  ///< Simple names called in the body.
+};
+
+struct Function {
+  std::string qual_name;    ///< "Class::Name" or "Name".
+  std::string simple_name;  ///< "Name".
+  std::string file;
+  size_t begin_line = 0;
+  size_t end_line = 0;
+  std::set<std::string> acquired_locks;  ///< Everything taken anywhere inside.
+  std::vector<OrderEdge> order_edges;
+  std::vector<CallUnderLock> calls_under_lock;
+  std::set<std::string> calls;  ///< All simple callee names.
+  std::vector<BlockingEvent> blocking;
+  std::vector<Loop> loops;
+  bool has_poll = false;  ///< Poll token anywhere in the body.
+};
+
+/// A `Mutex`/`std::mutex`/`std::shared_mutex` data member.
+struct MutexDecl {
+  std::string owner;  ///< Qualified class ("HiActorEngine::Shard").
+  std::string field;
+  std::string file;
+  size_t line = 0;
+};
+
+/// FLEX_FAULT_POINT/FLEX_FAULT_INJECT use site.
+struct FaultUse {
+  std::string site;
+  std::string file;
+  size_t line = 0;
+};
+
+/// `metrics::k...` identifier use site.
+struct MetricUse {
+  std::string constant;  ///< e.g. "kQueriesTotal".
+  std::string file;
+  size_t line = 0;
+};
+
+/// ScopedSpan / BeginSpan use site with a literal (or literal-prefixed)
+/// span name.
+struct SpanUse {
+  std::string name;  ///< Literal text, or literal prefix when concatenated.
+  bool is_prefix = false;
+  std::string category;  ///< Empty when not a literal.
+  std::string file;
+  size_t line = 0;
+};
+
+/// One `// flexlint: allow(<rule>)` marker.
+struct AllowMarker {
+  std::string rule;
+  bool justified = false;
+  std::string file;
+  size_t line = 0;
+};
+
+/// One entry of the documented span table (common/trace_spans.h).
+struct SpanSpecEntry {
+  std::string name;
+  std::string category;
+  bool prefix = false;
+  size_t line = 0;
+};
+
+struct Model {
+  std::vector<Function> functions;
+  std::vector<MutexDecl> mutexes;
+  /// Simple function name -> indices into `functions`.
+  std::map<std::string, std::vector<size_t>> by_simple_name;
+  /// Function simple name -> lock ids promised by ACQUIRE/EXCLUDES
+  /// annotations on its declaration.
+  std::map<std::string, std::set<std::string>> annotation_locks;
+
+  // --- registries (empty + flag=false when the file is absent, so the
+  // model also loads fixture trees that only exercise one rule) ---
+  bool has_fault_registry = false;
+  std::vector<std::string> fault_registry;
+  std::string fault_registry_file;
+  size_t fault_registry_line = 0;
+
+  bool has_metric_registry = false;
+  std::map<std::string, std::string> metric_registry;  ///< kName -> "flex_...".
+  std::map<std::string, size_t> metric_registry_lines;
+  std::string metric_registry_file;
+
+  bool has_span_table = false;
+  std::vector<SpanSpecEntry> span_table;
+  std::string span_table_file;
+
+  // --- use sites ---
+  std::vector<FaultUse> fault_uses;
+  std::vector<MetricUse> metric_uses;
+  std::vector<SpanUse> span_uses;
+  /// FLEX_COUNTER_ADD("literal", ...)-style raw-string metric names.
+  std::vector<MetricUse> raw_metric_literals;
+
+  std::vector<AllowMarker> allow_markers;
+
+  /// Raw (unstripped) lines per repo-relative file, for waiver lookups.
+  std::map<std::string, std::vector<std::string>> raw_lines;
+
+  /// True when `rule` is waived at file:line (marker on the line itself or
+  /// on the immediately preceding line).
+  bool IsWaived(const std::string& file, size_t line,
+                const std::string& rule) const;
+};
+
+/// Scans `root`/src (every .h/.cc) and builds the model. `root` may be the
+/// repo root or a fixture tree with the same shape.
+Model BuildModel(const std::string& root);
+
+}  // namespace flexcheck
+
+#endif  // FLEX_TOOLS_FLEXCHECK_MODEL_H_

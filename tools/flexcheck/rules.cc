@@ -1,0 +1,419 @@
+#include "flexcheck/rules.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace flexcheck {
+
+namespace {
+
+/// A bounded loop counts as "longer than a batch boundary" at this many
+/// body lines — and is then only flagged when the enclosing function never
+/// polls at all (a function that polls at its boundary keeps every bounded
+/// loop within one polled activation).
+constexpr size_t kLongLoopLines = 40;
+
+/// Unbounded-shape loops (for(;;), while(true), while(!x.empty()),
+/// while(x.load())) must poll *inside* the loop once the body is big
+/// enough to be more than an idiomatic decode/spin loop.
+constexpr size_t kUnboundedMinLines = 12;
+
+/// Everything a call to function `simple` may end up acquiring: its own
+/// direct acquisitions, its ACQUIRE/EXCLUDES promises, and (depth-limited)
+/// what its unambiguous callees acquire. Only unambiguous simple names
+/// propagate — an overloaded name would smear unrelated locks together.
+class MayAcquire {
+ public:
+  explicit MayAcquire(const Model& m) : m_(m) {}
+
+  const std::set<std::string>& Of(const std::string& simple, int depth = 3) {
+    auto it = memo_.find(simple);
+    if (it != memo_.end()) return it->second;
+    std::set<std::string>& out = memo_[simple];  // Breaks recursion cycles.
+    auto ann = m_.annotation_locks.find(simple);
+    if (ann != m_.annotation_locks.end())
+      out.insert(ann->second.begin(), ann->second.end());
+    auto fns = m_.by_simple_name.find(simple);
+    if (fns == m_.by_simple_name.end() || fns->second.size() != 1) return out;
+    const Function& fn = m_.functions[fns->second[0]];
+    out.insert(fn.acquired_locks.begin(), fn.acquired_locks.end());
+    if (depth <= 0) return out;
+    for (const std::string& callee : fn.calls) {
+      if (callee == simple) continue;
+      const std::set<std::string>& sub = Of(callee, depth - 1);
+      out.insert(sub.begin(), sub.end());
+    }
+    return memo_[simple];
+  }
+
+ private:
+  const Model& m_;
+  std::map<std::string, std::set<std::string>> memo_;
+};
+
+struct Edge {
+  std::string to;
+  std::string file;
+  size_t line = 0;
+  std::string via;  ///< Empty for a direct nesting, else the callee name.
+};
+
+bool ByPos(const Violation& a, const Violation& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  return a.message < b.message;
+}
+
+std::string JoinHeld(const std::vector<std::string>& held) {
+  std::string out;
+  for (const std::string& h : held) {
+    if (!out.empty()) out += ", ";
+    out += h;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckLockOrder(const Model& m) {
+  std::vector<Violation> out;
+  MayAcquire may(m);
+  std::map<std::string, std::vector<Edge>> graph;
+
+  for (const Function& fn : m.functions) {
+    for (const OrderEdge& e : fn.order_edges) {
+      if (m.IsWaived(e.file, e.line, "lock-order")) continue;
+      graph[e.held].push_back(Edge{e.acquired, e.file, e.line, ""});
+    }
+    for (const CallUnderLock& c : fn.calls_under_lock) {
+      if (m.IsWaived(c.file, c.line, "lock-order")) continue;
+      for (const std::string& acq : may.Of(c.callee)) {
+        for (const std::string& held : c.held) {
+          // A callee re-acquiring an already-held lock is usually a
+          // REQUIRES-shaped helper the text model cannot see through;
+          // self-edges from call propagation stay out of the graph
+          // (direct double-acquisition is still caught above).
+          if (acq == held) continue;
+          graph[held].push_back(Edge{acq, c.file, c.line, c.callee});
+        }
+      }
+    }
+  }
+
+  // Cycle detection: DFS with a path stack; every back edge yields a cycle.
+  // Cycles are canonicalized (rotated to their smallest node) and reported
+  // once each.
+  std::set<std::string> reported;
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  std::set<std::string> done;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    if (done.count(node) != 0) return;
+    on_path.insert(node);
+    path.push_back(node);
+    auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const Edge& e : it->second) {
+        if (on_path.count(e.to) != 0) {
+          // Reconstruct the cycle e.to -> ... -> node -> e.to.
+          size_t start = 0;
+          while (start < path.size() && path[start] != e.to) ++start;
+          std::vector<std::string> cycle(path.begin() + start, path.end());
+          size_t min_i = 0;
+          for (size_t i = 1; i < cycle.size(); ++i)
+            if (cycle[i] < cycle[min_i]) min_i = i;
+          std::rotate(cycle.begin(), cycle.begin() + min_i, cycle.end());
+          std::string key;
+          for (const std::string& n : cycle) key += n + ";";
+          if (reported.insert(key).second) {
+            std::ostringstream msg;
+            msg << "lock-order cycle: ";
+            for (size_t i = 0; i < cycle.size(); ++i)
+              msg << cycle[i] << " -> ";
+            msg << cycle[0];
+            if (!e.via.empty()) msg << " (last edge via call to " << e.via << ")";
+            out.push_back(Violation{e.file, e.line, "lock-order", msg.str()});
+          }
+          continue;
+        }
+        dfs(e.to);
+      }
+    }
+    path.pop_back();
+    on_path.erase(node);
+    done.insert(node);
+  };
+  for (const auto& [node, edges] : graph) {
+    (void)edges;
+    dfs(node);
+  }
+  return out;
+}
+
+std::vector<Violation> CheckBlockingUnderLock(const Model& m) {
+  std::vector<Violation> out;
+  for (const Function& fn : m.functions) {
+    for (const BlockingEvent& ev : fn.blocking) {
+      if (m.IsWaived(ev.file, ev.line, "blocking-under-lock")) continue;
+      if (ev.kind == BlockingEvent::Kind::kCondWait) {
+        std::vector<std::string> offending;
+        for (const std::string& h : ev.held)
+          if (h != ev.target) offending.push_back(h);
+        if (offending.empty()) continue;
+        // An unresolvable wait target (e.g. a guard object the model lost
+        // track of) exempts the innermost held lock: that is almost
+        // certainly the wait's own guard.
+        if (ev.target.find("::") == std::string::npos &&
+            ev.target.compare(0, 6, "local:") != 0 &&
+            offending.size() == ev.held.size()) {
+          offending.pop_back();
+          if (offending.empty()) continue;
+        }
+        out.push_back(Violation{
+            ev.file, ev.line, "blocking-under-lock",
+            "CondVar wait on " + ev.target + " in " + fn.qual_name +
+                " while also holding {" + JoinHeld(offending) + "}"});
+      } else {
+        out.push_back(Violation{
+            ev.file, ev.line, "blocking-under-lock",
+            "blocking call '" + ev.what + "' in " + fn.qual_name +
+                " while holding {" + JoinHeld(ev.held) + "}"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckRunnableCoverage(const Model& m) {
+  std::vector<Violation> out;
+  MayAcquire unused(m);
+  // Transitive "reaches a poll" through unambiguous callees, depth-capped.
+  std::map<std::string, int> memo;  // -1 in progress, 0 no, 1 yes.
+  std::function<bool(const std::string&, int)> reaches =
+      [&](const std::string& simple, int depth) -> bool {
+    auto it = memo.find(simple);
+    if (it != memo.end()) return it->second == 1;
+    memo[simple] = -1;
+    bool yes = false;
+    auto fns = m.by_simple_name.find(simple);
+    if (fns != m.by_simple_name.end() && fns->second.size() == 1) {
+      const Function& fn = m.functions[fns->second[0]];
+      if (fn.has_poll) {
+        yes = true;
+      } else if (depth > 0) {
+        for (const std::string& c : fn.calls) {
+          if (memo.count(c) != 0 && memo[c] == -1) continue;
+          if (reaches(c, depth - 1)) {
+            yes = true;
+            break;
+          }
+        }
+      }
+    }
+    memo[simple] = yes ? 1 : 0;
+    return yes;
+  };
+
+  // Scope: the superstep/operator machinery. src/grape/apps/ holds PIE app
+  // kernels whose whole activation runs inside one already-polled
+  // superstep (RunPieChecked polls every round), so they stay out.
+  auto in_scope = [](const std::string& file) {
+    if (file.rfind("src/grape/apps/", 0) == 0) return false;
+    return file.rfind("src/runtime/", 0) == 0 ||
+           file.rfind("src/query/", 0) == 0 ||
+           file.rfind("src/grape/", 0) == 0;
+  };
+
+  for (const Function& fn : m.functions) {
+    if (!in_scope(fn.file)) continue;
+    for (const Loop& loop : fn.loops) {
+      if (loop.wait_only) continue;
+      if (m.IsWaived(loop.file, loop.header_line, "runnable-coverage"))
+        continue;
+      size_t body_lines =
+          loop.body_end > loop.header_line ? loop.body_end - loop.header_line
+                                           : 0;
+      bool trigger = false;
+      if (loop.unbounded) {
+        trigger = body_lines >= kUnboundedMinLines;
+      } else {
+        trigger = body_lines >= kLongLoopLines && !fn.has_poll;
+      }
+      if (!trigger) continue;
+      bool polled = loop.has_poll;
+      if (!polled) {
+        for (const std::string& c : loop.calls) {
+          if (reaches(c, 2)) {
+            polled = true;
+            break;
+          }
+        }
+      }
+      if (polled) continue;
+      std::ostringstream msg;
+      msg << (loop.unbounded ? "unbounded" : "long") << " loop in "
+          << fn.qual_name << " (" << loop.header;
+      if (loop.header.size() > 60) {
+        msg.str("");
+        msg << (loop.unbounded ? "unbounded" : "long") << " loop in "
+            << fn.qual_name << " (" << loop.header.substr(0, 57) << "...";
+      }
+      msg << ", " << body_lines
+          << " body lines) never reaches a CheckRunnable/deadline poll";
+      out.push_back(
+          Violation{loop.file, loop.header_line, "runnable-coverage",
+                    msg.str()});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckRegistryDrift(const Model& m) {
+  std::vector<Violation> out;
+  auto waived = [&](const std::string& f, size_t l) {
+    return m.IsWaived(f, l, "registry-drift");
+  };
+
+  if (m.has_fault_registry) {
+    std::set<std::string> registry(m.fault_registry.begin(),
+                                   m.fault_registry.end());
+    std::set<std::string> used;
+    for (const FaultUse& u : m.fault_uses) {
+      used.insert(u.site);
+      if (registry.count(u.site) == 0 && !waived(u.file, u.line)) {
+        out.push_back(Violation{
+            u.file, u.line, "registry-drift",
+            "fault site \"" + u.site + "\" is not in kAllFaultSites (" +
+                m.fault_registry_file + ")"});
+      }
+    }
+    for (const std::string& site : registry) {
+      if (used.count(site) == 0 &&
+          !waived(m.fault_registry_file, m.fault_registry_line)) {
+        out.push_back(Violation{
+            m.fault_registry_file, m.fault_registry_line, "registry-drift",
+            "dead registry entry: fault site \"" + site +
+                "\" has no FLEX_FAULT_POINT/FLEX_FAULT_INJECT use in src/"});
+      }
+    }
+  }
+
+  if (m.has_metric_registry) {
+    std::set<std::string> used;
+    for (const MetricUse& u : m.metric_uses) {
+      used.insert(u.constant);
+      if (m.metric_registry.count(u.constant) == 0 && !waived(u.file, u.line)) {
+        out.push_back(Violation{
+            u.file, u.line, "registry-drift",
+            "metric constant metrics::" + u.constant + " is not declared in " +
+                m.metric_registry_file});
+      }
+    }
+    for (const auto& [name, value] : m.metric_registry) {
+      (void)value;
+      size_t line = 0;
+      auto lit = m.metric_registry_lines.find(name);
+      if (lit != m.metric_registry_lines.end()) line = lit->second;
+      if (used.count(name) == 0 && !waived(m.metric_registry_file, line)) {
+        out.push_back(Violation{
+            m.metric_registry_file, line, "registry-drift",
+            "dead registry entry: metric constant " + name +
+                " is never used via metrics::" + name + " in src/"});
+      }
+    }
+    for (const MetricUse& u : m.raw_metric_literals) {
+      if (waived(u.file, u.line)) continue;
+      out.push_back(Violation{
+          u.file, u.line, "registry-drift",
+          "metric macro called with string literal \"" + u.constant +
+              "\"; use a metrics:: constant from " + m.metric_registry_file});
+    }
+  }
+
+  if (m.has_span_table) {
+    std::vector<bool> entry_used(m.span_table.size(), false);
+    for (const SpanUse& u : m.span_uses) {
+      bool matched = false;
+      const SpanSpecEntry* match = nullptr;
+      for (size_t i = 0; i < m.span_table.size(); ++i) {
+        const SpanSpecEntry& e = m.span_table[i];
+        bool hit = false;
+        if (e.prefix) {
+          hit = u.name.compare(0, e.name.size(), e.name) == 0 ||
+                (u.is_prefix && e.name.compare(0, u.name.size(), u.name) == 0);
+        } else {
+          hit = !u.is_prefix && u.name == e.name;
+        }
+        if (hit) {
+          matched = true;
+          entry_used[i] = true;
+          if (match == nullptr) match = &e;
+        }
+      }
+      if (!matched && !waived(u.file, u.line)) {
+        out.push_back(Violation{
+            u.file, u.line, "registry-drift",
+            "trace span \"" + u.name + (u.is_prefix ? "...\"" : "\"") +
+                " is not in the span table (" + m.span_table_file + ")"});
+      } else if (matched && match != nullptr && !u.category.empty() &&
+                 u.category != match->category && !waived(u.file, u.line)) {
+        out.push_back(Violation{
+            u.file, u.line, "registry-drift",
+            "trace span \"" + u.name + "\" uses category \"" + u.category +
+                "\" but the span table says \"" + match->category + "\""});
+      }
+    }
+    for (size_t i = 0; i < m.span_table.size(); ++i) {
+      const SpanSpecEntry& e = m.span_table[i];
+      if (!entry_used[i] && !waived(m.span_table_file, e.line)) {
+        out.push_back(Violation{
+            m.span_table_file, e.line, "registry-drift",
+            "dead registry entry: span \"" + e.name +
+                "\" has no ScopedSpan/BeginSpan use in src/"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckWaiverJustification(const Model& m) {
+  std::vector<Violation> out;
+  for (const AllowMarker& a : m.allow_markers) {
+    if (a.justified) continue;
+    out.push_back(Violation{
+        a.file, a.line, "waiver-justification",
+        "flexlint: allow(" + a.rule +
+            ") without a justification comment on the same or preceding "
+            "line"});
+  }
+  return out;
+}
+
+std::vector<Violation> RunAllRules(const Model& m) {
+  std::vector<Violation> all;
+  for (auto* rule : {CheckLockOrder, CheckBlockingUnderLock,
+                     CheckRunnableCoverage, CheckRegistryDrift,
+                     CheckWaiverJustification}) {
+    std::vector<Violation> v = rule(m);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end(), ByPos);
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const Violation& a, const Violation& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            all.end());
+  return all;
+}
+
+std::vector<Violation> AnalyzeTree(const std::string& root) {
+  Model m = BuildModel(root);
+  return RunAllRules(m);
+}
+
+}  // namespace flexcheck

@@ -1,0 +1,47 @@
+#ifndef FLEX_TOOLS_FLEXCHECK_RULES_H_
+#define FLEX_TOOLS_FLEXCHECK_RULES_H_
+
+// The four flexcheck rules, run over a flexcheck::Model:
+//
+//   lock-order            cycles in the global lock acquisition graph
+//                         (static deadlock detection)
+//   blocking-under-lock   CondVar waits / pool joins / queue receives /
+//                         sleeps while holding an unrelated mutex
+//   runnable-coverage     unbounded or long loops in src/runtime|query|grape
+//                         that never reach a CheckRunnable/deadline poll
+//   registry-drift        fault sites, metric names, and span names that
+//                         are used but unregistered, or registered but dead
+//
+// plus waiver-justification, which rejects `// flexlint: allow(<rule>)`
+// markers that carry no justification. Every rule honors the allow()
+// waiver at the offending line (or the line above it).
+
+#include <string>
+#include <vector>
+
+#include "flexcheck/model.h"
+
+namespace flexcheck {
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Violation> CheckLockOrder(const Model& m);
+std::vector<Violation> CheckBlockingUnderLock(const Model& m);
+std::vector<Violation> CheckRunnableCoverage(const Model& m);
+std::vector<Violation> CheckRegistryDrift(const Model& m);
+std::vector<Violation> CheckWaiverJustification(const Model& m);
+
+/// All rules, sorted by file/line, deduplicated.
+std::vector<Violation> RunAllRules(const Model& m);
+
+/// Convenience: BuildModel + RunAllRules on `root`.
+std::vector<Violation> AnalyzeTree(const std::string& root);
+
+}  // namespace flexcheck
+
+#endif  // FLEX_TOOLS_FLEXCHECK_RULES_H_

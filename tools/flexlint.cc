@@ -31,11 +31,21 @@
 //                    types are also [[nodiscard]], so the compiler catches
 //                    direct discards at -Werror; this rule exists so the
 //                    invariant is enforced even in files excluded from
-//                    -Werror and is visible in lint output. Scope: src/.
+//                    -Werror and is visible in lint output. Scope: src/
+//                    and tests/.
+//   allow-justification  Every flexlint/flexcheck allow() marker must carry
+//                    a justification: either same-line text after the
+//                    marker or a pure comment line directly above it. A
+//                    naked waiver defeats the audit trail the waiver
+//                    mechanism exists to create. Scope: src/ and tests/.
 //
 // A violating line can be waived with a trailing marker naming the rule,
 //     ... code ...  // flexlint: allow(raw-thread)
-// which is meant to be rare and to carry a justification in a comment.
+// which is meant to be rare and must carry a justification in a comment
+// (enforced by allow-justification).
+//
+// tests/flexcheck_fixtures/ is excluded from the walk: those trees seed
+// deliberate violations for flexcheck's own tests.
 //
 // Usage: flexlint <repo-root>   (exits non-zero and prints one line per
 // violation: file:line: [rule] message)
@@ -256,6 +266,7 @@ void CheckFile(const std::string& rel, const fs::path& path) {
   const std::vector<std::string> lines = ReadLines(path);
 
   const bool in_src = StartsWith(rel, "src/");
+  const bool in_tests = StartsWith(rel, "tests/");
   const bool is_header = EndsWith(rel, ".h");
   const bool is_pool_impl = rel == "src/common/thread_pool.h" ||
                             rel == "src/common/thread_pool.cc";
@@ -309,7 +320,42 @@ void CheckFile(const std::string& rel, const fs::path& path) {
              "every TU; include it in the .cc instead");
     }
 
-    if (in_src && stmt_begin && !trimmed.empty() && trimmed[0] != '#' &&
+    // allow-justification: any allow() marker (this linter's or
+    // flexcheck's) must be justified — same-line text after the marker, or
+    // a pure comment line directly above that isn't itself a marker.
+    {
+      const size_t mark = line.find("flexlint: allow(");
+      if (mark != std::string::npos) {
+        const size_t close = line.find(')', mark);
+        bool justified = false;
+        if (close != std::string::npos) {
+          const std::string after = TrimLeft(line.substr(close + 1));
+          // ": ordering is pinned by the caller" — require real prose, not
+          // punctuation.
+          size_t prose = 0;
+          for (char c : after) {
+            if (std::isalnum(static_cast<unsigned char>(c))) ++prose;
+          }
+          if (prose >= 8) justified = true;
+        }
+        if (!justified && i > 0) {
+          const std::string prev = TrimLeft(lines[i - 1]);
+          if (StartsWith(prev, "//") &&
+              prev.find("flexlint:") == std::string::npos &&
+              prev.size() >= 10) {
+            justified = true;
+          }
+        }
+        if (!justified) {
+          Report(rel, ln, "allow-justification",
+                 "allow() waiver without a justification comment on the "
+                 "same or preceding line");
+        }
+      }
+    }
+
+    if ((in_src || in_tests) && stmt_begin && !trimmed.empty() &&
+        trimmed[0] != '#' &&
         !StartsWith(trimmed, "//") &&
         !HasAllowMarker(line, "discarded-status")) {
       // A candidate discarded call starts the statement with a bare call
@@ -334,7 +380,27 @@ void CheckFile(const std::string& rel, const fs::path& path) {
           }
           const std::string callee =
               trimmed.substr(name_begin, paren - name_begin);
-          if (g_status_fns.count(callee) != 0 &&
+          // A trailing consumer on the same chain (.value() forces, .ok()
+          // / .status() / .code() inspect) means the result is not
+          // discarded. Scan past the call's matching ')' for one.
+          bool consumed = false;
+          size_t depth = 0;
+          size_t after_call = std::string::npos;
+          for (size_t k = paren; k < trimmed.size(); ++k) {
+            if (trimmed[k] == '(') ++depth;
+            if (trimmed[k] == ')' && --depth == 0) {
+              after_call = k + 1;
+              break;
+            }
+          }
+          if (after_call != std::string::npos) {
+            const std::string rest = trimmed.substr(after_call);
+            for (const char* c :
+                 {".value()", ".ok()", ".status()", ".code()"}) {
+              if (rest.find(c) != std::string::npos) consumed = true;
+            }
+          }
+          if (!consumed && g_status_fns.count(callee) != 0 &&
               g_nonstatus_fns.count(callee) == 0) {
             Report(rel, ln, "discarded-status",
                    "result of Status/Result-returning " + callee +
@@ -361,8 +427,11 @@ std::vector<std::pair<std::string, fs::path>> CollectFiles(
     if (!entry.is_regular_file()) continue;
     const std::string ext = entry.path().extension().string();
     if (ext != ".h" && ext != ".cc") continue;
-    files.emplace_back(fs::relative(entry.path(), root).generic_string(),
-                       entry.path());
+    const std::string rel =
+        fs::relative(entry.path(), root).generic_string();
+    // Seeded-violation trees for flexcheck's tests — not real code.
+    if (StartsWith(rel, "tests/flexcheck_fixtures/")) continue;
+    files.emplace_back(rel, entry.path());
   }
   return files;
 }
