@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/metric_names.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -45,6 +46,16 @@ bool ParseDuration(const std::string& text, std::chrono::microseconds* out) {
 
 bool Armed() { return g_armed.load(std::memory_order_relaxed); }
 
+bool KnownFaultSite(const std::string& site) {
+  for (const char* known : kAllFaultSites) {
+    if (site == known) return true;
+  }
+  // The chaos suite arms fixture-local sites under "test." to exercise the
+  // injector itself; those never appear in src/ so they are not registry
+  // entries.
+  return site.rfind("test.", 0) == 0;
+}
+
 Injector& Injector::Instance() {
   static Injector* injector = new Injector();  // Leaked: process lifetime.
   return *injector;
@@ -68,6 +79,14 @@ Status Injector::ArmFromSpec(const std::string& spec) {
                                      entry);
     }
     const std::string site = entry.substr(0, eq);
+    if (!KnownFaultSite(site)) {
+      // A typo'd site would otherwise arm a name nothing ever hits — the
+      // chaos run silently tests nothing. Fail loudly instead.
+      FLEX_LOG(Error) << "FLEX_FAULT spec names unknown fault site '" << site
+                      << "' (see kAllFaultSites in common/fault.h)";
+      return Status::InvalidArgument("unknown fault site '" + site +
+                                     "': " + entry);
+    }
     const std::vector<std::string> tokens =
         Split(entry.substr(eq + 1), ':');
     if (tokens.size() % 2 != 0 || tokens.empty()) {

@@ -40,16 +40,30 @@ namespace flex::fault {
 ///                      kAborted; delay: emulates a slow shard.
 ///   "storage.read"     Interpreter scan — the storage read boundary fails
 ///                      with kDataLoss.
+///   "storage.apply"    DurableStore::CommitBatch — the in-memory apply of
+///                      a durably logged batch dies mid-record (recovery
+///                      must replay the batch to an identical state).
+///   "wal.append"       WalWriter::Append — torn write: only a prefix of
+///                      the group-commit buffer reaches the file.
+///   "wal.sync"         WalWriter::Sync — lost page cache: bytes since the
+///                      last successful fsync vanish before the barrier.
 ///
 /// kAllFaultSites is the machine-readable form of the table above. It is
 /// the registry flexcheck's registry-drift rule cross-checks against every
 /// FLEX_FAULT_POINT/FLEX_FAULT_INJECT call site in src/ (both directions:
-/// no unregistered site, no dead entry). Add new sites here and to the
+/// no unregistered site, no dead entry), and the vocabulary
+/// ArmFromSpec validates FLEX_FAULT specs against (a typo'd site name is
+/// an error, not a silently dead entry). Add new sites here and to the
 /// comment in the same change.
 inline constexpr const char* kAllFaultSites[] = {
     "grape.flush",      "hiactor.dispatch", "msg.corrupt",
-    "msg.delay",        "pie.compute",      "storage.read",
+    "msg.delay",        "pie.compute",      "storage.apply",
+    "storage.read",     "wal.append",       "wal.sync",
 };
+
+/// True for registered sites plus the "test.*" namespace (sites that exist
+/// only inside the test suite's own fixtures, exempt from the registry).
+bool KnownFaultSite(const std::string& site);
 
 struct Policy {
   enum class Kind {

@@ -52,6 +52,21 @@ inline constexpr char kStorageAdjVisitsTotal[] =
     "flex_storage_adj_visits_total";
 inline constexpr char kStorageIndexLookupsTotal[] =
     "flex_storage_index_lookups_total";
+inline constexpr char kStorageSnapshotsPinnedTotal[] =
+    "flex_storage_snapshots_pinned_total";
+
+// --- storage write path (WAL + recovery) ---
+inline constexpr char kWalRecordsAppendedTotal[] =
+    "flex_wal_records_appended_total";
+inline constexpr char kWalSyncsTotal[] = "flex_wal_syncs_total";
+inline constexpr char kWalBatchesCommittedTotal[] =
+    "flex_wal_batches_committed_total";
+inline constexpr char kWalReplayRecordsTotal[] =
+    "flex_wal_replay_records_total";
+inline constexpr char kWalReplayDuplicatesSkippedTotal[] =
+    "flex_wal_replay_duplicates_skipped_total";
+inline constexpr char kWalTornTailsTruncatedTotal[] =
+    "flex_wal_torn_tails_truncated_total";
 
 // --- chaos harness ---
 inline constexpr char kFaultsFiredTotal[] = "flex_faults_fired_total";

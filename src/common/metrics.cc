@@ -195,6 +195,19 @@ constexpr MetricSpec kStackMetrics[] = {
      "Oid-index lookups (GRIN FindVertex) across all storage backends."},
     {kStorageScansTotal, "counter",
      "Vertex scans (GRIN VisitVertices) across all storage backends."},
+    {kStorageSnapshotsPinnedTotal, "counter",
+     "MVCC snapshots pinned through MutableGraphStore::PinSnapshot."},
+    {kWalBatchesCommittedTotal, "counter",
+     "Mutation batches group-committed (one write+fsync) to the WAL."},
+    {kWalRecordsAppendedTotal, "counter",
+     "Mutation records appended to the WAL (commit records excluded)."},
+    {kWalReplayDuplicatesSkippedTotal, "counter",
+     "Already-committed records skipped by idempotent WAL replay."},
+    {kWalReplayRecordsTotal, "counter",
+     "Committed mutation records re-applied during WAL replay."},
+    {kWalSyncsTotal, "counter", "Successful WAL fsync barriers."},
+    {kWalTornTailsTruncatedTotal, "counter",
+     "Torn WAL tails detected by replay and truncated on reopen."},
 };
 
 }  // namespace

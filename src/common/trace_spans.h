@@ -34,7 +34,9 @@ inline constexpr SpanSpec kSpanTable[] = {
     {"query", "query", false},
     {"recover[", "recover", true},
     {"storage.read", "storage", false},
+    {"storage.recover", "storage", false},
     {"superstep[", "superstep", true},
+    {"wal.append", "storage", false},
 };
 
 inline constexpr size_t kSpanTableSize =

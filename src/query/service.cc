@@ -1,5 +1,8 @@
 #include "query/service.h"
 
+#include <algorithm>
+#include <atomic>
+#include <optional>
 #include <thread>
 
 #include "common/metric_names.h"
@@ -106,7 +109,7 @@ Result<std::vector<ir::Row>> QueryService::Run(
     return hiactor_.Execute(std::move(task));
   };
 
-  std::chrono::milliseconds backoff = options.retry_backoff;
+  std::optional<Rng> retry_rng;  // Built on first retry only.
   for (int tries = 0;; ++tries) {
     Result<std::vector<ir::Row>> result = attempt(params);
     if (result.ok() || !IsRetryable(result.status()) ||
@@ -116,9 +119,36 @@ Result<std::vector<ir::Row>> QueryService::Run(
     // Backing off still honours the deadline: if it expires while we
     // sleep, the next attempt is rejected at admission, not executed.
     FLEX_COUNTER_INC(metrics::kQueryRetriesTotal);
-    std::this_thread::sleep_for(backoff);
-    backoff *= 2;
+    if (!retry_rng.has_value()) {
+      uint64_t seed = options.retry_jitter_seed;
+      if (seed == 0) {
+        // Per-call seeds from a process-wide counter: clients that failed
+        // together draw different jitter and spread their retries.
+        static std::atomic<uint64_t> counter{1};
+        seed = counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                 std::memory_order_relaxed);
+      }
+      retry_rng.emplace(seed);
+    }
+    std::this_thread::sleep_for(
+        RetryBackoffFor(options, tries, &retry_rng.value()));
   }
+}
+
+std::chrono::milliseconds RetryBackoffFor(const RunOptions& options,
+                                          int attempt, Rng* rng) {
+  const int64_t cap =
+      std::max<int64_t>(1, options.retry_backoff_max.count());
+  int64_t base = std::max<int64_t>(1, options.retry_backoff.count());
+  for (int i = 0; i < attempt && base < cap; ++i) base *= 2;
+  base = std::min(base, cap);
+  // Jitter factor uniform in [0.75, 1.25); the result stays in
+  // [1, retry_backoff_max] regardless.
+  const double factor = 0.75 + 0.5 * rng->NextDouble();
+  const auto jittered =
+      static_cast<int64_t>(static_cast<double>(base) * factor);
+  return std::chrono::milliseconds(
+      std::clamp<int64_t>(jittered, 1, cap));
 }
 
 Status QueryService::RegisterProcedure(const std::string& name, Language lang,

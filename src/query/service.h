@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/deadline.h"
+#include "common/random.h"
 #include "common/trace.h"
 #include "optimizer/optimizer.h"
 #include "runtime/gaia.h"
@@ -36,8 +37,17 @@ struct RunOptions {
   /// up to this many additional attempts with exponential backoff.
   /// Deterministic errors (parse, plan, invalid argument) never retry.
   int max_retries = 0;
-  /// Sleep before the first retry; doubles per attempt.
+  /// Sleep before the first retry; doubles per attempt (saturating at
+  /// retry_backoff_max), then jitters +-25% so concurrent clients that
+  /// failed together don't retry in lockstep (synchronized retry storms).
   std::chrono::milliseconds retry_backoff{1};
+  /// Upper bound on the pre-jitter backoff; the jittered sleep never
+  /// exceeds it either.
+  std::chrono::milliseconds retry_backoff_max{1000};
+  /// Seed for the jitter Rng. 0 (the default) derives a per-call seed from
+  /// a process-wide counter, desynchronizing concurrent clients; tests pin
+  /// a nonzero seed for reproducible sleeps.
+  uint64_t retry_jitter_seed = 0;
   /// Optional per-query trace. Run opens a root "query" span with
   /// "compile" and "execute" children; the engines and interpreter nest
   /// their own spans below those. Must outlive the call.
@@ -105,6 +115,14 @@ class NaiveGraphDB {
 /// Shared parse helper.
 Result<ir::Plan> ParseQuery(Language lang, const std::string& text,
                             const GraphSchema& schema);
+
+/// The sleep before retry attempt `attempt` (0-based): retry_backoff
+/// doubled `attempt` times, saturated at retry_backoff_max, then scaled by
+/// a jitter factor drawn uniformly from [0.75, 1.25] (clamped back under
+/// the cap). Exposed for the bounds test; Run() drives it with an Rng
+/// seeded from retry_jitter_seed.
+std::chrono::milliseconds RetryBackoffFor(const RunOptions& options,
+                                          int attempt, Rng* rng);
 
 }  // namespace flex::query
 

@@ -261,6 +261,34 @@ Status GartStore::DeleteEdge(label_t edge_label, oid_t src, oid_t dst) {
   return Status::OK();
 }
 
+Status GartStore::UpdateProperty(label_t label, oid_t oid, uint32_t col,
+                                 const PropertyValue& value) {
+  if (label >= schema_.vertex_label_num()) {
+    return Status::InvalidArgument("bad vertex label");
+  }
+  const auto& defs = schema_.vertex_label(label).properties;
+  if (col >= defs.size()) {
+    return Status::InvalidArgument("property column " + std::to_string(col) +
+                                   " out of range for label '" +
+                                   schema_.vertex_label(label).name + "'");
+  }
+  if (value.type() != defs[col].type) {
+    return Status::InvalidArgument(
+        "property '" + defs[col].name + "' is " +
+        PropertyTypeName(defs[col].type) + ", got " +
+        PropertyTypeName(value.type()));
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = oid_index_[label].find(oid);
+  if (it == oid_index_[label].end()) {
+    return Status::NotFound("vertex oid " + std::to_string(oid));
+  }
+  prop_updates_.push_back({it->second, col,
+                           committed_.load(std::memory_order_relaxed) + 1,
+                           value});
+  return Status::OK();
+}
+
 version_t GartStore::CommitVersion() {
   return committed_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
@@ -519,8 +547,7 @@ class GartSnapshot final : public grin::GrinGraph {
 
   PropertyValue GetVertexProperty(vid_t v, size_t col) const override {
     std::shared_lock<std::shared_mutex> lock(store_->mu_);
-    const label_t label = store_->vertex_labels_[v];
-    return store_->vertex_tables_[label].Get(store_->vertex_row_[v], col);
+    return ResolveProperty(v, col);
   }
 
   /// Batched override: the scalar accessor pays a shared_lock acquisition
@@ -530,9 +557,7 @@ class GartSnapshot final : public grin::GrinGraph {
                              PropertyValue* out) const override {
     std::shared_lock<std::shared_mutex> lock(store_->mu_);
     for (size_t i = 0; i < vids.size(); ++i) {
-      const vid_t v = vids[i];
-      const label_t label = store_->vertex_labels_[v];
-      out[i] = store_->vertex_tables_[label].Get(store_->vertex_row_[v], col);
+      out[i] = ResolveProperty(vids[i], col);
     }
   }
 
@@ -561,6 +586,19 @@ class GartSnapshot final : public grin::GrinGraph {
   version_t SnapshotVersion() const override { return version_; }
 
  private:
+  /// Newest committed-at-version_ override for (v, col) wins; the base
+  /// table row is the load-time value. Caller holds store_->mu_ (shared).
+  PropertyValue ResolveProperty(vid_t v, size_t col) const {
+    const auto& updates = store_->prop_updates_;
+    for (auto it = updates.rbegin(); it != updates.rend(); ++it) {
+      if (it->vid == v && it->col == col && it->create <= version_) {
+        return it->value;
+      }
+    }
+    const label_t label = store_->vertex_labels_[v];
+    return store_->vertex_tables_[label].Get(store_->vertex_row_[v], col);
+  }
+
   /// Vertices of `label` visible at version_ form a prefix of the label's
   /// vid list (creation versions are nondecreasing): binary search it.
   /// Lock-free: label_vertices_ entries publish after vertex_create_.
@@ -589,6 +627,12 @@ std::unique_ptr<grin::GrinGraph> GartStore::GetSnapshot() const {
 std::unique_ptr<grin::GrinGraph> GartStore::GetSnapshot(
     version_t version) const {
   return std::make_unique<GartSnapshot>(this, version);
+}
+
+std::unique_ptr<grin::GrinGraph> GartStore::PinSnapshot(
+    version_t version) const {
+  FLEX_COUNTER_INC(metrics::kStorageSnapshotsPinnedTotal);
+  return GetSnapshot(version);
 }
 
 }  // namespace flex::storage

@@ -15,6 +15,7 @@
 #include "graph/schema.h"
 #include "graph/types.h"
 #include "grin/grin.h"
+#include "storage/mutable_store.h"
 
 namespace flex::storage {
 
@@ -44,7 +45,7 @@ namespace flex::storage {
 /// one int64 property (e.g. a timestamp) inline in each edge record, which
 /// covers the dynamic-graph workloads of the paper (fraud detection's
 /// BUY.date). Richer edge schemas belong in the immutable Vineyard store.
-class GartStore {
+class GartStore : public MutableGraphStore {
  public:
   /// Rejects schemas whose edge labels carry unsupported property types.
   static Result<std::unique_ptr<GartStore>> Create(const GraphSchema& schema);
@@ -55,7 +56,7 @@ class GartStore {
   static Result<std::unique_ptr<GartStore>> Build(
       const PropertyGraphData& data, bool seal = true);
 
-  ~GartStore();
+  ~GartStore() override;
 
   const GraphSchema& schema() const { return schema_; }
 
@@ -73,9 +74,33 @@ class GartStore {
   /// Tombstones all live (src)-[edge_label]->(dst) edges.
   Status DeleteEdge(label_t edge_label, oid_t src, oid_t dst);
 
+  /// Replaces vertex property `col` via an MVCC update chain: the base
+  /// table row keeps the load-time value, updates append versioned
+  /// overrides, and snapshots resolve the newest override with
+  /// create <= snapshot version (in-place table writes would leak new
+  /// values into old snapshots).
+  Status UpdateProperty(label_t label, oid_t oid, uint32_t col,
+                        const PropertyValue& value) override;
+
   /// Publishes all writes made since the previous commit; returns the new
   /// readable version.
   version_t CommitVersion();
+
+  // MutableGraphStore: adapters over the native write API above.
+  Result<vid_t> AppendVertex(label_t label, oid_t oid,
+                             std::vector<PropertyValue> props) override {
+    return AddVertex(label, oid, std::move(props));
+  }
+  Status AppendEdge(label_t edge_label, oid_t src, oid_t dst, double weight,
+                    int64_t ts) override {
+    return AddEdge(edge_label, src, dst, weight, ts);
+  }
+  Status RemoveEdge(label_t edge_label, oid_t src, oid_t dst) override {
+    return DeleteEdge(edge_label, src, dst);
+  }
+  version_t CommitBatch() override { return CommitVersion(); }
+  std::unique_ptr<grin::GrinGraph> PinSnapshot(
+      version_t version) const override;
 
   /// Merges delta blocks into sealed segments and drops history older
   /// than the current read version. Requires full reader quiescence (no
@@ -85,7 +110,7 @@ class GartStore {
 
   // --------------------------------------------------------------- reads
 
-  version_t read_version() const {
+  version_t read_version() const override {
     return committed_.load(std::memory_order_acquire);
   }
 
@@ -170,6 +195,15 @@ class GartStore {
   mutable std::shared_mutex mu_;
   std::atomic<version_t> committed_{0};
 
+  /// One MVCC property override; the chain is append-only and scanned
+  /// newest-first by snapshots. Guarded by mu_ (same lock as the tables).
+  struct PropUpdate {
+    vid_t vid;
+    uint32_t col;
+    version_t create;
+    PropertyValue value;
+  };
+
   // Vertex data: append-only, lock-free reads (writers serialize on mu_).
   StableVector<oid_t> oids_;
   StableVector<label_t> vertex_labels_;
@@ -178,6 +212,7 @@ class GartStore {
   std::vector<std::unordered_map<oid_t, vid_t>> oid_index_;    // per label
   std::vector<PropertyTable> vertex_tables_;                   // per label
   StableVector<size_t> vertex_row_;  // vid -> row in its label's table
+  std::vector<PropUpdate> prop_updates_;  // MVCC overrides, guarded by mu_
 
   struct PerLabelAdjacency {
     StableVector<Adj> out;  // Indexed by vid; stable under growth.

@@ -1,0 +1,69 @@
+#ifndef FLEX_STORAGE_MUTABLE_STORE_H_
+#define FLEX_STORAGE_MUTABLE_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property.h"
+#include "graph/types.h"
+#include "grin/grin.h"
+
+namespace flex::storage {
+
+/// Uniform write API over the dynamic stores (GART and LiveGraph), shaped
+/// after ZipG's log-store `append_node`/`append_edge` surface: writers
+/// append vertices/edges and property updates, then publish everything at
+/// once with CommitBatch(). Readers never see a half-applied batch —
+/// PinSnapshot() returns a GRIN view frozen at a committed epoch, and the
+/// epoch head only advances at CommitBatch() (the MVCC protocol both
+/// backends already implement; this interface is what the WAL layer and
+/// the mixed read/write tests program against).
+///
+/// Identity is by (label, oid): the stable external name that survives a
+/// crash-recovery replay, unlike dense vids which are assignment-order
+/// artifacts (deterministic replay makes them reproducible, but the log
+/// records oids so the contract doesn't depend on it).
+class MutableGraphStore {
+ public:
+  virtual ~MutableGraphStore() = default;
+
+  /// Inserts a vertex; visible to snapshots pinned after the next
+  /// CommitBatch(). Fails kAlreadyExists on duplicate (label, oid).
+  virtual Result<vid_t> AppendVertex(label_t label, oid_t oid,
+                                     std::vector<PropertyValue> props) = 0;
+
+  /// Inserts an edge between existing vertices. `weight`/`ts` map to the
+  /// edge label's double/int64 properties where the backend supports them.
+  virtual Status AppendEdge(label_t edge_label, oid_t src, oid_t dst,
+                            double weight, int64_t ts) = 0;
+
+  /// Replaces vertex property `col` of (label, oid); snapshots pinned at
+  /// earlier epochs keep reading the old value (MVCC update chain).
+  virtual Status UpdateProperty(label_t label, oid_t oid, uint32_t col,
+                                const PropertyValue& value) = 0;
+
+  /// Tombstones all live (src)-[edge_label]->(dst) edges.
+  virtual Status RemoveEdge(label_t edge_label, oid_t src, oid_t dst) = 0;
+
+  /// Publishes all writes since the previous commit; returns the new
+  /// readable epoch.
+  virtual version_t CommitBatch() = 0;
+
+  /// The newest committed epoch.
+  virtual version_t read_version() const = 0;
+
+  /// GRIN view pinned at `version`; stays consistent while writers advance
+  /// the head. Snapshots must not outlive the store.
+  virtual std::unique_ptr<grin::GrinGraph> PinSnapshot(
+      version_t version) const = 0;
+
+  /// Pins the newest committed epoch.
+  std::unique_ptr<grin::GrinGraph> PinSnapshot() const {
+    return PinSnapshot(read_version());
+  }
+};
+
+}  // namespace flex::storage
+
+#endif  // FLEX_STORAGE_MUTABLE_STORE_H_

@@ -1,0 +1,422 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
+#include "common/varint.h"
+
+namespace flex::storage {
+
+namespace {
+
+constexpr char kWalMagic[kWalHeaderSize] = {'F', 'L', 'X', 'W',
+                                           'A', 'L', '0', '1'};
+
+void PutDouble(std::vector<uint8_t>* out, double v) {
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+bool GetDouble(const uint8_t* data, size_t size, size_t* pos, double* v) {
+  if (*pos + 8 > size) return false;
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(data[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+void PutProperty(std::vector<uint8_t>* out, const PropertyValue& v) {
+  out->push_back(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case PropertyType::kEmpty:
+      break;
+    case PropertyType::kBool:
+      out->push_back(v.AsBool() ? 1 : 0);
+      break;
+    case PropertyType::kInt64:
+      PutVarintSigned(out, v.AsInt64());
+      break;
+    case PropertyType::kDouble:
+      PutDouble(out, v.AsDouble());
+      break;
+    case PropertyType::kString: {
+      const std::string& s = v.AsString();
+      PutVarint64(out, s.size());
+      out->insert(out->end(), s.begin(), s.end());
+      break;
+    }
+  }
+}
+
+bool GetProperty(const uint8_t* data, size_t size, size_t* pos,
+                 PropertyValue* v) {
+  if (*pos >= size) return false;
+  const auto type = static_cast<PropertyType>(data[(*pos)++]);
+  switch (type) {
+    case PropertyType::kEmpty:
+      *v = PropertyValue();
+      return true;
+    case PropertyType::kBool:
+      if (*pos >= size) return false;
+      *v = PropertyValue(data[(*pos)++] != 0);
+      return true;
+    case PropertyType::kInt64: {
+      int64_t i = 0;
+      if (!GetVarintSigned(data, size, pos, &i)) return false;
+      *v = PropertyValue(i);
+      return true;
+    }
+    case PropertyType::kDouble: {
+      double d = 0;
+      if (!GetDouble(data, size, pos, &d)) return false;
+      *v = PropertyValue(d);
+      return true;
+    }
+    case PropertyType::kString: {
+      uint64_t len = 0;
+      if (!GetVarint64(data, size, pos, &len)) return false;
+      if (*pos + len > size) return false;
+      *v = PropertyValue(
+          std::string(reinterpret_cast<const char*>(data + *pos), len));
+      *pos += len;
+      return true;
+    }
+  }
+  return false;  // Unknown property type byte.
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kAddVertex:
+      return "AddVertex";
+    case WalRecordType::kAddEdge:
+      return "AddEdge";
+    case WalRecordType::kUpdateProperty:
+      return "UpdateProperty";
+    case WalRecordType::kDeleteEdge:
+      return "DeleteEdge";
+    case WalRecordType::kCommitBatch:
+      return "CommitBatch";
+  }
+  return "Unknown";
+}
+
+void EncodeWalRecord(const WalRecord& record, std::vector<uint8_t>* out) {
+  PutVarint64(out, record.seq);
+  out->push_back(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kAddVertex:
+      out->push_back(record.label);
+      PutVarintSigned(out, record.src);
+      PutVarint64(out, record.props.size());
+      for (const PropertyValue& p : record.props) PutProperty(out, p);
+      break;
+    case WalRecordType::kAddEdge:
+      out->push_back(record.label);
+      PutVarintSigned(out, record.src);
+      PutVarintSigned(out, record.dst);
+      PutDouble(out, record.weight);
+      PutVarintSigned(out, record.ts);
+      break;
+    case WalRecordType::kUpdateProperty:
+      out->push_back(record.label);
+      PutVarintSigned(out, record.src);
+      PutVarint64(out, record.col);
+      PutProperty(out, record.props.empty() ? PropertyValue()
+                                            : record.props.front());
+      break;
+    case WalRecordType::kDeleteEdge:
+      out->push_back(record.label);
+      PutVarintSigned(out, record.src);
+      PutVarintSigned(out, record.dst);
+      break;
+    case WalRecordType::kCommitBatch:
+      PutVarint64(out, record.epoch);
+      PutVarint64(out, record.record_count);
+      break;
+  }
+}
+
+Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size) {
+  const auto malformed = [](const char* what) {
+    return Status::DataLoss(std::string("wal: malformed record: ") + what);
+  };
+  WalRecord r;
+  size_t pos = 0;
+  if (!GetVarint64(data, size, &pos, &r.seq)) return malformed("seq");
+  if (pos >= size) return malformed("type");
+  r.type = static_cast<WalRecordType>(data[pos++]);
+  uint64_t u = 0;
+  switch (r.type) {
+    case WalRecordType::kAddVertex: {
+      if (pos >= size) return malformed("label");
+      r.label = data[pos++];
+      if (!GetVarintSigned(data, size, &pos, &r.src)) return malformed("oid");
+      uint64_t nprops = 0;
+      if (!GetVarint64(data, size, &pos, &nprops)) return malformed("nprops");
+      if (nprops > size) return malformed("nprops range");
+      r.props.resize(nprops);
+      for (uint64_t i = 0; i < nprops; ++i) {
+        if (!GetProperty(data, size, &pos, &r.props[i])) {
+          return malformed("property");
+        }
+      }
+      break;
+    }
+    case WalRecordType::kAddEdge:
+      if (pos >= size) return malformed("label");
+      r.label = data[pos++];
+      if (!GetVarintSigned(data, size, &pos, &r.src)) return malformed("src");
+      if (!GetVarintSigned(data, size, &pos, &r.dst)) return malformed("dst");
+      if (!GetDouble(data, size, &pos, &r.weight)) return malformed("weight");
+      if (!GetVarintSigned(data, size, &pos, &r.ts)) return malformed("ts");
+      break;
+    case WalRecordType::kUpdateProperty: {
+      if (pos >= size) return malformed("label");
+      r.label = data[pos++];
+      if (!GetVarintSigned(data, size, &pos, &r.src)) return malformed("oid");
+      if (!GetVarint64(data, size, &pos, &u)) return malformed("col");
+      r.col = static_cast<uint32_t>(u);
+      PropertyValue v;
+      if (!GetProperty(data, size, &pos, &v)) return malformed("value");
+      r.props.push_back(std::move(v));
+      break;
+    }
+    case WalRecordType::kDeleteEdge:
+      if (pos >= size) return malformed("label");
+      r.label = data[pos++];
+      if (!GetVarintSigned(data, size, &pos, &r.src)) return malformed("src");
+      if (!GetVarintSigned(data, size, &pos, &r.dst)) return malformed("dst");
+      break;
+    case WalRecordType::kCommitBatch:
+      if (!GetVarint64(data, size, &pos, &r.epoch)) return malformed("epoch");
+      if (!GetVarint64(data, size, &pos, &r.record_count)) {
+        return malformed("record_count");
+      }
+      break;
+    default:
+      return Status::DataLoss("wal: unknown record type " +
+                              std::to_string(static_cast<int>(r.type)));
+  }
+  if (pos != size) return malformed("trailing bytes");
+  return r;
+}
+
+void AppendWalFrame(const uint8_t* payload, size_t size,
+                    std::vector<uint8_t>* out) {
+  PutVarint64(out, size);
+  const uint32_t crc = Crc32(payload, size);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  out->insert(out->end(), payload, payload + size);
+}
+
+Result<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<Status(const WalRecord&)>& apply) {
+  WalReplayStats stats;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return stats;  // Missing file == empty log.
+  std::vector<uint8_t> buf((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  in.close();
+
+  if (buf.size() < kWalHeaderSize) {
+    // A crash during log creation can tear the magic itself; truncate to
+    // empty and start over.
+    stats.torn_tail = !buf.empty();
+    stats.valid_bytes = 0;
+    if (stats.torn_tail) {
+      FLEX_COUNTER_INC(metrics::kWalTornTailsTruncatedTotal);
+    }
+    return stats;
+  }
+  if (std::memcmp(buf.data(), kWalMagic, kWalHeaderSize) != 0) {
+    return Status::DataLoss("wal: bad magic in " + path);
+  }
+
+  size_t pos = kWalHeaderSize;
+  stats.valid_bytes = pos;
+  std::vector<WalRecord> staged;
+  while (pos < buf.size()) {
+    uint64_t len = 0;
+    size_t p = pos;
+    if (!GetVarint64(buf.data(), buf.size(), &p, &len) ||
+        buf.size() - p < 4 + len) {
+      stats.torn_tail = true;  // Frame runs past EOF: crash mid-write.
+      break;
+    }
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      crc |= static_cast<uint32_t>(buf[p + i]) << (8 * i);
+    }
+    p += 4;
+    const uint8_t* payload = buf.data() + p;
+    if (Crc32(payload, len) != crc) {
+      return Status::DataLoss("wal: CRC mismatch at offset " +
+                              std::to_string(pos) + " in " + path);
+    }
+    auto rec = DecodeWalRecord(payload, len);
+    if (!rec.ok()) return rec.status();
+    WalRecord r = std::move(rec).value();
+    pos = p + len;
+
+    if (r.seq <= stats.last_seq) {
+      // Already-committed bytes re-appended (e.g. a retry after a lost
+      // ack): idempotent skip. The region is still valid prefix.
+      ++stats.duplicates_skipped;
+      if (r.type == WalRecordType::kCommitBatch) stats.valid_bytes = pos;
+      continue;
+    }
+    if (r.type == WalRecordType::kCommitBatch) {
+      if (r.record_count != staged.size()) {
+        return Status::DataLoss(
+            "wal: commit record in " + path + " declares " +
+            std::to_string(r.record_count) + " records, staged " +
+            std::to_string(staged.size()));
+      }
+      for (const WalRecord& s : staged) {
+        FLEX_RETURN_NOT_OK(apply(s));
+        ++stats.applied_records;
+      }
+      FLEX_RETURN_NOT_OK(apply(r));
+      ++stats.committed_batches;
+      stats.last_seq = r.seq;
+      stats.valid_bytes = pos;
+      staged.clear();
+    } else {
+      staged.push_back(std::move(r));
+    }
+  }
+  // Staged records with no commit record belong to an aborted batch.
+  stats.dropped_tail_records = staged.size();
+
+  FLEX_COUNTER_ADD(metrics::kWalReplayRecordsTotal, stats.applied_records);
+  FLEX_COUNTER_ADD(metrics::kWalReplayDuplicatesSkippedTotal,
+                   stats.duplicates_skipped);
+  if (stats.torn_tail) {
+    FLEX_COUNTER_INC(metrics::kWalTornTailsTruncatedTotal);
+  }
+  return stats;
+}
+
+WalWriter::WalWriter(int fd, std::string path, uint64_t offset)
+    : fd_(fd),
+      path_(std::move(path)),
+      offset_(offset),
+      synced_offset_(offset) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t resume_offset) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("wal: open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("wal: fstat", path);
+  }
+  const auto size = static_cast<uint64_t>(st.st_size);
+  if (resume_offset > size) {
+    ::close(fd);
+    return Status::Internal("wal: resume offset " +
+                            std::to_string(resume_offset) + " beyond " +
+                            std::to_string(size) + " bytes in " + path);
+  }
+
+  uint64_t offset = resume_offset;
+  if (resume_offset < kWalHeaderSize) {
+    // Fresh (or torn-at-birth) log: start over with a clean header.
+    if (::ftruncate(fd, 0) != 0 ||
+        ::pwrite(fd, kWalMagic, kWalHeaderSize, 0) !=
+            static_cast<ssize_t>(kWalHeaderSize)) {
+      ::close(fd);
+      return Errno("wal: write header", path);
+    }
+    offset = kWalHeaderSize;
+  } else if (size != resume_offset) {
+    // Torn-tail repair: drop everything past the last commit record.
+    if (::ftruncate(fd, static_cast<off_t>(resume_offset)) != 0) {
+      ::close(fd);
+      return Errno("wal: truncate", path);
+    }
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("wal: fsync", path);
+  }
+  if (::lseek(fd, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    ::close(fd);
+    return Errno("wal: seek", path);
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, path, offset));
+}
+
+Status WalWriter::Append(const uint8_t* data, size_t size) {
+  size_t to_write = size;
+  if (FLEX_FAULT_POINT("wal.append")) {
+    // Torn write: the process dies mid-write() — only a prefix lands.
+    to_write = size / 2;
+  }
+  size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n = ::write(fd_, data + written, to_write - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("wal: write", path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  offset_ += written;
+  if (to_write != size) {
+    return Status::IoError("wal: injected torn write in " + path_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (FLEX_FAULT_POINT("wal.sync")) {
+    // Lost page cache: the machine dies before fsync() completes, so
+    // everything since the last successful sync never hit the platter.
+    if (::ftruncate(fd_, static_cast<off_t>(synced_offset_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(synced_offset_), SEEK_SET) < 0) {
+      return Errno("wal: truncate (injected)", path_);
+    }
+    offset_ = synced_offset_;
+    return Status::IoError("wal: injected lost sync in " + path_);
+  }
+  if (::fsync(fd_) != 0) return Errno("wal: fsync", path_);
+  synced_offset_ = offset_;
+  FLEX_COUNTER_INC(metrics::kWalSyncsTotal);
+  return Status::OK();
+}
+
+}  // namespace flex::storage

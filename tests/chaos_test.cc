@@ -122,6 +122,28 @@ TEST_F(ChaosTest, SpecStringRejectsGarbage) {
   EXPECT_FALSE(Faults().ArmFromSpec("x=warp:9").ok());
 }
 
+TEST_F(ChaosTest, SpecStringRejectsUnknownSiteNames) {
+  // A typo'd site would otherwise arm a dead entry and the chaos run
+  // silently tests nothing: unknown names are kInvalidArgument.
+  Status st = Faults().ArmFromSpec("storgae.read=nth:1");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("storgae.read"), std::string::npos);
+  // One bad site poisons the whole spec, even with valid entries first.
+  EXPECT_FALSE(
+      Faults().ArmFromSpec("msg.corrupt=nth:1;wal.appnd=nth:2").ok());
+  // Every registered production site parses...
+  for (const char* site : fault::kAllFaultSites) {
+    EXPECT_TRUE(
+        Faults().ArmFromSpec(std::string(site) + "=nth:1000000").ok())
+        << site;
+    Faults().DisarmAll();
+  }
+  // ...and the test.* namespace stays exempt (fixture-local sites).
+  EXPECT_TRUE(Faults().ArmFromSpec("test.anything=nth:1000000").ok());
+  EXPECT_TRUE(fault::KnownFaultSite("test.anything"));
+  EXPECT_FALSE(fault::KnownFaultSite("storgae.read"));
+}
+
 // ----------------------------------------------- MessageManager frames
 
 using Delivery = std::vector<std::pair<vid_t, uint64_t>>;

@@ -138,6 +138,13 @@ const char* const kExpectedStackMetrics[] = {
     "flex_storage_adj_visits_total",
     "flex_storage_index_lookups_total",
     "flex_storage_scans_total",
+    "flex_storage_snapshots_pinned_total",
+    "flex_wal_batches_committed_total",
+    "flex_wal_records_appended_total",
+    "flex_wal_replay_duplicates_skipped_total",
+    "flex_wal_replay_records_total",
+    "flex_wal_syncs_total",
+    "flex_wal_torn_tails_truncated_total",
 };
 
 TEST(MetricsTest, StandardMetricSetMatchesExpectedList) {

@@ -1,0 +1,400 @@
+// MutableGraphStore / DurableStore behavior tests: the uniform write API
+// on both dynamic backends, WAL commit/recover round-trips, MVCC property
+// updates, snapshot-isolation under concurrent readers, and a mixed
+// read/write SNB-style scenario running Cypher over pinned snapshots.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "query/service.h"
+#include "storage/durable_store.h"
+#include "storage/gart/gart_store.h"
+#include "storage/livegraph/livegraph_store.h"
+#include "storage/mutable_store.h"
+
+namespace flex::storage {
+namespace {
+
+class MutationTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : paths_) {
+      std::error_code ec;
+      std::filesystem::remove(p, ec);
+    }
+  }
+
+  std::string TempWalPath() {
+    static std::atomic<int> counter{0};
+    std::string p = "flex_mutation_test_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++) + ".wal";
+    paths_.push_back(p);
+    return p;
+  }
+
+  std::vector<std::string> paths_;
+};
+
+/// One vertex label "V" {name}, one edge label "E" {weight, ts}.
+GraphSchema SimpleSchema() {
+  GraphSchema schema;
+  EXPECT_TRUE(
+      schema.AddVertexLabel("V", {{"name", PropertyType::kString}}).ok());
+  EXPECT_TRUE(schema
+                  .AddEdgeLabel("E", 0, 0,
+                                {{"weight", PropertyType::kDouble},
+                                 {"ts", PropertyType::kInt64}})
+                  .ok());
+  return schema;
+}
+
+/// Person --LIKES--> Post, the shape of the SNB interactive updates.
+GraphSchema SnbSchema() {
+  GraphSchema schema;
+  EXPECT_TRUE(
+      schema.AddVertexLabel("Person", {{"name", PropertyType::kString}}).ok());
+  EXPECT_TRUE(
+      schema.AddVertexLabel("Post", {{"content", PropertyType::kString}})
+          .ok());
+  EXPECT_TRUE(
+      schema.AddEdgeLabel("LIKES", 0, 1, {{"weight", PropertyType::kDouble}})
+          .ok());
+  return schema;
+}
+
+std::shared_ptr<MutableGraphStore> NewGart(const GraphSchema& schema) {
+  auto store = GartStore::Create(schema);
+  EXPECT_TRUE(store.ok()) << store.status().message();
+  return std::shared_ptr<MutableGraphStore>(std::move(store).value());
+}
+
+// ------------------------------------------------- uniform write surface
+
+TEST_F(MutationTest, GartThroughBaseInterface) {
+  auto store = NewGart(SimpleSchema());
+  ASSERT_TRUE(
+      store->AppendVertex(0, 10, {PropertyValue(std::string("a"))}).ok());
+  ASSERT_TRUE(
+      store->AppendVertex(0, 11, {PropertyValue(std::string("b"))}).ok());
+  ASSERT_TRUE(store->AppendEdge(0, 10, 11, 2.5, 7).ok());
+  EXPECT_EQ(store->read_version(), 0u);
+  // Uncommitted writes are invisible to a snapshot pinned now.
+  auto before = store->PinSnapshot();
+  EXPECT_EQ(before->NumVerticesOfLabel(0), 0u);
+
+  EXPECT_EQ(store->CommitBatch(), 1u);
+  EXPECT_EQ(store->read_version(), 1u);
+  auto after = store->PinSnapshot();
+  EXPECT_EQ(after->SnapshotVersion(), 1u);
+  EXPECT_EQ(after->NumVerticesOfLabel(0), 2u);
+  auto found = after->FindVertex(0, 11);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(after->GetVertexProperty(found.value(), 0).AsString(), "b");
+  // The old pin still reads the empty epoch (snapshot isolation).
+  EXPECT_EQ(before->NumVerticesOfLabel(0), 0u);
+}
+
+TEST_F(MutationTest, GartUpdatePropertyIsMvcc) {
+  auto store = NewGart(SimpleSchema());
+  ASSERT_TRUE(
+      store->AppendVertex(0, 10, {PropertyValue(std::string("old"))}).ok());
+  ASSERT_TRUE(store->CommitBatch() == 1u);
+  auto old_snap = store->PinSnapshot();
+
+  ASSERT_TRUE(
+      store->UpdateProperty(0, 10, 0, PropertyValue(std::string("new")))
+          .ok());
+  ASSERT_TRUE(store->CommitBatch() == 2u);
+  auto new_snap = store->PinSnapshot();
+
+  const vid_t v = old_snap->FindVertex(0, 10).value();
+  EXPECT_EQ(old_snap->GetVertexProperty(v, 0).AsString(), "old");
+  EXPECT_EQ(new_snap->GetVertexProperty(v, 0).AsString(), "new");
+
+  // Type and existence are validated against the schema.
+  EXPECT_EQ(store->UpdateProperty(0, 10, 0, PropertyValue(int64_t{3})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->UpdateProperty(0, 999, 0, PropertyValue(std::string("x")))
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      store->UpdateProperty(0, 10, 9, PropertyValue(std::string("x"))).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(MutationTest, LiveGraphShapeConstraints) {
+  auto store = std::make_shared<LiveGraphStore>(2);
+  MutableGraphStore* base = store.get();
+  // Dense oids: the next vid is the only legal append.
+  EXPECT_EQ(base->AppendVertex(0, 5, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(base->AppendVertex(0, 1, {}).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(base->AppendVertex(1, 2, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(base->AppendVertex(0, 2, {PropertyValue(true)}).status().code(),
+            StatusCode::kUnimplemented);
+  auto added = base->AppendVertex(0, 2, {});
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added.value(), 2u);
+  ASSERT_TRUE(base->AppendEdge(0, 0, 2, 1.5, 0).ok());
+  EXPECT_EQ(base->UpdateProperty(0, 0, 0, PropertyValue(true)).code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(base->CommitBatch(), 1u);
+
+  auto snap = base->PinSnapshot();
+  EXPECT_EQ(snap->NumVerticesOfLabel(0), 3u);
+  EXPECT_EQ(snap->Degree(0, Direction::kOut, 0), 1u);
+  // A pre-growth snapshot neither sees vertex 2 nor the edge.
+  auto old_snap = base->PinSnapshot(0);
+  EXPECT_EQ(old_snap->NumVerticesOfLabel(0), 2u);
+  EXPECT_EQ(old_snap->Degree(0, Direction::kOut, 0), 0u);
+}
+
+// --------------------------------------------------- durable round trips
+
+TEST_F(MutationTest, DurableCommitRecoverRoundTrip) {
+  const std::string wal = TempWalPath();
+  const GraphSchema schema = SimpleSchema();
+
+  uint32_t fp = 0;
+  version_t version = 0;
+  {
+    auto ds = DurableStore::Open(NewGart(schema), wal);
+    ASSERT_TRUE(ds.ok()) << ds.status().message();
+    DurableStore& s = *ds.value();
+    EXPECT_EQ(s.recovery_stats().committed_batches, 0u);
+
+    // Batch 1: two vertices and an edge.
+    ASSERT_TRUE(s.AppendVertex(0, 10, {PropertyValue(std::string("a"))}).ok());
+    ASSERT_TRUE(s.AppendVertex(0, 11, {PropertyValue(std::string("b"))}).ok());
+    ASSERT_TRUE(s.AppendEdge(0, 10, 11, 2.5, 7).ok());
+    auto e1 = s.CommitBatch();
+    ASSERT_TRUE(e1.ok()) << e1.status().message();
+    EXPECT_EQ(e1.value(), 1u);
+
+    // Batch 2: every remaining record type — update, delete, new edge.
+    ASSERT_TRUE(
+        s.UpdateProperty(0, 10, 0, PropertyValue(std::string("a2"))).ok());
+    ASSERT_TRUE(s.RemoveEdge(0, 10, 11).ok());
+    ASSERT_TRUE(s.AppendEdge(0, 11, 10, -0.5, 9).ok());
+    auto e2 = s.CommitBatch();
+    ASSERT_TRUE(e2.ok());
+    EXPECT_EQ(e2.value(), 2u);
+
+    version = s.read_version();
+    fp = SnapshotFingerprint(*s.PinSnapshot());
+  }
+
+  // Recover onto a fresh backend: bit-identical for readers.
+  auto reopened = DurableStore::Open(NewGart(schema), wal);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  DurableStore& r = *reopened.value();
+  EXPECT_EQ(r.recovery_stats().committed_batches, 2u);
+  EXPECT_EQ(r.recovery_stats().applied_records, 6u);
+  EXPECT_EQ(r.read_version(), version);
+  EXPECT_EQ(SnapshotFingerprint(*r.PinSnapshot()), fp);
+
+  // The recovered store accepts new writes; a third open sees them too.
+  ASSERT_TRUE(r.AppendVertex(0, 12, {PropertyValue(std::string("c"))}).ok());
+  auto e3 = r.CommitBatch();
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(e3.value(), version + 1);
+  const uint32_t fp3 = SnapshotFingerprint(*r.PinSnapshot());
+
+  auto third = DurableStore::Open(NewGart(schema), wal);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value()->read_version(), version + 1);
+  EXPECT_EQ(SnapshotFingerprint(*third.value()->PinSnapshot()), fp3);
+}
+
+TEST_F(MutationTest, DurableEmptyBatchIsNoOp) {
+  auto ds = DurableStore::Open(NewGart(SimpleSchema()), TempWalPath());
+  ASSERT_TRUE(ds.ok());
+  auto epoch = ds.value()->CommitBatch();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch.value(), 0u);
+  EXPECT_FALSE(ds.value()->failed());
+}
+
+TEST_F(MutationTest, DurableRejectedRecordFailStops) {
+  auto ds = DurableStore::Open(NewGart(SimpleSchema()), TempWalPath());
+  ASSERT_TRUE(ds.ok());
+  DurableStore& s = *ds.value();
+  // An edge between vertices that don't exist is only caught at apply
+  // time, after the batch went durable: the store fail-stops.
+  ASSERT_TRUE(s.AppendEdge(0, 404, 405, 1.0, 0).ok());
+  EXPECT_FALSE(s.CommitBatch().ok());
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(s.AppendVertex(0, 1, {PropertyValue(std::string("x"))}).code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(s.CommitBatch().status().code(), StatusCode::kAborted);
+}
+
+TEST_F(MutationTest, DurableLiveGraphRoundTrip) {
+  const std::string wal = TempWalPath();
+  uint32_t fp = 0;
+  {
+    auto ds =
+        DurableStore::Open(std::make_shared<LiveGraphStore>(2), wal);
+    ASSERT_TRUE(ds.ok());
+    DurableStore& s = *ds.value();
+    ASSERT_TRUE(s.AppendVertex(0, 2, {}).ok());
+    ASSERT_TRUE(s.AppendEdge(0, 0, 2, 3.5, 0).ok());
+    ASSERT_TRUE(s.AppendEdge(0, 1, 2, 4.5, 0).ok());
+    ASSERT_TRUE(s.CommitBatch().ok());
+    ASSERT_TRUE(s.RemoveEdge(0, 1, 2).ok());
+    ASSERT_TRUE(s.CommitBatch().ok());
+    EXPECT_EQ(s.read_version(), 2u);
+    fp = SnapshotFingerprint(*s.PinSnapshot());
+  }
+  auto reopened =
+      DurableStore::Open(std::make_shared<LiveGraphStore>(2), wal);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(reopened.value()->read_version(), 2u);
+  EXPECT_EQ(SnapshotFingerprint(*reopened.value()->PinSnapshot()), fp);
+}
+
+// ------------------------------------------- snapshot isolation (stress)
+
+/// Writer publishes `epochs` batches (2 vertices + 1 edge each) while
+/// `readers` concurrently pin snapshots and assert that whatever epoch
+/// they pinned, the (vertex, edge) counts are exactly that epoch's —
+/// never a half-batch.
+void RunIsolationStress(MutableGraphStore* store, int epochs, oid_t oid0) {
+  // expected[v] = counts visible at epoch v; filled before readers start
+  // (the vector itself is immutable while threads run).
+  struct Counts {
+    uint64_t vertices;
+    uint64_t edges;
+  };
+  std::vector<Counts> expected(epochs + 1);
+  const uint64_t base_vertices = store->PinSnapshot()->NumVerticesOfLabel(0);
+  for (int v = 0; v <= epochs; ++v) {
+    expected[v] = {base_vertices + 2 * static_cast<uint64_t>(v),
+                   static_cast<uint64_t>(v)};
+  }
+
+  std::atomic<bool> done{false};
+  ThreadPool pool(4);
+  for (int r = 0; r < 4; ++r) {
+    pool.Submit([&] {
+      do {
+        auto snap = store->PinSnapshot();
+        const version_t v = snap->SnapshotVersion();
+        ASSERT_LE(v, static_cast<version_t>(epochs));
+        EXPECT_EQ(snap->NumVerticesOfLabel(0), expected[v].vertices)
+            << "epoch " << v;
+        // Visible vertices are a prefix of the vid space; summing their
+        // out-degrees at the pinned version counts committed edges only.
+        uint64_t edges = 0;
+        for (vid_t i = 0; i < expected[v].vertices; ++i) {
+          edges += snap->Degree(i, Direction::kOut, 0);
+        }
+        EXPECT_EQ(edges, expected[v].edges) << "epoch " << v;
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  for (int e = 0; e < epochs; ++e) {
+    const oid_t a = oid0 + 2 * e;
+    const oid_t b = a + 1;
+    ASSERT_TRUE(store->AppendVertex(0, a, {}).ok());
+    ASSERT_TRUE(store->AppendVertex(0, b, {}).ok());
+    ASSERT_TRUE(store->AppendEdge(0, a, b, 1.0, e).ok());
+    store->CommitBatch();
+  }
+  done.store(true, std::memory_order_release);
+  pool.Wait();
+
+  EXPECT_EQ(store->read_version(), static_cast<version_t>(epochs));
+  auto final_snap = store->PinSnapshot();
+  EXPECT_EQ(final_snap->NumVerticesOfLabel(0), expected[epochs].vertices);
+}
+
+TEST_F(MutationTest, GartSnapshotIsolationUnderConcurrentCommits) {
+  GraphSchema schema;
+  ASSERT_TRUE(schema.AddVertexLabel("V", {}).ok());
+  ASSERT_TRUE(schema
+                  .AddEdgeLabel("E", 0, 0,
+                                {{"weight", PropertyType::kDouble},
+                                 {"ts", PropertyType::kInt64}})
+                  .ok());
+  auto store = NewGart(schema);
+  RunIsolationStress(store.get(), 40, /*oid0=*/100);
+}
+
+TEST_F(MutationTest, LiveGraphSnapshotIsolationUnderConcurrentCommits) {
+  auto store = std::make_shared<LiveGraphStore>(0);
+  // LiveGraph oids are dense from 0.
+  RunIsolationStress(store.get(), 40, /*oid0=*/0);
+}
+
+// ------------------------------------- mixed read/write (SNB-style, MVCC)
+
+TEST_F(MutationTest, MixedCypherReadsOverPinnedSnapshotsDuringWrites) {
+  auto store = NewGart(SnbSchema());
+  constexpr int kEpochs = 12;
+
+  std::atomic<bool> done{false};
+  ThreadPool pool(3);
+  for (int r = 0; r < 3; ++r) {
+    pool.Submit([&] {
+      do {
+        auto snap = store->PinSnapshot();
+        const version_t v = snap->SnapshotVersion();
+        // A full interactive stack over the pinned view: the graph is
+        // bound at construction, so every query answers at epoch v even
+        // while the writer publishes newer ones.
+        query::QueryService service(snap.get(), /*num_workers=*/2);
+        auto rows = service.Run(query::Language::kCypher,
+                                "MATCH (p:Person) RETURN p.name");
+        ASSERT_TRUE(rows.ok()) << rows.status().message();
+        EXPECT_EQ(rows.value().size(), static_cast<size_t>(v))
+            << "pinned epoch " << v;
+        auto liked = service.Run(
+            query::Language::kCypher,
+            "MATCH (p:Person)-[:LIKES]->(q:Post) RETURN q.content");
+        ASSERT_TRUE(liked.ok()) << liked.status().message();
+        EXPECT_EQ(liked.value().size(), static_cast<size_t>(v));
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  // One person + one post + one like per epoch, so the row counts above
+  // equal the pinned epoch number exactly.
+  for (int e = 1; e <= kEpochs; ++e) {
+    ASSERT_TRUE(store
+                    ->AppendVertex(0, 1000 + e,
+                                   {PropertyValue(std::string("p") +
+                                                  std::to_string(e))})
+                    .ok());
+    ASSERT_TRUE(store
+                    ->AppendVertex(1, 2000 + e,
+                                   {PropertyValue(std::string("post") +
+                                                  std::to_string(e))})
+                    .ok());
+    ASSERT_TRUE(store->AppendEdge(0, 1000 + e, 2000 + e, 1.0, e).ok());
+    EXPECT_EQ(store->CommitBatch(), static_cast<version_t>(e));
+  }
+  done.store(true, std::memory_order_release);
+  pool.Wait();
+
+  auto snap = store->PinSnapshot();
+  query::QueryService service(snap.get(), 2);
+  auto rows = service.Run(query::Language::kCypher,
+                          "MATCH (p:Person) RETURN p.name");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), static_cast<size_t>(kEpochs));
+}
+
+}  // namespace
+}  // namespace flex::storage

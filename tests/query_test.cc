@@ -525,5 +525,62 @@ TEST_F(QueryTest, RandomGraphTwoHopAgainstBruteForce) {
   }
 }
 
+// ------------------------------------------------------- retry backoff
+
+TEST(RetryBackoffTest, JitteredSleepStaysInsideBounds) {
+  RunOptions options;
+  options.retry_backoff = std::chrono::milliseconds(10);
+  options.retry_backoff_max = std::chrono::milliseconds(100);
+  for (uint64_t seed : {1u, 7u, 23u, 101u, 9999u}) {
+    Rng rng(seed);
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      // Pre-jitter base: 10ms doubled per attempt, saturating at the cap.
+      int64_t base = 10;
+      for (int i = 0; i < attempt && base < 100; ++i) base *= 2;
+      base = std::min<int64_t>(base, 100);
+      const auto sleep = RetryBackoffFor(options, attempt, &rng);
+      // Jitter is +-25%, then clamped to [1ms, retry_backoff_max].
+      const int64_t lo = std::max<int64_t>(1, (base * 3) / 4);
+      const int64_t hi = std::min<int64_t>(100, (base * 5 + 3) / 4);
+      EXPECT_GE(sleep.count(), lo) << "seed " << seed << " attempt "
+                                   << attempt;
+      EXPECT_LE(sleep.count(), hi) << "seed " << seed << " attempt "
+                                   << attempt;
+    }
+  }
+}
+
+TEST(RetryBackoffTest, NeverExceedsCapAndNeverSleepsZero) {
+  RunOptions options;
+  options.retry_backoff = std::chrono::milliseconds(0);  // Degenerate base.
+  options.retry_backoff_max = std::chrono::milliseconds(4);
+  Rng rng(3);
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const auto sleep = RetryBackoffFor(options, attempt, &rng);
+    EXPECT_GE(sleep.count(), 1);
+    EXPECT_LE(sleep.count(), 4);
+  }
+  // A cap below the base still wins.
+  options.retry_backoff = std::chrono::milliseconds(50);
+  options.retry_backoff_max = std::chrono::milliseconds(8);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_LE(RetryBackoffFor(options, attempt, &rng).count(), 8);
+  }
+}
+
+TEST(RetryBackoffTest, SameSeedSameSleeps) {
+  RunOptions options;
+  options.retry_backoff = std::chrono::milliseconds(5);
+  Rng a(42), b(42), c(43);
+  std::vector<int64_t> sa, sb, sc;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    sa.push_back(RetryBackoffFor(options, attempt, &a).count());
+    sb.push_back(RetryBackoffFor(options, attempt, &b).count());
+    sc.push_back(RetryBackoffFor(options, attempt, &c).count());
+  }
+  EXPECT_EQ(sa, sb);  // Reproducible: tests can pin retry_jitter_seed.
+  EXPECT_NE(sa, sc);  // Different seeds desynchronize (whp).
+}
+
 }  // namespace
 }  // namespace flex::query

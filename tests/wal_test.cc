@@ -1,0 +1,435 @@
+// WAL unit tests: record codec round-trips, the recovery corruption
+// matrix (torn tail / truncated mid-record / bit-flipped CRC / duplicated
+// committed record), and the record-type drift guard that keeps the
+// replay switch total.
+
+#include "storage/wal.h"
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/fault.h"
+#include "common/varint.h"
+#include "gtest/gtest.h"
+
+namespace flex::storage {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Injector::Instance().DisarmAll(); }
+  void TearDown() override {
+    fault::Injector::Instance().DisarmAll();
+    for (const std::string& p : paths_) {
+      std::error_code ec;
+      std::filesystem::remove(p, ec);
+    }
+  }
+
+  /// Unique file in the build directory (tests never write outside the
+  /// repo tree), removed on teardown.
+  std::string TempPath() {
+    static std::atomic<int> counter{0};
+    std::string p = "flex_wal_test_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++) + ".wal";
+    paths_.push_back(p);
+    return p;
+  }
+
+  std::vector<std::string> paths_;
+};
+
+WalRecord AddVertexRecord(uint64_t seq, label_t label, oid_t oid,
+                          std::vector<PropertyValue> props) {
+  WalRecord r;
+  r.seq = seq;
+  r.type = WalRecordType::kAddVertex;
+  r.label = label;
+  r.src = oid;
+  r.props = std::move(props);
+  return r;
+}
+
+WalRecord AddEdgeRecord(uint64_t seq, label_t label, oid_t src, oid_t dst,
+                        double weight, int64_t ts) {
+  WalRecord r;
+  r.seq = seq;
+  r.type = WalRecordType::kAddEdge;
+  r.label = label;
+  r.src = src;
+  r.dst = dst;
+  r.weight = weight;
+  r.ts = ts;
+  return r;
+}
+
+WalRecord CommitRecord(uint64_t seq, version_t epoch, uint64_t count) {
+  WalRecord r;
+  r.seq = seq;
+  r.type = WalRecordType::kCommitBatch;
+  r.epoch = epoch;
+  r.record_count = count;
+  return r;
+}
+
+std::vector<uint8_t> FrameOf(const WalRecord& r) {
+  std::vector<uint8_t> payload;
+  EncodeWalRecord(r, &payload);
+  std::vector<uint8_t> frame;
+  AppendWalFrame(payload.data(), payload.size(), &frame);
+  return frame;
+}
+
+/// Writes `frames` byte-for-byte after a fresh header.
+void WriteLog(const std::string& path, const std::vector<uint8_t>& frames) {
+  auto writer = WalWriter::Open(path, 0);
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+  ASSERT_TRUE(writer.value()->Append(frames.data(), frames.size()).ok());
+  ASSERT_TRUE(writer.value()->Sync().ok());
+}
+
+Result<WalReplayStats> Replay(const std::string& path,
+                              std::vector<WalRecord>* out) {
+  return ReplayWal(path, [out](const WalRecord& r) {
+    out->push_back(r);
+    return Status::OK();
+  });
+}
+
+/// Two committed batches: 2 records + commit, then 1 record + commit.
+std::vector<uint8_t> TwoBatchLog() {
+  std::vector<uint8_t> bytes;
+  for (const WalRecord& r :
+       {AddVertexRecord(1, 0, 100, {PropertyValue(std::string("ann"))}),
+        AddEdgeRecord(2, 0, 100, 100, 2.5, 7), CommitRecord(3, 1, 2),
+        AddEdgeRecord(4, 0, 100, 100, -1.25, -9), CommitRecord(5, 2, 1)}) {
+    const auto f = FrameOf(r);
+    bytes.insert(bytes.end(), f.begin(), f.end());
+  }
+  return bytes;
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST_F(WalTest, RecordRoundTripsAllTypes) {
+  std::vector<WalRecord> originals;
+  originals.push_back(AddVertexRecord(
+      9, 3, -42,
+      {PropertyValue(), PropertyValue(true), PropertyValue(int64_t{-7}),
+       PropertyValue(3.5), PropertyValue(std::string("bin\0ry", 6))}));
+  originals.push_back(AddEdgeRecord(10, 2, -1, 99999999999LL, 0.125, -3));
+  {
+    WalRecord r;
+    r.seq = 11;
+    r.type = WalRecordType::kUpdateProperty;
+    r.label = 1;
+    r.src = 77;
+    r.col = 4;
+    r.props.push_back(PropertyValue(std::string("renamed")));
+    originals.push_back(r);
+  }
+  {
+    WalRecord r;
+    r.seq = 12;
+    r.type = WalRecordType::kDeleteEdge;
+    r.label = 0;
+    r.src = 5;
+    r.dst = 6;
+    originals.push_back(r);
+  }
+  originals.push_back(CommitRecord(13, 42, 4));
+
+  for (const WalRecord& r : originals) {
+    std::vector<uint8_t> payload;
+    EncodeWalRecord(r, &payload);
+    auto decoded = DecodeWalRecord(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    const WalRecord& d = decoded.value();
+    EXPECT_EQ(d.seq, r.seq);
+    EXPECT_EQ(d.type, r.type);
+    EXPECT_EQ(d.label, r.label);
+    EXPECT_EQ(d.src, r.src);
+    EXPECT_EQ(d.dst, r.dst);
+    EXPECT_EQ(d.weight, r.weight);
+    EXPECT_EQ(d.ts, r.ts);
+    EXPECT_EQ(d.col, r.col);
+    EXPECT_EQ(d.epoch, r.epoch);
+    EXPECT_EQ(d.record_count, r.record_count);
+    ASSERT_EQ(d.props.size(), r.props.size());
+    for (size_t i = 0; i < d.props.size(); ++i) {
+      EXPECT_EQ(d.props[i].type(), r.props[i].type());
+      EXPECT_TRUE(d.props[i] == r.props[i]);
+    }
+  }
+}
+
+TEST_F(WalTest, DoubleRoundTripIsBitExact) {
+  // -0.0 vs 0.0 and a NaN-adjacent denormal must survive the codec for
+  // the bit-identical recovery guarantee.
+  for (double w : {-0.0, 5e-324, 1.0 / 3.0, -1e300}) {
+    std::vector<uint8_t> payload;
+    EncodeWalRecord(AddEdgeRecord(1, 0, 0, 0, w, 0), &payload);
+    auto decoded = DecodeWalRecord(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::bit_cast<uint64_t>(decoded.value().weight),
+              std::bit_cast<uint64_t>(w));
+  }
+}
+
+// ------------------------------------------------------- the drift guard
+
+TEST_F(WalTest, RecordTypeNamesDistinctAndTotal) {
+  std::set<std::string> names;
+  int count = 0;
+  // Walk past the last known type until the table answers "Unknown" —
+  // mirrors the StatusCode drift guard: adding a record type without
+  // extending WalRecordTypeName() (and with it the replay switch, which
+  // the compiler checks via -Wswitch on the same enum) fails here.
+  for (int t = 1; t < 64; ++t) {
+    const char* name = WalRecordTypeName(static_cast<WalRecordType>(t));
+    if (std::string(name) == "Unknown") break;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<int>(WalRecordType::kCommitBatch))
+      << "WalRecordTypeName has a gap before the last enumerator";
+}
+
+TEST_F(WalTest, UnknownTypeByteWithValidCrcFailsReplay) {
+  // A frame whose payload passes CRC but carries an unregistered type is
+  // decoder drift (or deliberate tampering), never a torn write: fail-stop.
+  std::vector<uint8_t> payload;
+  PutVarint64(&payload, 1);  // seq
+  payload.push_back(99);     // type: off the table
+  std::vector<uint8_t> frame;
+  AppendWalFrame(payload.data(), payload.size(), &frame);
+
+  const std::string path = TempPath();
+  WriteLog(path, frame);
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(got.empty());
+}
+
+// ------------------------------------------------- the corruption matrix
+
+TEST_F(WalTest, CleanLogReplaysBothBatches) {
+  const std::string path = TempPath();
+  WriteLog(path, TwoBatchLog());
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  const WalReplayStats& s = replayed.value();
+  EXPECT_EQ(s.applied_records, 3u);
+  EXPECT_EQ(s.committed_batches, 2u);
+  EXPECT_EQ(s.duplicates_skipped, 0u);
+  EXPECT_FALSE(s.torn_tail);
+  EXPECT_EQ(s.last_seq, 5u);
+  EXPECT_EQ(s.valid_bytes,
+            kWalHeaderSize + TwoBatchLog().size());
+  // Delivery order: batch records then their commit record, per batch.
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[2].type, WalRecordType::kCommitBatch);
+  EXPECT_EQ(got[2].epoch, 1u);
+  EXPECT_EQ(got[4].epoch, 2u);
+}
+
+TEST_F(WalTest, TornTailTruncatesToLastCommit) {
+  const std::string path = TempPath();
+  const auto bytes = TwoBatchLog();
+  WriteLog(path, bytes);
+  // Cut the file mid-way through the second batch's bytes (inside a
+  // frame): exactly what a crash between write() and fsync() leaves.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 3);
+
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  const WalReplayStats& s = replayed.value();
+  EXPECT_TRUE(s.torn_tail);
+  EXPECT_EQ(s.committed_batches, 1u);
+  EXPECT_EQ(s.applied_records, 2u);
+  EXPECT_LT(s.valid_bytes, full - 3);
+  EXPECT_EQ(s.last_seq, 3u);
+
+  // Reopening at valid_bytes repairs the tail; a fresh replay of the
+  // repaired file is clean and identical.
+  auto writer = WalWriter::Open(path, s.valid_bytes);
+  ASSERT_TRUE(writer.ok());
+  writer.value().reset();  // Close before inspecting the file.
+  EXPECT_EQ(std::filesystem::file_size(path), s.valid_bytes);
+  std::vector<WalRecord> again;
+  auto second = Replay(path, &again);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().torn_tail);
+  EXPECT_EQ(second.value().committed_batches, 1u);
+}
+
+TEST_F(WalTest, TruncatedMidRecordDropsUncommittedBatch) {
+  // Cut inside the *first* record of batch 2 — the commit record of batch
+  // 1 stays intact, so recovery lands exactly on epoch 1.
+  const std::string path = TempPath();
+  std::vector<uint8_t> bytes;
+  size_t batch1_end = 0;
+  for (const WalRecord& r :
+       {AddVertexRecord(1, 0, 100, {}), CommitRecord(2, 1, 1),
+        AddEdgeRecord(3, 0, 100, 100, 1.0, 0)}) {
+    const auto f = FrameOf(r);
+    bytes.insert(bytes.end(), f.begin(), f.end());
+    if (r.seq == 2) batch1_end = bytes.size();
+  }
+  WriteLog(path, bytes);
+  std::filesystem::resize_file(path, kWalHeaderSize + batch1_end + 2);
+
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(replayed.value().torn_tail);
+  EXPECT_EQ(replayed.value().committed_batches, 1u);
+  EXPECT_EQ(replayed.value().valid_bytes, kWalHeaderSize + batch1_end);
+}
+
+TEST_F(WalTest, BitFlippedPayloadFailsStop) {
+  const std::string path = TempPath();
+  const auto bytes = TwoBatchLog();
+  WriteLog(path, bytes);
+  // Flip one bit inside the first record's payload (well past the header
+  // and the frame prefix) — a complete frame whose CRC now lies.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kWalHeaderSize + 6));
+    char b = 0;
+    f.seekg(static_cast<std::streamoff>(kWalHeaderSize + 6));
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x10);
+    f.seekp(static_cast<std::streamoff>(kWalHeaderSize + 6));
+    f.write(&b, 1);
+  }
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalTest, DuplicatedCommittedRecordsSkipIdempotently) {
+  // Re-append the first batch's bytes after the log (a retried append
+  // whose ack was lost): replay must count and skip every duplicate.
+  const std::string path = TempPath();
+  std::vector<uint8_t> bytes = TwoBatchLog();
+  std::vector<uint8_t> dup;
+  for (const WalRecord& r :
+       {AddVertexRecord(1, 0, 100, {PropertyValue(std::string("ann"))}),
+        AddEdgeRecord(2, 0, 100, 100, 2.5, 7), CommitRecord(3, 1, 2)}) {
+    const auto f = FrameOf(r);
+    dup.insert(dup.end(), f.begin(), f.end());
+  }
+  bytes.insert(bytes.end(), dup.begin(), dup.end());
+  WriteLog(path, bytes);
+
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  const WalReplayStats& s = replayed.value();
+  EXPECT_EQ(s.committed_batches, 2u);
+  EXPECT_EQ(s.applied_records, 3u);  // Duplicates not re-applied.
+  EXPECT_EQ(s.duplicates_skipped, 3u);
+  EXPECT_FALSE(s.torn_tail);
+  // The duplicate region ends in a commit record, so it stays valid prefix.
+  EXPECT_EQ(s.valid_bytes, kWalHeaderSize + bytes.size());
+}
+
+TEST_F(WalTest, UncommittedTailRecordsAreDropped) {
+  const std::string path = TempPath();
+  std::vector<uint8_t> bytes = TwoBatchLog();
+  const auto orphan = FrameOf(AddEdgeRecord(6, 0, 100, 100, 9.0, 1));
+  bytes.insert(bytes.end(), orphan.begin(), orphan.end());
+  WriteLog(path, bytes);
+
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().committed_batches, 2u);
+  EXPECT_EQ(replayed.value().dropped_tail_records, 1u);
+  // valid_bytes excludes the orphan: reopening truncates it away.
+  EXPECT_EQ(replayed.value().valid_bytes,
+            kWalHeaderSize + bytes.size() - orphan.size());
+}
+
+TEST_F(WalTest, MissingFileIsAnEmptyLog) {
+  std::vector<WalRecord> got;
+  auto replayed = Replay("flex_wal_test_never_created.wal", &got);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().committed_batches, 0u);
+  EXPECT_EQ(replayed.value().valid_bytes, 0u);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(WalTest, BadMagicFailsStop) {
+  const std::string path = TempPath();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTAWAL1 and then some";
+  }
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+}
+
+// ------------------------------------------------------- injected faults
+
+TEST_F(WalTest, InjectedTornAppendLeavesRepairableTail) {
+  const std::string path = TempPath();
+  {
+    auto writer = WalWriter::Open(path, 0);
+    ASSERT_TRUE(writer.ok());
+    const auto bytes = TwoBatchLog();
+    fault::Policy policy;  // Fail the first hit.
+    fault::Injector::Instance().Arm("wal.append", policy);
+    Status st = writer.value()->Append(bytes.data(), bytes.size());
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    fault::Injector::Instance().DisarmAll();
+  }
+  // Half the buffer landed: replay truncates cleanly instead of failing.
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  EXPECT_TRUE(replayed.value().torn_tail);
+}
+
+TEST_F(WalTest, InjectedLostSyncRewindsToDurableEdge) {
+  const std::string path = TempPath();
+  auto writer = WalWriter::Open(path, 0);
+  ASSERT_TRUE(writer.ok());
+  WalWriter& w = *writer.value();
+  const uint64_t durable = w.synced_offset();
+  const auto bytes = TwoBatchLog();
+  ASSERT_TRUE(w.Append(bytes.data(), bytes.size()).ok());
+
+  fault::Policy policy;
+  fault::Injector::Instance().Arm("wal.sync", policy);
+  EXPECT_EQ(w.Sync().code(), StatusCode::kIoError);
+  fault::Injector::Instance().DisarmAll();
+
+  // Everything since the last barrier vanished, as on a machine crash.
+  EXPECT_EQ(w.offset(), durable);
+  EXPECT_EQ(std::filesystem::file_size(path), durable);
+  std::vector<WalRecord> got;
+  auto replayed = Replay(path, &got);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().committed_batches, 0u);
+  EXPECT_FALSE(replayed.value().torn_tail);
+}
+
+}  // namespace
+}  // namespace flex::storage

@@ -26,6 +26,12 @@
 # A/B smoke so the superstep communication path and the columnar
 # executor are exercised under ASan+UBSan and TSan outside of ctest.
 #
+# The crash pass is the durability harness: it reuses the ASan+UBSan
+# build tree and re-runs tests/crash_recovery_test across the chaos
+# seeds, so the writer-kill -> recover -> fingerprint-compare cycle (WAL
+# torn appends, lost fsyncs, mid-apply deaths on both dynamic backends)
+# is exercised with several injection schedules under sanitizers.
+#
 # The static pass builds only the two analyzers (flexlint for per-line
 # invariants, flexcheck for the cross-TU concurrency/propagation
 # contracts — lock-order cycles, blocking-under-lock, runnable-coverage,
@@ -42,10 +48,11 @@
 #
 # Usage:
 #   tools/check.sh            # all passes (static, asan, tsan, chaos,
-#                             # coverage, bench; tidy when available)
+#                             # crash, coverage, bench; tidy when available)
 #   tools/check.sh asan       # address+undefined only
 #   tools/check.sh tsan       # thread only
 #   tools/check.sh chaos      # multi-seed chaos harness under both sanitizers
+#   tools/check.sh crash      # multi-seed crash-recovery suite under ASan+UBSan
 #   tools/check.sh coverage   # gcov line coverage + floor on src/common/
 #   tools/check.sh bench      # perf ratchet vs BENCH_exp3_analytics.json
 #   tools/check.sh static     # flexlint + flexcheck over the tree
@@ -156,6 +163,19 @@ run_chaos() {
   done
 }
 
+run_crash() {
+  local builddir="$ROOT/build-asan"
+  echo "=== crash: ASan+UBSan crash recovery, seeds ${CHAOS_SEEDS[*]} ==="
+  cmake -B "$builddir" -S "$ROOT" -DFLEX_SANITIZE="address,undefined" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$builddir" -j "$JOBS" --target crash_recovery_test
+  for seed in "${CHAOS_SEEDS[@]}"; do
+    echo "--- crash seed=$seed ---"
+    (cd "$builddir/tests" &&
+     FLEX_CHAOS_SEED="$seed" ./crash_recovery_test)
+  done
+}
+
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:suppressions=$SUPP/asan.supp"
 export LSAN_OPTIONS="suppressions=$SUPP/lsan.supp"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$SUPP/ubsan.supp"
@@ -168,6 +188,7 @@ case "$MODES" in
     run_chaos asan address,undefined
     run_chaos tsan thread
     ;;
+  crash) run_crash ;;
   coverage) run_coverage ;;
   bench) run_bench ;;
   static) run_static ;;
@@ -180,11 +201,12 @@ case "$MODES" in
     run_pass tsan thread
     run_chaos asan address,undefined
     run_chaos tsan thread
+    run_crash
     run_coverage
     run_bench
     ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|chaos|coverage|bench|static|tidy|all]" >&2
+    echo "usage: tools/check.sh [asan|tsan|chaos|crash|coverage|bench|static|tidy|all]" >&2
     exit 2
     ;;
 esac
