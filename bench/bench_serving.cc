@@ -1,0 +1,328 @@
+// Serving-front load generator: the "many concurrent clients" axis the
+// per-query experiment benches never measure. Drives one shared
+// QueryService with mixed SNB interactive traffic (70% short reads / 30%
+// complex) two ways:
+//
+//   closed loop — N client threads, each firing its next query the moment
+//     the previous one returns. Measures service capacity (QPS) and
+//     per-request latency under self-clocked load.
+//   open loop — requests arrive on a fixed schedule regardless of
+//     completions (the paper's "millions of users" shape: arrivals don't
+//     wait for you). Latency is scheduled-arrival to completion, so queue
+//     delay counts; an overloaded service shows it in the tail, not in a
+//     silently lowered request rate.
+//
+// Reports QPS and p50/p95/p99 per mode. `--json=PATH` emits the
+// BENCH_serving.json schema for the tools/check.sh ratchet: "ms" entries
+// ratchet the p99 tails (lower is better), "qps" entries floor the
+// throughput (higher is better).
+//
+// Flags: --smoke (tiny run for sanitizer passes), --clients=N (closed-loop
+// client count, default 8), --json=PATH.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/barrier.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "query/service.h"
+#include "snb/snb.h"
+#include "storage/vineyard/vineyard_store.h"
+
+namespace flex {
+namespace {
+
+struct ServingConfig {
+  bool smoke = false;
+  size_t clients = 8;
+  std::string json_path;
+};
+
+/// One pre-drawn request of the mixed interactive workload.
+struct Request {
+  const snb::QuerySpec* spec;
+  std::vector<PropertyValue> params;
+};
+
+/// Draws `count` requests: 70% short reads, 30% complex, parameters from
+/// `rng`. The same seed draws the same workload, so runs are comparable.
+std::vector<Request> DrawWorkload(const std::vector<snb::QuerySpec>& shorts,
+                                  const std::vector<snb::QuerySpec>& complexes,
+                                  const snb::SnbStats& stats, Rng& rng,
+                                  size_t count) {
+  std::vector<Request> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const bool pick_short = rng.NextDouble() < 0.7;
+    const auto& suite = pick_short ? shorts : complexes;
+    const auto& spec = suite[rng.Next() % suite.size()];
+    out.push_back({&spec, spec.params(rng, stats)});
+  }
+  return out;
+}
+
+struct LoopResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t ops = 0;
+};
+
+void PrintLoop(const char* mode, const LoopResult& r) {
+  std::printf("%-12s %8zu ops %10.0f qps   p50 %7.3f ms   p95 %7.3f ms   "
+              "p99 %7.3f ms\n",
+              mode, r.ops, r.qps, r.p50_ms, r.p95_ms, r.p99_ms);
+}
+
+/// Closed loop: each of `clients` threads runs its pre-drawn sequence
+/// back-to-back through Run() under its own tenant id (admission and plan
+/// cache are on the measured path). Per-request latency is wall time of
+/// the Run call.
+LoopResult RunClosedLoop(query::QueryService& service,
+                         const std::vector<std::vector<Request>>& sequences) {
+  const size_t clients = sequences.size();
+  std::vector<std::vector<double>> latencies_ms(clients);
+  Barrier start(clients + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      query::RunOptions options;
+      options.tenant = "client-" + std::to_string(c);
+      latencies_ms[c].reserve(sequences[c].size());
+      start.Await();
+      for (const Request& req : sequences[c]) {
+        Timer timer;
+        auto rows = service.Run(query::Language::kCypher, req.spec->cypher,
+                                options, req.params);
+        latencies_ms[c].push_back(timer.ElapsedMillis());
+        FLEX_CHECK(rows.ok());
+        bench::Sink(rows.value().size());
+      }
+    });
+  }
+  start.Await();
+  Timer wall;
+  for (auto& t : threads) t.join();
+  const double elapsed_s = wall.ElapsedSeconds();
+
+  std::vector<double> merged;
+  for (const auto& v : latencies_ms) {
+    merged.insert(merged.end(), v.begin(), v.end());
+  }
+  LoopResult result;
+  result.ops = merged.size();
+  result.qps = elapsed_s > 0 ? static_cast<double>(merged.size()) / elapsed_s
+                             : 0.0;
+  result.p50_ms = bench::Percentile(merged, 50);
+  result.p95_ms = bench::Percentile(merged, 95);
+  result.p99_ms = bench::Percentile(merged, 99);
+  return result;
+}
+
+/// Open loop: one dispatcher schedules arrivals at `offered_qps` and
+/// submits each as a registered procedure on the HiActor shards (the
+/// paper's stored-procedure serving path); completions are collected in
+/// submission order, so a request's latency is scheduled-arrival to
+/// completion including all queue delay. The shards drain FIFO, so
+/// join-order completion times track per-request completions closely.
+LoopResult RunOpenLoop(query::QueryService& service,
+                       const std::vector<Request>& workload,
+                       double offered_qps) {
+  struct Pending {
+    std::future<Result<std::vector<ir::Row>>> future;
+    double scheduled_ms = 0.0;
+  };
+  std::vector<Pending> pending(workload.size());
+  std::atomic<size_t> produced{0};
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(workload.size());
+
+  const double interarrival_ms = 1000.0 / offered_qps;
+  Timer wall;
+  // The collector joins futures *while* the dispatcher is still
+  // scheduling, so a request's latency is read at (approximately) its
+  // actual completion instant — joining after the dispatch loop would
+  // inflate every early request to the full dispatch duration.
+  std::thread collector([&] {
+    for (size_t i = 0; i < pending.size(); ++i) {
+      while (produced.load(std::memory_order_acquire) <= i) {
+        std::this_thread::yield();
+      }
+      FLEX_CHECK(pending[i].future.get().ok());
+      latencies_ms.push_back(wall.ElapsedMillis() -
+                             pending[i].scheduled_ms);
+    }
+  });
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const double scheduled_ms = static_cast<double>(i) * interarrival_ms;
+    // Spin-free pacing: sleep until this arrival's scheduled instant.
+    const double ahead_ms = scheduled_ms - wall.ElapsedMillis();
+    if (ahead_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(ahead_ms * 1000)));
+    }
+    auto fut = service.hiactor().SubmitProcedure(workload[i].spec->name,
+                                                 workload[i].params);
+    FLEX_CHECK(fut.ok());
+    pending[i].future = std::move(fut).value();
+    pending[i].scheduled_ms = scheduled_ms;
+    produced.store(i + 1, std::memory_order_release);
+  }
+  collector.join();
+  const double elapsed_s = wall.ElapsedSeconds();
+
+  LoopResult result;
+  result.ops = latencies_ms.size();
+  result.qps = elapsed_s > 0
+                   ? static_cast<double>(latencies_ms.size()) / elapsed_s
+                   : 0.0;
+  result.p50_ms = bench::Percentile(latencies_ms, 50);
+  result.p95_ms = bench::Percentile(latencies_ms, 95);
+  result.p99_ms = bench::Percentile(latencies_ms, 99);
+  return result;
+}
+
+int RunServing(const ServingConfig& config) {
+  bench::PrintHeader("Serving: concurrent mixed SNB interactive traffic");
+
+  snb::SnbConfig snb_config;
+  snb_config.num_persons = config.smoke ? 100 : 300;
+  snb_config.seed = 17;
+  snb::SnbStats stats;
+  auto data = snb::GenerateSnb(snb_config, &stats);
+  auto store = storage::VineyardStore::Build(data).value();
+  auto graph = store->GetGrinHandle();
+  query::QueryService service(graph.get(), /*num_workers=*/4);
+
+  const auto shorts = snb::InteractiveShortQueries();
+  const auto complexes = snb::InteractiveComplexQueries();
+  // The open loop drives registered procedures; register the full suite.
+  for (const auto& spec : shorts) {
+    FLEX_CHECK(service
+                   .RegisterProcedure(spec.name, query::Language::kCypher,
+                                      spec.cypher)
+                   .ok());
+  }
+  for (const auto& spec : complexes) {
+    FLEX_CHECK(service
+                   .RegisterProcedure(spec.name, query::Language::kCypher,
+                                      spec.cypher)
+                   .ok());
+  }
+
+  const size_t per_client = config.smoke ? 40 : 400;
+  std::vector<std::vector<Request>> sequences;
+  sequences.reserve(config.clients);
+  for (size_t c = 0; c < config.clients; ++c) {
+    Rng rng(20240607 + 31 * c);
+    sequences.push_back(
+        DrawWorkload(shorts, complexes, stats, rng, per_client));
+  }
+
+  // Warmup fills the plan cache and faults the working set in.
+  {
+    std::vector<std::vector<Request>> warm(1, sequences[0]);
+    warm[0].resize(std::min<size_t>(warm[0].size(), 32));
+    RunClosedLoop(service, warm);
+  }
+
+  const LoopResult closed = RunClosedLoop(service, sequences);
+  PrintLoop("closed-loop", closed);
+
+  // Calibrate the open loop against the path it actually drives (HiActor
+  // registered procedures), then offer ~60% of that capacity: loaded but
+  // un-saturated, so the tail reflects service time + transient queueing
+  // rather than unbounded backlog growth.
+  Rng open_rng(4242);
+  const auto calibration =
+      DrawWorkload(shorts, complexes, stats, open_rng, 256);
+  double proc_qps = 0.0;
+  {
+    Timer burst;
+    std::vector<std::future<Result<std::vector<ir::Row>>>> futures;
+    futures.reserve(calibration.size());
+    for (const Request& req : calibration) {
+      auto fut = service.hiactor().SubmitProcedure(req.spec->name,
+                                                   req.params);
+      FLEX_CHECK(fut.ok());
+      futures.push_back(std::move(fut).value());
+    }
+    for (auto& f : futures) FLEX_CHECK(f.get().ok());
+    proc_qps = static_cast<double>(calibration.size()) /
+               burst.ElapsedSeconds();
+  }
+  const double offered = std::max(100.0, proc_qps * 0.6);
+  const auto open_workload = DrawWorkload(
+      shorts, complexes, stats, open_rng,
+      config.smoke ? 200 : static_cast<size_t>(offered * 2));
+  const LoopResult open = RunOpenLoop(service, open_workload, offered);
+  PrintLoop("open-loop", open);
+  std::printf("open-loop offered rate: %.0f qps (0.6x procedure capacity "
+              "%.0f qps)\n",
+              offered, proc_qps);
+
+  const auto cache_stats = service.plan_cache().stats();
+  std::printf("plan cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              cache_stats.hits + cache_stats.misses > 0
+                  ? 100.0 * static_cast<double>(cache_stats.hits) /
+                        static_cast<double>(cache_stats.hits +
+                                            cache_stats.misses)
+                  : 0.0);
+
+  if (!config.json_path.empty()) {
+    std::FILE* f = std::fopen(config.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("error: cannot write %s\n", config.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"serving\",\n  \"results\": [\n"
+                 "    {\"name\": \"closed_qps\", \"qps\": %.1f},\n"
+                 "    {\"name\": \"closed_p50_ms\", \"ms\": %.4f},\n"
+                 "    {\"name\": \"closed_p99_ms\", \"ms\": %.4f},\n"
+                 "    {\"name\": \"open_qps\", \"qps\": %.1f},\n"
+                 "    {\"name\": \"open_p99_ms\", \"ms\": %.4f}\n"
+                 "  ]\n}\n",
+                 closed.qps, closed.p50_ms, closed.p99_ms, open.qps,
+                 open.p99_ms);
+    std::fclose(f);
+    std::printf("serving results: %s\n", config.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flex
+
+int main(int argc, char** argv) {
+  flex::ServingConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+      config.clients = 4;
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      config.clients = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      config.json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--clients=N] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return flex::RunServing(config);
+}

@@ -1,6 +1,8 @@
 #ifndef FLEX_BENCH_BENCH_UTIL_H_
 #define FLEX_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -11,6 +13,19 @@
 #include <benchmark/benchmark.h>
 
 namespace flex::bench {
+
+/// The q-th percentile (q in [0, 100]) of `samples` by nearest-rank on a
+/// sorted copy; 0 for an empty set. Serving benches report p50/p95/p99
+/// tails with this.
+inline double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
 
 /// Runs `fn` once for warmup, then `reps` timed repetitions; returns the
 /// mean wall time in milliseconds.

@@ -23,6 +23,16 @@ inline constexpr char kQueryLatencyUs[] = "flex_query_latency_us";
 inline constexpr char kQueryBatchesTotal[] = "flex_query_batches_total";
 inline constexpr char kQueryRowsPerBatch[] = "flex_query_rows_per_batch";
 
+// --- serving front (plan cache + tenant admission) ---
+inline constexpr char kPlanCacheHitsTotal[] = "flex_plan_cache_hits_total";
+inline constexpr char kPlanCacheMissesTotal[] = "flex_plan_cache_misses_total";
+inline constexpr char kPlanCacheEvictionsTotal[] =
+    "flex_plan_cache_evictions_total";
+inline constexpr char kPlanCacheInvalidationsTotal[] =
+    "flex_plan_cache_invalidations_total";
+inline constexpr char kTenantRejectionsTotal[] =
+    "flex_tenant_rejections_total";
+
 // --- HiActor (OLTP engine) ---
 inline constexpr char kQueriesShedTotal[] = "flex_queries_shed_total";
 inline constexpr char kHiactorTasksCompletedTotal[] =

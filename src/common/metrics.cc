@@ -175,6 +175,14 @@ constexpr MetricSpec kStackMetrics[] = {
      "Wall time of one PIE superstep (barrier to barrier), microseconds."},
     {kPieSuperstepsTotal, "counter",
      "PIE supersteps executed (PEval round included)."},
+    {kPlanCacheEvictionsTotal, "counter",
+     "Plans evicted from the serving plan cache (per-shard LRU)."},
+    {kPlanCacheHitsTotal, "counter",
+     "QueryService compiles skipped by a plan-cache hit."},
+    {kPlanCacheInvalidationsTotal, "counter",
+     "Whole-cache invalidations (RegisterProcedure / catalog change)."},
+    {kPlanCacheMissesTotal, "counter",
+     "Plan-cache lookups that fell through to a cold compile."},
     {kQueriesShedTotal, "counter",
      "Submissions shed by HiActor bounded-queue admission control."},
     {kQueriesTotal, "counter", "Queries accepted by QueryService::Run."},
@@ -197,6 +205,9 @@ constexpr MetricSpec kStackMetrics[] = {
      "Vertex scans (GRIN VisitVertices) across all storage backends."},
     {kStorageSnapshotsPinnedTotal, "counter",
      "MVCC snapshots pinned through MutableGraphStore::PinSnapshot."},
+    {kTenantRejectionsTotal, "counter",
+     "Queries rejected at admission because the tenant's concurrency "
+     "quota was exhausted (kResourceExhausted)."},
     {kWalBatchesCommittedTotal, "counter",
      "Mutation batches group-committed (one write+fsync) to the WAL."},
     {kWalRecordsAppendedTotal, "counter",

@@ -1,0 +1,94 @@
+#include "query/admission.h"
+
+#include <functional>
+
+#include "common/metric_names.h"
+#include "common/metrics.h"
+
+namespace flex::query {
+
+TenantAdmission::TenantAdmission(int64_t default_slots)
+    : default_quota_(default_slots) {}
+
+TenantAdmission::Tenant* TenantAdmission::GetOrCreate(
+    const std::string& tenant) {
+  MapShard& shard =
+      map_shards_[std::hash<std::string>{}(tenant) % kMapShards];
+  MutexLock lock(&shard.mu);
+  for (auto& [name, entry] : shard.tenants) {
+    if (name == tenant) return entry.get();
+  }
+  auto created = std::make_unique<Tenant>();
+  created->quota.store(default_quota_, std::memory_order_relaxed);
+  Tenant* raw = created.get();
+  shard.tenants.emplace_back(tenant, std::move(created));
+  return raw;
+}
+
+const TenantAdmission::Tenant* TenantAdmission::Find(
+    const std::string& tenant) const {
+  const MapShard& shard =
+      map_shards_[std::hash<std::string>{}(tenant) % kMapShards];
+  MutexLock lock(&shard.mu);
+  for (const auto& [name, entry] : shard.tenants) {
+    if (name == tenant) return entry.get();
+  }
+  return nullptr;
+}
+
+void TenantAdmission::SetQuota(const std::string& tenant, int64_t slots) {
+  GetOrCreate(tenant)->quota.store(slots, std::memory_order_relaxed);
+}
+
+Status TenantAdmission::Acquire(const std::string& tenant, Slot* slot) {
+  Tenant* entry = GetOrCreate(tenant);
+  // CAS loop: admit only while inflight < quota, so the count can never
+  // pass the cap even when k+1 clients race on the last slot. The quota is
+  // re-read each iteration so a concurrent SetQuota takes effect mid-loop.
+  // Each failed CAS means another acquire/release made progress, so the
+  // loop is lock-free, not a spin-wait.
+  int64_t current = entry->inflight.load(std::memory_order_relaxed);
+  bool admitted = false;
+  while (!admitted) {
+    const int64_t quota = entry->quota.load(std::memory_order_relaxed);
+    if (quota != kUnlimited && current >= quota) {
+      rejected_cells_[metrics::ThreadShardIndex()].value.fetch_add(
+          1, std::memory_order_relaxed);
+      FLEX_COUNTER_INC(metrics::kTenantRejectionsTotal);
+      return Status::ResourceExhausted("tenant '" + tenant +
+                                       "' concurrency quota exhausted");
+    }
+    admitted = entry->inflight.compare_exchange_weak(
+        current, current + 1, std::memory_order_acquire,
+        std::memory_order_relaxed);
+  }
+  // Atomic max on the high-water mark (test oracle, off the decision path).
+  int64_t peak = entry->peak.load(std::memory_order_relaxed);
+  while (peak < current + 1 &&
+         !entry->peak.compare_exchange_weak(peak, current + 1,
+                                            std::memory_order_relaxed)) {
+  }
+  *slot = Slot(&entry->inflight);
+  return Status::OK();
+}
+
+int64_t TenantAdmission::InFlight(const std::string& tenant) const {
+  const Tenant* entry = Find(tenant);
+  return entry == nullptr ? 0
+                          : entry->inflight.load(std::memory_order_acquire);
+}
+
+int64_t TenantAdmission::PeakInFlight(const std::string& tenant) const {
+  const Tenant* entry = Find(tenant);
+  return entry == nullptr ? 0 : entry->peak.load(std::memory_order_acquire);
+}
+
+uint64_t TenantAdmission::rejected() const {
+  uint64_t total = 0;
+  for (const RejectCell& cell : rejected_cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace flex::query

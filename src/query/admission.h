@@ -1,0 +1,131 @@
+#ifndef FLEX_QUERY_ADMISSION_H_
+#define FLEX_QUERY_ADMISSION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace flex::query {
+
+/// Per-tenant concurrency-slot admission control for the serving front.
+///
+/// Each tenant gets a fixed number of in-flight query slots; a Run() call
+/// acquires one before compiling and releases it when the query finishes
+/// (success or failure). When every slot is taken the call is rejected
+/// immediately with kResourceExhausted — the tenant-fairness layer above
+/// HiActor's global shed: one tenant hammering the service cannot occupy
+/// more than its quota of the shared Gaia pool / HiActor shards.
+///
+/// Accounting is *exact*, not approximate: acquisition is a CAS loop on the
+/// tenant's in-flight count, so a tenant capped at k can never observe k+1
+/// queries in flight (serving_test asserts this with a high-water mark).
+/// The count is a single atomic *per tenant*, each on its own cache line —
+/// the sharding here is across tenants, matching the PR 3 counter-cell
+/// rule that the serving path must not funnel every client through one hot
+/// atomic. The tenant *map* is sharded by name hash and append-only, so
+/// the steady-state path (tenant exists) takes one shard mutex briefly to
+/// find the stable Tenant* and then touches only that tenant's line.
+class TenantAdmission {
+ public:
+  /// Sentinel: a tenant with no configured quota is unlimited.
+  static constexpr int64_t kUnlimited = -1;
+
+  /// `default_slots` applies to tenants never passed to SetQuota
+  /// (kUnlimited preserves the pre-serving behaviour: no admission).
+  explicit TenantAdmission(int64_t default_slots = kUnlimited);
+
+  TenantAdmission(const TenantAdmission&) = delete;
+  TenantAdmission& operator=(const TenantAdmission&) = delete;
+
+  /// Sets `tenant`'s slot count. Takes effect for future acquisitions;
+  /// in-flight queries keep their slots (so lowering a quota below the
+  /// current in-flight count stops new admissions until enough finish).
+  void SetQuota(const std::string& tenant, int64_t slots);
+
+  /// RAII in-flight slot; releases on destruction. Movable, not copyable.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(Slot&& other) noexcept : count_(other.count_) {
+      other.count_ = nullptr;
+    }
+    Slot& operator=(Slot&& other) noexcept {
+      Release();
+      count_ = other.count_;
+      other.count_ = nullptr;
+      return *this;
+    }
+    ~Slot() { Release(); }
+
+    void Release() {
+      if (count_ != nullptr) {
+        count_->fetch_sub(1, std::memory_order_release);
+        count_ = nullptr;
+      }
+    }
+
+   private:
+    friend class TenantAdmission;
+    explicit Slot(std::atomic<int64_t>* count) : count_(count) {}
+    std::atomic<int64_t>* count_ = nullptr;
+  };
+
+  /// Tries to take one of `tenant`'s slots. On success `*slot` holds the
+  /// slot; on quota exhaustion returns kResourceExhausted (and bumps
+  /// flex_tenant_rejections_total). The empty tenant id ("" — the default
+  /// RunOptions) is admitted against the default quota like any other.
+  Status Acquire(const std::string& tenant, Slot* slot);
+
+  /// Current in-flight count for `tenant` (0 if never seen).
+  int64_t InFlight(const std::string& tenant) const;
+
+  /// Highest concurrent in-flight count ever observed for `tenant` — the
+  /// quota-exactness oracle: a tenant capped at k must end a stress run
+  /// with peak <= k.
+  int64_t PeakInFlight(const std::string& tenant) const;
+
+  /// Acquisitions rejected with kResourceExhausted, all tenants.
+  uint64_t rejected() const;
+
+ private:
+  struct Tenant {
+    /// Slots currently held. Own line: this is the serving hot path.
+    alignas(64) std::atomic<int64_t> inflight{0};
+    /// High-water mark of `inflight` (atomic max, test oracle only).
+    alignas(64) std::atomic<int64_t> peak{0};
+    std::atomic<int64_t> quota{kUnlimited};
+  };
+
+  static constexpr size_t kMapShards = 8;
+
+  struct MapShard {
+    mutable Mutex mu;
+    /// Name -> stable Tenant*. Append-only: tenants are never removed, so
+    /// a Tenant* obtained under the lock stays valid forever and the hot
+    /// path never re-enters the map.
+    std::vector<std::pair<std::string, std::unique_ptr<Tenant>>> tenants
+        GUARDED_BY(mu);
+  };
+
+  Tenant* GetOrCreate(const std::string& tenant);
+  const Tenant* Find(const std::string& tenant) const;
+
+  int64_t default_quota_;
+  std::array<MapShard, kMapShards> map_shards_;
+  /// Rejections are sharded cells like the PR 3 counters: rejection storms
+  /// are exactly the contended case, so they must not rendezvous either.
+  struct RejectCell {
+    alignas(64) std::atomic<uint64_t> value{0};
+  };
+  std::array<RejectCell, 16> rejected_cells_;
+};
+
+}  // namespace flex::query
+
+#endif  // FLEX_QUERY_ADMISSION_H_

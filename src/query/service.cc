@@ -25,12 +25,15 @@ Result<ir::Plan> ParseQuery(Language lang, const std::string& text,
 }
 
 QueryService::QueryService(const grin::GrinGraph* graph, size_t num_workers,
-                           optimizer::OptimizerOptions options)
+                           optimizer::OptimizerOptions options,
+                           ServingOptions serving)
     : graph_(graph),
       catalog_(optimizer::Catalog::Build(*graph)),
       options_(options),
       gaia_(graph, num_workers),
-      hiactor_(graph, num_workers) {}
+      hiactor_(graph, num_workers),
+      plan_cache_(serving.plan_cache_capacity),
+      admission_(serving.default_tenant_slots) {}
 
 Result<ir::Plan> QueryService::Compile(Language lang,
                                        const std::string& text) const {
@@ -57,11 +60,30 @@ bool IsRetryable(const Status& status) {
          status.code() == StatusCode::kDataLoss;
 }
 
+/// Plan-cache key: one language tag byte + the raw query text. Parameters
+/// ($i placeholders) are bound at execution, never folded into the plan,
+/// so two calls with the same text share one cached plan safely.
+std::string PlanCacheKey(Language lang, const std::string& text) {
+  std::string key;
+  key.reserve(text.size() + 2);
+  key.push_back(lang == Language::kCypher ? 'c' : 'g');
+  key.push_back(':');
+  key.append(text);
+  return key;
+}
+
 }  // namespace
 
 Result<std::vector<ir::Row>> QueryService::Run(
     Language lang, const std::string& text, const RunOptions& options,
     std::vector<PropertyValue> params) {
+  // Admission first: a tenant over quota is rejected before any compile
+  // work (fail-fast is the point — the rejected call must not consume the
+  // resources the quota protects). Rejections are visible through
+  // flex_tenant_rejections_total, not the accepted-query counters.
+  TenantAdmission::Slot slot;
+  FLEX_RETURN_NOT_OK(admission_.Acquire(options.tenant, &slot));
+
   FLEX_COUNTER_INC(metrics::kQueriesTotal);
   trace::ScopedSpan root_span(options.trace, "query", "query");
   Timer latency_timer;
@@ -76,16 +98,23 @@ Result<std::vector<ir::Row>> QueryService::Run(
     return result;
   };
 
-  Result<ir::Plan> compiled = [&] {
+  // Parameterized hot path: repeated templates resolve to one immutable
+  // cached plan (shared by every concurrent client) and skip
+  // parse/optimize entirely. Concurrent misses on the same template both
+  // compile; Insert keeps one copy.
+  std::shared_ptr<const ir::Plan> shared_plan;
+  {
     trace::ScopedSpan compile_span(options.trace, "compile", "compile",
                                    root_span.id());
-    return Compile(lang, text);
-  }();
-  if (!compiled.ok()) return finish(compiled.status());
-  ir::Plan plan = std::move(compiled).value();
-  std::shared_ptr<const ir::Plan> shared_plan;
-  if (options.engine == EngineKind::kHiActor) {
-    shared_plan = std::make_shared<const ir::Plan>(std::move(plan));
+    const std::string cache_key = PlanCacheKey(lang, text);
+    shared_plan = plan_cache_.Lookup(cache_key);
+    if (shared_plan == nullptr) {
+      Result<ir::Plan> compiled = Compile(lang, text);
+      if (!compiled.ok()) return finish(compiled.status());
+      shared_plan = std::make_shared<const ir::Plan>(
+          std::move(compiled).value());
+      plan_cache_.Insert(cache_key, shared_plan);
+    }
   }
 
   trace::ScopedSpan execute_span(options.trace, "execute", "execute",
@@ -93,8 +122,8 @@ Result<std::vector<ir::Row>> QueryService::Run(
   auto attempt =
       [&](std::vector<PropertyValue> p) -> Result<std::vector<ir::Row>> {
     if (options.engine == EngineKind::kGaia) {
-      return gaia_.Run(plan, std::move(p), options.deadline, options.cancel,
-                       options.trace, execute_span.id(),
+      return gaia_.Run(*shared_plan, std::move(p), options.deadline,
+                       options.cancel, options.trace, execute_span.id(),
                        options.vectorized ? runtime::ExecMode::kBatched
                                           : runtime::ExecMode::kRowAtATime);
     }
@@ -155,6 +184,10 @@ Status QueryService::RegisterProcedure(const std::string& name, Language lang,
                                        const std::string& text) {
   FLEX_ASSIGN_OR_RETURN(ir::Plan plan, Compile(lang, text));
   hiactor_.RegisterProcedure(name, std::move(plan));
+  // Registration is the catalog-change surface: drop every cached plan so
+  // no future lookup can resolve against pre-registration state. Queries
+  // already holding a looked-up plan finish on it (snapshot semantics).
+  plan_cache_.InvalidateAll();
   return Status::OK();
 }
 

@@ -9,6 +9,8 @@
 #include "common/random.h"
 #include "common/trace.h"
 #include "optimizer/optimizer.h"
+#include "query/admission.h"
+#include "query/plan_cache.h"
 #include "runtime/gaia.h"
 #include "runtime/hiactor.h"
 
@@ -52,15 +54,37 @@ struct RunOptions {
   /// "compile" and "execute" children; the engines and interpreter nest
   /// their own spans below those. Must outlive the call.
   trace::Trace* trace = nullptr;
+  /// Tenant id for admission control. Every Run draws one in-flight slot
+  /// from this tenant's quota (TenantAdmission); the empty id is itself a
+  /// tenant, so single-tenant callers need no configuration. Rejected
+  /// acquisitions fail fast with kResourceExhausted before compiling.
+  std::string tenant;
+};
+
+/// Serving-front configuration for QueryService (defaults preserve the
+/// single-client behaviour: cache on, no quotas).
+struct ServingOptions {
+  /// Plan-cache entry capacity (0 disables caching).
+  size_t plan_cache_capacity = 128;
+  /// Quota for tenants never passed to SetTenantQuota.
+  /// TenantAdmission::kUnlimited means no admission limit.
+  int64_t default_tenant_slots = TenantAdmission::kUnlimited;
 };
 
 /// The interactive stack facade (Figure 5): parse (Gremlin or Cypher) →
 /// GraphIR → RBO + CBO → execute on Gaia (OLAP) or HiActor (OLTP).
+///
+/// Run() is safe to call from many client threads concurrently: both
+/// engines share persistent worker pools sized at construction, the plan
+/// cache deduplicates compiles of repeated query templates, and
+/// TenantAdmission caps each tenant's in-flight queries (DESIGN.md
+/// §Concurrent serving).
 class QueryService {
  public:
   /// `graph` must outlive the service. `num_workers` sizes both engines.
   QueryService(const grin::GrinGraph* graph, size_t num_workers,
-               optimizer::OptimizerOptions options = {});
+               optimizer::OptimizerOptions options = {},
+               ServingOptions serving = {});
 
   /// Parses and optimizes without running (plan inspection / tests).
   Result<ir::Plan> Compile(Language lang, const std::string& text) const;
@@ -80,9 +104,20 @@ class QueryService {
   Status RegisterProcedure(const std::string& name, Language lang,
                            const std::string& text);
 
+  /// Sets `tenant`'s concurrency-slot quota (effective for future Runs).
+  void SetTenantQuota(const std::string& tenant, int64_t slots) {
+    admission_.SetQuota(tenant, slots);
+  }
+
+  /// Drops every cached plan. Called internally on RegisterProcedure;
+  /// exposed for catalog-change call sites and tests.
+  void InvalidatePlanCache() { plan_cache_.InvalidateAll(); }
+
   runtime::HiActorEngine& hiactor() { return hiactor_; }
   const runtime::GaiaEngine& gaia() const { return gaia_; }
   const optimizer::Catalog& catalog() const { return catalog_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  const TenantAdmission& admission() const { return admission_; }
 
  private:
   const grin::GrinGraph* graph_;
@@ -90,6 +125,8 @@ class QueryService {
   optimizer::OptimizerOptions options_;
   runtime::GaiaEngine gaia_;
   runtime::HiActorEngine hiactor_;
+  PlanCache plan_cache_;
+  TenantAdmission admission_;
 };
 
 /// Conventional-graph-database baseline for Exp-2 (stands in for the

@@ -239,23 +239,46 @@ uint32_t SnapshotFingerprint(const grin::GrinGraph& graph) {
 
   // Out-adjacency only: GART mirrors every edge into its in-list, so the
   // out view already determines the full topology on both backends.
-  const vid_t n = graph.NumVertices();
+  //
+  // Sources are enumerated through VisitVertices (the version-filtered
+  // view), never by sweeping [0, NumVertices()): on MVCC snapshots
+  // NumVertices() is the *physical* vid space, which keeps growing as
+  // later epochs commit — a sweep would mix invisible vids into the hash
+  // and the same pinned epoch would fingerprint differently before and
+  // after unrelated commits (the HTAP revisit-an-old-epoch oracle in
+  // mutation_test relies on stability).
   for (size_t el = 0; el < schema.edge_label_num(); ++el) {
-    for (vid_t v = 0; v < n; ++v) {
-      PutVarint64(&buf, v);
-      graph.VisitAdj(
-          v, Direction::kOut, static_cast<label_t>(el),
-          [](void* c, const grin::AdjChunk& chunk) {
-            auto* out = static_cast<std::vector<uint8_t>*>(c);
-            for (size_t i = 0; i < chunk.neighbors.size(); ++i) {
-              PutVarint64(out, chunk.neighbors[i]);
-              PutVarint64(out, std::bit_cast<uint64_t>(chunk.weight(i)));
-              PutVarint64(out, chunk.edge_id(i));
-            }
+    for (size_t vl = 0; vl < schema.vertex_label_num(); ++vl) {
+      struct AdjCtx {
+        const grin::GrinGraph* g;
+        std::vector<uint8_t>* buf;
+        uint32_t* state;
+        label_t edge_label;
+      } adj_ctx{&graph, &buf, &state, static_cast<label_t>(el)};
+      graph.VisitVertices(
+          static_cast<label_t>(vl), nullptr, nullptr,
+          [](void* c, vid_t v) {
+            auto* cx = static_cast<AdjCtx*>(c);
+            PutVarint64(cx->buf, v);
+            cx->g->VisitAdj(
+                v, Direction::kOut, cx->edge_label,
+                [](void* bc, const grin::AdjChunk& chunk) {
+                  auto* out = static_cast<std::vector<uint8_t>*>(bc);
+                  for (size_t i = 0; i < chunk.neighbors.size(); ++i) {
+                    PutVarint64(out, chunk.neighbors[i]);
+                    PutVarint64(out,
+                                std::bit_cast<uint64_t>(chunk.weight(i)));
+                    PutVarint64(out, chunk.edge_id(i));
+                  }
+                  return true;
+                },
+                cx->buf);
+            *cx->state =
+                Crc32Update(*cx->state, cx->buf->data(), cx->buf->size());
+            cx->buf->clear();
             return true;
           },
-          &buf);
-      mix();
+          &adj_ctx);
     }
   }
   return Crc32Finalize(state);

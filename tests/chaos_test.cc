@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -438,6 +441,114 @@ TEST_F(ChaosQueryTest, DroppedActorTaskIsRetriedToSuccess) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().size(), 6u);
   EXPECT_EQ(Faults().Fires("hiactor.dispatch"), 1u);
+}
+
+TEST_F(ChaosQueryTest, ConcurrentServingSurvivesFaultsAndDeadlines) {
+  // The serving-front chaos scenario: 8 client threads share one service
+  // while dispatch and storage faults fire probabilistically and some
+  // requests carry deadlines. The contract under fire is all-or-nothing
+  // per query: correct rows, or a documented StatusCode — never a hang,
+  // never silently wrong rows.
+  //
+  // Each client pins its own retry_jitter_seed, so clients that fail
+  // together back off on *different* schedules (no cross-tenant retry
+  // storm); the retry-count ceiling below would catch lockstep retrying
+  // amplifying the fault rate.
+  constexpr size_t kClients = 8;
+  constexpr int kQueriesPerClient = 16;
+  constexpr int kMaxRetries = 2;
+
+  // Fault-free oracle, computed before arming anything.
+  const auto expected_result =
+      service_->Run(query::Language::kCypher, kNamesQuery);
+  ASSERT_TRUE(expected_result.ok());
+  const std::vector<std::string> expected =
+      query::RowsToStrings(expected_result.value());
+  ASSERT_EQ(expected.size(), 6u);
+
+  const uint64_t retries_before =
+      metrics::MetricsRegistry::Instance()
+          .GetCounter(metrics::kQueryRetriesTotal)
+          ->Value();
+
+  const uint64_t seed = ChaosSeed();
+  ArmSpec("hiactor.dispatch=prob:0.15:seed:" + std::to_string(seed) +
+          ";storage.read=prob:0.05:seed:" + std::to_string(seed + 1));
+
+  // Every client is its own tenant with a generous slot quota: admission
+  // takes part in the scenario without being the dominant failure mode.
+  for (size_t c = 0; c < kClients; ++c) {
+    service_->SetTenantQuota("client-" + std::to_string(c), 4);
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  std::atomic<size_t> ok_count{0};
+  std::atomic<size_t> failed_count{0};
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        query::RunOptions options;
+        options.engine = (i % 2 == 0) ? query::EngineKind::kGaia
+                                      : query::EngineKind::kHiActor;
+        options.tenant = "client-" + std::to_string(c);
+        options.max_retries = kMaxRetries;
+        options.retry_backoff = std::chrono::milliseconds(1);
+        options.retry_jitter_seed = c + 1;  // Pinned, distinct per client.
+        if (i % 4 == 3) {
+          // A quarter of the traffic runs with a real (but ample)
+          // deadline, so deadline enforcement is exercised concurrently
+          // with fault recovery.
+          options.deadline = Deadline::After(std::chrono::seconds(5));
+        }
+        const auto result = service_->Run(query::Language::kCypher,
+                                          kNamesQuery, options);
+        if (result.ok()) {
+          // Success must mean *correct* success, even when retries
+          // recovered the query under the hood.
+          EXPECT_EQ(query::RowsToStrings(result.value()), expected)
+              << "client " << c << " query " << i;
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // The documented failure surface of the serving path, nothing
+          // else: transient faults that outlived the retry budget,
+          // deadline/cancel admission, or quota/queue rejection.
+          const StatusCode code = result.status().code();
+          EXPECT_TRUE(code == StatusCode::kAborted ||
+                      code == StatusCode::kDataLoss ||
+                      code == StatusCode::kDeadlineExceeded ||
+                      code == StatusCode::kCancelled ||
+                      code == StatusCode::kResourceExhausted)
+              << "client " << c << " query " << i << ": undocumented "
+              << result.status().ToString();
+          failed_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();  // Completion itself asserts no hang.
+
+  EXPECT_EQ(ok_count.load() + failed_count.load(),
+            kClients * kQueriesPerClient);
+  // With prob-policy faults and retries armed, most traffic recovers.
+  EXPECT_GT(ok_count.load(), 0u);
+
+  // Retry ceiling: every query retries at most kMaxRetries times, so the
+  // fleet-wide retry count is bounded — a lockstep retry storm that
+  // re-submitted beyond the budget would break this.
+  const uint64_t retries_after =
+      metrics::MetricsRegistry::Instance()
+          .GetCounter(metrics::kQueryRetriesTotal)
+          ->Value();
+  EXPECT_LE(retries_after - retries_before,
+            static_cast<uint64_t>(kClients * kQueriesPerClient *
+                                  kMaxRetries));
+
+  // In-flight accounting drained back to zero for every tenant.
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(service_->admission().InFlight("client-" + std::to_string(c)),
+              0);
+  }
 }
 
 TEST_F(ChaosQueryTest, AdmissionControlShedsOverload) {

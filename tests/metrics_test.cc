@@ -128,6 +128,10 @@ const char* const kExpectedStackMetrics[] = {
     "flex_pie_recoveries_total",
     "flex_pie_supersteps_total",
     "flex_pie_superstep_duration_us",
+    "flex_plan_cache_evictions_total",
+    "flex_plan_cache_hits_total",
+    "flex_plan_cache_invalidations_total",
+    "flex_plan_cache_misses_total",
     "flex_queries_shed_total",
     "flex_queries_total",
     "flex_query_batches_total",
@@ -139,6 +143,7 @@ const char* const kExpectedStackMetrics[] = {
     "flex_storage_index_lookups_total",
     "flex_storage_scans_total",
     "flex_storage_snapshots_pinned_total",
+    "flex_tenant_rejections_total",
     "flex_wal_batches_committed_total",
     "flex_wal_records_appended_total",
     "flex_wal_replay_duplicates_skipped_total",

@@ -1,0 +1,436 @@
+// Concurrent-serving correctness suite (DESIGN.md §Concurrent serving):
+//
+//   1. Parity oracle — N client threads firing mixed SNB interactive
+//      queries concurrently against one shared QueryService must produce
+//      rows bit-identical to the same (query, params) sequences run
+//      serially. Concurrency is an admission/scheduling concern only;
+//      results must be indistinguishable from a single-client service.
+//   2. Quota exactness — a tenant capped at k slots never observes k+1
+//      queries in flight (high-water-mark oracle), and over-quota
+//      acquisitions fail with kResourceExhausted, nothing else.
+//   3. Plan-cache correctness — a cache hit serves rows bit-identical to a
+//      cold compile; parameter changes never resolve to stale results;
+//      RegisterProcedure invalidates every cached plan.
+//
+// All client sequences are pre-drawn from seeded Rngs (workload shuffle
+// derives from FLEX_CHAOS_SEED when set, so tools/check.sh serving can
+// sweep schedules), making every run reproducible. The suite runs under
+// TSan via tools/check.sh serving.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
+#include "query/admission.h"
+#include "query/plan_cache.h"
+#include "query/service.h"
+#include "snb/snb.h"
+#include "storage/vineyard/vineyard_store.h"
+
+namespace flex::query {
+namespace {
+
+/// Seed for the workload shuffle; FLEX_CHAOS_SEED reuses the chaos
+/// harness's knob so check.sh can sweep interleavings without a new env
+/// contract.
+uint64_t WorkloadSeed() {
+  const char* env = std::getenv("FLEX_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 20240607;
+}
+
+/// One pre-drawn client request: everything Run() needs, fixed up front so
+/// the serial and concurrent executions see byte-identical inputs.
+struct Request {
+  std::string name;
+  std::string cypher;
+  std::vector<PropertyValue> params;
+  EngineKind engine;
+};
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kClients = 8;
+  static constexpr size_t kRequestsPerClient = 12;
+
+  static void SetUpTestSuite() {
+    snb::SnbConfig config;
+    config.num_persons = 200;
+    config.seed = 17;
+    stats_ = new snb::SnbStats();
+    auto data = snb::GenerateSnb(config, stats_);
+    store_ = storage::VineyardStore::Build(data).value().release();
+    graph_ = store_->GetGrinHandle().release();
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete store_;
+    delete stats_;
+  }
+
+  /// Draws `kRequestsPerClient` mixed requests for client `client`: ~70%
+  /// short reads, ~30% complex, alternating engines, parameters drawn from
+  /// a per-client Rng so sequences differ across clients but are stable
+  /// across runs (for one WorkloadSeed).
+  static std::vector<Request> DrawClientSequence(size_t client) {
+    static const std::vector<snb::QuerySpec> shorts =
+        snb::InteractiveShortQueries();
+    static const std::vector<snb::QuerySpec> complexes =
+        snb::InteractiveComplexQueries();
+    Rng rng(WorkloadSeed() * 1315423911ULL + client);
+    std::vector<Request> out;
+    out.reserve(kRequestsPerClient);
+    for (size_t i = 0; i < kRequestsPerClient; ++i) {
+      const bool pick_short = rng.NextDouble() < 0.7;
+      const auto& suite = pick_short ? shorts : complexes;
+      const auto& spec = suite[rng.Next() % suite.size()];
+      Request req;
+      req.name = spec.name;
+      req.cypher = spec.cypher;
+      req.params = spec.params(rng, *stats_);
+      req.engine = (i % 2 == 0) ? EngineKind::kGaia : EngineKind::kHiActor;
+      out.push_back(std::move(req));
+    }
+    return out;
+  }
+
+  static std::vector<std::string> RunOne(QueryService* service,
+                                         const Request& req,
+                                         const std::string& tenant = "") {
+    RunOptions options;
+    options.engine = req.engine;
+    options.tenant = tenant;
+    auto rows = service->Run(Language::kCypher, req.cypher, options,
+                             req.params);
+    EXPECT_TRUE(rows.ok()) << req.name << ": " << rows.status().ToString();
+    if (!rows.ok()) return {"<error: " + rows.status().ToString() + ">"};
+    return RowsToStrings(rows.value());
+  }
+
+  static snb::SnbStats* stats_;
+  static storage::VineyardStore* store_;
+  static grin::GrinGraph* graph_;
+};
+
+snb::SnbStats* ServingTest::stats_ = nullptr;
+storage::VineyardStore* ServingTest::store_ = nullptr;
+grin::GrinGraph* ServingTest::graph_ = nullptr;
+
+// ------------------------------------------------------------ parity oracle
+
+TEST_F(ServingTest, ConcurrentClientsMatchSerialRuns) {
+  // Pre-draw every client's request sequence, then compute the expected
+  // rows serially on a dedicated service. The serial service uses the same
+  // plan cache code, so this also exercises hit-path rows (repeated
+  // templates recur within and across sequences).
+  std::vector<std::vector<Request>> sequences;
+  for (size_t c = 0; c < kClients; ++c) {
+    sequences.push_back(DrawClientSequence(c));
+  }
+
+  std::vector<std::vector<std::vector<std::string>>> expected(kClients);
+  {
+    QueryService serial_service(graph_, 4);
+    for (size_t c = 0; c < kClients; ++c) {
+      for (const Request& req : sequences[c]) {
+        expected[c].push_back(RunOne(&serial_service, req));
+      }
+    }
+  }
+
+  // Fire the same sequences from kClients real threads sharing one
+  // service; a barrier maximizes overlap. Each client owns its results
+  // vector, so the only shared mutable state is the service under test.
+  QueryService service(graph_, 4);
+  std::vector<std::vector<std::vector<std::string>>> actual(kClients);
+  Barrier start(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      start.Await();
+      for (const Request& req : sequences[c]) {
+        actual[c].push_back(RunOne(&service, req));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (size_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(actual[c].size(), expected[c].size()) << "client " << c;
+    for (size_t i = 0; i < expected[c].size(); ++i) {
+      EXPECT_EQ(actual[c][i], expected[c][i])
+          << "client " << c << " request " << i << " ("
+          << sequences[c][i].name << ") diverged from serial run";
+    }
+  }
+
+  // The workload repeats templates heavily (21 specs, 96 requests), so the
+  // shared cache must have served hits.
+  const PlanCacheStats stats = service.plan_cache().stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+// ------------------------------------------------------------ quota slots
+
+TEST(TenantAdmissionTest, ExactSlotAccounting) {
+  TenantAdmission admission;
+  admission.SetQuota("t", 3);
+
+  TenantAdmission::Slot slots[3];
+  for (auto& slot : slots) {
+    ASSERT_TRUE(admission.Acquire("t", &slot).ok());
+  }
+  EXPECT_EQ(admission.InFlight("t"), 3);
+
+  // Slot 4 of 3: rejected, with exactly kResourceExhausted.
+  TenantAdmission::Slot overflow;
+  Status rejected = admission.Acquire("t", &overflow);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.InFlight("t"), 3);
+  EXPECT_EQ(admission.rejected(), 1u);
+
+  // Releasing one slot re-opens exactly one admission.
+  slots[0].Release();
+  EXPECT_EQ(admission.InFlight("t"), 2);
+  ASSERT_TRUE(admission.Acquire("t", &overflow).ok());
+  EXPECT_EQ(admission.InFlight("t"), 3);
+
+  // Other tenants are unaffected (default quota: unlimited).
+  TenantAdmission::Slot other;
+  EXPECT_TRUE(admission.Acquire("other", &other).ok());
+  EXPECT_EQ(admission.PeakInFlight("t"), 3);
+}
+
+TEST(TenantAdmissionTest, ConcurrentAcquireNeverExceedsQuota) {
+  // 16 threads hammer a 4-slot tenant with acquire/release cycles; the CAS
+  // admission must keep the high-water mark at <= 4 and account every
+  // failure as a rejection (conservation: grants + rejections == attempts).
+  constexpr int kThreads = 16;
+  constexpr int kIterations = 500;
+  constexpr int64_t kQuota = 4;
+  TenantAdmission admission;
+  admission.SetQuota("t", kQuota);
+
+  std::atomic<uint64_t> granted{0};
+  Barrier start(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      start.Await();
+      for (int i = 0; i < kIterations; ++i) {
+        TenantAdmission::Slot slot;
+        Status status = admission.Acquire("t", &slot);
+        if (status.ok()) {
+          granted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_LE(admission.PeakInFlight("t"), kQuota);
+  EXPECT_EQ(admission.InFlight("t"), 0);
+  EXPECT_EQ(granted.load() + admission.rejected(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+TEST_F(ServingTest, TenantQuotaEnforcedThroughRun) {
+  QueryService service(graph_, 4);
+  constexpr int64_t kQuota = 2;
+  constexpr size_t kThreads = 8;
+  service.SetTenantQuota("capped", kQuota);
+
+  // Each thread runs a complex query a few times under the capped tenant.
+  // Every outcome must be either correct rows or kResourceExhausted — no
+  // other failure mode exists in a fault-free run.
+  const auto specs = snb::InteractiveComplexQueries();
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> rejected_count{0};
+  Barrier start(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(WorkloadSeed() + 7 * t);
+      start.Await();
+      for (int i = 0; i < 6; ++i) {
+        const auto& spec = specs[(t + i) % specs.size()];
+        RunOptions options;
+        options.tenant = "capped";
+        auto rows = service.Run(Language::kCypher, spec.cypher, options,
+                                spec.params(rng, *stats_));
+        if (rows.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_EQ(rows.status().code(), StatusCode::kResourceExhausted)
+              << spec.name << ": " << rows.status().ToString();
+          rejected_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // The exactness oracle: with 8 threads contending for 2 slots the peak
+  // must still never pass the cap, and everything not admitted was
+  // rejected (conservation against the per-tenant counters).
+  EXPECT_LE(service.admission().PeakInFlight("capped"), kQuota);
+  EXPECT_EQ(service.admission().InFlight("capped"), 0);
+  EXPECT_GT(ok_count.load(), 0u);
+  EXPECT_EQ(ok_count.load() + rejected_count.load(), kThreads * 6);
+  EXPECT_EQ(service.admission().rejected(), rejected_count.load());
+
+  // An uncapped tenant on the same service is never turned away.
+  const auto spec = snb::InteractiveShortQueries()[0];
+  Rng rng(1);
+  RunOptions uncapped;
+  auto rows = service.Run(Language::kCypher, spec.cypher, uncapped,
+                          spec.params(rng, *stats_));
+  EXPECT_TRUE(rows.ok());
+}
+
+// ------------------------------------------------------------- plan cache
+
+TEST_F(ServingTest, PlanCacheHitServesIdenticalRows) {
+  QueryService service(graph_, 2);
+  const auto specs = snb::InteractiveShortQueries();
+  Rng rng(WorkloadSeed() + 99);
+  for (const auto& spec : specs) {
+    const auto params = spec.params(rng, *stats_);
+    const uint64_t misses_before = service.plan_cache().stats().misses;
+    RunOptions options;
+    auto cold = service.Run(Language::kCypher, spec.cypher, options, params);
+    ASSERT_TRUE(cold.ok()) << spec.name << ": " << cold.status().ToString();
+    EXPECT_EQ(service.plan_cache().stats().misses, misses_before + 1);
+
+    const uint64_t hits_before = service.plan_cache().stats().hits;
+    auto warm = service.Run(Language::kCypher, spec.cypher, options, params);
+    ASSERT_TRUE(warm.ok()) << spec.name << ": " << warm.status().ToString();
+    EXPECT_EQ(service.plan_cache().stats().hits, hits_before + 1)
+        << spec.name << " did not hit the cache on re-run";
+    EXPECT_EQ(RowsToStrings(cold.value()), RowsToStrings(warm.value()))
+        << spec.name << ": cached plan served different rows";
+  }
+}
+
+TEST_F(ServingTest, ParameterChangesNeverServeStaleResults) {
+  // Same cached plan, fresh parameters every call: the rows must track the
+  // parameters, proving binding happens at execution, never inside the
+  // cached artifact. Oracle: a cache-disabled service.
+  ServingOptions no_cache;
+  no_cache.plan_cache_capacity = 0;
+  QueryService cached(graph_, 2);
+  QueryService uncached(graph_, 2, {}, no_cache);
+
+  const auto spec = snb::InteractiveShortQueries()[0];  // S1: person lookup.
+  Rng rng(WorkloadSeed() + 3);
+  for (int i = 0; i < 10; ++i) {
+    const auto params = spec.params(rng, *stats_);
+    RunOptions options;
+    auto from_cache = cached.Run(Language::kCypher, spec.cypher, options,
+                                 params);
+    auto fresh = uncached.Run(Language::kCypher, spec.cypher, options,
+                              params);
+    ASSERT_TRUE(from_cache.ok());
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(RowsToStrings(from_cache.value()),
+              RowsToStrings(fresh.value()))
+        << spec.name << " draw " << i
+        << ": cached plan ignored fresh parameters";
+  }
+  EXPECT_EQ(uncached.plan_cache().size(), 0u);
+  EXPECT_GT(cached.plan_cache().stats().hits, 0u);
+}
+
+TEST_F(ServingTest, RegisterProcedureInvalidatesCache) {
+  QueryService service(graph_, 2);
+  const auto spec = snb::InteractiveShortQueries()[0];
+  Rng rng(WorkloadSeed() + 11);
+  const auto params = spec.params(rng, *stats_);
+
+  RunOptions options;
+  ASSERT_TRUE(
+      service.Run(Language::kCypher, spec.cypher, options, params).ok());
+  ASSERT_GT(service.plan_cache().size(), 0u);
+
+  ASSERT_TRUE(service
+                  .RegisterProcedure("s1_proc", Language::kCypher,
+                                     spec.cypher)
+                  .ok());
+  EXPECT_EQ(service.plan_cache().size(), 0u)
+      << "RegisterProcedure must drop every cached plan";
+  EXPECT_EQ(service.plan_cache().stats().invalidations, 1u);
+
+  // Post-invalidation runs recompile (a miss) and still serve correct rows.
+  const uint64_t misses_before = service.plan_cache().stats().misses;
+  auto rows = service.Run(Language::kCypher, spec.cypher, options, params);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(service.plan_cache().stats().misses, misses_before + 1);
+}
+
+TEST(PlanCacheTest, LruEvictionAtCapacity) {
+  // Tiny cache: kShards entries total (one per shard), so a second insert
+  // into any shard evicts that shard's LRU entry.
+  PlanCache cache(PlanCache::kShards);
+  auto plan = std::make_shared<const ir::Plan>();
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert("q" + std::to_string(i), plan);
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.evictions, 64 - cache.size());
+}
+
+TEST(PlanCacheTest, DisabledCacheNeverStoresOrServes) {
+  PlanCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert("q", std::make_shared<const ir::Plan>());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("q"), nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PlanCacheTest, ConcurrentLookupInsertInvalidate) {
+  // TSan-facing stress: readers, writers and an invalidator race on one
+  // cache; the invariant is simply no data race and size <= capacity.
+  PlanCache cache(32);
+  auto plan = std::make_shared<const ir::Plan>();
+  constexpr int kThreads = 8;
+  Barrier start(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.Await();
+      for (int i = 0; i < 400; ++i) {
+        const std::string key = "q" + std::to_string((t * 7 + i) % 48);
+        if (t == 0 && i % 100 == 99) {
+          cache.InvalidateAll();
+        } else if (i % 3 == 0) {
+          cache.Insert(key, plan);
+        } else {
+          (void)cache.Lookup(key);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace flex::query

@@ -4,15 +4,22 @@
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--threshold=0.15]
 
-Both files use the schema bench_exp3_analytics_cpu --json=PATH emits:
+Both files use the schema the bench binaries emit with --json=PATH:
 
-    {"bench": "...", "results": [{"name": "...", "ms": 12.3}, ...]}
+    {"bench": "...", "results": [{"name": "...", "ms": 12.3},
+                                 {"name": "...", "qps": 4500.0}, ...]}
+
+Each entry carries exactly one metric key: "ms" (latency — lower is
+better) or "qps" (throughput — higher is better). A latency entry
+regresses when current exceeds baseline by more than the threshold; a
+throughput entry regresses when current falls short of baseline by more
+than the threshold (the BENCH_serving.json p99 + QPS floors).
 
 Exits non-zero if any entry regressed by more than the threshold (default
-15%, the bar set in ISSUE 4). Entries under the noise floor (5 ms) are
-reported but never fail the run — on a shared 1-core host, sub-5ms
-timings jitter far more than 15% between runs. Entries present in only
-one file are reported as added/removed but do not fail; the ratchet
+15%, the bar set in ISSUE 4). Latency entries under the noise floor
+(5 ms) are reported but never fail the run — on a shared 1-core host,
+sub-5ms timings jitter far more than 15% between runs. Entries present in
+only one file are reported as added/removed but do not fail; the ratchet
 guards regressions on work both builds performed.
 """
 
@@ -23,9 +30,20 @@ NOISE_FLOOR_MS = 5.0
 
 
 def load(path):
+    """Returns {name: (kind, value)} with kind in {"ms", "qps"}."""
     with open(path) as f:
         doc = json.load(f)
-    return {r["name"]: float(r["ms"]) for r in doc["results"]}
+    out = {}
+    for r in doc["results"]:
+        if "qps" in r:
+            out[r["name"]] = ("qps", float(r["qps"]))
+        else:
+            out[r["name"]] = ("ms", float(r["ms"]))
+    return out
+
+
+def fmt(kind, value):
+    return f"{value:.1f}ms" if kind == "ms" else f"{value:.0f}qps"
 
 
 def main(argv):
@@ -44,21 +62,32 @@ def main(argv):
     failures = []
     print(f"{'benchmark':<24} {'baseline':>10} {'current':>10} {'delta':>8}")
     for name in sorted(baseline):
+        kind, base = baseline[name]
         if name not in current:
-            print(f"{name:<24} {baseline[name]:>8.1f}ms {'(removed)':>10}")
+            print(f"{name:<24} {fmt(kind, base):>10} {'(removed)':>10}")
             continue
-        base, cur = baseline[name], current[name]
+        cur_kind, cur = current[name]
+        if cur_kind != kind:
+            print(f"{name:<24} metric kind changed "
+                  f"({kind} -> {cur_kind})  REGRESSION")
+            failures.append(name)
+            continue
         delta = (cur - base) / base if base > 0 else 0.0
+        # Latency regresses upward, throughput downward.
+        regressed = delta > threshold if kind == "ms" else delta < -threshold
         flag = ""
-        if delta > threshold:
-            if base < NOISE_FLOOR_MS and cur < NOISE_FLOOR_MS * (1 + threshold):
+        if regressed:
+            if (kind == "ms" and base < NOISE_FLOOR_MS
+                    and cur < NOISE_FLOOR_MS * (1 + threshold)):
                 flag = "  (noise floor)"
             else:
                 flag = "  REGRESSION"
                 failures.append(name)
-        print(f"{name:<24} {base:>8.1f}ms {cur:>8.1f}ms {delta:>+7.1%}{flag}")
+        print(f"{name:<24} {fmt(kind, base):>10} {fmt(kind, cur):>10} "
+              f"{delta:>+7.1%}{flag}")
     for name in sorted(set(current) - set(baseline)):
-        print(f"{name:<24} {'(added)':>10} {current[name]:>8.1f}ms")
+        kind, cur = current[name]
+        print(f"{name:<24} {'(added)':>10} {fmt(kind, cur):>10}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "

@@ -26,6 +26,16 @@
 # A/B smoke so the superstep communication path and the columnar
 # executor are exercised under ASan+UBSan and TSan outside of ctest.
 #
+# The serving pass is the multi-client harness: it builds
+# tests/serving_test under ASan+UBSan and under TSan and runs it across
+# the chaos seeds, so the plan cache, tenant admission, and the
+# concurrent-vs-serial parity oracle are exercised with several workload
+# draws under both sanitizers. The bench pass additionally runs
+# bench_serving (closed- and open-loop SNB mixes) and ratchets its
+# QPS/p99 against BENCH_serving.json with a wide threshold (0.5): the
+# baseline holds conservative floors, not medians, because the open-loop
+# tail jitters heavily on a shared host.
+#
 # The crash pass is the durability harness: it reuses the ASan+UBSan
 # build tree and re-runs tests/crash_recovery_test across the chaos
 # seeds, so the writer-kill -> recover -> fingerprint-compare cycle (WAL
@@ -52,6 +62,7 @@
 #   tools/check.sh asan       # address+undefined only
 #   tools/check.sh tsan       # thread only
 #   tools/check.sh chaos      # multi-seed chaos harness under both sanitizers
+#   tools/check.sh serving    # multi-seed serving suite under both sanitizers
 #   tools/check.sh crash      # multi-seed crash-recovery suite under ASan+UBSan
 #   tools/check.sh coverage   # gcov line coverage + floor on src/common/
 #   tools/check.sh bench      # perf ratchet vs BENCH_exp3_analytics.json
@@ -95,6 +106,17 @@ run_bench() {
       --json="$builddir/exp2_current.json" --min-geomean=1.2
   python3 "$ROOT/tools/bench_compare.py" \
       "$ROOT/BENCH_exp2_snb.json" "$builddir/exp2_current.json"
+  echo "=== bench: serving ratchet vs BENCH_serving.json ==="
+  cmake --build "$builddir" -j "$JOBS" --target bench_serving
+  # BENCH_serving.json holds conservative floors (not measured medians):
+  # the open-loop tail jitters 2-3x between runs on a shared host, so the
+  # ratchet uses --threshold=0.5 — it catches a halved QPS or a doubled
+  # p99, not scheduler noise.
+  "$builddir/bench/bench_serving" \
+      --json="$builddir/serving_current.json"
+  python3 "$ROOT/tools/bench_compare.py" \
+      "$ROOT/BENCH_serving.json" "$builddir/serving_current.json" \
+      --threshold=0.5
 }
 
 CHAOS_SEEDS=(1 7 23 101)
@@ -163,6 +185,31 @@ run_chaos() {
   done
 }
 
+run_serving() {
+  # Concurrent-serving suite under both sanitizers, across the chaos
+  # seeds: serving_test's workload mix is drawn from FLEX_CHAOS_SEED, so
+  # each seed exercises a different interleaving of clients, plan-cache
+  # traffic, and quota contention. TSan is the pass that matters most
+  # here — the admission CAS loop and the sharded LRU are lock-order- and
+  # race-audited by it.
+  local name sanitize builddir seed
+  for name in asan tsan; do
+    case "$name" in
+      asan) sanitize="address,undefined" ;;
+      tsan) sanitize="thread" ;;
+    esac
+    builddir="$ROOT/build-$name"
+    echo "=== serving($name): FLEX_SANITIZE=$sanitize, seeds ${CHAOS_SEEDS[*]} ==="
+    cmake -B "$builddir" -S "$ROOT" -DFLEX_SANITIZE="$sanitize" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "$builddir" -j "$JOBS" --target serving_test
+    for seed in "${CHAOS_SEEDS[@]}"; do
+      echo "--- serving($name) seed=$seed ---"
+      FLEX_CHAOS_SEED="$seed" "$builddir/tests/serving_test"
+    done
+  done
+}
+
 run_crash() {
   local builddir="$ROOT/build-asan"
   echo "=== crash: ASan+UBSan crash recovery, seeds ${CHAOS_SEEDS[*]} ==="
@@ -188,6 +235,7 @@ case "$MODES" in
     run_chaos asan address,undefined
     run_chaos tsan thread
     ;;
+  serving) run_serving ;;
   crash) run_crash ;;
   coverage) run_coverage ;;
   bench) run_bench ;;
@@ -201,12 +249,13 @@ case "$MODES" in
     run_pass tsan thread
     run_chaos asan address,undefined
     run_chaos tsan thread
+    run_serving
     run_crash
     run_coverage
     run_bench
     ;;
   *)
-    echo "usage: tools/check.sh [asan|tsan|chaos|crash|coverage|bench|static|tidy|all]" >&2
+    echo "usage: tools/check.sh [asan|tsan|chaos|serving|crash|coverage|bench|static|tidy|all]" >&2
     exit 2
     ;;
 esac
