@@ -56,6 +56,12 @@ inline constexpr char kFlushParallelShardsTotal[] =
 inline constexpr char kMsgBytesCopyAvoidedTotal[] =
     "flex_msg_bytes_copy_avoided_total";
 
+// --- fused execution (pushdown pipelines, interpreter + GRIN) ---
+inline constexpr char kFusedScansTotal[] = "flex_fused_scans_total";
+inline constexpr char kFusedExpandsTotal[] = "flex_fused_expands_total";
+inline constexpr char kFusedRowsPrunedTotal[] =
+    "flex_fused_rows_pruned_total";
+
 // --- storage (GRIN read paths, all backends) ---
 inline constexpr char kStorageScansTotal[] = "flex_storage_scans_total";
 inline constexpr char kStorageAdjVisitsTotal[] =

@@ -154,6 +154,15 @@ constexpr MetricSpec kStackMetrics[] = {
     {kFlushParallelShardsTotal, "counter",
      "Per-destination flush shards framed at superstep boundaries "
      "(FlushShard calls that produced at least one frame)."},
+    {kFusedExpandsTotal, "counter",
+     "FUSED_EXPAND operator executions (predicate pushed into the batched "
+     "adjacency visit)."},
+    {kFusedRowsPrunedTotal, "counter",
+     "Rows rejected by a pushed-down filter inside a storage scan or "
+     "adjacency visit, before materialization."},
+    {kFusedScansTotal, "counter",
+     "FUSED_SCAN operator executions (predicate/projection pushed into "
+     "the storage scan loop)."},
     {kHiactorPendingTasks, "gauge",
      "Tasks currently queued across HiActor shards."},
     {kHiactorTasksCompletedTotal, "counter",

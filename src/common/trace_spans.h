@@ -31,6 +31,8 @@ inline constexpr SpanSpec kSpanTable[] = {
     {"gaia.shard[", "engine", true},
     {"hiactor.execute", "engine", false},
     {"hiactor.queue", "engine", false},
+    {"op.fused_expand", "operator", false},
+    {"op.fused_scan", "operator", false},
     {"query", "query", false},
     {"recover[", "recover", true},
     {"storage.read", "storage", false},

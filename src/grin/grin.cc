@@ -1,6 +1,41 @@
 #include "grin/grin.h"
 
+#include <vector>
+
+#include "common/metric_names.h"
+#include "common/metrics.h"
+
 namespace flex::grin {
+
+bool MatchesCondition(const VertexCondition& condition,
+                      const PropertyValue& value) {
+  switch (condition.cmp) {
+    case VertexCondition::Cmp::kEq:
+      return value == condition.value;
+    case VertexCondition::Cmp::kNe:
+      return value != condition.value;
+    case VertexCondition::Cmp::kLt:
+      return value.Compare(condition.value) < 0;
+    case VertexCondition::Cmp::kLe:
+      return value.Compare(condition.value) <= 0;
+    case VertexCondition::Cmp::kGt:
+      return value.Compare(condition.value) > 0;
+    case VertexCondition::Cmp::kGe:
+      return value.Compare(condition.value) >= 0;
+  }
+  return false;
+}
+
+bool VertexFilter::Matches(const GrinGraph& graph, vid_t v) const {
+  for (const VertexCondition& condition : conditions) {
+    const PropertyValue value = condition.column == VertexCondition::kNoColumn
+                                    ? PropertyValue()
+                                    : graph.GetVertexProperty(v,
+                                                              condition.column);
+    if (!MatchesCondition(condition, value)) return false;
+  }
+  return true;
+}
 
 GrinGraph::~GrinGraph() = default;
 
@@ -65,6 +100,102 @@ void GrinGraph::GetVerticesProperties(std::span<const vid_t> vids, size_t col,
   for (size_t i = 0; i < vids.size(); ++i) {
     out[i] = GetVertexProperty(vids[i], col);
   }
+}
+
+namespace {
+
+/// Shared by both default filtered entry points: evaluates the filter via
+/// the boxed accessor and gathers the projection columns into a reused
+/// scratch buffer.
+struct FilteredForward {
+  const GrinGraph* graph;
+  const VertexFilter* filter;
+  std::span<const size_t> project_cols;
+  std::vector<PropertyValue> props;
+
+  bool Survives(vid_t v) {
+    if (!filter->Matches(*graph, v)) {
+      FLEX_COUNTER_INC(metrics::kFusedRowsPrunedTotal);
+      return false;
+    }
+    props.resize(project_cols.size());
+    for (size_t i = 0; i < project_cols.size(); ++i) {
+      props[i] = graph->GetVertexProperty(v, project_cols[i]);
+    }
+    return true;
+  }
+};
+
+struct FilteredScanForward {
+  FilteredForward shared;
+  FilteredVertexVisitor visitor;
+  void* visitor_ctx;
+};
+
+struct FilteredAdjForward {
+  FilteredForward shared;
+  label_t dst_label;
+  FilteredNeighborVisitor visitor;
+  void* ctx;
+};
+
+}  // namespace
+
+bool GrinGraph::VisitVerticesFiltered(label_t label, VertexPredicate pred,
+                                      void* pred_ctx,
+                                      const VertexFilter& filter,
+                                      std::span<const size_t> project_cols,
+                                      FilteredVertexVisitor visitor,
+                                      void* visitor_ctx) const {
+  FilteredScanForward forward{{this, &filter, project_cols, {}},
+                              visitor, visitor_ctx};
+  bool stopped = false;
+  struct Outer {
+    FilteredScanForward* forward;
+    bool* stopped;
+  } outer{&forward, &stopped};
+  VisitVertices(
+      label, pred, pred_ctx,
+      [](void* raw, vid_t v) -> bool {
+        auto* o = static_cast<Outer*>(raw);
+        if (!o->forward->shared.Survives(v)) return true;
+        if (!o->forward->visitor(o->forward->visitor_ctx, v,
+                                 o->forward->shared.props)) {
+          *o->stopped = true;
+          return false;
+        }
+        return true;
+      },
+      &outer);
+  return !stopped;
+}
+
+bool GrinGraph::GetNeighborsBatch(std::span<const vid_t> vids, Direction dir,
+                                  label_t edge_label, label_t dst_label,
+                                  const VertexFilter& filter,
+                                  std::span<const size_t> project_cols,
+                                  FilteredNeighborVisitor visitor,
+                                  void* ctx) const {
+  FilteredAdjForward forward{{this, &filter, project_cols, {}},
+                             dst_label, visitor, ctx};
+  return GetNeighborsBatch(
+      vids, dir, edge_label,
+      [](void* raw, size_t src_index, Direction, const AdjChunk& chunk)
+          -> bool {
+        auto* f = static_cast<FilteredAdjForward*>(raw);
+        for (const vid_t nbr : chunk.neighbors) {
+          if (f->dst_label != kInvalidLabel &&
+              f->shared.graph->VertexLabelOf(nbr) != f->dst_label) {
+            continue;
+          }
+          if (!f->shared.Survives(nbr)) continue;
+          if (!f->visitor(f->ctx, src_index, nbr, f->shared.props)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      &forward);
 }
 
 std::span<const int64_t> GrinGraph::VertexInt64Column(label_t label,

@@ -6,6 +6,7 @@
 #include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/property.h"
@@ -93,6 +94,53 @@ using BatchAdjVisitor = bool (*)(void* ctx, size_t src_index, Direction dir,
 /// Predicate evaluated inside storage scans when kPredicatePushdown is set.
 using VertexPredicate = bool (*)(void* ctx, vid_t v);
 
+class GrinGraph;
+
+/// One pushed-down comparison against a vertex property column, with the
+/// interpreter's exact expression semantics: kEq/kNe via
+/// PropertyValue::operator==, the ordered comparisons via
+/// PropertyValue::Compare, and a kNoColumn column standing for a property
+/// the schema could not resolve (compared as the empty value, never an
+/// error — mirroring Expr's missing-property behaviour).
+struct VertexCondition {
+  enum class Cmp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+  static constexpr size_t kNoColumn = static_cast<size_t>(-1);
+  size_t column = kNoColumn;
+  Cmp cmp = Cmp::kEq;
+  PropertyValue value;
+};
+
+/// One condition against an already-fetched property value (the shared
+/// comparison kernel for native scan loops).
+bool MatchesCondition(const VertexCondition& condition,
+                      const PropertyValue& value);
+
+/// A conjunction of pushed-down conditions. Conditions are pure, so
+/// backends may evaluate them in any order (and stop at the first miss)
+/// without changing the survivor set.
+struct VertexFilter {
+  std::vector<VertexCondition> conditions;
+
+  bool empty() const { return conditions.empty(); }
+  /// Reference evaluation through the boxed property accessor; native
+  /// scan loops inline the same comparisons against their raw columns.
+  bool Matches(const GrinGraph& graph, vid_t v) const;
+};
+
+/// Visitor for filtered+projected vertex scans: called once per vertex
+/// that passed both the engine predicate and the pushed filter, with
+/// `props[i]` = the vertex's value for the i-th requested projection
+/// column. Return false to stop the scan early.
+using FilteredVertexVisitor = bool (*)(void* ctx, vid_t v,
+                                       std::span<const PropertyValue> props);
+
+/// Visitor for filtered batched expansion: called once per surviving
+/// neighbor (`src_index` positions the source inside the requested span),
+/// with `props` as above. Return false to stop.
+using FilteredNeighborVisitor =
+    bool (*)(void* ctx, size_t src_index, vid_t nbr,
+             std::span<const PropertyValue> props);
+
 /// The unified graph retrieval handle every execution engine programs
 /// against. Implementations are views: cheap to create, do not own the
 /// underlying store, and remain valid while the store lives (for MVCC
@@ -123,6 +171,24 @@ class GrinGraph {
                              void* pred_ctx, bool (*visitor)(void*, vid_t),
                              void* visitor_ctx) const = 0;
 
+  /// Filtered + projected scan (the kPredicatePushdown trait's scan entry
+  /// point): enumerates vids of `label` in the same order as
+  /// VisitVertices, calling `pred` for EVERY vertex (engines count scan
+  /// positions and decide shard ownership there — implementations must
+  /// not skip it), then evaluating `filter` only for pred-passing
+  /// vertices, and invoking `visitor` for survivors with the values of
+  /// `project_cols` gathered. Backends advertising the trait override
+  /// this to evaluate the filter inside their scan loop against raw
+  /// columns (one lock per scan, no boxed dispatch per vertex); the
+  /// default wraps VisitVertices + GetVertexProperty and is correct for
+  /// every backend, so engines call this unconditionally for fused scans.
+  virtual bool VisitVerticesFiltered(label_t label, VertexPredicate pred,
+                                     void* pred_ctx,
+                                     const VertexFilter& filter,
+                                     std::span<const size_t> project_cols,
+                                     FilteredVertexVisitor visitor,
+                                     void* visitor_ctx) const;
+
   /// Streams the adjacency of `v` under `edge_label` in `dir`.
   /// Returns false if the visitor stopped early.
   virtual bool VisitAdj(vid_t v, Direction dir, label_t edge_label,
@@ -152,6 +218,21 @@ class GrinGraph {
   /// dispatch.
   virtual bool GetNeighborsBatch(std::span<const vid_t> vids, Direction dir,
                                  label_t edge_label, BatchAdjVisitor visitor,
+                                 void* ctx) const;
+
+  /// Filtered + projected batched expansion (the kPredicatePushdown
+  /// trait's adjacency entry point): like GetNeighborsBatch — same
+  /// per-source kOut-then-kIn chunk order — but each neighbor is checked
+  /// against `dst_label` (kInvalidLabel = any) and `filter` inside the
+  /// visit, and survivors are delivered one at a time with `project_cols`
+  /// gathered. The default wraps the unfiltered batch visit and is
+  /// correct everywhere; trait backends override it to evaluate the
+  /// filter against raw columns under one lock per batch.
+  virtual bool GetNeighborsBatch(std::span<const vid_t> vids, Direction dir,
+                                 label_t edge_label, label_t dst_label,
+                                 const VertexFilter& filter,
+                                 std::span<const size_t> project_cols,
+                                 FilteredNeighborVisitor visitor,
                                  void* ctx) const;
 
   // ------------------------------------------------------------ property

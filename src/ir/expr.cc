@@ -501,6 +501,48 @@ bool Expr::FindIdEquality(size_t column, ExprPtr* value) const {
   return false;
 }
 
+ExprPtr Expr::WithoutIdEquality(size_t column) const {
+  // Mirrors FindIdEquality's search order: drop the first id(column) ==
+  // Const/Param conjunct on the AND spine — the one the IndexScan rule
+  // consumed into id_lookup — and keep everything else verbatim.
+  auto is_the_equality = [&](const Expr& e) {
+    if (e.kind_ != ExprKind::kBinary || e.op_ != BinOp::kEq) return false;
+    auto is_id_ref = [&](const Expr* x) {
+      return x->kind_ == ExprKind::kVertexId && x->column_ == column;
+    };
+    auto is_value = [](const Expr* x) {
+      return x->kind_ == ExprKind::kConst || x->kind_ == ExprKind::kParam;
+    };
+    return (is_id_ref(e.lhs_.get()) && is_value(e.rhs_.get())) ||
+           (is_id_ref(e.rhs_.get()) && is_value(e.lhs_.get()));
+  };
+  std::vector<const Expr*> conjuncts;
+  std::vector<const Expr*> stack = {this};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (e->kind_ == ExprKind::kBinary && e->op_ == BinOp::kAnd) {
+      // rhs pushed first so lhs pops first: left-to-right spine order,
+      // matching FindIdEquality's lhs-before-rhs search.
+      stack.push_back(e->rhs_.get());
+      stack.push_back(e->lhs_.get());
+      continue;
+    }
+    conjuncts.push_back(e);
+  }
+  ExprPtr rest;
+  bool dropped = false;
+  for (const Expr* c : conjuncts) {
+    if (!dropped && is_the_equality(*c)) {
+      dropped = true;
+      continue;
+    }
+    rest = rest == nullptr ? c->Clone()
+                           : Binary(BinOp::kAnd, std::move(rest), c->Clone());
+  }
+  return rest;  // nullptr when the equality was the whole predicate.
+}
+
 ExprPtr Expr::Clone() const {
   auto e = ExprPtr(new Expr());
   e->kind_ = kind_;
@@ -513,6 +555,102 @@ ExprPtr Expr::Clone() const {
   if (lhs_ != nullptr) e->lhs_ = lhs_->Clone();
   if (rhs_ != nullptr) e->rhs_ = rhs_->Clone();
   return e;
+}
+
+namespace {
+
+const char* BinOpSymbol(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::string out;
+  switch (kind_) {
+    case ExprKind::kConst:
+      if (value_.type() == PropertyType::kString) {
+        out += "'";
+        out += value_.AsString();
+        out += "'";
+      } else {
+        out += value_.ToString();
+      }
+      return out;
+    case ExprKind::kParam:
+      out += "$";
+      out += std::to_string(param_index_);
+      return out;
+    case ExprKind::kColumn:
+      out += "_";
+      out += std::to_string(column_);
+      return out;
+    case ExprKind::kProperty:
+      out += "_";
+      out += std::to_string(column_);
+      out += ".";
+      out += property_;
+      return out;
+    case ExprKind::kVertexId:
+      out += "id(_";
+      out += std::to_string(column_);
+      out += ")";
+      return out;
+    case ExprKind::kLabelName:
+      out += "label(_";
+      out += std::to_string(column_);
+      out += ")";
+      return out;
+    case ExprKind::kBinary:
+      out += "(";
+      out += lhs_->ToString();
+      out += " ";
+      out += BinOpSymbol(op_);
+      out += " ";
+      out += rhs_->ToString();
+      out += ")";
+      return out;
+    case ExprKind::kNot:
+      out += "NOT ";
+      out += lhs_->ToString();
+      return out;
+    case ExprKind::kIn:
+      out += lhs_->ToString();
+      out += " IN [";
+      for (size_t i = 0; i < in_values_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_values_[i].ToString();
+      }
+      out += "]";
+      return out;
+  }
+  return "?";
 }
 
 void Expr::RemapColumns(const std::vector<size_t>& mapping) {
@@ -534,6 +672,111 @@ void Expr::RemapColumns(const std::vector<size_t>& mapping) {
     default:
       break;
   }
+}
+
+namespace {
+
+/// Flattens the AND-spine of `pred` into conjunct leaves.
+void CollectConjuncts(const Expr& pred, std::vector<const Expr*>* out) {
+  if (pred.kind() == ExprKind::kBinary && pred.bin_op() == BinOp::kAnd) {
+    CollectConjuncts(*pred.lhs(), out);
+    CollectConjuncts(*pred.rhs(), out);
+    return;
+  }
+  out->push_back(&pred);
+}
+
+bool CmpFor(BinOp op, bool flipped, grin::VertexCondition::Cmp* cmp) {
+  switch (op) {
+    case BinOp::kEq:
+      *cmp = grin::VertexCondition::Cmp::kEq;
+      return true;
+    case BinOp::kNe:
+      *cmp = grin::VertexCondition::Cmp::kNe;
+      return true;
+    case BinOp::kLt:
+      *cmp = flipped ? grin::VertexCondition::Cmp::kGt
+                     : grin::VertexCondition::Cmp::kLt;
+      return true;
+    case BinOp::kLe:
+      *cmp = flipped ? grin::VertexCondition::Cmp::kGe
+                     : grin::VertexCondition::Cmp::kLe;
+      return true;
+    case BinOp::kGt:
+      *cmp = flipped ? grin::VertexCondition::Cmp::kLt
+                     : grin::VertexCondition::Cmp::kGt;
+      return true;
+    case BinOp::kGe:
+      *cmp = flipped ? grin::VertexCondition::Cmp::kLe
+                     : grin::VertexCondition::Cmp::kGe;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Tries to turn one conjunct into a VertexCondition over `column`'s
+/// vertex of label `label`. With null `params` the condition is
+/// structural: kParam values are left empty.
+bool TryPushConjunct(const Expr& conjunct, size_t column, label_t label,
+                     const GraphSchema& schema,
+                     const std::vector<PropertyValue>* params,
+                     grin::VertexCondition* out) {
+  if (conjunct.kind() != ExprKind::kBinary) return false;
+  const Expr* prop = conjunct.lhs();
+  const Expr* value = conjunct.rhs();
+  bool flipped = false;
+  auto is_prop = [&](const Expr* e) {
+    return e->kind() == ExprKind::kProperty && e->column() == column;
+  };
+  auto is_value = [](const Expr* e) {
+    return e->kind() == ExprKind::kConst || e->kind() == ExprKind::kParam;
+  };
+  if (!is_prop(prop) || !is_value(value)) {
+    prop = conjunct.rhs();
+    value = conjunct.lhs();
+    flipped = true;
+    if (!is_prop(prop) || !is_value(value)) return false;
+  }
+  if (!CmpFor(conjunct.bin_op(), flipped, &out->cmp)) return false;
+  if (value->kind() == ExprKind::kParam) {
+    if (params != nullptr) {
+      // Out-of-range $i is a plan/params mismatch; leave it residual so
+      // execution fails the same way the unfused expression would.
+      if (value->param_index() >= params->size()) return false;
+      out->value = (*params)[value->param_index()];
+    } else {
+      out->value = PropertyValue();
+    }
+  } else {
+    out->value = value->const_value();
+  }
+  auto col = schema.FindVertexProperty(label, prop->property());
+  // Unresolvable property = Expr's missing-property empty value.
+  out->column = col.ok() ? col.value() : grin::VertexCondition::kNoColumn;
+  return true;
+}
+
+}  // namespace
+
+PushdownSplit SplitPushdown(const Expr& pred, size_t column, label_t label,
+                            const GraphSchema& schema,
+                            const std::vector<PropertyValue>* params) {
+  PushdownSplit split;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(pred, &conjuncts);
+  for (const Expr* conjunct : conjuncts) {
+    grin::VertexCondition condition;
+    if (label != kInvalidLabel &&
+        TryPushConjunct(*conjunct, column, label, schema, params,
+                        &condition)) {
+      split.filter.conditions.push_back(std::move(condition));
+      split.pushed.push_back(conjunct);
+    } else {
+      split.residual.push_back(conjunct);
+    }
+  }
+  return split;
 }
 
 }  // namespace flex::ir

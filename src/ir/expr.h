@@ -78,6 +78,17 @@ class Expr {
   ExprKind kind() const { return kind_; }
   size_t column() const { return column_; }
   const std::string& property() const { return property_; }
+  BinOp bin_op() const { return op_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
+  /// Valid for kConst only.
+  const PropertyValue& const_value() const { return value_; }
+  /// Valid for kParam only.
+  size_t param_index() const { return param_index_; }
+
+  /// Cypher-ish rendering for EXPLAIN output ("_N" names column N;
+  /// constants render via PropertyValue::ToString).
+  std::string ToString() const;
 
   /// All column indices this expression references (for optimizer rules).
   void CollectColumns(std::vector<size_t>* out) const;
@@ -86,6 +97,13 @@ class Expr {
   /// `id(column) == <value>` (either operand order) where `<value>` is a
   /// constant or parameter; on success clones the value into `*value`.
   bool FindIdEquality(size_t column, ExprPtr* value) const;
+
+  /// The residual predicate after the IndexScan rule consumes the first
+  /// `id(column) == <value>` conjunct (FindIdEquality's search order):
+  /// the remaining conjuncts re-ANDed in order, or nullptr when the id
+  /// equality was the whole predicate. The oid lookup already guarantees
+  /// the dropped conjunct, so scans must not re-evaluate it per row.
+  ExprPtr WithoutIdEquality(size_t column) const;
 
   /// Deep copy.
   ExprPtr Clone() const;
@@ -114,6 +132,34 @@ class Expr {
   ExprPtr rhs_;
   std::vector<PropertyValue> in_values_;
 };
+
+/// The pushdown split of one AND-tree predicate over the column an
+/// operator appends: `filter` holds the conjuncts a GRIN backend can
+/// evaluate inside its scan loop (`Property(column, name) cmp
+/// const-or-param`, either operand order, against a known vertex label);
+/// `residual` holds everything else, to be evaluated by the interpreter on
+/// materialized rows. Evaluating `filter` then requiring every residual
+/// conjunct Truthy is exactly equivalent to evaluating the original
+/// predicate (conjuncts are pure, so order does not matter).
+struct PushdownSplit {
+  grin::VertexFilter filter;
+  /// The conjunct exprs behind filter.conditions, index-aligned (EXPLAIN
+  /// rendering; pointers into the analyzed predicate tree).
+  std::vector<const Expr*> pushed;
+  std::vector<const Expr*> residual;
+};
+
+/// Splits `pred` (the predicate an op with appended column `column` and
+/// vertex label `label` carries) into pushable and residual conjuncts.
+/// Property names resolve through `schema` exactly as Expr::EvalProperty
+/// would for a `label` vertex (unresolvable names become
+/// VertexCondition::kNoColumn — the missing-property empty value, not an
+/// error). When `params` is null the split is structural only: kParam
+/// comparison values are left empty in the filter (legality analysis and
+/// EXPLAIN; do not execute such a filter).
+PushdownSplit SplitPushdown(const Expr& pred, size_t column, label_t label,
+                            const GraphSchema& schema,
+                            const std::vector<PropertyValue>* params);
 
 }  // namespace flex::ir
 

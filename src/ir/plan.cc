@@ -32,6 +32,10 @@ const char* OpKindName(OpKind kind) {
       return "LIMIT";
     case OpKind::kDedup:
       return "DEDUP";
+    case OpKind::kFusedScan:
+      return "FUSED_SCAN";
+    case OpKind::kFusedExpand:
+      return "FUSED_EXPAND";
   }
   return "?";
 }
@@ -63,6 +67,7 @@ Plan Plan::Clone() const {
   Plan copy;
   for (const Op& op : ops) copy.ops.push_back(op.Clone());
   copy.columns = columns;
+  copy.estimated_peak_rows = estimated_peak_rows;
   return copy;
 }
 
@@ -73,6 +78,211 @@ std::string Plan::ToString() const {
     out << OpKindName(ops[i].kind);
     if (!ops[i].alias.empty()) out << "(" << ops[i].alias << ")";
     if (ops[i].predicate != nullptr) out << "*";  // Pushed predicate.
+  }
+  return out.str();
+}
+
+namespace {
+
+const char* AggFnName(AggSpec::Fn fn) {
+  switch (fn) {
+    case AggSpec::Fn::kCount:
+      return "count";
+    case AggSpec::Fn::kSum:
+      return "sum";
+    case AggSpec::Fn::kMin:
+      return "min";
+    case AggSpec::Fn::kMax:
+      return "max";
+    case AggSpec::Fn::kAvg:
+      return "avg";
+    case AggSpec::Fn::kCollect:
+      return "collect";
+  }
+  return "?";
+}
+
+const char* DirName(Direction dir) {
+  switch (dir) {
+    case Direction::kOut:
+      return "OUT";
+    case Direction::kIn:
+      return "IN";
+    case Direction::kBoth:
+      return "BOTH";
+  }
+  return "?";
+}
+
+std::string JoinExprs(const std::vector<const Expr*>& exprs) {
+  std::string out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += exprs[i]->ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Plan::DebugString(const GraphSchema* schema) const {
+  std::ostringstream out;
+  auto vlabel = [&](label_t l) -> std::string {
+    if (l == kInvalidLabel) return "*";
+    if (schema != nullptr && l < schema->vertex_label_num()) {
+      return schema->vertex_label(l).name;
+    }
+    std::string out = "#";
+    out += std::to_string(l);
+    return out;
+  };
+  auto elabel = [&](label_t l) -> std::string {
+    if (l == kInvalidLabel) return "*";
+    if (schema != nullptr && l < schema->edge_label_num()) {
+      return schema->edge_label(l).name;
+    }
+    std::string out = "#";
+    out += std::to_string(l);
+    return out;
+  };
+  // Track the appended-column index so fused operators can render their
+  // pushdown split exactly as the interpreter will compute it.
+  size_t width = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    out << i << ": " << OpKindName(op.kind);
+    const bool fused = op.kind == OpKind::kFusedScan ||
+                       op.kind == OpKind::kFusedExpand;
+    switch (op.kind) {
+      case OpKind::kScan:
+      case OpKind::kFusedScan:
+        out << " label=" << vlabel(op.label);
+        break;
+      case OpKind::kExpandEdge:
+        out << " from=_" << op.from_column << " dir=" << DirName(op.dir)
+            << " edge=" << elabel(op.elabel);
+        break;
+      case OpKind::kGetVertex:
+        out << " edge=_" << op.from_column << " origin=_" << op.origin_column
+            << " endpoint=" << DirName(op.dir) << " label="
+            << vlabel(op.label);
+        break;
+      case OpKind::kExpand:
+      case OpKind::kFusedExpand:
+        out << " from=_" << op.from_column << " dir=" << DirName(op.dir)
+            << " edge=" << elabel(op.elabel) << " label=" << vlabel(op.label);
+        break;
+      case OpKind::kExpandVar:
+        out << " from=_" << op.from_column << " dir=" << DirName(op.dir)
+            << " edge=" << elabel(op.elabel) << " hops=[" << op.min_hops
+            << "," << op.max_hops << "] label=" << vlabel(op.label);
+        break;
+      case OpKind::kExpandInto:
+        out << " from=_" << op.from_column << " into=_" << op.into_column
+            << " dir=" << DirName(op.dir) << " edge=" << elabel(op.elabel);
+        break;
+      case OpKind::kSelect:
+        out << " " << op.exprs[0]->ToString();
+        break;
+      case OpKind::kProject:
+        for (size_t j = 0; j < op.exprs.size(); ++j) {
+          out << (j == 0 ? " " : ", ") << op.exprs[j]->ToString() << " AS "
+              << op.names[j];
+        }
+        break;
+      case OpKind::kOrder:
+        for (size_t j = 0; j < op.exprs.size(); ++j) {
+          out << (j == 0 ? " by " : ", ") << op.exprs[j]->ToString()
+              << (op.ascending[j] ? " asc" : " desc");
+        }
+        if (op.limit > 0) out << " limit=" << op.limit;
+        break;
+      case OpKind::kGroup:
+        for (size_t j = 0; j < op.exprs.size(); ++j) {
+          out << (j == 0 ? " keys=[" : ", ") << op.exprs[j]->ToString()
+              << " AS " << op.names[j];
+        }
+        if (!op.exprs.empty()) out << "]";
+        for (size_t j = 0; j < op.aggregates.size(); ++j) {
+          const AggSpec& agg = op.aggregates[j];
+          out << (j == 0 ? " aggs=[" : ", ") << AggFnName(agg.fn) << "("
+              << (agg.distinct ? "DISTINCT " : "")
+              << (agg.arg != nullptr ? agg.arg->ToString() : "*") << ") AS "
+              << agg.name;
+        }
+        if (!op.aggregates.empty()) out << "]";
+        break;
+      case OpKind::kLimit:
+        out << " " << op.limit;
+        break;
+      case OpKind::kDedup:
+        for (size_t j = 0; j < op.key_columns.size(); ++j) {
+          out << (j == 0 ? " keys=[_" : ", _") << op.key_columns[j];
+        }
+        out << "]";
+        break;
+    }
+    if (!op.alias.empty()) out << " AS " << op.alias;
+    if (op.id_lookup != nullptr) {
+      out << " id_lookup=" << op.id_lookup->ToString();
+    }
+    if (op.predicate != nullptr) {
+      if (fused && schema != nullptr) {
+        // Render the exact pushed/residual split the interpreter computes
+        // (structural: $params resolve at execution, values elided here).
+        const PushdownSplit split =
+            SplitPushdown(*op.predicate, width, op.label, *schema, nullptr);
+        if (!split.pushed.empty()) {
+          out << " pushed=[" << JoinExprs(split.pushed) << "]";
+        }
+        if (!split.residual.empty()) {
+          out << " residual=[" << JoinExprs(split.residual) << "]";
+        }
+      } else {
+        out << " filter=" << op.predicate->ToString();
+      }
+    }
+    if (fused && !op.exprs.empty()) {
+      for (size_t j = 0; j < op.exprs.size(); ++j) {
+        out << (j == 0 ? " project=[" : ", ") << op.exprs[j]->ToString()
+            << " AS " << op.names[j];
+      }
+      out << "]";
+    }
+    out << "\n";
+    // Width tracking mirrors the interpreter: append ops add one column;
+    // PROJECT / GROUP / fused projection reshape.
+    switch (op.kind) {
+      case OpKind::kScan:
+      case OpKind::kExpandEdge:
+      case OpKind::kGetVertex:
+      case OpKind::kExpand:
+      case OpKind::kExpandVar:
+        ++width;
+        break;
+      case OpKind::kFusedScan:
+      case OpKind::kFusedExpand:
+        // A folded projection reshapes to its expression list; otherwise
+        // the fused op appends one column like its unfused form.
+        width = !op.exprs.empty() ? op.exprs.size() : width + 1;
+        break;
+      case OpKind::kProject:
+        width = op.exprs.size();
+        break;
+      case OpKind::kGroup:
+        width = op.exprs.size() + op.aggregates.size();
+        break;
+      default:
+        break;
+    }
+  }
+  out << "columns: [";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << columns[i];
+  }
+  out << "]";
+  if (estimated_peak_rows >= 0.0) {
+    out << "\nest_peak_rows=" << static_cast<uint64_t>(estimated_peak_rows);
   }
   return out.str();
 }

@@ -25,6 +25,16 @@ enum class OpKind {
   kGroup,       ///< Group by keys, compute aggregates.
   kLimit,       ///< Keep the first n rows.
   kDedup,       ///< Distinct rows over given key columns.
+  /// Fused SCAN + pushed-down SELECT (+ optional PROJECT): the predicate's
+  /// pushable conjuncts are evaluated inside the storage scan loop, so
+  /// filtered-out vertices are never materialized into a column. Produced
+  /// only by the optimizer's FusePipelines pass (never by the front ends);
+  /// reuses kScan's fields plus `exprs`/`names` for a fused projection.
+  kFusedScan,
+  /// Fused EXPAND + pushed-down SELECT: the neighbor predicate's pushable
+  /// conjuncts are evaluated inside the batched adjacency visit before the
+  /// neighbor enters the output batch. Reuses kExpand's fields.
+  kFusedExpand,
 };
 
 const char* OpKindName(OpKind kind);
@@ -83,9 +93,20 @@ struct Op {
 struct Plan {
   std::vector<Op> ops;
   std::vector<std::string> columns;
+  /// Optimizer cost annotation: the largest intermediate row count any
+  /// operator is estimated to produce (catalog fan-outs × selectivities),
+  /// or -1 when no catalog was available. Engines consult it to pick an
+  /// execution strategy — columnar scaffolding only amortizes above a
+  /// handful of rows, so tiny pipelines run tuple-at-a-time.
+  double estimated_peak_rows = -1.0;
 
   Plan Clone() const;
   std::string ToString() const;
+  /// Multi-line EXPLAIN rendering: one numbered line per operator with
+  /// labels resolved through `schema` (indices when null), predicates,
+  /// pushed-down filter / residual split for fused operators, fused
+  /// projections, and the final output columns.
+  std::string DebugString(const GraphSchema* schema = nullptr) const;
 };
 
 /// Incremental plan construction with alias bookkeeping; used by both

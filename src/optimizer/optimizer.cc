@@ -141,6 +141,10 @@ void IndexScan(Plan* plan) {
     ExprPtr value;
     if (op.predicate->FindIdEquality(col, &value)) {
       op.id_lookup = std::move(value);
+      // The lookup guarantees the consumed conjunct; keep only the rest
+      // (usually nothing — point lookups then skip predicate evaluation
+      // entirely, the dominant per-row cost of `(v:L {id: $0})` scans).
+      op.predicate = op.predicate->WithoutIdEquality(col);
     }
   }
 }
@@ -616,16 +620,177 @@ void RunCbo(Plan* plan, const Catalog& catalog) {
   plan->ops = std::move(ops);
 }
 
+// -------------------------------------------------------------- FusePipelines
+
+/// Rewrites predicated SCAN / EXPAND ops into fused batch passes. Runs
+/// after every other pass (FilterPushIntoMatch has already merged adjacent
+/// SELECTs into producer predicates, respecting reshape barriers), so
+/// fusion never crosses ORDER / GROUP / DEDUP by construction and no
+/// earlier pass ever sees the fused kinds.
+void FusePipelines(Plan* plan, const GraphSchema& schema) {
+  // Leading scan: fuse when at least one conjunct is storage-pushable.
+  // Index-pinned scans stay kScan (one oid lookup beats any scan loop).
+  if (!plan->ops.empty()) {
+    Op& scan = plan->ops[0];
+    if (scan.kind == OpKind::kScan && scan.label != kInvalidLabel &&
+        scan.id_lookup == nullptr && scan.predicate != nullptr) {
+      const auto split =
+          ir::SplitPushdown(*scan.predicate, 0, scan.label, schema, nullptr);
+      if (!split.pushed.empty()) scan.kind = OpKind::kFusedScan;
+    }
+  }
+
+  // Fold an immediately-following PROJECT whose expressions read only the
+  // scan column into the fused scan: output columns are then built
+  // directly from natively gathered properties, never materializing the
+  // vertex column.
+  if (plan->ops.size() >= 2 && plan->ops[0].kind == OpKind::kFusedScan &&
+      plan->ops[1].kind == OpKind::kProject) {
+    bool only_scan_column = true;
+    for (const auto& e : plan->ops[1].exprs) {
+      std::vector<size_t> refs;
+      e->CollectColumns(&refs);
+      for (size_t c : refs) only_scan_column &= c == 0;
+    }
+    if (only_scan_column) {
+      plan->ops[0].exprs = std::move(plan->ops[1].exprs);
+      plan->ops[0].names = std::move(plan->ops[1].names);
+      plan->ops.erase(plan->ops.begin() + 1);
+    }
+  }
+
+  // Predicated expands: fuse when the neighbor predicate has a pushable
+  // conjunct against the expected destination label.
+  size_t width = 0;
+  for (Op& op : plan->ops) {
+    const size_t col = width;
+    if (op.kind == OpKind::kFusedScan) {
+      width = op.exprs.empty() ? width + 1 : op.exprs.size();
+    } else if (ReshapesRow(op)) {
+      width = op.kind == OpKind::kProject
+                  ? op.exprs.size()
+                  : op.exprs.size() + op.aggregates.size();
+    } else if (AppendsColumn(op)) {
+      ++width;
+    }
+    if (op.kind == OpKind::kExpand && op.predicate != nullptr &&
+        op.label != kInvalidLabel) {
+      const auto split =
+          ir::SplitPushdown(*op.predicate, col, op.label, schema, nullptr);
+      if (!split.pushed.empty()) op.kind = OpKind::kFusedExpand;
+    }
+  }
+
+  // Fold an immediately-following PROJECT into the expansion. PROJECT sees
+  // exactly the extended-row layout the expansion flushes, so evaluating
+  // its expressions at flush time is unconditionally equivalent — and the
+  // intermediate (source columns + neighbor) batch never rematerializes
+  // through a separate pass. Applies to plain EXPANDs too: the fused
+  // batched path degrades gracefully to an unfiltered visit when there is
+  // no pushable conjunct.
+  for (size_t i = 0; i + 1 < plan->ops.size(); ++i) {
+    Op& expand = plan->ops[i];
+    Op& project = plan->ops[i + 1];
+    if ((expand.kind != OpKind::kExpand &&
+         expand.kind != OpKind::kFusedExpand) ||
+        !expand.exprs.empty() || project.kind != OpKind::kProject ||
+        project.exprs.empty()) {
+      continue;
+    }
+    expand.kind = OpKind::kFusedExpand;
+    expand.exprs = std::move(project.exprs);
+    expand.names = std::move(project.names);
+    plan->ops.erase(plan->ops.begin() + i + 1);
+  }
+}
+
+// --------------------------------------------------------- EstimatePeakRows
+
+/// Annotates the plan with the catalog's estimate of the largest
+/// intermediate row count any operator produces: scans contribute label
+/// cardinalities (1 for oid lookups), expansions multiply by average
+/// fan-out, predicates by the default selectivity. Engines consult the
+/// estimate to pick an execution strategy — columnar batches amortize
+/// their scaffolding over rows, so a pipeline whose every intermediate
+/// stays below a handful of rows runs faster tuple-at-a-time.
+void EstimatePeakRows(Plan* plan, const Catalog& catalog) {
+  // Anything we cannot price (unknown labels) counts as "large": the
+  // estimate is only ever used to demote tiny pipelines, so erring big
+  // keeps the default strategy.
+  constexpr double kUnknown = 1e12;
+  double rows = 1.0;
+  double peak = 0.0;
+  for (const Op& op : plan->ops) {
+    switch (op.kind) {
+      case OpKind::kScan:
+      case OpKind::kFusedScan: {
+        double base;
+        if (op.id_lookup != nullptr) {
+          base = Catalog::kIdSelectivityFloor;
+        } else if (op.label == kInvalidLabel) {
+          base = kUnknown;
+        } else {
+          base = static_cast<double>(catalog.VertexCount(op.label));
+          if (op.predicate != nullptr) base *= Catalog::kDefaultSelectivity;
+        }
+        // A mid-plan scan restarts a MATCH: cartesian with the prefix.
+        rows *= std::max(base, 1.0);
+        break;
+      }
+      case OpKind::kExpandEdge:
+      case OpKind::kExpand:
+      case OpKind::kFusedExpand: {
+        rows *= op.elabel == kInvalidLabel ? kUnknown
+                                           : catalog.AvgFanout(op.elabel,
+                                                               op.dir);
+        if (op.predicate != nullptr) rows *= Catalog::kDefaultSelectivity;
+        break;
+      }
+      case OpKind::kExpandVar: {
+        const double fan = op.elabel == kInvalidLabel
+                               ? kUnknown
+                               : catalog.AvgFanout(op.elabel, op.dir);
+        double total = op.min_hops == 0 ? 1.0 : 0.0;
+        double level = 1.0;
+        for (size_t h = 1; h <= op.max_hops && level < kUnknown; ++h) {
+          level *= fan;
+          if (h >= op.min_hops) total += level;
+        }
+        rows *= total;
+        break;
+      }
+      case OpKind::kGetVertex:
+        if (op.predicate != nullptr) rows *= Catalog::kDefaultSelectivity;
+        break;
+      case OpKind::kExpandInto:
+      case OpKind::kSelect:
+        rows *= Catalog::kDefaultSelectivity;
+        break;
+      case OpKind::kLimit:
+        rows = std::min(rows, static_cast<double>(op.limit));
+        break;
+      default:
+        // PROJECT / ORDER / GROUP / DEDUP never grow their input; `rows`
+        // stays an upper bound and `peak` already covers the input side.
+        break;
+    }
+    peak = std::max(peak, rows);
+  }
+  plan->estimated_peak_rows = peak;
+}
+
 }  // namespace
 
 Plan Optimize(const Plan& logical, const Catalog* catalog,
-              const OptimizerOptions& options) {
+              const OptimizerOptions& options, const GraphSchema* schema) {
   Plan plan = logical.Clone();
   if (options.filter_push_into_match) FilterPushIntoMatch(&plan);
   if (options.cbo && catalog != nullptr) RunCbo(&plan, *catalog);
   if (options.edge_vertex_fusion) EdgeVertexFusion(&plan);
   if (options.index_scan) IndexScan(&plan);
   if (options.limit_pushdown) LimitPushdown(&plan);
+  if (options.fusion && schema != nullptr) FusePipelines(&plan, *schema);
+  if (catalog != nullptr) EstimatePeakRows(&plan, *catalog);
   return plan;
 }
 

@@ -14,6 +14,20 @@ struct OptimizerOptions {
   bool index_scan = true;              ///< id-pinned scans -> oid lookups.
   bool limit_pushdown = true;          ///< ORDER + LIMIT -> top-k.
   bool cbo = true;                     ///< GLogue-based match reordering.
+  /// FusePipelines: predicated SCAN / EXPAND ops whose predicate has at
+  /// least one storage-pushable conjunct become FUSED_SCAN / FUSED_EXPAND,
+  /// and a PROJECT reading only the scan column folds into the fused scan.
+  /// Requires a schema at Optimize time (silently skipped without one).
+  bool fusion = true;
+
+  /// The pass set as a bit mask, for plan-cache keys (a cached plan is
+  /// only valid for the exact flag combination that produced it).
+  uint32_t FlagBits() const {
+    return (filter_push_into_match ? 1u << 0 : 0) |
+           (edge_vertex_fusion ? 1u << 1 : 0) | (index_scan ? 1u << 2 : 0) |
+           (limit_pushdown ? 1u << 3 : 0) | (cbo ? 1u << 4 : 0) |
+           (fusion ? 1u << 5 : 0);
+  }
 };
 
 /// Transforms the logical plan into an optimized physical plan:
@@ -26,10 +40,16 @@ struct OptimizerOptions {
 ///   3. EdgeVertexFusion — EXPAND_EDGE + GET_VERTEX pairs whose edge is
 ///      anonymous and unreferenced fuse into one EXPAND.
 ///   4. LimitPushdown — a LIMIT directly after ORDER becomes a top-k sort.
+///   5. FusePipelines — predicated SCAN / EXPAND chains become single
+///      fused batch passes (FUSED_SCAN / FUSED_EXPAND) whose pushable
+///      conjuncts run inside the storage visit; runs last so no other
+///      pass needs to understand the fused kinds.
 ///
-/// `catalog` may be null; CBO is skipped then.
+/// `catalog` may be null; CBO is skipped then. `schema` may be null;
+/// FusePipelines is skipped then (pushability is schema-dependent).
 ir::Plan Optimize(const ir::Plan& logical, const Catalog* catalog,
-                  const OptimizerOptions& options = {});
+                  const OptimizerOptions& options = {},
+                  const GraphSchema* schema = nullptr);
 
 }  // namespace flex::optimizer
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 
 #include "common/fault.h"
@@ -161,6 +162,13 @@ class AppendBuilder {
                 std::vector<Batch>* out)
       : src_(src), op_(op), g_(g), params_(params), out_(out) {}
 
+  /// Fused expansion: the pushed conjuncts already ran inside the storage
+  /// visit, so flushes refine with this residual list instead of the full
+  /// operator predicate.
+  void SetResidual(const std::vector<const ir::Expr*>* residual) {
+    residual_ = residual;
+  }
+
   void KeepVertex(uint32_t src_row, vid_t v) {
     gather_.push_back(src_row);
     appended_.AppendVertex(v);
@@ -186,13 +194,37 @@ class AppendBuilder {
     b.SelectAll();
     appended_ = Column();
     gather_.clear();
-    if (op_->predicate != nullptr) {
+    if (residual_ != nullptr) {
+      for (const ir::Expr* conjunct : *residual_) {
+        RefineSelection(*conjunct, *g_, *params_, &b);
+      }
+    } else if (op_->predicate != nullptr) {
       RefineSelection(*op_->predicate, *g_, *params_, &b);
     }
-    if (b.NumSelected() > 0) {
-      NoteBatch(b);
-      out_->push_back(std::move(b));
+    if (b.NumSelected() == 0) return;
+    if (!op_->exprs.empty()) {
+      // Folded projection (FUSED_EXPAND): rebuild the output columns from
+      // the extended batch — the exact layout PROJECT would have seen —
+      // and drop everything the expressions do not reference.
+      Batch projected;
+      projected.order_key = b.order_key;
+      std::vector<PropertyValue> vals;
+      for (const auto& expr : op_->exprs) {
+        Column col;
+        if (expr->kind() == ir::ExprKind::kColumn) {
+          col.GatherFrom(b.column(expr->column()), b.selection());
+        } else {
+          expr->EvalBatch(b, b.selection(), *g_, *params_, &vals);
+          col.Reserve(vals.size());
+          for (PropertyValue& v : vals) col.AppendValue(std::move(v));
+        }
+        projected.AddColumn(std::move(col));
+      }
+      projected.SelectAll();
+      b = std::move(projected);
     }
+    NoteBatch(b);
+    out_->push_back(std::move(b));
   }
 
  private:
@@ -201,6 +233,7 @@ class AppendBuilder {
   const grin::GrinGraph* g_;
   const std::vector<PropertyValue>* params_;
   std::vector<Batch>* out_;
+  const std::vector<const ir::Expr*>* residual_ = nullptr;
   std::vector<uint32_t> gather_;
   Column appended_;
 };
@@ -275,6 +308,135 @@ bool ScanVisit(void* raw, vid_t v) {
   if (s->pending.empty()) s->pending_first = pos;
   s->pending.AppendVertex(v);
   if (s->pending.size() >= ir::kBatchSize) return FlushScanBatch(s);
+  return true;
+}
+
+/// State threaded through the fused columnar scan. The engine-side
+/// ownership logic (morsel claims / static window / modulo shard) runs as
+/// the GRIN `pred` callback — called for every vertex of the label, so
+/// scan positions count exactly as in the unfused scan — while the
+/// `visitor` only sees vertices that also passed the pushed-down filter.
+struct FusedScanState {
+  static constexpr size_t kNotAProp = static_cast<size_t>(-1);
+
+  const ir::Op* op = nullptr;
+  const grin::GrinGraph* g = nullptr;
+  const ExecOptions* opts = nullptr;
+  std::vector<Batch>* out = nullptr;
+  const ir::PushdownSplit* split = nullptr;
+  bool windowed = false;
+  size_t total = 0;
+  size_t position = 0;
+  size_t cur_begin = 0;
+  size_t cur_end = 0;
+  size_t last_pos = 0;  ///< Position of the vertex currently in flight.
+  bool exhausted = false;
+  bool project = false;
+  /// Per projection expr: its slot in the natively gathered `prop_cols`,
+  /// or kNotAProp (evaluated via Expr at flush time).
+  std::vector<size_t> expr_slot;
+  std::vector<Column> prop_cols;
+  Column pending;  ///< Surviving vids, not yet flushed.
+  uint64_t pending_first = 0;
+  Row tmp_row;  ///< Scratch single-column row for residual conjuncts.
+  Status status;
+};
+
+/// Flushes the surviving vids as one batch. Without a folded projection
+/// the batch is the vid column (residual conjuncts were already applied
+/// per vertex, so the selection stays full); with one, the output columns
+/// assemble from the natively gathered property columns and flush-time
+/// expression evaluation over the vids.
+bool FlushFusedScanBatch(FusedScanState* s) {
+  if (!s->pending.empty()) {
+    Batch b;
+    b.order_key = s->pending_first;
+    if (!s->project) {
+      b.AddColumn(std::move(s->pending));
+      s->pending = Column();
+      b.SelectAll();
+    } else {
+      Batch tmp;
+      tmp.AddColumn(std::move(s->pending));
+      s->pending = Column();
+      tmp.SelectAll();
+      std::vector<PropertyValue> vals;
+      for (size_t j = 0; j < s->op->exprs.size(); ++j) {
+        const auto& expr = s->op->exprs[j];
+        Column col;
+        if (s->expr_slot[j] != FusedScanState::kNotAProp) {
+          col = std::move(s->prop_cols[s->expr_slot[j]]);
+          s->prop_cols[s->expr_slot[j]] = Column();
+        } else if (expr->kind() == ir::ExprKind::kColumn) {
+          col.GatherFrom(tmp.column(0), tmp.selection());
+        } else {
+          expr->EvalBatch(tmp, tmp.selection(), *s->g, s->opts->params,
+                          &vals);
+          col.Reserve(vals.size());
+          for (PropertyValue& v : vals) col.AppendValue(std::move(v));
+        }
+        b.AddColumn(std::move(col));
+      }
+      b.SelectAll();
+    }
+    if (b.NumSelected() > 0) {
+      NoteBatch(b);
+      s->out->push_back(std::move(b));
+    }
+  }
+  s->status = CheckRunnable(s->opts->deadline, s->opts->cancel, "scan");
+  return s->status.ok();
+}
+
+/// Engine predicate for the fused scan: claims position ownership exactly
+/// like ScanVisit. A GRIN predicate cannot stop the enumeration (false
+/// means "skip"), so after morsel exhaustion it keeps declining the
+/// remaining vertices instead of breaking out — positions still count.
+bool FusedScanPred(void* raw, vid_t v) {
+  (void)v;
+  auto* s = static_cast<FusedScanState*>(raw);
+  const size_t pos = s->position++;
+  if (!s->status.ok() || s->exhausted) return false;
+  if (s->opts->morsels != nullptr) {
+    while (pos >= s->cur_end) {
+      if (!FlushFusedScanBatch(s)) return false;
+      s->cur_begin = s->opts->morsels->Claim();
+      s->cur_end = s->cur_begin + s->opts->morsels->grain;
+      if (s->cur_begin >= s->total) {
+        s->exhausted = true;
+        return false;
+      }
+    }
+    if (pos < s->cur_begin) return false;
+  } else if (s->windowed) {
+    if (pos < s->opts->scan_begin || pos >= s->opts->scan_end) return false;
+  } else if (pos % s->opts->shard_count != s->opts->shard_index) {
+    return false;
+  }
+  s->last_pos = pos;
+  return true;
+}
+
+/// Visitor for vertices that passed both the engine predicate and the
+/// pushed filter: applies the residual conjuncts, then appends the vid
+/// (and the natively projected property values) to the pending batch.
+bool FusedScanKeep(void* raw, vid_t v, std::span<const PropertyValue> props) {
+  auto* s = static_cast<FusedScanState*>(raw);
+  if (!s->status.ok()) return false;
+  if (!s->split->residual.empty()) {
+    s->tmp_row[0] = ir::VertexRef{v};
+    for (const ir::Expr* conjunct : s->split->residual) {
+      if (!conjunct->EvalBool(s->tmp_row, *s->g, s->opts->params)) {
+        return true;  // Residual miss: skip, keep scanning.
+      }
+    }
+  }
+  if (s->pending.empty()) s->pending_first = s->last_pos;
+  s->pending.AppendVertex(v);
+  for (size_t k = 0; k < props.size(); ++k) {
+    s->prop_cols[k].AppendValue(props[k]);
+  }
+  if (s->pending.size() >= ir::kBatchSize) return FlushFusedScanBatch(s);
   return true;
 }
 
@@ -374,6 +536,60 @@ Status Interpreter::ColumnarScan(const ir::Op& op, std::vector<Batch>* out,
   return st.status;
 }
 
+Status Interpreter::ColumnarFusedScan(const ir::Op& op,
+                                      std::vector<Batch>* out,
+                                      const ExecOptions& opts,
+                                      uint64_t fused_span) const {
+  const grin::GrinGraph& g = *graph_;
+  // Same storage boundary as every other scan shape: one read span and
+  // one fault site per scan-operator execution.
+  trace::ScopedSpan read_span(opts.trace, "storage.read", "storage",
+                              fused_span);
+  if (FLEX_FAULT_POINT("storage.read")) {
+    return Status::DataLoss("storage.read fault injected at scan");
+  }
+  // Bind $params now: the filter the backend sees holds concrete values.
+  ir::PushdownSplit split;
+  if (op.predicate != nullptr) {
+    split = ir::SplitPushdown(*op.predicate, 0, op.label, g.schema(),
+                              &opts.params);
+  }
+  FusedScanState st;
+  st.op = &op;
+  st.g = &g;
+  st.opts = &opts;
+  st.out = out;
+  st.split = &split;
+  st.windowed =
+      opts.scan_begin != 0 || opts.scan_end != static_cast<size_t>(-1);
+  st.total = g.NumVerticesOfLabel(op.label);
+  st.tmp_row.push_back(ir::VertexRef{0});
+  // Fused projection: property reads the backend can serve straight from
+  // its columns come back through the visitor's `props`; anything else
+  // (id(), arithmetic, unresolvable names) evaluates at flush time.
+  std::vector<size_t> project_cols;
+  if (!op.exprs.empty()) {
+    st.project = true;
+    st.expr_slot.assign(op.exprs.size(), FusedScanState::kNotAProp);
+    for (size_t j = 0; j < op.exprs.size(); ++j) {
+      const auto& expr = op.exprs[j];
+      if (expr->kind() != ir::ExprKind::kProperty || expr->column() != 0) {
+        continue;
+      }
+      auto col = g.schema().FindVertexProperty(op.label, expr->property());
+      if (!col.ok()) continue;
+      st.expr_slot[j] = project_cols.size();
+      project_cols.push_back(col.value());
+    }
+    st.prop_cols.resize(project_cols.size());
+  }
+  g.VisitVerticesFiltered(op.label, &FusedScanPred, &st, split.filter,
+                          project_cols, &FusedScanKeep, &st);
+  FLEX_RETURN_NOT_OK(st.status);
+  FlushFusedScanBatch(&st);
+  return st.status;
+}
+
 Status Interpreter::ApplyBatched(const ir::Op& op, std::vector<Batch>* batches,
                                  const ExecOptions& opts,
                                  uint64_t op_span) const {
@@ -440,6 +656,70 @@ Status Interpreter::ApplyBatched(const ir::Op& op, std::vector<Batch>* batches,
         return Status::OK();
       }
       return ColumnarScan(op, batches, opts, op_span);
+    }
+
+    case ir::OpKind::kFusedScan: {
+      if (ir::TotalSelected(*batches) > 0) {
+        // Cartesian re-scan: the row implementation handles it (and opens
+        // the fused marker span itself).
+        return bridge(batches);
+      }
+      batches->clear();
+      trace::ScopedSpan fused_span(opts.trace, "op.fused_scan", "operator",
+                                   op_span);
+      FLEX_COUNTER_INC(metrics::kFusedScansTotal);
+      return ColumnarFusedScan(op, batches, opts, fused_span.id());
+    }
+
+    case ir::OpKind::kFusedExpand: {
+      trace::ScopedSpan fused_span(opts.trace, "op.fused_expand", "operator",
+                                   op_span);
+      FLEX_COUNTER_INC(metrics::kFusedExpandsTotal);
+      // One split per operator execution: every input batch has the same
+      // width, so the appended column index is fixed.
+      ir::PushdownSplit split;
+      std::vector<Batch> out;
+      bool have_split = false;
+      for (Batch& batch : *batches) {
+        FLEX_RETURN_NOT_OK(
+            CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+        if (!have_split && op.predicate != nullptr) {
+          split = ir::SplitPushdown(*op.predicate, batch.num_columns(),
+                                    op.label, g.schema(), &opts.params);
+          have_split = true;
+        }
+        AppendBuilder builder(&batch, &op, &g, &opts.params, &out);
+        builder.SetResidual(&split.residual);
+        const Column& from = batch.column(op.from_column);
+        std::vector<uint32_t> vrows;
+        std::vector<vid_t> vids;
+        vrows.reserve(batch.NumSelected());
+        vids.reserve(batch.NumSelected());
+        for (uint32_t r : batch.selection()) {
+          if (from.IsVertexAt(r)) {
+            vrows.push_back(r);
+            vids.push_back(from.VertexAt(r));
+          }
+        }
+        struct Ctx {
+          AppendBuilder* builder;
+          const std::vector<uint32_t>* vrows;
+        } ctx{&builder, &vrows};
+        // Destination label and pushed conjuncts are checked inside the
+        // storage visit; only survivors reach the builder.
+        g.GetNeighborsBatch(
+            vids, op.dir, op.elabel, op.label, split.filter, {},
+            [](void* raw, size_t si, vid_t nbr,
+               std::span<const PropertyValue>) -> bool {
+              auto* c = static_cast<Ctx*>(raw);
+              c->builder->KeepVertex((*c->vrows)[si], nbr);
+              return true;
+            },
+            &ctx);
+        builder.Flush();
+      }
+      *batches = std::move(out);
+      return Status::OK();
     }
 
     case ir::OpKind::kExpandEdge:
@@ -638,8 +918,97 @@ Status Interpreter::ApplyBatched(const ir::Op& op, std::vector<Batch>* batches,
       return Status::OK();
     }
 
+    case ir::OpKind::kGroup: {
+      // Native columnar GROUP: keys and aggregate arguments evaluate
+      // batch-wise (amortizing property access per batch instead of boxed
+      // per-row reads) and input rows never materialize. Groups are kept
+      // in insertion order, which is exactly the row path's first-seen
+      // emission order — including hash-collision groups, which the row
+      // path also emits in first-seen order.
+      struct Group {
+        std::vector<Entry> key;
+        std::vector<Accumulator> accs;
+      };
+      std::vector<Group> groups;
+      std::unordered_map<uint64_t, std::vector<size_t>> index;
+      size_t input_rows = 0;
+      std::vector<std::vector<PropertyValue>> key_vals(op.exprs.size());
+      std::vector<std::vector<PropertyValue>> agg_vals(op.aggregates.size());
+      for (Batch& batch : *batches) {
+        FLEX_RETURN_NOT_OK(
+            CheckRunnable(opts.deadline, opts.cancel, "interpreter"));
+        if (batch.NumSelected() == 0) continue;
+        input_rows += batch.NumSelected();
+        const auto& sel = batch.selection();
+        for (size_t j = 0; j < op.exprs.size(); ++j) {
+          if (op.exprs[j]->kind() != ir::ExprKind::kColumn) {
+            op.exprs[j]->EvalBatch(batch, sel, g, opts.params, &key_vals[j]);
+          }
+        }
+        for (size_t a = 0; a < op.aggregates.size(); ++a) {
+          if (op.aggregates[a].arg != nullptr) {
+            op.aggregates[a].arg->EvalBatch(batch, sel, g, opts.params,
+                                            &agg_vals[a]);
+          }
+        }
+        for (size_t i = 0; i < sel.size(); ++i) {
+          const uint32_t r = sel[i];
+          std::vector<Entry> key;
+          key.reserve(op.exprs.size());
+          for (size_t j = 0; j < op.exprs.size(); ++j) {
+            if (op.exprs[j]->kind() == ir::ExprKind::kColumn) {
+              key.push_back(batch.column(op.exprs[j]->column()).EntryAt(r));
+            } else {
+              key.push_back(std::move(key_vals[j][i]));
+            }
+          }
+          const uint64_t h = RowKeyHash(key);
+          auto& bucket = index[h];
+          size_t gi = groups.size();
+          for (size_t candidate : bucket) {
+            if (RowKeyEquals(groups[candidate].key, key)) {
+              gi = candidate;
+              break;
+            }
+          }
+          if (gi == groups.size()) {
+            bucket.push_back(gi);
+            groups.push_back({std::move(key), std::vector<Accumulator>(
+                                                  op.aggregates.size())});
+          }
+          for (size_t a = 0; a < op.aggregates.size(); ++a) {
+            Accumulate(op.aggregates[a],
+                       op.aggregates[a].arg != nullptr ? agg_vals[a][i]
+                                                       : PropertyValue(),
+                       &groups[gi].accs[a]);
+          }
+        }
+      }
+      std::vector<Row> out_rows;
+      if (input_rows == 0 && op.exprs.empty()) {
+        // Global aggregation over zero rows still yields one row
+        // (count() = 0), per Cypher/SQL semantics.
+        Row row;
+        for (const auto& spec : op.aggregates) {
+          row.push_back(Finalize(spec, Accumulator{}));
+        }
+        out_rows.push_back(std::move(row));
+      } else {
+        out_rows.reserve(groups.size());
+        for (Group& group : groups) {
+          Row row = std::move(group.key);
+          for (size_t a = 0; a < op.aggregates.size(); ++a) {
+            row.push_back(Finalize(op.aggregates[a], group.accs[a]));
+          }
+          out_rows.push_back(std::move(row));
+        }
+      }
+      *batches = ir::RowsToBatches(out_rows);
+      for (const Batch& b : *batches) NoteBatch(b);
+      return Status::OK();
+    }
+
     case ir::OpKind::kOrder:
-    case ir::OpKind::kGroup:
     case ir::OpKind::kLimit:
     case ir::OpKind::kDedup:
       return bridge(batches);
@@ -651,12 +1020,24 @@ Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
                           const ExecOptions& opts, uint64_t op_span) const {
   const grin::GrinGraph& g = *graph_;
   switch (op.kind) {
+    case ir::OpKind::kFusedScan:
     case ir::OpKind::kScan: {
+      // A fused scan runs the plain row scan unchanged (the row path is
+      // the Exp-2 A/B baseline): full predicate via Expr, folded
+      // projection applied after the enumeration. Only the marker span
+      // and counter record the fused shape.
+      std::optional<trace::ScopedSpan> fused_span;
+      uint64_t scan_span = op_span;
+      if (op.kind == ir::OpKind::kFusedScan) {
+        FLEX_COUNTER_INC(metrics::kFusedScansTotal);
+        fused_span.emplace(opts.trace, "op.fused_scan", "operator", op_span);
+        scan_span = fused_span->id();
+      }
       // The storage read boundary — where a lost page or failed remote
       // read would surface in a real deployment; also the span under
       // which all GRIN scan work for this operator is accounted.
       trace::ScopedSpan read_span(opts.trace, "storage.read", "storage",
-                                  op_span);
+                                  scan_span);
       if (FLEX_FAULT_POINT("storage.read")) {
         return Status::DataLoss("storage.read fault injected at scan");
       }
@@ -748,6 +1129,22 @@ Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
       } else {
         emit_label(op.label);
       }
+      if (!op.exprs.empty()) {
+        // Folded projection (FUSED_SCAN only — a plain SCAN never carries
+        // exprs): every expr references the scanned column.
+        for (Row& row : out) {
+          Row projected;
+          projected.reserve(op.exprs.size());
+          for (const auto& expr : op.exprs) {
+            if (expr->kind() == ir::ExprKind::kColumn) {
+              projected.push_back(row[expr->column()]);
+            } else {
+              projected.push_back(expr->Eval(row, g, opts.params));
+            }
+          }
+          row = std::move(projected);
+        }
+      }
       *rows = std::move(out);
       return Status::OK();
     }
@@ -821,7 +1218,15 @@ Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
       return Status::OK();
     }
 
+    case ir::OpKind::kFusedExpand:
     case ir::OpKind::kExpand: {
+      // Row mode runs the fused expand as the plain expand (full predicate
+      // per extended row — the A/B baseline) under its marker span.
+      std::optional<trace::ScopedSpan> fused_span;
+      if (op.kind == ir::OpKind::kFusedExpand) {
+        FLEX_COUNTER_INC(metrics::kFusedExpandsTotal);
+        fused_span.emplace(opts.trace, "op.fused_expand", "operator", op_span);
+      }
       std::vector<Row> out;
       for (Row& row : *rows) {
         const auto* vertex = std::get_if<ir::VertexRef>(&row[op.from_column]);
@@ -842,6 +1247,22 @@ Status Interpreter::Apply(const ir::Op& op, std::vector<Row>* rows,
               out.push_back(std::move(extended));
               return true;
             });
+      }
+      if (!op.exprs.empty()) {
+        // Folded projection (FUSED_EXPAND only — a plain EXPAND never
+        // carries exprs): expressions read the extended row.
+        for (Row& row : out) {
+          Row projected;
+          projected.reserve(op.exprs.size());
+          for (const auto& expr : op.exprs) {
+            if (expr->kind() == ir::ExprKind::kColumn) {
+              projected.push_back(row[expr->column()]);
+            } else {
+              projected.push_back(expr->Eval(row, g, opts.params));
+            }
+          }
+          row = std::move(projected);
+        }
       }
       *rows = std::move(out);
       return Status::OK();

@@ -107,6 +107,13 @@ class Interpreter {
   Status ColumnarScan(const ir::Op& op, std::vector<ir::Batch>* out,
                       const ExecOptions& opts, uint64_t op_span) const;
 
+  /// FUSED_SCAN, vectorized: splits the predicate into pushed conjuncts
+  /// (evaluated by the backend inside its scan loop, filtered-out rows
+  /// never materialize) and residual conjuncts, and builds folded
+  /// projection output directly from natively gathered property columns.
+  Status ColumnarFusedScan(const ir::Op& op, std::vector<ir::Batch>* out,
+                           const ExecOptions& opts, uint64_t fused_span) const;
+
   const grin::GrinGraph* graph_;
 };
 

@@ -1,11 +1,26 @@
 #include "query/plan_cache.h"
 
+#include <cstdio>
 #include <functional>
 
 #include "common/metric_names.h"
 #include "common/metrics.h"
 
 namespace flex::query {
+
+std::string PlanCacheKey(char lang_tag, const std::string& text,
+                         uint32_t optimizer_flags,
+                         uint32_t backend_capabilities) {
+  char header[32];
+  const int n =
+      std::snprintf(header, sizeof(header), "%c:%x:%x:", lang_tag,
+                    optimizer_flags, backend_capabilities);
+  std::string key;
+  key.reserve(static_cast<size_t>(n) + text.size());
+  key.append(header, static_cast<size_t>(n));
+  key.append(text);
+  return key;
+}
 
 PlanCache::PlanCache(size_t capacity)
     : per_shard_capacity_(capacity == 0 ? 0

@@ -13,6 +13,17 @@
 
 namespace flex::query {
 
+/// Builds the canonical plan-cache key:
+/// `<lang>:<optimizer-flags-hex>:<backend-capabilities-hex>:<text>`.
+/// A cached plan is the output of one optimizer flag combination compiled
+/// against one backend's capability mask (pushdown legality — and thus
+/// plan shape — depends on both), so all three segments key the entry;
+/// the same text never resolves to a plan compiled under different
+/// settings.
+std::string PlanCacheKey(char lang_tag, const std::string& text,
+                         uint32_t optimizer_flags,
+                         uint32_t backend_capabilities);
+
 /// Merged view of one cache's counters (scrape/test path; the per-shard
 /// cells are the source of truth).
 struct PlanCacheStats {

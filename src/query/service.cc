@@ -39,7 +39,16 @@ Result<ir::Plan> QueryService::Compile(Language lang,
                                        const std::string& text) const {
   FLEX_ASSIGN_OR_RETURN(ir::Plan logical,
                         ParseQuery(lang, text, graph_->schema()));
-  return optimizer::Optimize(logical, &catalog_, options_);
+  // The schema enables FusePipelines (pushdown legality is
+  // schema-dependent); schema-less callers of Optimize get unfused plans.
+  return optimizer::Optimize(logical, &catalog_, options_,
+                             &graph_->schema());
+}
+
+Result<std::string> QueryService::Explain(Language lang,
+                                          const std::string& text) const {
+  FLEX_ASSIGN_OR_RETURN(ir::Plan plan, Compile(lang, text));
+  return plan.DebugString(&graph_->schema());
 }
 
 Result<std::vector<ir::Row>> QueryService::Run(
@@ -58,18 +67,6 @@ namespace {
 bool IsRetryable(const Status& status) {
   return status.code() == StatusCode::kAborted ||
          status.code() == StatusCode::kDataLoss;
-}
-
-/// Plan-cache key: one language tag byte + the raw query text. Parameters
-/// ($i placeholders) are bound at execution, never folded into the plan,
-/// so two calls with the same text share one cached plan safely.
-std::string PlanCacheKey(Language lang, const std::string& text) {
-  std::string key;
-  key.reserve(text.size() + 2);
-  key.push_back(lang == Language::kCypher ? 'c' : 'g');
-  key.push_back(':');
-  key.append(text);
-  return key;
 }
 
 }  // namespace
@@ -106,7 +103,12 @@ Result<std::vector<ir::Row>> QueryService::Run(
   {
     trace::ScopedSpan compile_span(options.trace, "compile", "compile",
                                    root_span.id());
-    const std::string cache_key = PlanCacheKey(lang, text);
+    // Parameters ($i placeholders) are bound at execution, never folded
+    // into the plan, so calls sharing text (and flags + backend) share
+    // one cached plan safely.
+    const std::string cache_key =
+        PlanCacheKey(lang == Language::kCypher ? 'c' : 'g', text,
+                     options_.FlagBits(), graph_->capabilities());
     shared_plan = plan_cache_.Lookup(cache_key);
     if (shared_plan == nullptr) {
       Result<ir::Plan> compiled = Compile(lang, text);

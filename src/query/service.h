@@ -89,6 +89,11 @@ class QueryService {
   /// Parses and optimizes without running (plan inspection / tests).
   Result<ir::Plan> Compile(Language lang, const std::string& text) const;
 
+  /// EXPLAIN: compiles `text` and renders the optimized physical plan —
+  /// operator tree, fused pipelines with their pushed/residual conjunct
+  /// split, and output columns — without executing it.
+  Result<std::string> Explain(Language lang, const std::string& text) const;
+
   /// End-to-end execution.
   Result<std::vector<ir::Row>> Run(Language lang, const std::string& text,
                                    EngineKind engine = EngineKind::kGaia,

@@ -37,7 +37,10 @@ class ShardLatch {
 /// plans run single-threaded.
 bool HasInnerScan(const ir::Plan& plan, size_t split) {
   for (size_t i = 1; i < split; ++i) {
-    if (plan.ops[i].kind == ir::OpKind::kScan) return true;
+    if (plan.ops[i].kind == ir::OpKind::kScan ||
+        plan.ops[i].kind == ir::OpKind::kFusedScan) {
+      return true;
+    }
   }
   return false;
 }
@@ -71,7 +74,17 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
   FLEX_RETURN_NOT_OK(CheckRunnable(deadline, cancel, "gaia"));
   trace::ScopedSpan engine_span(trace, "gaia", "engine", trace_parent);
   query::Interpreter interpreter(graph_);
-  const bool vectorized = mode == ExecMode::kBatched;
+  // Cost-based strategy selection: columnar batches amortize their
+  // scaffolding (column allocation, selection vectors, gather) over rows.
+  // When the optimizer's estimate says every intermediate stays below a
+  // few rows — point lookups and their immediate neighborhoods — the
+  // tuple-at-a-time path is strictly cheaper, so a batched request runs
+  // row-wise. Results are bit-identical in either mode by construction;
+  // only the execution strategy changes.
+  constexpr double kBatchedRowFloor = 8.0;
+  const bool vectorized = mode == ExecMode::kBatched &&
+                          (plan.estimated_peak_rows < 0.0 ||
+                           plan.estimated_peak_rows >= kBatchedRowFloor);
 
   // Split at the first blocking (exchange-requiring) operator.
   size_t split = plan.ops.size();
@@ -82,8 +95,14 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
     }
   }
 
+  // An id-pinned leading scan resolves through the oid index on shard 0
+  // only (the other shards' scans yield nothing), so sharding such a plan
+  // buys no parallelism and pays dispatch + latch on every query — the
+  // dominant cost for point lookups. Run it single-threaded instead.
   const bool shardable = pool_ != nullptr && !plan.ops.empty() &&
-                         plan.ops[0].kind == ir::OpKind::kScan && split > 0 &&
+                         (plan.ops[0].kind == ir::OpKind::kScan ||
+                          plan.ops[0].kind == ir::OpKind::kFusedScan) &&
+                         plan.ops[0].id_lookup == nullptr && split > 0 &&
                          !HasInnerScan(plan, split);
   if (!shardable) {
     query::ExecOptions opts;
@@ -137,20 +156,36 @@ Result<std::vector<ir::Row>> GaiaEngine::Run(
     // the single-threaded row order exactly (stable: a worker's own
     // batches are already ordered, and EXPAND outputs inherit their
     // source batch's key).
-    trace::ScopedSpan exchange_span(trace, "gaia.exchange", "engine",
-                                    engine_span.id());
     std::vector<ir::Batch> all;
-    for (auto& partial : partials) {
-      FLEX_RETURN_NOT_OK(partial.status());
-      auto batches = std::move(partial).value();
-      all.insert(all.end(), std::make_move_iterator(batches.begin()),
-                 std::make_move_iterator(batches.end()));
+    {
+      trace::ScopedSpan exchange_span(trace, "gaia.exchange", "engine",
+                                      engine_span.id());
+      for (auto& partial : partials) {
+        FLEX_RETURN_NOT_OK(partial.status());
+        auto batches = std::move(partial).value();
+        all.insert(all.end(), std::make_move_iterator(batches.begin()),
+                   std::make_move_iterator(batches.end()));
+      }
+      std::stable_sort(all.begin(), all.end(),
+                       [](const ir::Batch& a, const ir::Batch& b) {
+                         return a.order_key < b.order_key;
+                       });
     }
-    std::stable_sort(all.begin(), all.end(),
-                     [](const ir::Batch& a, const ir::Batch& b) {
-                       return a.order_key < b.order_key;
-                     });
-    merged = ir::BatchesToRows(all);
+    // Blocking suffix, still columnar: GROUP aggregates natively over the
+    // order-restored batches instead of forcing a row bridge; ORDER /
+    // LIMIT / DEDUP bridge through rows inside RunRangeBatched,
+    // bit-identically to the row suffix.
+    query::ExecOptions sopts;
+    sopts.params = std::move(params);
+    sopts.vectorized = true;
+    sopts.deadline = deadline;
+    sopts.cancel = cancel;
+    sopts.trace = trace;
+    sopts.trace_parent = engine_span.id();
+    auto suffix = interpreter.RunRangeBatched(plan, split, plan.ops.size(),
+                                              std::move(all), sopts);
+    FLEX_RETURN_NOT_OK(suffix.status());
+    return ir::BatchesToRows(suffix.value());
   } else {
     // Row-mode prefix: one contiguous scan window per worker, so the
     // exchange's concatenation in worker order preserves global scan

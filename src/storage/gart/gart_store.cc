@@ -492,7 +492,7 @@ class GartSnapshot final : public grin::GrinGraph {
   uint32_t capabilities() const override {
     return grin::kAdjacentListIterator | grin::kVertexProperty |
            grin::kEdgeProperty | grin::kOidIndex | grin::kLabelIndex |
-           grin::kVersionedSnapshot;
+           grin::kPredicatePushdown | grin::kVersionedSnapshot;
   }
 
   const GraphSchema& schema() const override { return store_->schema_; }
@@ -520,6 +520,80 @@ class GartSnapshot final : public grin::GrinGraph {
       if (pred != nullptr && !pred(pred_ctx, v)) continue;
       if (!visitor(visitor_ctx, v)) return;
     }
+  }
+
+  bool VisitVerticesFiltered(label_t label, grin::VertexPredicate pred,
+                             void* pred_ctx, const grin::VertexFilter& filter,
+                             std::span<const size_t> project_cols,
+                             grin::FilteredVertexVisitor visitor,
+                             void* visitor_ctx) const override {
+    // Native pushdown scan: one shared-lock acquisition covers predicate
+    // and projection property resolution for the whole label scan (the
+    // boxed fallback would re-acquire mu_ for every property read).
+    FLEX_COUNTER_INC(metrics::kStorageScansTotal);
+    std::shared_lock<std::shared_mutex> lock(store_->mu_);
+    const auto& vids = store_->label_vertices_[label];
+    const size_t visible = VisibleCount(label);
+    std::vector<PropertyValue> props(project_cols.size());
+    for (size_t i = 0; i < visible; ++i) {
+      const vid_t v = vids[i];
+      if (pred != nullptr && !pred(pred_ctx, v)) continue;
+      if (!MatchesFilterLocked(filter, v)) {
+        FLEX_COUNTER_INC(metrics::kFusedRowsPrunedTotal);
+        continue;
+      }
+      for (size_t p = 0; p < project_cols.size(); ++p) {
+        props[p] = ResolveProperty(v, project_cols[p]);
+      }
+      if (!visitor(visitor_ctx, v, props)) return false;
+    }
+    return true;
+  }
+
+  using grin::GrinGraph::GetNeighborsBatch;
+
+  bool GetNeighborsBatch(std::span<const vid_t> vids, Direction dir,
+                         label_t edge_label, label_t dst_label,
+                         const grin::VertexFilter& filter,
+                         std::span<const size_t> project_cols,
+                         grin::FilteredNeighborVisitor visitor,
+                         void* ctx) const override {
+    // One shared-lock acquisition serves the filter and projection for
+    // every neighbor in the batch; the topology scan underneath is
+    // lock-free, so holding mu_ across it cannot deadlock.
+    std::shared_lock<std::shared_mutex> lock(store_->mu_);
+    struct Fwd {
+      const GartSnapshot* self;
+      const grin::VertexFilter* filter;
+      std::span<const size_t> project_cols;
+      label_t dst_label;
+      grin::FilteredNeighborVisitor visitor;
+      void* ctx;
+      std::vector<PropertyValue> props;
+    } fwd{this, &filter, project_cols, dst_label, visitor, ctx, {}};
+    fwd.props.resize(project_cols.size());
+    return grin::GrinGraph::GetNeighborsBatch(
+        vids, dir, edge_label,
+        [](void* raw, size_t src_index, Direction,
+           const grin::AdjChunk& chunk) -> bool {
+          auto* f = static_cast<Fwd*>(raw);
+          for (const vid_t nbr : chunk.neighbors) {
+            if (f->dst_label != kInvalidLabel &&
+                f->self->VertexLabelOf(nbr) != f->dst_label) {
+              continue;
+            }
+            if (!f->self->MatchesFilterLocked(*f->filter, nbr)) {
+              FLEX_COUNTER_INC(metrics::kFusedRowsPrunedTotal);
+              continue;
+            }
+            for (size_t p = 0; p < f->project_cols.size(); ++p) {
+              f->props[p] = f->self->ResolveProperty(nbr, f->project_cols[p]);
+            }
+            if (!f->visitor(f->ctx, src_index, nbr, f->props)) return false;
+          }
+          return true;
+        },
+        &fwd);
   }
 
   bool VisitAdj(vid_t v, Direction dir, label_t edge_label,
@@ -586,6 +660,19 @@ class GartSnapshot final : public grin::GrinGraph {
   version_t SnapshotVersion() const override { return version_; }
 
  private:
+  /// Evaluates a pushed-down filter against (v)'s resolved properties.
+  /// Caller holds store_->mu_ (shared).
+  bool MatchesFilterLocked(const grin::VertexFilter& filter, vid_t v) const {
+    for (const grin::VertexCondition& c : filter.conditions) {
+      const PropertyValue value =
+          c.column == grin::VertexCondition::kNoColumn
+              ? PropertyValue()
+              : ResolveProperty(v, c.column);
+      if (!grin::MatchesCondition(c, value)) return false;
+    }
+    return true;
+  }
+
   /// Newest committed-at-version_ override for (v, col) wins; the base
   /// table row is the load-time value. Caller holds store_->mu_ (shared).
   PropertyValue ResolveProperty(vid_t v, size_t col) const {

@@ -2,7 +2,12 @@
 // bit-identical result rows under the columnar (batched) path and the
 // legacy row-at-a-time path, at 1 shard and at 4 shards, and the two modes
 // must record the same trace span shapes — batching is an execution-layer
-// change only, invisible to results and to observability.
+// change only, invisible to results and to observability. Each query runs
+// both with pipeline fusion (FUSED_SCAN / FUSED_EXPAND pushdown) and with
+// fusion disabled, and the two plans must agree row-for-row across every
+// (worker, mode) combination: fusion is a plan-shape change only. Span
+// shapes are compared within one plan (a fused plan legitimately records
+// op.fused_* marker spans the unfused plan does not).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -61,21 +66,17 @@ class ExecParityTest : public ::testing::Test {
     delete stats_;
   }
 
-  /// Runs `spec` through every (worker count, execution mode) combination
-  /// with one shared parameter draw and asserts:
+  /// Runs one plan through every (worker count, execution mode)
+  /// combination with one shared parameter draw and asserts:
   ///   - result rows are bit-identical across all four combinations, and
   ///   - at each worker count, row and batched mode record identical span
   ///     shapes (shapes legitimately differ *across* worker counts: 4
   ///     shards add gaia.shard/gaia.exchange spans).
-  static void CheckParity(const snb::QuerySpec& spec) {
-    SCOPED_TRACE(spec.name);
-    auto compiled = service_->Compile(Language::kCypher, spec.cypher);
-    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
-    const ir::Plan& plan = compiled.value();
-    Rng rng(20240607 + spec.name.size());
-    const std::vector<PropertyValue> params = spec.params(rng, *stats_);
-
-    std::vector<std::string> reference;
+  /// `reference` receives the rows of the first combination.
+  static void RunPlanAllModes(const ir::Plan& plan,
+                              const std::vector<PropertyValue>& params,
+                              const std::string& name,
+                              std::vector<std::string>* reference) {
     bool have_reference = false;
     for (size_t workers : {size_t{1}, size_t{4}}) {
       runtime::GaiaEngine engine(graph_, workers);
@@ -83,7 +84,7 @@ class ExecParityTest : public ::testing::Test {
       std::vector<std::vector<std::string>> shapes;
       for (runtime::ExecMode mode :
            {runtime::ExecMode::kRowAtATime, runtime::ExecMode::kBatched}) {
-        trace::Trace trace(spec.name);
+        trace::Trace trace(name);
         auto rows = engine.Run(plan, params, {}, nullptr, &trace,
                                trace::kNoParent, mode);
         ASSERT_TRUE(rows.ok()) << rows.status().ToString();
@@ -96,13 +97,38 @@ class ExecParityTest : public ::testing::Test {
           << "row vs batched span shapes diverge at " << workers
           << " worker(s)";
       if (!have_reference) {
-        reference = results[0];
+        *reference = results[0];
         have_reference = true;
       } else {
-        EXPECT_EQ(results[0], reference)
+        EXPECT_EQ(results[0], *reference)
             << "rows diverge across worker counts";
       }
     }
+  }
+
+  /// Compiles `spec` with fusion on (the service default) and off, runs
+  /// both plans through every combination, and asserts the two plans agree
+  /// row-for-row: pushdown must never change results.
+  static void CheckParity(const snb::QuerySpec& spec) {
+    SCOPED_TRACE(spec.name);
+    auto fused = service_->Compile(Language::kCypher, spec.cypher);
+    ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+    auto parsed =
+        ParseQuery(Language::kCypher, spec.cypher, graph_->schema());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    optimizer::OptimizerOptions no_fusion;
+    no_fusion.fusion = false;
+    const ir::Plan unfused =
+        optimizer::Optimize(parsed.value(), &service_->catalog(), no_fusion,
+                            &graph_->schema());
+    Rng rng(20240607 + spec.name.size());
+    const std::vector<PropertyValue> params = spec.params(rng, *stats_);
+
+    std::vector<std::string> fused_rows;
+    RunPlanAllModes(fused.value(), params, spec.name, &fused_rows);
+    std::vector<std::string> unfused_rows;
+    RunPlanAllModes(unfused, params, spec.name, &unfused_rows);
+    EXPECT_EQ(fused_rows, unfused_rows) << "fusion changed result rows";
   }
 
   static snb::SnbStats* stats_;

@@ -118,6 +118,9 @@ TEST(MetricsTest, RenderExposesCountersGaugesAndHistogramSeries) {
 const char* const kExpectedStackMetrics[] = {
     "flex_faults_fired_total",
     "flex_flush_parallel_shards_total",
+    "flex_fused_expands_total",
+    "flex_fused_rows_pruned_total",
+    "flex_fused_scans_total",
     "flex_hiactor_pending_tasks",
     "flex_hiactor_tasks_completed_total",
     "flex_hiactor_tasks_stolen_total",

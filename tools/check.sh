@@ -21,10 +21,13 @@
 # tools/bench_compare.py (>15% regression fails). It then runs the Exp-2
 # row-vs-batched A/B (bench_exp2_snb_interactive --ab-only), which both
 # ratchets against BENCH_exp2_snb.json and enforces the vectorization
-# floor (batched >=1.2x geomean over row at 4 workers). The sanitizer
-# passes additionally run `bench_superstep_comm --smoke` and the Exp-2
-# A/B smoke so the superstep communication path and the columnar
-# executor are exercised under ASan+UBSan and TSan outside of ctest.
+# floor (batched >=1.4x geomean over row at 4 workers, fused plans). The
+# sanitizer passes additionally run `bench_superstep_comm --smoke` and
+# the Exp-2 A/B smoke so the superstep communication path and the
+# columnar executor are exercised under ASan+UBSan and TSan outside of
+# ctest; their ctest runs include exec_parity_test, which replays every
+# SNB query fusion-on vs fusion-off across row/batched x 1/4 shards, so
+# the fused pipelines are sanitizer-checked in both states.
 #
 # The serving pass is the multi-client harness: it builds
 # tests/serving_test under ASan+UBSan and under TSan and runs it across
@@ -100,10 +103,11 @@ run_bench() {
       "$ROOT/BENCH_exp3_analytics.json" "$builddir/exp3_current.json"
   echo "=== bench: Exp-2 row-vs-batched A/B vs BENCH_exp2_snb.json ==="
   cmake --build "$builddir" -j "$JOBS" --target bench_exp2_snb_interactive
-  # --min-geomean is the vectorization floor: the batched path must keep a
-  # >=1.2x geomean over row-at-a-time on SNB interactive at 4 workers.
+  # --min-geomean is the vectorization floor: the batched path (fused
+  # plans, native columnar GROUP) must keep a >=1.4x geomean over
+  # row-at-a-time on SNB interactive at 4 workers.
   "$builddir/bench/bench_exp2_snb_interactive" --ab-only \
-      --json="$builddir/exp2_current.json" --min-geomean=1.2
+      --json="$builddir/exp2_current.json" --min-geomean=1.4
   python3 "$ROOT/tools/bench_compare.py" \
       "$ROOT/BENCH_exp2_snb.json" "$builddir/exp2_current.json"
   echo "=== bench: serving ratchet vs BENCH_serving.json ==="
